@@ -1,0 +1,101 @@
+//! Criterion end-to-end construction benchmarks: every labeling constructor
+//! on a small road network and a small scale-free network, plus ablations for
+//! the design choices called out in DESIGN.md (rank queries on/off, early
+//! termination on/off, common-label pruning on/off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chl_cluster::{ClusterSpec, SimulatedCluster};
+use chl_core::{
+    gll::gll, hybrid::shared_hybrid, lcc::lcc, para_pll::spara_pll, plant::plant_labeling,
+    pll::sequential_pll, LabelingConfig,
+};
+use chl_datasets::{load, Dataset, DatasetId, Scale};
+use chl_distributed::{distributed_hybrid, distributed_plant, DistributedConfig};
+
+fn bench_dataset(c: &mut Criterion, ds: &Dataset) {
+    let mut group = c.benchmark_group(format!("construct/{}", ds.name()));
+    let config = LabelingConfig::default().with_threads(4);
+
+    group.bench_function("seqPLL", |b| b.iter(|| black_box(sequential_pll(&ds.graph, &ds.ranking))));
+    group.bench_function("SparaPLL", |b| {
+        b.iter(|| black_box(spara_pll(&ds.graph, &ds.ranking, &config)))
+    });
+    group.bench_function("LCC", |b| b.iter(|| black_box(lcc(&ds.graph, &ds.ranking, &config))));
+    group.bench_function("GLL", |b| b.iter(|| black_box(gll(&ds.graph, &ds.ranking, &config))));
+    group.bench_function("PLaNT", |b| {
+        b.iter(|| black_box(plant_labeling(&ds.graph, &ds.ranking, &config)))
+    });
+    group.bench_function("Hybrid", |b| {
+        b.iter(|| black_box(shared_hybrid(&ds.graph, &ds.ranking, &config)))
+    });
+    group.finish();
+}
+
+fn construction_benchmarks(c: &mut Criterion) {
+    let road = load(DatasetId::CAL, Scale::Tiny, 42);
+    let social = load(DatasetId::SKIT, Scale::Tiny, 42);
+    bench_dataset(c, &road);
+    bench_dataset(c, &social);
+}
+
+fn ablation_benchmarks(c: &mut Criterion) {
+    let social = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let mut group = c.benchmark_group("ablation");
+
+    // Early termination in PLaNT.
+    for early in [true, false] {
+        let config = LabelingConfig {
+            early_termination: early,
+            ..LabelingConfig::default().with_threads(4)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("plant_early_termination", early),
+            &config,
+            |b, cfg| b.iter(|| black_box(plant_labeling(&social.graph, &social.ranking, cfg))),
+        );
+    }
+
+    // Rank queries (LCC) vs none (SparaPLL-style construction + cleaning cost
+    // folded in by the LCC timing itself).
+    let config = LabelingConfig::default().with_threads(4);
+    group.bench_function("construction_with_rank_queries", |b| {
+        b.iter(|| black_box(lcc(&social.graph, &social.ranking, &config)))
+    });
+    group.bench_function("construction_without_rank_queries", |b| {
+        b.iter(|| black_box(spara_pll(&social.graph, &social.ranking, &config)))
+    });
+
+    // Common Label Table in the distributed hybrid.
+    for eta in [0u32, 16] {
+        let dconfig = DistributedConfig::default().with_common_hubs(eta);
+        group.bench_with_input(BenchmarkId::new("hybrid_common_hubs", eta), &dconfig, |b, cfg| {
+            b.iter(|| {
+                let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(4));
+                black_box(distributed_hybrid(&social.graph, &social.ranking, &cluster, cfg))
+            })
+        });
+    }
+
+    // Distributed PLaNT as the communication-free reference point.
+    group.bench_function("distributed_plant_4_nodes", |b| {
+        b.iter(|| {
+            let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(4));
+            black_box(distributed_plant(
+                &social.graph,
+                &social.ranking,
+                &cluster,
+                &DistributedConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = construction;
+    config = Criterion::default().sample_size(10);
+    targets = construction_benchmarks, ablation_benchmarks
+}
+criterion_main!(construction);

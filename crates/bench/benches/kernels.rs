@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the hot kernels of hub labeling:
+//! PPSD distance queries (merge vs. hash join), the pruned-Dijkstra SPT
+//! kernel, the PLaNT Dijkstra kernel and the label cleaning pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use chl_core::cleaning::clean_labels;
+use chl_core::labels::RootLabelHash;
+use chl_core::plant::{plant_dijkstra, CommonLabelTable, PlantScratch};
+use chl_core::pll::{pll_with_restricted_pruning, sequential_pll};
+use chl_core::pruned_dijkstra::{pruned_dijkstra, DijkstraScratch, PruneOptions};
+use chl_core::table::ConcurrentLabelTable;
+use chl_datasets::{load, DatasetId, Scale};
+
+fn query_kernels(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let n = ds.graph.num_vertices() as u32;
+
+    let mut group = c.benchmark_group("query");
+    group.bench_function("merge_join_ppsd", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            let u = i % n;
+            let v = (i >> 8) % n;
+            black_box(index.query(u, v))
+        })
+    });
+    group.bench_function("hash_join_coverage", |b| {
+        let root_hash = RootLabelHash::from_entries(index.labels_of(0).entries().iter().copied());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(40503);
+            let v = i % n;
+            black_box(root_hash.covers(index.labels_of(v).entries(), 1_000))
+        })
+    });
+    group.finish();
+}
+
+fn spt_kernels(c: &mut Criterion) {
+    let road = load(DatasetId::CAL, Scale::Tiny, 42);
+    let n = road.graph.num_vertices();
+    let mid_root = road.ranking.vertex_at((n / 2) as u32);
+
+    let mut group = c.benchmark_group("spt_kernel");
+    group.bench_function("pruned_dijkstra_mid_rank_root", |b| {
+        // Labels of all higher-ranked roots are present, as they would be in
+        // a real construction when this root's turn comes.
+        let table = ConcurrentLabelTable::new(n);
+        let mut scratch = DijkstraScratch::new(n);
+        for pos in 0..(n / 2) as u32 {
+            pruned_dijkstra(
+                &road.graph,
+                &road.ranking,
+                road.ranking.vertex_at(pos),
+                &table,
+                PruneOptions::default(),
+                &mut scratch,
+            );
+        }
+        b.iter_batched(
+            || DijkstraScratch::new(n),
+            |mut fresh| {
+                black_box(pruned_dijkstra(
+                    &road.graph,
+                    &road.ranking,
+                    mid_root,
+                    &table,
+                    PruneOptions::default(),
+                    &mut fresh,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("plant_dijkstra_mid_rank_root", |b| {
+        let common = CommonLabelTable::empty(n);
+        b.iter_batched(
+            || PlantScratch::new(n),
+            |mut fresh| {
+                black_box(plant_dijkstra(&road.graph, &road.ranking, mid_root, true, &common, &mut fresh))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn cleaning_kernel(c: &mut Criterion) {
+    let ds = load(DatasetId::AUT, Scale::Tiny, 42);
+    // An inflated labeling (rank queries only) gives the cleaner real work.
+    let inflated = pll_with_restricted_pruning(&ds.graph, &ds.ranking, 0).index;
+    let sets = inflated.into_label_sets();
+
+    c.bench_function("clean_labels_inflated_labeling", |b| {
+        b.iter(|| black_box(clean_labels(&sets, &ds.ranking)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = query_kernels, spt_kernels, cleaning_kernel
+}
+criterion_main!(kernels);

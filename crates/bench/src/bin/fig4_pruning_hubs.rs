@@ -1,0 +1,41 @@
+//! Figure 4 — number of labels generated when PLL's pruning distance queries
+//! may only use the `x` highest-ranked hubs (x = 0 means rank queries only).
+//! The paper's qualitative shape: the label count drops dramatically with the
+//! first few pruning hubs and approaches the canonical size quickly — the
+//! observation motivating the Common Label Table (§5.3).
+
+use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_core::pll::{pll_with_restricted_pruning, sequential_pll};
+use chl_datasets::{load, DatasetId};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let datasets = datasets_from_env(&[DatasetId::CAL, DatasetId::SKIT]);
+    banner(
+        "Figure 4: labels generated vs. number of hubs usable by pruning queries",
+        &format!("scale {scale:?}, seed {seed}"),
+    );
+
+    let sweep: Vec<u32> = vec![0, 1, 2, 4, 8, 16, 32, 64];
+    let mut csv = Vec::new();
+
+    for id in datasets {
+        let ds = load(id, scale, seed);
+        let canonical = sequential_pll(&ds.graph, &ds.ranking).index.total_labels();
+
+        println!("\n{} — canonical label count = {}", ds.name(), canonical);
+        let printer = TablePrinter::new(&["# pruning hubs", "# labels", "vs canonical"]);
+        for &x in &sweep {
+            let labels = pll_with_restricted_pruning(&ds.graph, &ds.ranking, x).index.total_labels();
+            printer.print_row(&[
+                x.to_string(),
+                labels.to_string(),
+                format!("{:.2}x", labels as f64 / canonical.max(1) as f64),
+            ]);
+            csv.push(vec![ds.name().to_string(), x.to_string(), labels.to_string(), canonical.to_string()]);
+        }
+    }
+
+    write_csv("fig4_pruning_hubs", &["dataset", "pruning_hubs", "labels", "canonical_labels"], &csv);
+}

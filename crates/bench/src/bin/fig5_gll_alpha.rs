@@ -1,0 +1,50 @@
+//! Figure 5 — GLL execution time as a function of the synchronization
+//! threshold α. The paper's qualitative shape: a broad flat optimum for
+//! α between roughly 2 and 32, with degradation at α = 1 (too many
+//! synchronizations) and at very large α (cleaning degenerates to LCC).
+
+use chl_bench::{banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_core::{gll::gll, LabelingConfig};
+use chl_datasets::{load, DatasetId};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let datasets = datasets_from_env(&[
+        DatasetId::CTR,
+        DatasetId::BDU,
+        DatasetId::CAL,
+        DatasetId::SKIT,
+        DatasetId::ACT,
+        DatasetId::YTB,
+        DatasetId::EAS,
+        DatasetId::AUT,
+    ]);
+    let alphas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+    banner("Figure 5: GLL execution time vs α", &format!("scale {scale:?}, seed {seed}"));
+
+    let printer = TablePrinter::new(&["Dataset", "alpha", "time (s)", "supersteps"]);
+    let mut csv = Vec::new();
+
+    for id in datasets {
+        let ds = load(id, scale, seed);
+        for &alpha in &alphas {
+            let config = LabelingConfig::default().with_alpha(alpha);
+            let result = gll(&ds.graph, &ds.ranking, &config);
+            printer.print_row(&[
+                ds.name().to_string(),
+                format!("{alpha}"),
+                fmt_secs(result.stats.total_time),
+                result.stats.supersteps.to_string(),
+            ]);
+            csv.push(vec![
+                ds.name().to_string(),
+                format!("{alpha}"),
+                format!("{:.6}", result.stats.total_time.as_secs_f64()),
+                result.stats.supersteps.to_string(),
+            ]);
+        }
+    }
+
+    write_csv("fig5_gll_alpha", &["dataset", "alpha", "time_s", "supersteps"], &csv);
+}

@@ -1,0 +1,71 @@
+//! Figure 6 — execution time of the distributed Hybrid algorithm on 16
+//! compute nodes as a function of the switching threshold Ψ_th, separately
+//! for road networks and scale-free networks. The paper's qualitative shape:
+//! road networks tolerate (and prefer) large Ψ_th — PLaNT is efficient there
+//! — while scale-free networks degrade when Ψ_th is too large because
+//! low-yield trees keep being PLaNTed.
+
+use chl_bench::{banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_cluster::{ClusterSpec, SimulatedCluster};
+use chl_datasets::{load, DatasetId, Topology};
+use chl_distributed::{distributed_hybrid, DistributedConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let nodes: usize = std::env::var("CHL_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let datasets = datasets_from_env(&[
+        DatasetId::CTR,
+        DatasetId::CAL,
+        DatasetId::EAS,
+        DatasetId::BDU,
+        DatasetId::SKIT,
+        DatasetId::ACT,
+        DatasetId::YTB,
+        DatasetId::AUT,
+    ]);
+    let thresholds = [16.0, 64.0, 100.0, 256.0, 500.0, 1024.0, 4096.0, 16384.0];
+    banner(
+        "Figure 6: Hybrid execution time vs Ψ_th",
+        &format!("scale {scale:?}, q = {nodes} simulated nodes (modeled time)"),
+    );
+
+    let printer =
+        TablePrinter::new(&["Dataset", "type", "psi_th", "modeled time (s)", "wall time (s)"]);
+    let mut csv = Vec::new();
+
+    for id in datasets {
+        let ds = load(id, scale, seed);
+        let topo = match id.topology() {
+            Topology::Road => "road",
+            Topology::ScaleFree => "scale-free",
+        };
+        for &psi in &thresholds {
+            let spec = ClusterSpec::with_nodes(nodes);
+            let cluster = SimulatedCluster::new(spec);
+            let config = DistributedConfig::default().with_psi_threshold(psi);
+            let labeling = distributed_hybrid(&ds.graph, &ds.ranking, &cluster, &config);
+            let modeled = labeling.metrics.modeled_time(&spec);
+            printer.print_row(&[
+                ds.name().to_string(),
+                topo.to_string(),
+                format!("{psi}"),
+                fmt_secs(modeled),
+                fmt_secs(labeling.metrics.wall_time),
+            ]);
+            csv.push(vec![
+                ds.name().to_string(),
+                topo.to_string(),
+                format!("{psi}"),
+                format!("{:.6}", modeled.as_secs_f64()),
+                format!("{:.6}", labeling.metrics.wall_time.as_secs_f64()),
+            ]);
+        }
+    }
+
+    write_csv(
+        "fig6_hybrid_psi_threshold",
+        &["dataset", "type", "psi_threshold", "modeled_time_s", "wall_time_s"],
+        &csv,
+    );
+}

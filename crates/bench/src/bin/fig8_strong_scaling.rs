@@ -1,0 +1,97 @@
+//! Figure 8 — strong scaling of the four distributed algorithms (DparaPLL,
+//! DGLL, PLaNT, Hybrid) as the node count grows from 1 to 64.
+//!
+//! The reported series is the *modeled* cluster time: per-node compute is
+//! measured with the nodes executed free of oversubscription and combined
+//! with the α-β communication model (see chl-cluster). The paper's
+//! qualitative shape: PLaNT scales near-linearly (no label traffic), Hybrid
+//! tracks or beats it on scale-free graphs, while DGLL and especially
+//! DparaPLL flatten out or degrade as communication dominates, with DparaPLL
+//! additionally blowing up its per-node memory (it replicates all labels).
+
+use chl_bench::{banner, datasets_from_env, fmt_mib, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_cluster::{ClusterSpec, SimulatedCluster};
+use chl_datasets::{load, DatasetId};
+use chl_distributed::{
+    distributed_gll, distributed_hybrid, distributed_parapll, distributed_plant, DistributedConfig,
+    DistributedLabeling,
+};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let datasets = datasets_from_env(&[DatasetId::CAL, DatasetId::SKIT, DatasetId::YTB, DatasetId::EAS]);
+    let node_counts: Vec<usize> = std::env::var("CHL_NODE_SWEEP")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);
+    banner(
+        "Figure 8: strong scaling of distributed algorithms (modeled time)",
+        &format!("scale {scale:?}, node sweep {node_counts:?}; cores = 8 × nodes in the paper"),
+    );
+
+    type Runner = fn(
+        &chl_graph::CsrGraph,
+        &chl_ranking::Ranking,
+        &SimulatedCluster,
+        &DistributedConfig,
+    ) -> DistributedLabeling;
+    let algorithms: Vec<(&str, Runner)> = vec![
+        ("DparaPLL", distributed_parapll as Runner),
+        ("DGLL", distributed_gll as Runner),
+        ("PLaNT", distributed_plant as Runner),
+        ("Hybrid", distributed_hybrid as Runner),
+    ];
+
+    let printer = TablePrinter::new(&[
+        "Dataset",
+        "Algorithm",
+        "nodes",
+        "modeled time (s)",
+        "speedup vs 1",
+        "bcast (MiB)",
+        "peak node mem (MiB)",
+    ]);
+    let mut csv = Vec::new();
+
+    for id in datasets {
+        let ds = load(id, scale, seed);
+        for (name, runner) in &algorithms {
+            let mut baseline = None;
+            for &q in &node_counts {
+                let spec = ClusterSpec::with_nodes(q);
+                let cluster = SimulatedCluster::new(spec);
+                let config = DistributedConfig::default();
+                let labeling = runner(&ds.graph, &ds.ranking, &cluster, &config);
+                let modeled = labeling.metrics.modeled_time(&spec).as_secs_f64();
+                let baseline_time = *baseline.get_or_insert(modeled);
+                let speedup = baseline_time / modeled.max(1e-12);
+                let comm = labeling.metrics.total_comm();
+                printer.print_row(&[
+                    ds.name().to_string(),
+                    name.to_string(),
+                    q.to_string(),
+                    format!("{modeled:.3}"),
+                    format!("{speedup:.1}x"),
+                    fmt_mib(comm.broadcast_bytes as usize),
+                    fmt_mib(labeling.metrics.peak_node_label_bytes),
+                ]);
+                csv.push(vec![
+                    ds.name().to_string(),
+                    name.to_string(),
+                    q.to_string(),
+                    format!("{modeled:.6}"),
+                    format!("{speedup:.3}"),
+                    comm.broadcast_bytes.to_string(),
+                    labeling.metrics.peak_node_label_bytes.to_string(),
+                ]);
+            }
+        }
+    }
+
+    write_csv(
+        "fig8_strong_scaling",
+        &["dataset", "algorithm", "nodes", "modeled_time_s", "speedup", "broadcast_bytes", "peak_node_label_bytes"],
+        &csv,
+    );
+}

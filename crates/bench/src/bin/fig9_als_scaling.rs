@@ -1,0 +1,66 @@
+//! Figure 9 — average label size (ALS) of DparaPLL vs. the Hybrid algorithm
+//! as the node count grows. The paper's qualitative shape: the Hybrid (and
+//! every other CHL-producing algorithm) keeps the canonical ALS regardless of
+//! the node count, while DparaPLL's ALS explodes with more nodes because
+//! labels from high-ranked hubs are missing during pruning.
+
+use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_cluster::{ClusterSpec, SimulatedCluster};
+use chl_core::pll::sequential_pll;
+use chl_datasets::{load, DatasetId};
+use chl_distributed::{distributed_hybrid, distributed_parapll, DistributedConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let datasets = datasets_from_env(&[
+        DatasetId::CAL,
+        DatasetId::EAS,
+        DatasetId::SKIT,
+        DatasetId::WND,
+        DatasetId::AUT,
+        DatasetId::YTB,
+        DatasetId::ACT,
+        DatasetId::BDU,
+    ]);
+    let node_counts: Vec<usize> = std::env::var("CHL_NODE_SWEEP")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);
+    banner(
+        "Figure 9: average label size of DparaPLL vs Hybrid",
+        &format!("scale {scale:?}, node sweep {node_counts:?}"),
+    );
+
+    let printer =
+        TablePrinter::new(&["Dataset", "nodes", "DparaPLL ALS", "Hybrid ALS", "CHL ALS"]);
+    let mut csv = Vec::new();
+
+    for id in datasets {
+        let ds = load(id, scale, seed);
+        let chl_als = sequential_pll(&ds.graph, &ds.ranking).index.average_label_size();
+        for &q in &node_counts {
+            let spec = ClusterSpec::with_nodes(q);
+            let config = DistributedConfig::default();
+            let dparapll =
+                distributed_parapll(&ds.graph, &ds.ranking, &SimulatedCluster::new(spec), &config);
+            let hybrid =
+                distributed_hybrid(&ds.graph, &ds.ranking, &SimulatedCluster::new(spec), &config);
+            let cells = vec![
+                ds.name().to_string(),
+                q.to_string(),
+                format!("{:.1}", dparapll.average_label_size()),
+                format!("{:.1}", hybrid.average_label_size()),
+                format!("{chl_als:.1}"),
+            ];
+            printer.print_row(&cells);
+            csv.push(cells);
+        }
+    }
+
+    write_csv(
+        "fig9_als_scaling",
+        &["dataset", "nodes", "dparapll_als", "hybrid_als", "chl_als"],
+        &csv,
+    );
+}

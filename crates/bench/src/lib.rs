@@ -1,0 +1,176 @@
+//! # chl-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation section (§7). Each experiment is a standalone binary:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2_datasets` | Table 2 — dataset inventory |
+//! | `table3_shared_memory` | Table 3 — SparaPLL / seqPLL / LCC / GLL comparison |
+//! | `table4_query_modes` | Table 4 — QLSN / QFDL / QDOL throughput, latency, memory |
+//! | `fig2_labels_per_spt` | Figure 2 — labels generated per SPT |
+//! | `fig3_psi_per_spt` | Figure 3 — Ψ (exploration per label) per SPT |
+//! | `fig4_pruning_hubs` | Figure 4 — label count vs. number of pruning hubs |
+//! | `fig5_gll_alpha` | Figure 5 — GLL time vs. synchronization threshold α |
+//! | `fig6_hybrid_psi_threshold` | Figure 6 — Hybrid time vs. switching threshold Ψ_th |
+//! | `fig7_time_breakdown` | Figure 7 — LCC vs. GLL construction/cleaning breakdown |
+//! | `fig8_strong_scaling` | Figure 8 — strong scaling of DparaPLL / DGLL / PLaNT / Hybrid |
+//! | `fig9_als_scaling` | Figure 9 — average label size of DparaPLL vs. Hybrid |
+//!
+//! Run one with `cargo run --release -p chl-bench --bin <name>`. Every binary
+//! prints a human-readable table and writes `target/experiments/<name>.csv`.
+//!
+//! Environment knobs shared by all binaries:
+//!
+//! * `CHL_SCALE` — `tiny`, `small` (default) or `medium`; scales the
+//!   synthetic stand-in datasets.
+//! * `CHL_DATASETS` — comma-separated subset of dataset names (e.g.
+//!   `CAL,SKIT`) to restrict an experiment.
+//! * `CHL_SEED` — RNG seed for dataset generation (default 42).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use chl_datasets::{DatasetId, Scale};
+
+/// Reads the dataset scale from `CHL_SCALE` (default: small).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("CHL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "medium" => Scale::Medium,
+        _ => Scale::Small,
+    }
+}
+
+/// Reads the RNG seed from `CHL_SEED` (default: 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("CHL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Reads the dataset selection from `CHL_DATASETS`, falling back to
+/// `default` when unset or unparsable.
+pub fn datasets_from_env(default: &[DatasetId]) -> Vec<DatasetId> {
+    match std::env::var("CHL_DATASETS") {
+        Ok(list) if !list.trim().is_empty() => {
+            let wanted: Vec<String> =
+                list.split(',').map(|s| s.trim().to_uppercase()).filter(|s| !s.is_empty()).collect();
+            let selected: Vec<DatasetId> = DatasetId::all()
+                .into_iter()
+                .filter(|d| wanted.iter().any(|w| w == d.name()))
+                .collect();
+            if selected.is_empty() {
+                default.to_vec()
+            } else {
+                selected
+            }
+        }
+        _ => default.to_vec(),
+    }
+}
+
+/// Directory where experiment CSVs are written (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a CSV file into [`experiments_dir`]; failures are reported to
+/// stderr but never abort the experiment.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let write = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => println!("\n[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a duration in seconds with 3 decimal places.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a byte count as mebibytes.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// A minimal fixed-width console table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Prints the header row and remembers the column widths.
+    pub fn new(columns: &[&str]) -> Self {
+        let widths: Vec<usize> = columns.iter().map(|c| c.len().max(10)).collect();
+        let printer = TablePrinter { widths };
+        printer.print_row(&columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        println!("{}", "-".repeat(printer.widths.iter().sum::<usize>() + 3 * printer.widths.len()));
+        printer
+    }
+
+    /// Prints one data row, padding each cell to its column width.
+    pub fn print_row(&self, cells: &[String]) {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = self.widths.get(i).copied().unwrap_or(10)))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("\n=== {title} ===");
+    println!("{detail}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_to_small() {
+        // Cannot mutate the environment safely in parallel tests; just check
+        // the default path (no CHL_SCALE set in the test environment).
+        if std::env::var("CHL_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn dataset_selection_falls_back_to_default() {
+        if std::env::var("CHL_DATASETS").is_err() {
+            let def = [DatasetId::CAL, DatasetId::SKIT];
+            assert_eq!(datasets_from_env(&def), def.to_vec());
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(fmt_mib(1024 * 1024), "1.00");
+    }
+
+    #[test]
+    fn csv_writer_creates_files() {
+        write_csv("unit_test_output", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let path = experiments_dir().join("unit_test_output.csv");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("1,2"));
+    }
+}

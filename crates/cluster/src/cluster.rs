@@ -1,0 +1,178 @@
+//! Execution of per-node work on the simulated cluster.
+//!
+//! A "round" hands every simulated node a closure to run; nodes execute
+//! concurrently on their own OS threads (one thread per node — the
+//! intra-node thread pool is the node closure's own business) and the round
+//! returns each node's result plus its measured busy time. This mirrors the
+//! bulk-synchronous structure of the distributed algorithms in the paper:
+//! compute locally, then synchronize and exchange.
+
+use std::time::{Duration, Instant};
+
+use crate::comm::CommTracker;
+use crate::spec::ClusterSpec;
+
+/// Identity and environment of one simulated node inside a round.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeHandle {
+    /// This node's id in `0..spec.nodes`.
+    pub node_id: usize,
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Worker threads this node may use for its local computation.
+    pub threads: usize,
+}
+
+/// The simulated cluster: a spec plus a shared communication tracker.
+#[derive(Debug)]
+pub struct SimulatedCluster {
+    spec: ClusterSpec,
+    comm: CommTracker,
+}
+
+impl SimulatedCluster {
+    /// Creates a cluster with the given spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        SimulatedCluster { spec, comm: CommTracker::new() }
+    }
+
+    /// The cluster's static description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of nodes (`q`).
+    pub fn nodes(&self) -> usize {
+        self.spec.nodes
+    }
+
+    /// The shared communication tracker. Algorithms record every simulated
+    /// exchange here.
+    pub fn comm(&self) -> &CommTracker {
+        &self.comm
+    }
+
+    /// Runs one bulk-synchronous round: `work(node)` executes concurrently on
+    /// every node and the round ends when all nodes finish. Returns each
+    /// node's result together with its measured busy time, indexed by node
+    /// id.
+    pub fn run_round<R, F>(&self, work: F) -> Vec<(R, Duration)>
+    where
+        R: Send,
+        F: Fn(NodeHandle) -> R + Sync,
+    {
+        let q = self.spec.nodes;
+        let threads = self.spec.threads_per_node;
+        let mut results: Vec<Option<(R, Duration)>> = (0..q).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let work = &work;
+            for (node_id, slot) in results.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    let handle = NodeHandle { node_id, nodes: q, threads };
+                    let start = Instant::now();
+                    let out = work(handle);
+                    *slot = Some((out, start.elapsed()));
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every node thread writes its slot before the scope ends"))
+            .collect()
+    }
+
+    /// Like [`Self::run_round`] but executes the nodes one after another on
+    /// the calling thread. The results are identical; the per-node busy times
+    /// are free of any oversubscription effect, which makes this the mode of
+    /// choice when the measured times feed the scaling cost model (the
+    /// simulated node count can far exceed the physical core count).
+    pub fn run_round_sequential<R, F>(&self, work: F) -> Vec<(R, Duration)>
+    where
+        F: Fn(NodeHandle) -> R,
+    {
+        let q = self.spec.nodes;
+        let threads = self.spec.threads_per_node;
+        (0..q)
+            .map(|node_id| {
+                let handle = NodeHandle { node_id, nodes: q, threads };
+                let start = Instant::now();
+                let out = work(handle);
+                (out, start.elapsed())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_node_runs_exactly_once() {
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(6));
+        let counter = AtomicUsize::new(0);
+        let results = cluster.run_round(|node| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            node.node_id * 10
+        });
+        assert_eq!(results.len(), 6);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+        for (node_id, (value, time)) in results.iter().enumerate() {
+            assert_eq!(*value, node_id * 10);
+            assert!(*time < Duration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn node_handles_describe_the_cluster() {
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(3));
+        let results = cluster.run_round(|node| (node.node_id, node.nodes, node.threads));
+        for (node_id, ((id, nodes, threads), _)) in results.iter().enumerate() {
+            assert_eq!(*id, node_id);
+            assert_eq!(*nodes, 3);
+            assert!(*threads >= 1);
+        }
+    }
+
+    #[test]
+    fn comm_tracker_is_shared_across_rounds() {
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(4));
+        cluster.run_round(|node| {
+            cluster.comm().record_broadcast(node.node_id * 10);
+        });
+        cluster.run_round(|_| {
+            cluster.comm().record_p2p(1);
+        });
+        let v = cluster.comm().snapshot();
+        assert_eq!(v.broadcast_bytes, 0 + 10 + 20 + 30);
+        assert_eq!(v.p2p_messages, 4);
+    }
+
+    #[test]
+    fn sequential_round_matches_concurrent_round() {
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(5));
+        let concurrent: Vec<usize> =
+            cluster.run_round(|node| node.node_id + 1).into_iter().map(|(v, _)| v).collect();
+        let sequential: Vec<usize> =
+            cluster.run_round_sequential(|node| node.node_id + 1).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(concurrent, sequential);
+        assert_eq!(sequential, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rounds_measure_busy_time() {
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(2));
+        let results = cluster.run_round(|node| {
+            if node.node_id == 0 {
+                // Busy-wait a little so node 0 measurably outlasts node 1.
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_millis(20) {}
+            }
+        });
+        assert!(results[0].1 >= Duration::from_millis(15));
+        assert!(results[0].1 > results[1].1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Communication accounting.
+//!
+//! Every byte the distributed algorithms move between simulated nodes is
+//! recorded here. The totals feed the cost model (modeled superstep time) and
+//! the communication-volume comparisons that underpin the paper's argument
+//! for PLaNT (zero label traffic) over DGLL / DparaPLL (label broadcast every
+//! superstep).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of accumulated communication volumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommVolume {
+    /// Bytes moved by broadcasts (payload size × one, not × receivers —
+    /// matching how the paper reports "data broadcast").
+    pub broadcast_bytes: u64,
+    /// Bytes moved by point-to-point messages.
+    pub p2p_bytes: u64,
+    /// Bytes reduced by all-reduce operations.
+    pub allreduce_bytes: u64,
+    /// Number of broadcast operations.
+    pub broadcasts: u64,
+    /// Number of point-to-point messages.
+    pub p2p_messages: u64,
+    /// Number of all-reduce operations.
+    pub allreduces: u64,
+}
+
+impl CommVolume {
+    /// Total payload bytes across all primitive kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.p2p_bytes + self.allreduce_bytes
+    }
+
+    /// Total number of communication operations.
+    pub fn total_operations(&self) -> u64 {
+        self.broadcasts + self.p2p_messages + self.allreduces
+    }
+
+    /// Component-wise sum.
+    pub fn combined(&self, other: &CommVolume) -> CommVolume {
+        CommVolume {
+            broadcast_bytes: self.broadcast_bytes + other.broadcast_bytes,
+            p2p_bytes: self.p2p_bytes + other.p2p_bytes,
+            allreduce_bytes: self.allreduce_bytes + other.allreduce_bytes,
+            broadcasts: self.broadcasts + other.broadcasts,
+            p2p_messages: self.p2p_messages + other.p2p_messages,
+            allreduces: self.allreduces + other.allreduces,
+        }
+    }
+}
+
+/// Thread-safe accumulator for communication volumes; shared by all simulated
+/// nodes of one run.
+#[derive(Debug, Default)]
+pub struct CommTracker {
+    broadcast_bytes: AtomicU64,
+    p2p_bytes: AtomicU64,
+    allreduce_bytes: AtomicU64,
+    broadcasts: AtomicU64,
+    p2p_messages: AtomicU64,
+    allreduces: AtomicU64,
+}
+
+impl CommTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a broadcast of `bytes` of payload.
+    pub fn record_broadcast(&self, bytes: usize) {
+        self.broadcast_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a point-to-point message of `bytes`.
+    pub fn record_p2p(&self, bytes: usize) {
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an all-reduce of `bytes` of payload.
+    pub fn record_allreduce(&self, bytes: usize) {
+        self.allreduce_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.allreduces.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the accumulated totals.
+    pub fn snapshot(&self) -> CommVolume {
+        CommVolume {
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            allreduce_bytes: self.allreduce_bytes.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            allreduces: self.allreduces.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero and returns what they held.
+    pub fn take(&self) -> CommVolume {
+        CommVolume {
+            broadcast_bytes: self.broadcast_bytes.swap(0, Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.swap(0, Ordering::Relaxed),
+            allreduce_bytes: self.allreduce_bytes.swap(0, Ordering::Relaxed),
+            broadcasts: self.broadcasts.swap(0, Ordering::Relaxed),
+            p2p_messages: self.p2p_messages.swap(0, Ordering::Relaxed),
+            allreduces: self.allreduces.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Size in bytes of one serialized hub label on the wire: vertex id (4),
+/// hub rank position (4) and distance (8). Used consistently by the
+/// distributed algorithms when they account label exchanges.
+pub const LABEL_WIRE_BYTES: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates_and_snapshots() {
+        let t = CommTracker::new();
+        t.record_broadcast(100);
+        t.record_broadcast(50);
+        t.record_p2p(8);
+        t.record_allreduce(4);
+        let v = t.snapshot();
+        assert_eq!(v.broadcast_bytes, 150);
+        assert_eq!(v.broadcasts, 2);
+        assert_eq!(v.p2p_bytes, 8);
+        assert_eq!(v.allreduce_bytes, 4);
+        assert_eq!(v.total_bytes(), 162);
+        assert_eq!(v.total_operations(), 4);
+    }
+
+    #[test]
+    fn take_resets_counters() {
+        let t = CommTracker::new();
+        t.record_p2p(10);
+        let first = t.take();
+        assert_eq!(first.p2p_bytes, 10);
+        let second = t.snapshot();
+        assert_eq!(second.p2p_bytes, 0);
+        assert_eq!(second.total_operations(), 0);
+    }
+
+    #[test]
+    fn combined_adds_component_wise() {
+        let a = CommVolume { broadcast_bytes: 5, p2p_messages: 2, ..Default::default() };
+        let b = CommVolume { broadcast_bytes: 7, allreduces: 1, ..Default::default() };
+        let c = a.combined(&b);
+        assert_eq!(c.broadcast_bytes, 12);
+        assert_eq!(c.p2p_messages, 2);
+        assert_eq!(c.allreduces, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let t = CommTracker::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.record_broadcast(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot().broadcast_bytes, 12_000);
+        assert_eq!(t.snapshot().broadcasts, 4_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! # chl-cluster
+//!
+//! A simulated distributed-memory cluster, the substrate on which the
+//! distributed labeling algorithms (`chl-distributed`) and query modes
+//! (`chl-query`) run.
+//!
+//! The paper evaluates on a 64-node MPI cluster. This workspace has no MPI
+//! and no cluster, so the substitution (documented in DESIGN.md §4) is an
+//! **in-process simulation** that preserves the properties the paper's claims
+//! rest on:
+//!
+//! * every simulated node owns only its partition of the labeling — nothing
+//!   is shared behind its back;
+//! * all cross-node data movement goes through explicit communication
+//!   primitives ([`comm::CommTracker`]) that count bytes and messages exactly
+//!   as `MPI_Bcast` / `MPI_Allreduce` / `MPI_Send` would carry them;
+//! * per-node compute time is measured per superstep, and a simple α-β
+//!   [`spec::NetworkModel`] converts (compute, traffic) into a modeled
+//!   cluster execution time used for the strong-scaling figures, alongside
+//!   the measured wall time.
+//!
+//! The communication-avoidance argument for PLaNT, the memory-partitioning
+//! argument for DGLL/Hybrid and the label-explosion argument against
+//! DparaPLL are all *structural* — they survive the substitution intact.
+
+pub mod cluster;
+pub mod comm;
+pub mod metrics;
+pub mod partition;
+pub mod spec;
+
+pub use cluster::{NodeHandle, SimulatedCluster};
+pub use comm::{CommTracker, CommVolume};
+pub use metrics::{RunMetrics, SuperstepMetrics};
+pub use partition::{SuperstepSchedule, TaskPartition};
+pub use spec::{ClusterSpec, NetworkModel};

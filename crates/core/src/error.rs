@@ -1,0 +1,45 @@
+//! Error type for labeling construction.
+
+use std::fmt;
+
+/// Errors produced by the labeling constructors.
+#[derive(Debug)]
+pub enum LabelingError {
+    /// The supplied ranking does not cover exactly the graph's vertices.
+    RankingMismatch {
+        /// Vertices in the graph.
+        graph_vertices: usize,
+        /// Vertices covered by the ranking.
+        ranking_vertices: usize,
+    },
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for LabelingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelingError::RankingMismatch { graph_vertices, ranking_vertices } => write!(
+                f,
+                "ranking covers {ranking_vertices} vertices but the graph has {graph_vertices}"
+            ),
+            LabelingError::InvalidConfig(msg) => write!(f, "invalid labeling configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LabelingError::RankingMismatch { graph_vertices: 10, ranking_vertices: 9 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("9"));
+        let e = LabelingError::InvalidConfig("alpha must be >= 1".into());
+        assert!(e.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # chl-core
+//!
+//! Shared-memory Canonical Hub Labeling (CHL) construction and querying —
+//! the core contribution of *"Planting Trees for scalable and efficient
+//! Canonical Hub Labeling"* (Lakhotia et al., VLDB 2019).
+//!
+//! Given a positively weighted graph and a network hierarchy (a
+//! [`chl_ranking::Ranking`]), the constructors in this crate produce the
+//! canonical hub labeling: the unique minimal labeling that respects the
+//! hierarchy and covers every connected pair. A point-to-point shortest
+//! distance (PPSD) query then reduces to intersecting two small sorted label
+//! sets.
+//!
+//! ## Constructors
+//!
+//! | Function | Paper section | Parallel? | Notes |
+//! |---|---|---|---|
+//! | [`pll::sequential_pll`] | §1 (baseline, Akiba et al.) | no | reference CHL constructor |
+//! | [`para_pll::spara_pll`] | §3 (baseline, Qiu et al.) | yes | no rank queries ⇒ larger, non-canonical labeling |
+//! | [`lcc::lcc`] | §4.1, Alg. 2 | yes | construction + full cleaning ⇒ CHL |
+//! | [`gll::gll`] | §4.2 | yes | superstep global/local tables ⇒ CHL, cheaper cleaning |
+//! | [`plant::plant_labeling`] | §5.2, Alg. 3 | yes | embarrassingly parallel, no pruning queries ⇒ CHL |
+//! | [`hybrid::shared_hybrid`] | §5.2.1 (shared-memory variant) | yes | PLaNT for the label-heavy prefix, GLL for the tail |
+//!
+//! All constructors return the same canonical labeling for a given ranking
+//! (except `spara_pll`, whose whole point is that it does not); the
+//! [`canonical`] module contains a brute-force reference and property
+//! checkers used heavily by the test-suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use chl_graph::generators::{grid_network, GridOptions};
+//! use chl_ranking::degree_ranking;
+//! use chl_core::{gll::gll, config::LabelingConfig};
+//!
+//! let g = grid_network(&GridOptions { rows: 8, cols: 8, ..GridOptions::default() }, 7);
+//! let ranking = degree_ranking(&g);
+//! let result = gll(&g, &ranking, &LabelingConfig::default());
+//! let index = result.index;
+//!
+//! // Hub labels answer exact shortest-path distance queries.
+//! let d = index.query(0, 63);
+//! assert_eq!(d, chl_graph::sssp::dijkstra(&g, 0)[63]);
+//! ```
+
+pub mod canonical;
+pub mod cleaning;
+pub mod config;
+pub mod error;
+pub mod gll;
+pub mod hybrid;
+pub mod index;
+pub mod labels;
+pub mod lcc;
+pub mod para_pll;
+pub mod plant;
+pub mod pll;
+pub mod pruned_dijkstra;
+pub mod stats;
+pub mod table;
+
+pub use config::LabelingConfig;
+pub use error::LabelingError;
+pub use index::{HubLabelIndex, LabelingResult};
+pub use labels::{LabelEntry, LabelSet};
+pub use stats::ConstructionStats;

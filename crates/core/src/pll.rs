@@ -1,0 +1,163 @@
+//! Sequential Pruned Landmark Labeling (Akiba et al.), the paper's `seqPLL`
+//! baseline and the reference constructor of the Canonical Hub Labeling.
+
+use std::time::Instant;
+
+use chl_graph::CsrGraph;
+use chl_ranking::Ranking;
+
+use crate::index::{HubLabelIndex, LabelingResult};
+use crate::pruned_dijkstra::{pruned_dijkstra, DijkstraScratch, PruneOptions};
+use crate::stats::ConstructionStats;
+use crate::table::ConcurrentLabelTable;
+
+/// Builds the CHL sequentially: one pruned SPT per vertex, in decreasing rank
+/// order, each pruned by distance queries against all previously generated
+/// labels.
+pub fn sequential_pll(g: &CsrGraph, ranking: &Ranking) -> LabelingResult {
+    let start = Instant::now();
+    let n = g.num_vertices();
+    let table = ConcurrentLabelTable::new(n);
+    let mut scratch = DijkstraScratch::new(n);
+    let mut stats = ConstructionStats::new("seqPLL");
+    stats.threads = 1;
+
+    // The rank query is redundant for the sequential schedule (every more
+    // important vertex already has its SPT and prunes via the distance
+    // query), but harmless; we keep the distance-query-only configuration to
+    // match the original PLL formulation.
+    let opts = PruneOptions { rank_query: false, ..Default::default() };
+    for pos in 0..n as u32 {
+        let root = ranking.vertex_at(pos);
+        let (record, queries) = pruned_dijkstra(g, ranking, root, &table, opts, &mut scratch);
+        stats.spt_records.push(record);
+        stats.distance_queries += queries;
+    }
+
+    stats.construction_time = start.elapsed();
+    stats.total_time = start.elapsed();
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    stats.labels_before_cleaning = index.total_labels();
+    stats.labels_after_cleaning = index.total_labels();
+    LabelingResult { index, stats }
+}
+
+/// Variant of sequential PLL whose distance queries may only use hubs with
+/// rank position strictly below `max_pruning_hub`. `0` disables distance
+/// pruning altogether (rank queries only). This reproduces the sweep of
+/// Figure 4 ("# labels generated if pruning queries use few highest ranked
+/// hubs").
+pub fn pll_with_restricted_pruning(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    max_pruning_hub: u32,
+) -> LabelingResult {
+    let start = Instant::now();
+    let n = g.num_vertices();
+    let table = ConcurrentLabelTable::new(n);
+    let mut scratch = DijkstraScratch::new(n);
+    let mut stats = ConstructionStats::new("seqPLL-restricted");
+    stats.threads = 1;
+
+    // With distance pruning weakened the rank query becomes essential,
+    // otherwise label counts degenerate to |V|^2 even for x = 0.
+    let opts = PruneOptions { rank_query: true, max_pruning_hub };
+    for pos in 0..n as u32 {
+        let root = ranking.vertex_at(pos);
+        let (record, queries) = pruned_dijkstra(g, ranking, root, &table, opts, &mut scratch);
+        stats.spt_records.push(record);
+        stats.distance_queries += queries;
+    }
+
+    stats.construction_time = start.elapsed();
+    stats.total_time = start.elapsed();
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    stats.labels_before_cleaning = index.total_labels();
+    stats.labels_after_cleaning = index.total_labels();
+    LabelingResult { index, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_graph::generators::{erdos_renyi, grid_network, path_graph, star_graph, GridOptions};
+    use chl_graph::sssp::dijkstra;
+    use chl_graph::types::INFINITY;
+    use chl_ranking::degree_ranking;
+
+    #[test]
+    fn star_graph_labels_are_minimal() {
+        // Center ranked first: every leaf gets {center, itself}, center gets
+        // {center}: total = 2(n-1) + 1.
+        let g = star_graph(8);
+        let ranking = Ranking::identity(8);
+        let result = sequential_pll(&g, &ranking);
+        assert_eq!(result.index.total_labels(), 15);
+        assert_eq!(result.index.query(3, 5), 2);
+        assert_eq!(result.index.query(0, 5), 1);
+    }
+
+    #[test]
+    fn path_graph_queries_are_exact() {
+        let g = path_graph(10);
+        let ranking = degree_ranking(&g);
+        let result = sequential_pll(&g, &ranking);
+        let d0 = dijkstra(&g, 0);
+        for v in 0..10u32 {
+            assert_eq!(result.index.query(0, v), d0[v as usize]);
+        }
+    }
+
+    #[test]
+    fn random_graph_queries_match_dijkstra() {
+        let g = erdos_renyi(60, 0.08, 20, 13);
+        let ranking = degree_ranking(&g);
+        let result = sequential_pll(&g, &ranking);
+        for src in [0u32, 17, 42] {
+            let d = dijkstra(&g, src);
+            for v in 0..60u32 {
+                assert_eq!(result.index.query(src, v), d[v as usize], "src={src} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_answer_infinity() {
+        let mut b = chl_graph::GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 2);
+        b.add_edge(2, 3, 2);
+        let g = b.build().unwrap();
+        let ranking = Ranking::identity(4);
+        let result = sequential_pll(&g, &ranking);
+        assert_eq!(result.index.query(0, 3), INFINITY);
+        assert_eq!(result.index.query(0, 1), 2);
+    }
+
+    #[test]
+    fn stats_record_every_spt() {
+        let g = grid_network(&GridOptions { rows: 5, cols: 5, ..GridOptions::default() }, 3);
+        let ranking = degree_ranking(&g);
+        let result = sequential_pll(&g, &ranking);
+        assert_eq!(result.stats.spt_records.len(), 25);
+        assert_eq!(result.stats.total_labels_generated(), result.index.total_labels());
+        assert!(result.stats.distance_queries > 0);
+        assert_eq!(result.stats.algorithm, "seqPLL");
+    }
+
+    #[test]
+    fn restricted_pruning_grows_label_count_monotonically() {
+        let g = grid_network(&GridOptions { rows: 6, cols: 6, ..GridOptions::default() }, 5);
+        let ranking = degree_ranking(&g);
+        let full = sequential_pll(&g, &ranking).index.total_labels();
+        let some = pll_with_restricted_pruning(&g, &ranking, 4).index.total_labels();
+        let none = pll_with_restricted_pruning(&g, &ranking, 0).index.total_labels();
+        assert!(none >= some, "fewer pruning hubs can never shrink the labeling");
+        assert!(some >= full);
+        // Queries still answer correctly even with redundant labels present.
+        let restricted = pll_with_restricted_pruning(&g, &ranking, 0);
+        let d = dijkstra(&g, 0);
+        for v in 0..36u32 {
+            assert_eq!(restricted.index.query(0, v), d[v as usize]);
+        }
+    }
+}

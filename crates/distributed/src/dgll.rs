@@ -1,0 +1,280 @@
+//! DGLL — Distributed Global Local Labeling (§5.1 of the paper).
+//!
+//! Each node runs GLL-style pruned construction (rank + distance queries)
+//! over its rank-circular share of the roots. Because a node can only prune
+//! with the labels it generated itself (plus the small Common Label Table of
+//! §5.3), it produces more redundant labels than shared-memory GLL; those are
+//! removed by the interleaved cleaning that follows every superstep:
+//!
+//! 1. every node broadcasts the labels it generated in the superstep,
+//! 2. every node evaluates cleaning queries and contributes its verdicts to a
+//!    bit-vector all-reduce,
+//! 3. surviving labels are committed to the *generating* node's partition —
+//!    labels stay distributed at all times, which is how the cluster's
+//!    collective memory is harnessed.
+//!
+//! Superstep sizes grow geometrically by `β`, matching the paper's
+//! observation that label volume per SPT drops exponentially with rank.
+
+use std::time::Instant;
+
+use chl_cluster::{RunMetrics, SimulatedCluster, SuperstepMetrics, SuperstepSchedule, TaskPartition};
+use chl_core::labels::{LabelEntry, LabelSet};
+use chl_core::plant::CommonLabelTable;
+use chl_core::pruned_dijkstra::DijkstraScratch;
+use chl_core::table::ConcurrentLabelTable;
+use chl_graph::CsrGraph;
+use chl_ranking::Ranking;
+
+use crate::config::DistributedConfig;
+use crate::node::{commit_entries, construct_positions, run_nodes, wire_bytes, NodeView};
+use crate::result::DistributedLabeling;
+
+/// Runs DGLL on the simulated cluster.
+pub fn distributed_gll(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    cluster: &SimulatedCluster,
+    config: &DistributedConfig,
+) -> DistributedLabeling {
+    let start = Instant::now();
+    let n = g.num_vertices();
+    let q = cluster.nodes();
+    let partition = TaskPartition::new(q, n);
+    let schedule = SuperstepSchedule::geometric(n, config.initial_superstep, config.beta);
+
+    let mut own_partitions: Vec<Vec<LabelSet>> = vec![vec![LabelSet::new(); n]; q];
+    let mut common = CommonLabelTable::with_eta(n, config.common_hubs);
+    let mut metrics = RunMetrics::new("DGLL", q);
+
+    for (from, to) in schedule.ranges() {
+        let superstep = dgll_superstep(
+            g,
+            ranking,
+            cluster,
+            config,
+            &partition,
+            (from, to),
+            &mut own_partitions,
+            &mut common,
+        );
+        metrics.supersteps.push(superstep);
+    }
+
+    finalize_metrics(&mut metrics, cluster, &own_partitions, &common, start);
+    DistributedLabeling::new(own_partitions, ranking.clone(), metrics)
+}
+
+/// One DGLL superstep over rank positions `[range.0, range.1)`: pruned
+/// construction on every node, label broadcast, bit-vector cleaning and
+/// commit. Shared with the Hybrid algorithm's post-switch phase.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dgll_superstep(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    cluster: &SimulatedCluster,
+    config: &DistributedConfig,
+    partition: &TaskPartition,
+    range: (u32, u32),
+    own_partitions: &mut [Vec<LabelSet>],
+    common: &mut CommonLabelTable,
+    ) -> SuperstepMetrics {
+    let n = g.num_vertices();
+    let q = own_partitions.len();
+    let positions: Vec<Vec<u32>> = (0..q)
+        .map(|node| partition.positions_of_in_range(node, range.0, range.1))
+        .collect();
+
+    // --- Construction phase (per node, rank + distance queries) ---
+    let own_ref: &[Vec<LabelSet>] = own_partitions;
+    let common_ref: &CommonLabelTable = common;
+    let outputs = run_nodes(cluster, config.execution, |node| {
+        let local = ConcurrentLabelTable::new(n);
+        let view = NodeView {
+            own: &own_ref[node.node_id],
+            replicated: &[],
+            common: Some(common_ref),
+            local: &local,
+        };
+        let mut scratch = DijkstraScratch::new(n);
+        let records =
+            construct_positions(g, ranking, &positions[node.node_id], &view, true, &mut scratch);
+        (records, local.drain_all())
+    });
+
+    let mut superstep = SuperstepMetrics::default();
+    let mut per_node_new: Vec<Vec<Vec<LabelEntry>>> = Vec::with_capacity(q);
+    for ((records, entries), busy) in outputs {
+        let generated: usize = records.iter().map(|r| r.labels_generated).sum();
+        superstep.labels_generated += generated;
+        superstep.per_node_compute.push(busy);
+        // Broadcast of this node's freshly generated labels (redundant +
+        // non-redundant — that is exactly the traffic the paper complains
+        // about).
+        cluster.comm().record_broadcast(wire_bytes(generated));
+        per_node_new.push(entries);
+    }
+
+    // --- Cleaning phase ---
+    // Every node evaluates the cleaning queries over the union of committed
+    // labels and the broadcast superstep labels; verdict bit-vectors are
+    // combined with an all-reduce.
+    let combined = combined_view(own_partitions, &per_node_new, n);
+    cluster
+        .comm()
+        .record_allreduce(superstep.labels_generated.div_ceil(8).max(1));
+
+    for (node, entries) in per_node_new.into_iter().enumerate() {
+        let mut kept: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        for (v, raw) in entries.into_iter().enumerate() {
+            for e in raw {
+                let hub_vertex = ranking.vertex_at(e.hub);
+                let redundant = hub_vertex != v as u32
+                    && combined[v].is_redundant_label(e.hub, e.dist, &combined[hub_vertex as usize]);
+                if redundant {
+                    superstep.labels_deleted += 1;
+                } else {
+                    if e.hub < common.eta() {
+                        common.insert(v as u32, e);
+                    }
+                    kept[v].push(e);
+                }
+            }
+        }
+        commit_entries(&mut own_partitions[node], kept);
+    }
+
+    superstep.comm = cluster.comm().take();
+    superstep
+}
+
+/// Union of all committed partitions plus all in-flight superstep labels,
+/// per vertex — the labeling the cleaning queries run against.
+fn combined_view(
+    own_partitions: &[Vec<LabelSet>],
+    per_node_new: &[Vec<Vec<LabelEntry>>],
+    n: usize,
+) -> Vec<LabelSet> {
+    let mut combined: Vec<LabelSet> = vec![LabelSet::new(); n];
+    for partition in own_partitions {
+        for (v, set) in partition.iter().enumerate() {
+            combined[v].merge(set);
+        }
+    }
+    for entries in per_node_new {
+        for (v, raw) in entries.iter().enumerate() {
+            if !raw.is_empty() {
+                combined[v].merge(&LabelSet::from_entries(raw.clone()));
+            }
+        }
+    }
+    combined
+}
+
+/// Fills in the final run-level metrics shared by DGLL, PLaNT and Hybrid.
+pub(crate) fn finalize_metrics(
+    metrics: &mut RunMetrics,
+    cluster: &SimulatedCluster,
+    own_partitions: &[Vec<LabelSet>],
+    common: &CommonLabelTable,
+    start: Instant,
+) {
+    metrics.wall_time = start.elapsed();
+    metrics.labels_per_node = own_partitions
+        .iter()
+        .map(|p| p.iter().map(LabelSet::len).sum())
+        .collect();
+    metrics.peak_node_label_bytes = own_partitions
+        .iter()
+        .map(|p| p.iter().map(LabelSet::memory_bytes).sum::<usize>() + common.memory_bytes())
+        .max()
+        .unwrap_or(0);
+    metrics.out_of_memory = metrics.peak_node_label_bytes > cluster.spec().memory_per_node_bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_cluster::ClusterSpec;
+    use chl_core::canonical::is_canonical;
+    use chl_core::pll::sequential_pll;
+    use chl_graph::generators::{barabasi_albert, erdos_renyi, grid_network, GridOptions};
+    use chl_ranking::degree_ranking;
+
+    fn cluster(q: usize) -> SimulatedCluster {
+        SimulatedCluster::new(ClusterSpec::with_nodes(q))
+    }
+
+    fn config() -> DistributedConfig {
+        DistributedConfig { initial_superstep: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn dgll_produces_the_canonical_labeling() {
+        let g = erdos_renyi(70, 0.08, 12, 27);
+        let ranking = degree_ranking(&g);
+        let canonical = sequential_pll(&g, &ranking).index;
+        let d = distributed_gll(&g, &ranking, &cluster(4), &config());
+        assert_eq!(d.assemble(), canonical);
+    }
+
+    #[test]
+    fn dgll_is_canonical_on_road_like_graph() {
+        let g = grid_network(&GridOptions { rows: 8, cols: 8, ..GridOptions::default() }, 3);
+        let ranking = chl_ranking::betweenness_ranking(
+            &g,
+            &chl_ranking::BetweennessOptions { samples: 16, degree_tiebreak: true },
+            9,
+        );
+        let d = distributed_gll(&g, &ranking, &cluster(6), &config());
+        assert!(is_canonical(&g, &ranking, &d.assemble()));
+    }
+
+    #[test]
+    fn labels_are_partitioned_not_replicated() {
+        let g = barabasi_albert(120, 3, 5);
+        let ranking = degree_ranking(&g);
+        let d = distributed_gll(&g, &ranking, &cluster(4), &config());
+        let per_node = d.labels_per_node();
+        let assembled = d.assemble().total_labels();
+        assert_eq!(per_node.iter().sum::<usize>(), assembled);
+        // Several nodes must hold a non-trivial share.
+        assert!(per_node.iter().filter(|&&c| c > 0).count() >= 2);
+    }
+
+    #[test]
+    fn labels_stay_on_the_owning_node() {
+        let g = erdos_renyi(50, 0.1, 8, 33);
+        let ranking = degree_ranking(&g);
+        let q = 3;
+        let d = distributed_gll(&g, &ranking, &cluster(q), &config());
+        let partition = TaskPartition::new(q, g.num_vertices());
+        for node in 0..q {
+            for v in 0..g.num_vertices() as u32 {
+                for e in d.labels_on_node(node, v).entries() {
+                    assert_eq!(partition.owner_of(e.hub), node, "hub {} stored off its owner", e.hub);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cleaning_and_broadcast_traffic_are_recorded() {
+        let g = barabasi_albert(100, 3, 9);
+        let ranking = degree_ranking(&g);
+        let d = distributed_gll(&g, &ranking, &cluster(4), &config());
+        let comm = d.metrics.total_comm();
+        assert!(comm.broadcast_bytes > 0);
+        assert!(comm.allreduces as usize >= d.metrics.supersteps.len());
+        // DGLL produces redundant labels that cleaning removes.
+        assert!(d.metrics.labels_generated() >= d.assemble().total_labels());
+    }
+
+    #[test]
+    fn single_node_dgll_matches_canonical() {
+        let g = erdos_renyi(40, 0.1, 6, 2);
+        let ranking = degree_ranking(&g);
+        let d = distributed_gll(&g, &ranking, &cluster(1), &config());
+        assert_eq!(d.assemble(), sequential_pll(&g, &ranking).index);
+    }
+}

@@ -1,0 +1,214 @@
+//! Forgiving graph construction from edge lists.
+
+use std::collections::HashMap;
+
+use crate::csr::{CsrGraph, GraphKind};
+use crate::error::GraphError;
+use crate::types::{Edge, VertexId, Weight};
+
+/// Incrementally collects edges and produces a clean [`CsrGraph`].
+///
+/// The builder accepts raw, possibly messy edge lists: parallel edges are
+/// deduplicated keeping the minimum weight (the only weight that can ever lie
+/// on a shortest path), self-loops are dropped (they never participate in a
+/// shortest path with positive weights), and undirected inputs are
+/// symmetrized. The number of vertices is `max endpoint + 1` unless a larger
+/// count is requested with [`GraphBuilder::ensure_vertices`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    kind: GraphKind,
+    edges: Vec<Edge>,
+    min_vertices: usize,
+    reject_zero_weights: bool,
+}
+
+impl GraphBuilder {
+    /// Starts building an undirected graph.
+    pub fn new_undirected() -> Self {
+        GraphBuilder {
+            kind: GraphKind::Undirected,
+            edges: Vec::new(),
+            min_vertices: 0,
+            reject_zero_weights: true,
+        }
+    }
+
+    /// Starts building a directed graph.
+    pub fn new_directed() -> Self {
+        GraphBuilder {
+            kind: GraphKind::Directed,
+            edges: Vec::new(),
+            min_vertices: 0,
+            reject_zero_weights: true,
+        }
+    }
+
+    /// Guarantees the built graph has at least `n` vertices even if some of
+    /// them end up isolated.
+    pub fn ensure_vertices(&mut self, n: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when no edge has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds an edge. Self-loops are dropped (they never lie on a shortest
+    /// path with positive weights) but their endpoint still counts towards
+    /// the vertex set.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> &mut Self {
+        if u != v {
+            self.edges.push(Edge::new(u, v, w));
+        } else {
+            self.min_vertices = self.min_vertices.max(u as usize + 1);
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = Edge>>(&mut self, it: I) -> &mut Self {
+        for e in it {
+            self.add_edge(e.u, e.v, e.w);
+        }
+        self
+    }
+
+    /// Finalizes the builder into a CSR graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`] if any edge has weight zero and
+    /// [`GraphError::TooManyVertices`] if the vertex id space would exceed
+    /// `u32`.
+    pub fn build(&self) -> Result<CsrGraph, GraphError> {
+        let max_endpoint = self
+            .edges
+            .iter()
+            .map(|e| e.u.max(e.v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = max_endpoint.max(self.min_vertices);
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(n as u64));
+        }
+        if self.reject_zero_weights {
+            if let Some(e) = self.edges.iter().find(|e| e.w == 0) {
+                return Err(GraphError::InvalidWeight { u: e.u as u64, v: e.v as u64 });
+            }
+        }
+
+        // Deduplicate, keeping the minimum weight per (directed) endpoint pair.
+        let mut best: HashMap<(VertexId, VertexId), Weight> = HashMap::with_capacity(self.edges.len());
+        for e in &self.edges {
+            let key = match self.kind {
+                GraphKind::Undirected => {
+                    let c = e.canonicalized();
+                    (c.u, c.v)
+                }
+                GraphKind::Directed => (e.u, e.v),
+            };
+            best.entry(key).and_modify(|w| *w = (*w).min(e.w)).or_insert(e.w);
+        }
+
+        let mut adjacency: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
+        let logical_edges = best.len();
+        for (&(u, v), &w) in &best {
+            adjacency[u as usize].push((v, w));
+            if self.kind == GraphKind::Undirected {
+                adjacency[v as usize].push((u, w));
+            }
+        }
+        // Deterministic neighbor order regardless of hash-map iteration order.
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+
+        Ok(CsrGraph::from_adjacency(self.kind, adjacency, logical_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_keep_minimum_weight() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 0, 3);
+        b.add_edge(0, 1, 7);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+        assert_eq!(g.edge_weight(1, 0), Some(3));
+    }
+
+    #[test]
+    fn directed_parallel_edges_are_per_direction() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 0, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(10));
+        assert_eq!(g.edge_weight(1, 0), Some(3));
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(2, 2, 5);
+        b.add_edge(0, 1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn zero_weight_is_rejected() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn ensure_vertices_creates_isolated_vertices() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.ensure_vertices(10);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_and_deterministic() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 5, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(0, 9, 1);
+        b.add_edge(0, 1, 1);
+        let g = b.build().unwrap();
+        let nbrs: Vec<VertexId> = g.neighbors(0).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn extend_edges_and_len() {
+        let mut b = GraphBuilder::new_undirected();
+        assert!(b.is_empty());
+        b.extend_edges(vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3), Edge::new(3, 3, 9)]);
+        // Self loop ignored at insertion time.
+        assert_eq!(b.len(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Connectivity helpers.
+//!
+//! Hub labeling only ever inserts hubs for *connected* pairs, and the paper's
+//! evaluation works on the largest connected component of each dataset. This
+//! module provides (weakly-)connected component extraction and largest
+//! component restriction.
+
+use crate::csr::{CsrGraph, GraphKind};
+use crate::types::VertexId;
+
+/// Result of a connected-components computation.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component[v]` is the dense id of the component containing `v`.
+    pub component: Vec<u32>,
+    /// Number of vertices in each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` when `u` and `v` lie in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+
+    /// Id of the largest component (ties broken by lowest id).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Vertices belonging to component `id`, in ascending order.
+    pub fn members(&self, id: u32) -> Vec<VertexId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| (c == id).then_some(v as VertexId))
+            .collect()
+    }
+}
+
+/// Computes the connected components of `g`. Directed graphs are treated as
+/// undirected (weak connectivity), which is what the labeling pipeline needs
+/// when restricting to a single component.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack: Vec<VertexId> = Vec::new();
+
+    for start in 0..n {
+        if component[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        component[start] = id;
+        stack.push(start as VertexId);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            let push_unvisited = |u: VertexId, component: &mut Vec<u32>, stack: &mut Vec<VertexId>| {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = id;
+                    stack.push(u);
+                }
+            };
+            for (u, _) in g.neighbors(v) {
+                push_unvisited(u, &mut component, &mut stack);
+            }
+            if g.kind() == GraphKind::Directed {
+                for (u, _) in g.in_neighbors(v) {
+                    push_unvisited(u, &mut component, &mut stack);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+
+    Components { component, sizes }
+}
+
+/// Returns the induced subgraph on the largest (weakly) connected component
+/// together with the mapping from new vertex ids to original ids.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    if g.is_empty() {
+        return (g.clone(), Vec::new());
+    }
+    let comps = connected_components(g);
+    let members = comps.members(comps.largest());
+    g.induced_subgraph(&members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn single_component_detected() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.same_component(0, 2));
+        assert_eq!(c.sizes, vec![3]);
+    }
+
+    #[test]
+    fn disconnected_components_and_isolated_vertices() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 1);
+        b.ensure_vertices(6); // vertex 5 isolated
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(!c.same_component(0, 2));
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+        assert_eq!(c.largest(), c.component[2]);
+        assert_eq!(c.members(c.largest()), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 5);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 2);
+        b.add_edge(4, 2, 3);
+        let g = b.build().unwrap();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(map, vec![2, 3, 4]);
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 1, 1); // 2 reaches 1 but nothing reaches 2; still weakly connected
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        let (sub, map) = largest_component(&g);
+        assert!(sub.is_empty());
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for graph construction and IO.
+
+use std::fmt;
+
+/// Errors produced while building, loading or storing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id outside `0..n` for a builder created
+    /// with a fixed vertex count.
+    VertexOutOfRange {
+        /// Offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// An edge weight of zero (or otherwise invalid) was supplied. Hub
+    /// labeling requires strictly positive weights.
+    InvalidWeight {
+        /// Source endpoint of the offending edge.
+        u: u64,
+        /// Target endpoint of the offending edge.
+        v: u64,
+    },
+    /// The graph would exceed the `u32` vertex id space.
+    TooManyVertices(u64),
+    /// A parse error while reading a textual graph format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The binary snapshot was malformed or truncated.
+    Corrupt(String),
+    /// An underlying IO error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidWeight { u, v } => {
+                write!(f, "edge ({u}, {v}) has an invalid (zero) weight; weights must be positive")
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(f, "graph with {n} vertices exceeds the u32 vertex id space")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph snapshot: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::InvalidWeight { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+
+        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,126 @@
+//! Classic deterministic and randomized test graphs.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{VertexId, Weight};
+
+/// A simple path `0 - 1 - ... - (n-1)` with unit weights.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId, 1);
+    }
+    b.build().expect("path graph is always valid")
+}
+
+/// A cycle on `n` vertices with unit weights (`n >= 3` for a true cycle; for
+/// smaller `n` the result degenerates to a path).
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId, 1);
+    }
+    if n >= 3 {
+        b.add_edge((n - 1) as VertexId, 0, 1);
+    }
+    b.build().expect("cycle graph is always valid")
+}
+
+/// A star with vertex 0 at the center and unit weights.
+pub fn star_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for i in 1..n {
+        b.add_edge(0, i as VertexId, 1);
+    }
+    b.build().expect("star graph is always valid")
+}
+
+/// The complete graph on `n` vertices with unit weights.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as VertexId, j as VertexId, 1);
+        }
+    }
+    b.build().expect("complete graph is always valid")
+}
+
+/// A uniformly random labeled tree on `n` vertices with weights in
+/// `[1, max 16]`, built by attaching each vertex to a random earlier vertex.
+pub fn random_tree(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v) as VertexId;
+        let w: Weight = rng.gen_range(1..=16);
+        b.add_edge(parent, v as VertexId, w);
+    }
+    b.build().expect("random tree is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::sssp::dijkstra;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(dijkstra(&g, 0)[4], 4);
+    }
+
+    #[test]
+    fn cycle_graph_shape() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(dijkstra(&g, 0)[3], 3);
+        assert_eq!(dijkstra(&g, 0)[5], 1);
+        // Degenerate sizes.
+        assert_eq!(cycle_graph(2).num_edges(), 1);
+        assert_eq!(cycle_graph(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_graph_shape() {
+        let g = star_graph(7);
+        assert_eq!(g.degree(0), 6);
+        assert!(g.vertices().skip(1).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn random_tree_is_connected_acyclic() {
+        for seed in 0..5 {
+            let g = random_tree(30, seed);
+            assert_eq!(g.num_edges(), 29);
+            assert_eq!(connected_components(&g).count(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_vertex_graphs() {
+        assert_eq!(path_graph(0).num_vertices(), 0);
+        assert_eq!(path_graph(1).num_vertices(), 1);
+        assert_eq!(star_graph(1).num_edges(), 0);
+        assert_eq!(complete_graph(1).num_edges(), 0);
+        assert_eq!(random_tree(1, 0).num_edges(), 0);
+    }
+}

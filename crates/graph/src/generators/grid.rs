@@ -1,0 +1,132 @@
+//! Road-network-like generators.
+//!
+//! Real road networks (the DIMACS CAL/EAS/CTR/USA graphs of the paper) are
+//! near-planar, have tiny maximum degree and large diameter. A rectangular
+//! grid with random positive weights, a few random diagonal shortcuts and a
+//! small fraction of removed edges reproduces those structural properties
+//! well enough for every qualitative experiment in the paper.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{VertexId, Weight};
+
+/// Parameters for [`grid_network`].
+#[derive(Debug, Clone)]
+pub struct GridOptions {
+    /// Number of grid rows.
+    pub rows: usize,
+    /// Number of grid columns.
+    pub cols: usize,
+    /// Edge weights are drawn uniformly from `[1, max_weight]`.
+    pub max_weight: Weight,
+    /// Fraction of grid edges removed at random (dead ends, rivers). The
+    /// generator guarantees the graph stays connected by never removing the
+    /// spanning "comb" (first column + all row edges).
+    pub removal_fraction: f64,
+    /// Number of extra random "highway" shortcut edges (long-range, cheap).
+    pub shortcut_edges: usize,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            rows: 16,
+            cols: 16,
+            max_weight: 16,
+            removal_fraction: 0.05,
+            shortcut_edges: 0,
+        }
+    }
+}
+
+/// Generates a road-like weighted grid network.
+pub fn grid_network(opts: &GridOptions, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed ^ 0x6772_6964);
+    let rows = opts.rows.max(1);
+    let cols = opts.cols.max(1);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    let max_w = opts.max_weight.max(1);
+
+    for r in 0..rows {
+        for c in 0..cols {
+            // Horizontal edge to the right.
+            if c + 1 < cols {
+                let w: Weight = rng.gen_range(1..=max_w);
+                b.add_edge(id(r, c), id(r, c + 1), w);
+            }
+            // Vertical edge downward.
+            if r + 1 < rows {
+                let w: Weight = rng.gen_range(1..=max_w);
+                // The first column is part of the connectivity "comb" and is
+                // never removed; other vertical edges may be dropped.
+                let removable = c != 0;
+                if removable && rng.gen_bool(opts.removal_fraction.clamp(0.0, 0.9)) {
+                    continue;
+                }
+                b.add_edge(id(r, c), id(r + 1, c), w);
+            }
+        }
+    }
+
+    // Highway shortcuts: long-range edges with weight comparable to a few
+    // local hops, mimicking motorways that make betweenness-central vertices.
+    for _ in 0..opts.shortcut_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            let w: Weight = rng.gen_range(1..=max_w.saturating_mul(2).max(1));
+            b.add_edge(u, v, w);
+        }
+    }
+
+    b.build().expect("grid generator produces positive weights only")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::properties::{estimate_diameter_hops, graph_stats};
+
+    #[test]
+    fn grid_is_connected_and_road_like() {
+        let g = grid_network(
+            &GridOptions { rows: 20, cols: 15, removal_fraction: 0.1, ..GridOptions::default() },
+            42,
+        );
+        assert_eq!(g.num_vertices(), 300);
+        assert_eq!(connected_components(&g).count(), 1);
+        let stats = graph_stats(&g);
+        assert!(stats.max_degree <= 6, "road networks have small degree, got {}", stats.max_degree);
+        assert!(estimate_diameter_hops(&g, 4) >= 20, "grids have large diameter");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let o = GridOptions { rows: 10, cols: 10, ..GridOptions::default() };
+        assert_eq!(grid_network(&o, 1), grid_network(&o, 1));
+        assert_ne!(grid_network(&o, 1), grid_network(&o, 2));
+    }
+
+    #[test]
+    fn shortcuts_are_added() {
+        let no_sc = grid_network(&GridOptions { rows: 10, cols: 10, removal_fraction: 0.0, shortcut_edges: 0, ..GridOptions::default() }, 3);
+        let with_sc = grid_network(&GridOptions { rows: 10, cols: 10, removal_fraction: 0.0, shortcut_edges: 25, ..GridOptions::default() }, 3);
+        assert!(with_sc.num_edges() > no_sc.num_edges());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g = grid_network(&GridOptions { rows: 1, cols: 1, ..GridOptions::default() }, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = grid_network(&GridOptions { rows: 1, cols: 5, ..GridOptions::default() }, 0);
+        assert_eq!(g.num_edges(), 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on two topology families: high-diameter road networks
+//! (DIMACS USA road subsets) and low-diameter scale-free networks
+//! (KONECT/SNAP social, web and collaboration graphs). These generators
+//! produce laptop-scale members of both families plus the classic shapes the
+//! unit and property tests rely on. Every generator takes an explicit seed so
+//! runs are reproducible.
+
+mod classic;
+mod grid;
+mod random;
+
+pub use classic::{complete_graph, cycle_graph, path_graph, random_tree, star_graph};
+pub use grid::{grid_network, GridOptions};
+pub use random::{barabasi_albert, erdos_renyi, rmat, watts_strogatz, RmatOptions};
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::CsrGraph;
+use crate::builder::GraphBuilder;
+use crate::types::Weight;
+
+/// Deterministic RNG shared by all generators.
+pub(crate) fn rng_from_seed(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Re-weights every edge of `g` uniformly at random in `[1, max_weight]`.
+///
+/// The paper assigns weights uniformly at random in `[1, sqrt(n))` to
+/// scale-free graphs that ship unweighted; [`paper_weight_bound`] computes
+/// that bound.
+pub fn assign_random_weights(g: &CsrGraph, max_weight: Weight, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed);
+    let max_weight = max_weight.max(1);
+    let mut b = match g.kind() {
+        crate::csr::GraphKind::Undirected => GraphBuilder::new_undirected(),
+        crate::csr::GraphKind::Directed => GraphBuilder::new_directed(),
+    };
+    b.ensure_vertices(g.num_vertices());
+    for e in g.edges() {
+        b.add_edge(e.u, e.v, rng.gen_range(1..=max_weight));
+    }
+    b.build().expect("re-weighted graph is structurally identical to its valid source")
+}
+
+/// The paper's weight bound for originally-unweighted graphs: `⌊sqrt(n)⌋`,
+/// at least 1.
+pub fn paper_weight_bound(num_vertices: usize) -> Weight {
+    ((num_vertices as f64).sqrt().floor() as Weight).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+
+    #[test]
+    fn assign_random_weights_preserves_topology() {
+        let g = erdos_renyi(60, 0.1, 1, 3);
+        let w = assign_random_weights(&g, 10, 99);
+        assert_eq!(g.num_vertices(), w.num_vertices());
+        assert_eq!(g.num_edges(), w.num_edges());
+        assert!(w.edges().all(|e| e.w >= 1 && e.w <= 10));
+        // Same topology: every edge of g exists in w.
+        for e in g.edges() {
+            assert!(w.edge_weight(e.u, e.v).is_some());
+        }
+    }
+
+    #[test]
+    fn assign_random_weights_is_deterministic_per_seed() {
+        let g = erdos_renyi(40, 0.1, 1, 3);
+        let a = assign_random_weights(&g, 50, 7);
+        let b = assign_random_weights(&g, 50, 7);
+        let c = assign_random_weights(&g, 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_weight_bound_values() {
+        assert_eq!(paper_weight_bound(0), 1);
+        assert_eq!(paper_weight_bound(1), 1);
+        assert_eq!(paper_weight_bound(100), 10);
+        assert_eq!(paper_weight_bound(1_000_000), 1000);
+    }
+
+    #[test]
+    fn generators_produce_connected_or_expected_graphs() {
+        let g = barabasi_albert(200, 3, 5);
+        assert_eq!(connected_components(&g).count(), 1);
+        let t = random_tree(50, 9);
+        assert_eq!(t.num_edges(), 49);
+        assert_eq!(connected_components(&t).count(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Random-graph generators for the scale-free topology family.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::{VertexId, Weight};
+
+/// Erdős–Rényi `G(n, p)` with weights uniform in `[1, max_weight]`.
+pub fn erdos_renyi(n: usize, p: f64, max_weight: Weight, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed ^ 0x6572_646f);
+    let p = p.clamp(0.0, 1.0);
+    let max_weight = max_weight.max(1);
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId, rng.gen_range(1..=max_weight));
+            }
+        }
+    }
+    b.build().expect("erdos-renyi generator produces positive weights only")
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to degree. Produces a
+/// connected scale-free graph with a heavy-tailed degree distribution, the
+/// stand-in for the paper's social / collaboration / web graphs. Weights are
+/// uniform in `[1, sqrt(n))` following the paper's protocol for unweighted
+/// sources.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed ^ 0xba2a_ba5a);
+    let m = m.max(1);
+    let max_weight = super::paper_weight_bound(n);
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    if n <= 1 {
+        return b.build().expect("trivial BA graph");
+    }
+
+    // Repeated-endpoints list: choosing uniformly from it is choosing
+    // proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let seed_vertices = (m + 1).min(n);
+    // Start from a small clique so the first arrivals have somewhere to attach.
+    for u in 0..seed_vertices {
+        for v in (u + 1)..seed_vertices {
+            b.add_edge(u as VertexId, v as VertexId, rng.gen_range(1..=max_weight));
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+
+    for v in seed_vertices..n {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m.min(v) && guard < 50 * m {
+            guard += 1;
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..v) as VertexId
+            } else {
+                *endpoints.choose(&mut rng).expect("endpoints non-empty")
+            };
+            if target != v as VertexId && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as VertexId, t, rng.gen_range(1..=max_weight));
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("BA generator produces positive weights only")
+}
+
+/// Options for the [`rmat`] generator.
+#[derive(Debug, Clone)]
+pub struct RmatOptions {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average degree (number of generated edges = `edge_factor * 2^scale`).
+    pub edge_factor: usize,
+    /// RMAT quadrant probabilities; must sum to ~1.0.
+    pub a: f64,
+    /// Probability of the upper-right quadrant.
+    pub b: f64,
+    /// Probability of the lower-left quadrant.
+    pub c: f64,
+    /// Edge weights are drawn uniformly from `[1, max_weight]`.
+    pub max_weight: Weight,
+}
+
+impl Default for RmatOptions {
+    fn default() -> Self {
+        RmatOptions { scale: 10, edge_factor: 8, a: 0.57, b: 0.19, c: 0.19, max_weight: 32 }
+    }
+}
+
+/// R-MAT generator (Chakrabarti et al.), the standard synthetic scale-free
+/// generator used by Graph500. Duplicate edges and self loops produced by the
+/// recursive process are dropped by the builder, so the realized edge count is
+/// slightly below `edge_factor * 2^scale`.
+pub fn rmat(opts: &RmatOptions, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed ^ 0x2237_4d41);
+    let n = 1usize << opts.scale;
+    let edges = opts.edge_factor * n;
+    let max_weight = opts.max_weight.max(1);
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    let (pa, pb, pc) = (opts.a, opts.b, opts.c);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        let mut half = n / 2;
+        while half >= 1 {
+            let r: f64 = rng.gen();
+            if r < pa {
+                // upper-left: nothing to add
+            } else if r < pa + pb {
+                v += half;
+            } else if r < pa + pb + pc {
+                u += half;
+            } else {
+                u += half;
+                v += half;
+            }
+            half /= 2;
+        }
+        if u != v {
+            b.add_edge(u as VertexId, v as VertexId, rng.gen_range(1..=max_weight));
+        }
+    }
+    b.build().expect("rmat generator produces positive weights only")
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its `k` nearest neighbors, with each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, max_weight: Weight, seed: u64) -> CsrGraph {
+    let mut rng = rng_from_seed(seed ^ 0x7761_7473);
+    let max_weight = max_weight.max(1);
+    let k = k.max(2).min(n.saturating_sub(1));
+    let mut b = GraphBuilder::new_undirected();
+    b.ensure_vertices(n);
+    if n < 2 {
+        return b.build().expect("trivial WS graph");
+    }
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let target = if rng.gen_bool(beta.clamp(0.0, 1.0)) {
+                // Rewire to a uniformly random non-self vertex.
+                let mut t = rng.gen_range(0..n);
+                let mut guard = 0;
+                while t == u && guard < 10 {
+                    t = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                t
+            } else {
+                v
+            };
+            if target != u {
+                b.add_edge(u as VertexId, target as VertexId, rng.gen_range(1..=max_weight));
+            }
+        }
+    }
+    b.build().expect("WS generator produces positive weights only")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::properties::graph_stats;
+
+    #[test]
+    fn erdos_renyi_edge_count_is_plausible() {
+        let g = erdos_renyi(100, 0.1, 5, 1);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        assert!((g.num_edges() as f64) > expected * 0.6);
+        assert!((g.num_edges() as f64) < expected * 1.4);
+        assert!(g.edges().all(|e| e.w >= 1 && e.w <= 5));
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        assert_eq!(erdos_renyi(20, 0.0, 1, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_scale_free() {
+        let g = barabasi_albert(500, 3, 77);
+        assert_eq!(connected_components(&g).count(), 1);
+        let stats = graph_stats(&g);
+        assert!(stats.max_degree > 20, "expected a hub, got max degree {}", stats.max_degree);
+        assert!(stats.avg_degree < 10.0);
+    }
+
+    #[test]
+    fn barabasi_albert_small_inputs() {
+        assert_eq!(barabasi_albert(0, 3, 1).num_vertices(), 0);
+        assert_eq!(barabasi_albert(1, 3, 1).num_vertices(), 1);
+        let g = barabasi_albert(5, 10, 1); // m larger than n
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn rmat_produces_skewed_degrees() {
+        let g = rmat(&RmatOptions { scale: 9, edge_factor: 8, ..RmatOptions::default() }, 5);
+        assert_eq!(g.num_vertices(), 512);
+        let stats = graph_stats(&g);
+        assert!(stats.max_degree as f64 > 4.0 * stats.avg_degree);
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(200, 6, 0.1, 8, 11);
+        assert_eq!(g.num_vertices(), 200);
+        // Ring lattice with k=6 has ~3n edges before rewiring collisions.
+        assert!(g.num_edges() > 500);
+        let g0 = watts_strogatz(50, 4, 0.0, 1, 1);
+        assert!(g0.vertices().all(|v| g0.degree(v) == 4));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+        assert_eq!(
+            rmat(&RmatOptions::default(), 3),
+            rmat(&RmatOptions::default(), 3)
+        );
+        assert_eq!(watts_strogatz(80, 4, 0.2, 5, 2), watts_strogatz(80, 4, 0.2, 5, 2));
+    }
+}

@@ -1,0 +1,152 @@
+//! Compact binary snapshots of graphs.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "CHLG"            4 bytes
+//! version u32                = 1
+//! kind    u8                 0 = undirected, 1 = directed
+//! n       u64                number of vertices
+//! m       u64                number of logical edges
+//! edges   m * (u32 u32 u32)  u, v, w triples
+//! ```
+//!
+//! The snapshot stores logical edges rather than raw CSR arrays so that the
+//! reader can rebuild (and thereby re-validate) the CSR through the ordinary
+//! [`GraphBuilder`] path.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, GraphKind};
+use crate::error::GraphError;
+
+const MAGIC: &[u8; 4] = b"CHLG";
+const VERSION: u32 = 1;
+
+/// Serializes `g` into a byte buffer.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(21 + g.num_edges() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(match g.kind() {
+        GraphKind::Undirected => 0,
+        GraphKind::Directed => 1,
+    });
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for e in g.edges() {
+        buf.put_u32_le(e.u);
+        buf.put_u32_le(e.v);
+        buf.put_u32_le(e.w);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from a byte buffer produced by [`to_bytes`].
+pub fn from_bytes(mut data: Bytes) -> Result<CsrGraph, GraphError> {
+    if data.remaining() < 25 {
+        return Err(GraphError::Corrupt("snapshot shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+    }
+    let kind = match data.get_u8() {
+        0 => GraphKind::Undirected,
+        1 => GraphKind::Directed,
+        other => return Err(GraphError::Corrupt(format!("unknown graph kind {other}"))),
+    };
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if data.remaining() < m * 12 {
+        return Err(GraphError::Corrupt(format!(
+            "expected {} bytes of edge data, found {}",
+            m * 12,
+            data.remaining()
+        )));
+    }
+    let mut builder = match kind {
+        GraphKind::Undirected => GraphBuilder::new_undirected(),
+        GraphKind::Directed => GraphBuilder::new_directed(),
+    };
+    builder.ensure_vertices(n);
+    for _ in 0..m {
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        let w = data.get_u32_le();
+        builder.add_edge(u, v, w);
+    }
+    builder.build()
+}
+
+/// Writes a binary snapshot to `writer`.
+pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writer.write_all(&to_bytes(g))?;
+    Ok(())
+}
+
+/// Reads a binary snapshot from `reader`.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, grid_network, GridOptions};
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = grid_network(&GridOptions { rows: 9, cols: 4, ..GridOptions::default() }, 2);
+        let bytes = to_bytes(&g);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        b.add_edge(2, 0, 5);
+        let g = b.build().unwrap();
+        let back = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_through_io_traits() {
+        let g = barabasi_albert(80, 2, 6);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(from_bytes(Bytes::from_static(b"short")).is_err());
+
+        let g = grid_network(&GridOptions { rows: 3, cols: 3, ..GridOptions::default() }, 0);
+        let mut bytes = to_bytes(&g).to_vec();
+        bytes[0] = b'X'; // break magic
+        assert!(from_bytes(Bytes::from(bytes)).is_err());
+
+        let mut truncated = to_bytes(&g).to_vec();
+        truncated.truncate(truncated.len() - 5);
+        assert!(from_bytes(Bytes::from(truncated)).is_err());
+
+        let mut bad_version = to_bytes(&g).to_vec();
+        bad_version[4] = 99;
+        assert!(from_bytes(Bytes::from(bad_version)).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Whitespace-separated edge lists (SNAP / KONECT style).
+//!
+//! Each non-comment line is `u v` or `u v w`. Lines starting with `#` or `%`
+//! are comments. Vertex ids are 0-based by default (SNAP); KONECT files are
+//! 1-based and can be read with [`EdgeListOptions::one_based`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, GraphKind};
+use crate::error::GraphError;
+use crate::types::{VertexId, Weight};
+
+/// Options controlling edge-list parsing.
+#[derive(Debug, Clone)]
+pub struct EdgeListOptions {
+    /// Interpret the file as a directed graph.
+    pub directed: bool,
+    /// Vertex ids in the file start at 1 rather than 0.
+    pub one_based: bool,
+    /// Weight assigned to edges that do not carry one in the file.
+    pub default_weight: Weight,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions { directed: false, one_based: false, default_weight: 1 }
+    }
+}
+
+/// Reads an edge list.
+pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<CsrGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder = if opts.directed {
+        GraphBuilder::new_directed()
+    } else {
+        GraphBuilder::new_undirected()
+    };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let u = parse_id(tokens.next(), line_no, opts.one_based)?;
+        let v = parse_id(tokens.next(), line_no, opts.one_based)?;
+        let w = match tokens.next() {
+            Some(tok) => tok.parse::<Weight>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid weight '{tok}'"),
+            })?,
+            None => opts.default_weight,
+        };
+        builder.add_edge(u, v, w);
+    }
+    builder.build()
+}
+
+/// Writes `g` as a `u v w` edge list (0-based ids).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# {} vertices, {} edges, {:?}", g.num_vertices(), g.num_edges(), g.kind())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    if g.kind() == GraphKind::Undirected {
+        // nothing extra: undirected edges are listed once and re-read as undirected
+    }
+    Ok(())
+}
+
+fn parse_id(token: Option<&str>, line: usize, one_based: bool) -> Result<VertexId, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "missing vertex id".to_string(),
+    })?;
+    let raw = token.parse::<u64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id '{token}'"),
+    })?;
+    let id = if one_based {
+        raw.checked_sub(1).ok_or_else(|| GraphError::Parse {
+            line,
+            message: "vertex id 0 in a 1-based file".to_string(),
+        })?
+    } else {
+        raw
+    };
+    if id > u32::MAX as u64 {
+        return Err(GraphError::TooManyVertices(id + 1));
+    }
+    Ok(id as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    #[test]
+    fn parse_unweighted_snap_style() {
+        let input = "# comment\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(input.as_bytes(), &EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.edges().all(|e| e.w == 1));
+    }
+
+    #[test]
+    fn parse_weighted_konect_style_one_based() {
+        let input = "% konect\n1 2 7\n2 3 9\n";
+        let opts = EdgeListOptions { one_based: true, ..Default::default() };
+        let g = read_edge_list(input.as_bytes(), &opts).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.edge_weight(1, 2), Some(9));
+    }
+
+    #[test]
+    fn default_weight_is_configurable() {
+        let input = "0 1\n";
+        let opts = EdgeListOptions { default_weight: 42, ..Default::default() };
+        let g = read_edge_list(input.as_bytes(), &opts).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(42));
+    }
+
+    #[test]
+    fn directed_read() {
+        let input = "0 1 5\n1 0 6\n";
+        let opts = EdgeListOptions { directed: true, ..Default::default() };
+        let g = read_edge_list(input.as_bytes(), &opts).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 0), Some(6));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = barabasi_albert(120, 3, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), &EdgeListOptions::default()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let bad_weight = "0 1 x\n";
+        let err = read_edge_list(bad_weight.as_bytes(), &EdgeListOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let missing_endpoint = "0\n";
+        assert!(read_edge_list(missing_endpoint.as_bytes(), &EdgeListOptions::default()).is_err());
+
+        let zero_in_one_based = "0 1\n";
+        let opts = EdgeListOptions { one_based: true, ..Default::default() };
+        assert!(read_edge_list(zero_in_one_based.as_bytes(), &opts).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph readers and writers.
+//!
+//! Three formats are supported:
+//!
+//! * **DIMACS** `.gr` (`dimacs` module) — the format of the 9th DIMACS
+//!   shortest-path challenge used for the paper's road networks.
+//! * **Edge lists** (`edge_list` module) — whitespace-separated `u v [w]`
+//!   lines as distributed by SNAP and KONECT, the sources of the paper's
+//!   scale-free graphs.
+//! * **Binary snapshots** (`binary` module) — a compact little-endian dump of
+//!   the CSR arrays for fast reload of generated datasets.
+
+pub mod binary;
+pub mod dimacs;
+pub mod edge_list;
+
+pub use binary::{read_binary, write_binary};
+pub use dimacs::{read_dimacs, write_dimacs};
+pub use edge_list::{read_edge_list, write_edge_list, EdgeListOptions};

@@ -1,0 +1,51 @@
+//! # chl-graph
+//!
+//! Weighted graph substrate used by the canonical hub labeling crates.
+//!
+//! The paper ("Planting Trees for scalable and efficient Canonical Hub
+//! Labeling", Lakhotia et al., VLDB 2019) evaluates labeling algorithms on
+//! positively-weighted road networks and scale-free networks. This crate
+//! provides everything those algorithms need from a graph library:
+//!
+//! * a compact CSR representation ([`CsrGraph`]) for undirected and directed
+//!   weighted graphs,
+//! * a forgiving [`GraphBuilder`] that deduplicates parallel edges, drops
+//!   self-loops and symmetrizes undirected inputs,
+//! * readers/writers for the DIMACS `.gr` format (road networks), whitespace
+//!   edge lists (SNAP/KONECT) and a compact binary snapshot format,
+//! * synthetic generators covering the topology classes of the paper's
+//!   evaluation (grid/road-like, Erdős–Rényi, Barabási–Albert, R-MAT,
+//!   Watts–Strogatz plus classic shapes for tests),
+//! * reference single-source shortest path algorithms (Dijkstra,
+//!   Bellman–Ford, Δ-stepping, BFS) used as ground truth by the labeling
+//!   crates' tests and by the approximate-betweenness ranking.
+//!
+//! # Example
+//!
+//! ```
+//! use chl_graph::{GraphBuilder, sssp::dijkstra};
+//!
+//! let mut b = GraphBuilder::new_undirected();
+//! b.add_edge(0, 1, 4);
+//! b.add_edge(1, 2, 3);
+//! b.add_edge(0, 2, 10);
+//! let g = b.build().unwrap();
+//!
+//! let dist = dijkstra(&g, 0);
+//! assert_eq!(dist[2], 7); // 0 -> 1 -> 2 is shorter than the direct edge
+//! ```
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod sssp;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use types::{Distance, Edge, VertexId, Weight, INFINITY};

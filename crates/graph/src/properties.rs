@@ -1,0 +1,142 @@
+//! Descriptive statistics about a graph, used by the dataset inventory
+//! (Table 2 of the paper) and by heuristics that distinguish road-like from
+//! scale-free topologies.
+
+use crate::csr::CsrGraph;
+use crate::sssp::bfs_hops;
+use crate::types::VertexId;
+
+/// Summary statistics of a graph's degree distribution and size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of logical edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (out-degree for directed graphs).
+    pub avg_degree: f64,
+    /// Estimated diameter in hops (see [`estimate_diameter_hops`]).
+    pub approx_diameter_hops: usize,
+}
+
+/// Computes [`GraphStats`] for `g`. The diameter estimate performs a handful
+/// of BFS sweeps, so this is cheap even on the larger synthetic datasets.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let min_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let avg_degree = if n == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / n as f64
+    };
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        min_degree,
+        max_degree,
+        avg_degree,
+        approx_diameter_hops: estimate_diameter_hops(g, 4),
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Estimates the hop diameter by repeated double-sweep BFS: start from an
+/// arbitrary vertex, BFS to the farthest vertex, BFS again from there, and
+/// repeat `sweeps` times keeping the largest eccentricity observed. Exact for
+/// trees, a good lower bound in general — sufficient to separate the
+/// high-diameter road networks from low-diameter scale-free networks.
+pub fn estimate_diameter_hops(g: &CsrGraph, sweeps: usize) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut start: VertexId = 0;
+    for _ in 0..sweeps.max(1) {
+        let hops = bfs_hops(g, start);
+        let (far, ecc) = hops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h != usize::MAX)
+            .max_by_key(|&(_, &h)| h)
+            .map(|(v, &h)| (v as VertexId, h))
+            .unwrap_or((start, 0));
+        best = best.max(ecc);
+        if far == start {
+            break;
+        }
+        start = far;
+    }
+    best
+}
+
+/// A crude scale-free detector: `true` when the maximum degree is at least
+/// `factor` times the average degree. Road networks have near-uniform small
+/// degrees; scale-free networks have hubs orders of magnitude above average.
+pub fn looks_scale_free(g: &CsrGraph, factor: f64) -> bool {
+    let stats = graph_stats(g);
+    stats.avg_degree > 0.0 && stats.max_degree as f64 >= factor * stats.avg_degree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{barabasi_albert, grid_network, GridOptions};
+
+    #[test]
+    fn stats_on_path_graph() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..9u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build().unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 9);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.approx_diameter_hops, 9);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = grid_network(&GridOptions { rows: 5, cols: 5, ..GridOptions::default() }, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn scale_free_detector_separates_topologies() {
+        let road = grid_network(&GridOptions { rows: 20, cols: 20, ..GridOptions::default() }, 7);
+        let social = barabasi_albert(600, 4, 42);
+        assert!(!looks_scale_free(&road, 8.0));
+        assert!(looks_scale_free(&social, 8.0));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.approx_diameter_hops, 0);
+    }
+}

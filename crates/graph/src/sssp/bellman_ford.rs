@@ -1,0 +1,94 @@
+//! Bellman–Ford with a frontier queue (SPFA-style), used as an independent
+//! cross-check for Dijkstra and as the reference for the intra-tree parallel
+//! baseline discussed in the related-work section of the paper.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::types::{dist_add, Distance, VertexId, INFINITY};
+
+/// Computes shortest distances from `source` using queue-based Bellman–Ford.
+///
+/// All weights in this workspace are positive, so the algorithm always
+/// terminates; the queue-based formulation avoids the full `|V|·|E|` sweep on
+/// sparse graphs while keeping the implementation obviously correct.
+pub fn bellman_ford(g: &CsrGraph, source: VertexId) -> Vec<Distance> {
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((source as usize) < n, "source vertex {source} out of range");
+
+    let mut in_queue = vec![false; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    in_queue[source as usize] = true;
+
+    while let Some(v) = queue.pop_front() {
+        in_queue[v as usize] = false;
+        let dv = dist[v as usize];
+        for (u, w) in g.neighbors(v) {
+            let cand = dist_add(dv, w);
+            if cand < dist[u as usize] {
+                dist[u as usize] = cand;
+                if !in_queue[u as usize] {
+                    in_queue[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::sssp::dijkstra;
+
+    #[test]
+    fn matches_dijkstra_on_small_graph() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 7);
+        b.add_edge(0, 2, 9);
+        b.add_edge(0, 5, 14);
+        b.add_edge(1, 2, 10);
+        b.add_edge(1, 3, 15);
+        b.add_edge(2, 3, 11);
+        b.add_edge(2, 5, 2);
+        b.add_edge(3, 4, 6);
+        b.add_edge(4, 5, 9);
+        let g = b.build().unwrap();
+        assert_eq!(bellman_ford(&g, 0), dijkstra(&g, 0));
+        assert_eq!(bellman_ford(&g, 3), dijkstra(&g, 3));
+    }
+
+    #[test]
+    fn unreachable_vertices_remain_infinite() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.ensure_vertices(3);
+        let g = b.build().unwrap();
+        let d = bellman_ford(&g, 0);
+        assert_eq!(d[2], INFINITY);
+    }
+
+    #[test]
+    fn directed_graph_distances() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        b.add_edge(0, 2, 10);
+        let g = b.build().unwrap();
+        assert_eq!(bellman_ford(&g, 0), vec![0, 3, 7]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        assert!(bellman_ford(&g, 0).is_empty());
+    }
+}

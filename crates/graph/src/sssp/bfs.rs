@@ -1,0 +1,77 @@
+//! Breadth-first search helpers (hop distances and unit-weight distances).
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::types::{Distance, VertexId, INFINITY};
+
+/// Hop count from `source` to every vertex (`usize::MAX` when unreachable).
+pub fn bfs_hops(g: &CsrGraph, source: VertexId) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut hops = vec![usize::MAX; n];
+    if n == 0 {
+        return hops;
+    }
+    assert!((source as usize) < n, "source vertex {source} out of range");
+    let mut queue = VecDeque::new();
+    hops[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let h = hops[v as usize];
+        for (u, _) in g.neighbors(v) {
+            if hops[u as usize] == usize::MAX {
+                hops[u as usize] = h + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    hops
+}
+
+/// BFS distances treating every edge as weight 1, in the same [`Distance`]
+/// domain as the weighted oracles ([`INFINITY`] when unreachable).
+pub fn bfs_unit_distances(g: &CsrGraph, source: VertexId) -> Vec<Distance> {
+    bfs_hops(g, source)
+        .into_iter()
+        .map(|h| if h == usize::MAX { INFINITY } else { h as Distance })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::sssp::dijkstra;
+
+    #[test]
+    fn hops_on_path() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..4u32 {
+            b.add_edge(i, i + 1, 9);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(bfs_hops(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unit_distances_match_dijkstra_on_unit_graph() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 3, 1);
+        b.add_edge(3, 2, 1);
+        b.ensure_vertices(6);
+        let g = b.build().unwrap();
+        assert_eq!(bfs_unit_distances(&g, 0), dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.ensure_vertices(3);
+        let g = b.build().unwrap();
+        assert_eq!(bfs_unit_distances(&g, 0)[2], INFINITY);
+        assert_eq!(bfs_hops(&g, 0)[2], usize::MAX);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sequential Δ-stepping.
+//!
+//! Δ-stepping buckets tentative distances into ranges of width Δ and relaxes
+//! light edges (weight < Δ) within a bucket to a fixed point before moving to
+//! heavy edges. The paper cites it as the state-of-the-art traversal baseline
+//! for PPSD queries; we provide a faithful sequential implementation both as
+//! a third independent distance oracle for tests and as the "online
+//! traversal" baseline in the example programs.
+
+use crate::csr::CsrGraph;
+use crate::types::{dist_add, Distance, VertexId, Weight, INFINITY};
+
+/// Computes shortest distances from `source` with bucket width `delta`.
+///
+/// `delta` must be at least 1; [`suggest_delta`] picks a reasonable value
+/// (average edge weight) for a given graph.
+pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Weight) -> Vec<Distance> {
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((source as usize) < n, "source vertex {source} out of range");
+    let delta = delta.max(1) as Distance;
+
+    // Buckets are kept in a Vec indexed by bucket id; ids only grow.
+    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
+    let mut bucket_of = vec![usize::MAX; n];
+
+    let place = |v: VertexId,
+                 d: Distance,
+                 buckets: &mut Vec<Vec<VertexId>>,
+                 bucket_of: &mut Vec<usize>| {
+        let b = (d / delta) as usize;
+        if b >= buckets.len() {
+            buckets.resize_with(b + 1, Vec::new);
+        }
+        buckets[b].push(v);
+        bucket_of[v as usize] = b;
+    };
+
+    dist[source as usize] = 0;
+    place(source, 0, &mut buckets, &mut bucket_of);
+
+    let mut current = 0usize;
+    while current < buckets.len() {
+        if buckets[current].is_empty() {
+            current += 1;
+            continue;
+        }
+        // Settle the current bucket: repeatedly relax light edges of vertices
+        // removed from it until it stops refilling, remembering everything we
+        // removed so heavy edges can be relaxed once afterwards.
+        let mut removed: Vec<VertexId> = Vec::new();
+        while !buckets[current].is_empty() {
+            let frontier = std::mem::take(&mut buckets[current]);
+            for &v in &frontier {
+                // Skip stale membership (vertex moved to an earlier bucket).
+                if bucket_of[v as usize] != current {
+                    continue;
+                }
+                removed.push(v);
+                let dv = dist[v as usize];
+                for (u, w) in g.neighbors(v) {
+                    if (w as Distance) <= delta {
+                        let cand = dist_add(dv, w);
+                        if cand < dist[u as usize] {
+                            dist[u as usize] = cand;
+                            place(u, cand, &mut buckets, &mut bucket_of);
+                        }
+                    }
+                }
+            }
+        }
+        // Heavy edges of everything settled in this bucket.
+        for &v in &removed {
+            let dv = dist[v as usize];
+            for (u, w) in g.neighbors(v) {
+                if (w as Distance) > delta {
+                    let cand = dist_add(dv, w);
+                    if cand < dist[u as usize] {
+                        dist[u as usize] = cand;
+                        place(u, cand, &mut buckets, &mut bucket_of);
+                    }
+                }
+            }
+        }
+        current += 1;
+    }
+    dist
+}
+
+/// Suggests a bucket width: the rounded-up average edge weight (at least 1).
+pub fn suggest_delta(g: &CsrGraph) -> Weight {
+    if g.num_edges() == 0 {
+        return 1;
+    }
+    let total = g.total_weight();
+    ((total + g.num_edges() as Distance - 1) / g.num_edges() as Distance).max(1) as Weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{erdos_renyi, grid_network, GridOptions};
+    use crate::sssp::dijkstra;
+
+    #[test]
+    fn matches_dijkstra_various_deltas() {
+        let g = erdos_renyi(80, 0.08, 30, 7);
+        let reference = dijkstra(&g, 3);
+        for delta in [1u32, 2, 5, 10, 1000] {
+            assert_eq!(delta_stepping(&g, 3, delta), reference, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn grid_with_heavy_and_light_edges() {
+        let g = grid_network(&GridOptions { rows: 8, cols: 8, max_weight: 50, ..GridOptions::default() }, 11);
+        assert_eq!(delta_stepping(&g, 0, suggest_delta(&g)), dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn suggest_delta_handles_edge_cases() {
+        let g = GraphBuilder::new_undirected().build().unwrap();
+        assert_eq!(suggest_delta(&g), 1);
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 20);
+        let g = b.build().unwrap();
+        assert_eq!(suggest_delta(&g), 15);
+    }
+
+    #[test]
+    fn zero_delta_is_clamped() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(delta_stepping(&g, 0, 0), vec![0, 2]);
+    }
+}

@@ -1,0 +1,108 @@
+//! A minimal binary min-heap keyed by distance, with lazy deletion.
+//!
+//! `std::collections::BinaryHeap` is a max-heap over the element type; the
+//! Dijkstra variants in this workspace all want a min-heap of
+//! `(distance, vertex)` pairs and tolerate stale entries (lazy deletion), so
+//! this thin wrapper keeps the call sites free of `Reverse` noise and is the
+//! single place to swap in a different priority queue later.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::types::{Distance, VertexId};
+
+/// Min-heap of `(distance, vertex)` entries.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceQueue {
+    heap: BinaryHeap<Reverse<(Distance, VertexId)>>,
+}
+
+impl DistanceQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DistanceQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Creates an empty queue with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        DistanceQueue { heap: BinaryHeap::with_capacity(cap) }
+    }
+
+    /// Pushes an entry. Duplicate entries for a vertex are allowed; the caller
+    /// is expected to skip stale pops by comparing against its distance array.
+    #[inline]
+    pub fn push(&mut self, dist: Distance, v: VertexId) {
+        self.heap.push(Reverse((dist, v)));
+    }
+
+    /// Pops the entry with the smallest distance.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Distance, VertexId)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Peeks at the smallest entry without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(Distance, VertexId)> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    /// Number of entries currently stored (including stale duplicates).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_distance_order() {
+        let mut q = DistanceQueue::new();
+        q.push(5, 1);
+        q.push(2, 2);
+        q.push(9, 3);
+        q.push(2, 4);
+        let mut out = Vec::new();
+        while let Some((d, v)) = q.pop() {
+            out.push((d, v));
+        }
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[1].0, 2);
+        assert_eq!(out[2], (5, 1));
+        assert_eq!(out[3], (9, 3));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = DistanceQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(3, 0);
+        q.push(1, 1);
+        assert_eq!(q.peek(), Some((1, 1)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_vertex_id() {
+        let mut q = DistanceQueue::new();
+        q.push(4, 9);
+        q.push(4, 2);
+        assert_eq!(q.pop(), Some((4, 2)));
+        assert_eq!(q.pop(), Some((4, 9)));
+    }
+}

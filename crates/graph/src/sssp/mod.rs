@@ -1,0 +1,50 @@
+//! Reference single-source shortest path algorithms.
+//!
+//! These are the traversal primitives the paper contrasts hub labeling
+//! against (Dijkstra, Bellman–Ford, Δ-stepping) and the ground truth used by
+//! every correctness test in the labeling crates. They are deliberately
+//! simple and well-tested rather than micro-optimized: the optimized
+//! traversals live inside the labeling algorithms themselves (pruned
+//! Dijkstra, PLaNT Dijkstra).
+
+mod bellman_ford;
+mod bfs;
+mod delta_stepping;
+mod dijkstra;
+pub mod heap;
+
+pub use bellman_ford::bellman_ford;
+pub use bfs::{bfs_hops, bfs_unit_distances};
+pub use delta_stepping::{delta_stepping, suggest_delta};
+pub use dijkstra::{dijkstra, dijkstra_targets, dijkstra_with_parents, SptNode};
+
+#[cfg(test)]
+mod consistency_tests {
+    //! All SSSP algorithms must agree with one another on arbitrary graphs.
+    use super::*;
+    use crate::generators::{erdos_renyi, grid_network, GridOptions};
+    use crate::types::INFINITY;
+
+    #[test]
+    fn all_algorithms_agree_on_random_graph() {
+        let g = erdos_renyi(120, 0.05, 50, 99);
+        for src in [0u32, 7, 63] {
+            let d1 = dijkstra(&g, src);
+            let d2 = bellman_ford(&g, src);
+            let d3 = delta_stepping(&g, src, suggest_delta(&g));
+            assert_eq!(d1, d2, "dijkstra vs bellman-ford from {src}");
+            assert_eq!(d1, d3, "dijkstra vs delta-stepping from {src}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_grid() {
+        let g = grid_network(&GridOptions { rows: 12, cols: 9, ..GridOptions::default() }, 3);
+        let d1 = dijkstra(&g, 5);
+        let d2 = bellman_ford(&g, 5);
+        let d3 = delta_stepping(&g, 5, 16);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+        assert!(d1.iter().all(|&d| d != INFINITY));
+    }
+}

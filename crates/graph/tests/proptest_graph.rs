@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use chl_graph::generators::{assign_random_weights, erdos_renyi};
+use chl_graph::io::{self, EdgeListOptions};
+use chl_graph::sssp::{bellman_ford, delta_stepping, dijkstra, suggest_delta};
+use chl_graph::types::{dist_add, Edge};
+use chl_graph::{CsrGraph, GraphBuilder};
+
+/// Strategy: an arbitrary small weighted undirected graph.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..50), 0..200)).prop_map(
+        |(n, edges)| {
+            let mut b = GraphBuilder::new_undirected();
+            b.ensure_vertices(n);
+            for (u, v, w) in edges {
+                b.add_edge(u % n as u32, v % n as u32, w);
+            }
+            b.build().expect("generated weights are positive")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra, Bellman-Ford and delta-stepping always agree.
+    #[test]
+    fn sssp_oracles_agree(g in arb_graph(), src_raw in 0u32..40) {
+        let n = g.num_vertices() as u32;
+        let src = src_raw % n;
+        let d1 = dijkstra(&g, src);
+        let d2 = bellman_ford(&g, src);
+        let d3 = delta_stepping(&g, src, suggest_delta(&g));
+        prop_assert_eq!(&d1, &d2);
+        prop_assert_eq!(&d1, &d3);
+    }
+
+    /// Shortest distances satisfy the triangle inequality over every edge.
+    #[test]
+    fn distances_satisfy_triangle_inequality(g in arb_graph(), src_raw in 0u32..40) {
+        let n = g.num_vertices() as u32;
+        let src = src_raw % n;
+        let d = dijkstra(&g, src);
+        for e in g.edges() {
+            let du = d[e.u as usize];
+            let dv = d[e.v as usize];
+            prop_assert!(dv <= dist_add(du, e.w));
+            prop_assert!(du <= dist_add(dv, e.w));
+        }
+        prop_assert_eq!(d[src as usize], 0);
+    }
+
+    /// Binary snapshots round-trip exactly.
+    #[test]
+    fn binary_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let back = io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    /// Edge-list snapshots round-trip exactly.
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let opts = EdgeListOptions::default();
+        let back = io::read_edge_list(buf.as_slice(), &opts).unwrap();
+        // The edge list does not record isolated trailing vertices, so compare
+        // the edge sets and the covered prefix of vertices.
+        let mut a: Vec<Edge> = g.edges().collect();
+        let mut b: Vec<Edge> = back.edges().collect();
+        a.sort_by_key(|e| (e.u, e.v));
+        b.sort_by_key(|e| (e.u, e.v));
+        prop_assert_eq!(a, b);
+    }
+
+    /// DIMACS snapshots round-trip exactly (vertex count is preserved by the
+    /// `p sp` header, so full equality holds).
+    #[test]
+    fn dimacs_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_dimacs(&g, &mut buf).unwrap();
+        let back = io::read_dimacs(buf.as_slice(), false).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    /// The builder is idempotent: rebuilding from a graph's own edge list
+    /// yields the same graph.
+    #[test]
+    fn rebuild_is_identity(g in arb_graph()) {
+        let mut b = GraphBuilder::new_undirected();
+        b.ensure_vertices(g.num_vertices());
+        b.extend_edges(g.edges());
+        prop_assert_eq!(b.build().unwrap(), g);
+    }
+
+    /// Re-weighting preserves topology for arbitrary bounds.
+    #[test]
+    fn reweight_preserves_topology(n in 5usize..60, p in 0.01f64..0.3, bound in 1u32..100, seed in 0u64..1000) {
+        let g = erdos_renyi(n, p, 10, seed);
+        let w = assign_random_weights(&g, bound, seed.wrapping_add(1));
+        prop_assert_eq!(g.num_edges(), w.num_edges());
+        prop_assert_eq!(g.num_vertices(), w.num_vertices());
+        for e in w.edges() {
+            prop_assert!(e.w >= 1 && e.w <= bound.max(1));
+        }
+    }
+}

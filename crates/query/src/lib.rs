@@ -1,0 +1,49 @@
+//! # chl-query
+//!
+//! Distributed PPSD query serving over hub labels — the three query modes of
+//! §6 of the paper:
+//!
+//! * **QLSN** (Querying with Labels on a Single Node): every node stores the
+//!   complete labeling and answers its own queries locally. Lowest latency,
+//!   highest memory, no multi-node parallelism within a query.
+//! * **QFDL** (Querying with Fully Distributed Labels): each node stores only
+//!   its label partition; a query is broadcast to all nodes and the partial
+//!   answers are reduced with a minimum. Lowest memory, highest per-query
+//!   communication.
+//! * **QDOL** (Querying with Distributed Overlapping Labels): the vertex set
+//!   is split into ζ partitions with `C(ζ,2) = q`; each node stores the full
+//!   labels of one partition pair and answers exactly the queries that fall
+//!   inside its pair via cheap point-to-point messages.
+//!
+//! Each mode exposes the same [`QueryEngine`]-style interface: single-query
+//! answers (always exact), batch evaluation, per-node memory accounting and a
+//! latency/throughput model driven by [`chl_cluster::NetworkModel`], which
+//! the Table 4 benchmark consumes.
+
+pub mod qdol;
+pub mod qfdl;
+pub mod qlsn;
+pub mod report;
+pub mod workload;
+
+pub use qdol::QdolEngine;
+pub use qfdl::QfdlEngine;
+pub use qlsn::QlsnEngine;
+pub use report::QueryModeReport;
+pub use workload::{random_pairs, QueryWorkload};
+
+use chl_graph::types::{Distance, VertexId};
+
+/// Common interface of the three query modes.
+pub trait QueryEngine {
+    /// Short mode name ("QLSN", "QFDL", "QDOL").
+    fn name(&self) -> &'static str;
+    /// Answers one PPSD query exactly.
+    fn query(&self, u: VertexId, v: VertexId) -> Distance;
+    /// Modeled single-query latency, including any cross-node communication.
+    fn modeled_latency(&self) -> std::time::Duration;
+    /// Label memory consumed on each node, in bytes.
+    fn memory_per_node(&self) -> Vec<usize>;
+    /// Evaluates a batch workload, returning the full report.
+    fn evaluate(&self, workload: &QueryWorkload) -> QueryModeReport;
+}

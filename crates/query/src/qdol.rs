@@ -1,0 +1,284 @@
+//! QDOL — Querying with Distributed Overlapping Labels.
+//!
+//! The vertex set is split into ζ partitions with `C(ζ,2) ≈ q`; every node is
+//! assigned one unordered partition pair `{i, j}` and stores the **complete**
+//! label sets of all vertices in those two partitions. A query `(u, v)` is
+//! routed (point-to-point) to a node whose pair contains both endpoint
+//! partitions and is answered there alone. Compared to QFDL this trades
+//! memory (each node stores `2/ζ ≈ 2/√(2q)` of the labeling instead of `1/q`)
+//! for cheaper communication and better locality, which is why the paper
+//! measures it as the fastest batch mode.
+
+use std::time::{Duration, Instant};
+
+use chl_cluster::ClusterSpec;
+use chl_core::labels::LabelSet;
+use chl_core::HubLabelIndex;
+use chl_distributed::DistributedLabeling;
+use chl_graph::types::{Distance, VertexId};
+use rayon::prelude::*;
+
+use crate::report::QueryModeReport;
+use crate::workload::QueryWorkload;
+use crate::QueryEngine;
+
+const QUERY_WIRE_BYTES: usize = 8;
+const RESPONSE_WIRE_BYTES: usize = 8;
+
+/// The QDOL engine.
+pub struct QdolEngine {
+    /// Full (assembled) label sets, indexed by vertex. Shared storage for the
+    /// simulation; the per-node accounting below reflects what each node
+    /// would actually hold.
+    full: Vec<LabelSet>,
+    /// Number of vertex partitions ζ.
+    zeta: usize,
+    /// `pair_of_node[node] = (i, j)` partition pair stored by `node`.
+    pair_of_node: Vec<(usize, usize)>,
+    /// Number of vertices.
+    num_vertices: usize,
+    spec: ClusterSpec,
+}
+
+/// Computes ζ from the cluster size: the largest ζ with `C(ζ,2) <= q`,
+/// at least 2 (the paper's formula `ζ = (1 + √(1+8q)) / 2` rounded down).
+pub fn zeta_for_nodes(q: usize) -> usize {
+    let z = ((1.0 + (1.0 + 8.0 * q as f64).sqrt()) / 2.0).floor() as usize;
+    z.max(2)
+}
+
+impl QdolEngine {
+    /// Builds the engine from a distributed labeling.
+    pub fn new(labeling: &DistributedLabeling, spec: ClusterSpec) -> Self {
+        Self::from_index(labeling.assemble(), spec)
+    }
+
+    /// Builds the engine from an assembled index.
+    pub fn from_index(index: HubLabelIndex, spec: ClusterSpec) -> Self {
+        let num_vertices = index.num_vertices();
+        let q = spec.nodes.max(1);
+        let zeta = zeta_for_nodes(q);
+        // Enumerate unordered pairs (i, j), i < j, assigning them to nodes
+        // round-robin; with C(ζ,2) <= q every pair gets a dedicated node.
+        let mut pairs = Vec::new();
+        for i in 0..zeta {
+            for j in (i + 1)..zeta {
+                pairs.push((i, j));
+            }
+        }
+        let pair_of_node: Vec<(usize, usize)> =
+            (0..q).map(|node| pairs[node % pairs.len()]).collect();
+        QdolEngine { full: index.into_label_sets(), zeta, pair_of_node, num_vertices, spec }
+    }
+
+    /// Partition of a vertex: contiguous chunks of the id space.
+    fn partition_of(&self, v: VertexId) -> usize {
+        if self.num_vertices == 0 {
+            return 0;
+        }
+        let chunk = self.num_vertices.div_ceil(self.zeta);
+        (v as usize / chunk).min(self.zeta - 1)
+    }
+
+    /// The node a query is routed to: some node whose pair covers both
+    /// endpoint partitions (for a same-partition query, any node containing
+    /// that partition).
+    pub fn node_for_query(&self, u: VertexId, v: VertexId) -> usize {
+        let pu = self.partition_of(u);
+        let pv = self.partition_of(v);
+        let (a, b) = if pu <= pv { (pu, pv) } else { (pv, pu) };
+        self.pair_of_node
+            .iter()
+            .position(|&(i, j)| (i == a && j == b) || (a == b && (i == a || j == a)))
+            .unwrap_or(0)
+    }
+
+    /// Number of vertex partitions ζ.
+    pub fn zeta(&self) -> usize {
+        self.zeta
+    }
+
+    fn local_answer(&self, u: VertexId, v: VertexId) -> Distance {
+        if u == v {
+            return 0;
+        }
+        self.full[u as usize].query_distance(&self.full[v as usize])
+    }
+}
+
+impl QueryEngine for QdolEngine {
+    fn name(&self) -> &'static str {
+        "QDOL"
+    }
+
+    fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        // Routing does not change the answer (the target node holds the full
+        // labels of both endpoints); evaluate it for the side effect of
+        // exercising the routing table in debug builds.
+        debug_assert!(self.node_for_query(u, v) < self.spec.nodes.max(1));
+        self.local_answer(u, v)
+    }
+
+    fn modeled_latency(&self) -> Duration {
+        // One request message, a local full-label intersection, one response.
+        let net = &self.spec.network;
+        let local = Duration::from_micros(1);
+        net.p2p_cost(QUERY_WIRE_BYTES) + local + net.p2p_cost(RESPONSE_WIRE_BYTES)
+    }
+
+    fn memory_per_node(&self) -> Vec<usize> {
+        // Node {i,j} stores the full label sets of partitions i and j.
+        let mut per_partition = vec![0usize; self.zeta];
+        for v in 0..self.num_vertices {
+            per_partition[self.partition_of(v as VertexId)] += self.full[v].memory_bytes();
+        }
+        self.pair_of_node
+            .iter()
+            .map(|&(i, j)| per_partition[i] + per_partition[j])
+            .collect()
+    }
+
+    fn evaluate(&self, workload: &QueryWorkload) -> QueryModeReport {
+        // Sort queries by target node (the paper does exactly this), then let
+        // every node answer its own bucket; modeled batch time is the slowest
+        // node plus the point-to-point exchange of queries and responses.
+        let q = self.spec.nodes.max(1);
+        let mut buckets: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); q];
+        for &(u, v) in &workload.pairs {
+            buckets[self.node_for_query(u, v)].push((u, v));
+        }
+
+        let start = Instant::now();
+        let per_node_times: Vec<Duration> = buckets
+            .par_iter()
+            .map(|bucket| {
+                let node_start = Instant::now();
+                let mut acc = 0u64;
+                for &(u, v) in bucket {
+                    acc = acc.wrapping_add(self.local_answer(u, v));
+                }
+                std::hint::black_box(acc);
+                node_start.elapsed()
+            })
+            .collect();
+        let measured = start.elapsed();
+
+        let slowest = per_node_times.iter().copied().max().unwrap_or(Duration::ZERO);
+        let net = &self.spec.network;
+        let largest_bucket = buckets.iter().map(Vec::len).max().unwrap_or(0);
+        // Queries are scattered to nodes and responses gathered back; the
+        // critical path carries the largest bucket in each direction.
+        let comm = net.p2p_cost(QUERY_WIRE_BYTES * largest_bucket)
+            + net.p2p_cost(RESPONSE_WIRE_BYTES * largest_bucket);
+        let batch_time = slowest + comm;
+        let throughput = if batch_time.as_secs_f64() > 0.0 {
+            workload.len() as f64 / batch_time.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+
+        QueryModeReport {
+            mode: self.name().to_string(),
+            queries: workload.len(),
+            throughput_qps: throughput,
+            latency: self.modeled_latency(),
+            measured_batch_compute: measured,
+            memory_per_node_bytes: self.memory_per_node(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_pairs;
+    use chl_graph::types::INFINITY;
+    use chl_cluster::SimulatedCluster;
+    use chl_core::pll::sequential_pll;
+    use chl_distributed::{distributed_plant, DistributedConfig};
+    use chl_graph::generators::erdos_renyi;
+    use chl_ranking::degree_ranking;
+
+    fn engine(q: usize) -> (chl_graph::CsrGraph, QdolEngine) {
+        let g = erdos_renyi(80, 0.07, 10, 31);
+        let ranking = degree_ranking(&g);
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(q));
+        let labeling = distributed_plant(&g, &ranking, &cluster, &DistributedConfig::default());
+        (g, QdolEngine::new(&labeling, ClusterSpec::with_nodes(q)))
+    }
+
+    #[test]
+    fn zeta_formula_matches_paper() {
+        assert_eq!(zeta_for_nodes(1), 2);
+        assert_eq!(zeta_for_nodes(3), 3);
+        assert_eq!(zeta_for_nodes(6), 4);
+        assert_eq!(zeta_for_nodes(10), 5);
+        assert_eq!(zeta_for_nodes(16), 6);
+        assert_eq!(zeta_for_nodes(64), 11);
+    }
+
+    #[test]
+    fn queries_are_exact_and_routed_to_valid_nodes() {
+        let (g, engine) = engine(16);
+        let ranking = degree_ranking(&g);
+        let reference = sequential_pll(&g, &ranking).index;
+        for u in (0..80u32).step_by(9) {
+            for v in 0..80u32 {
+                assert_eq!(engine.query(u, v), reference.query(u, v));
+                let node = engine.node_for_query(u, v);
+                assert!(node < 16);
+                // The chosen node's pair must cover both endpoint partitions.
+                let (i, j) = engine.pair_of_node[node];
+                let pu = engine.partition_of(u);
+                let pv = engine.partition_of(v);
+                assert!([i, j].contains(&pu));
+                assert!([i, j].contains(&pv));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_sits_between_qfdl_and_qlsn() {
+        let (g, qdol) = engine(16);
+        let ranking = degree_ranking(&g);
+        let full_bytes = sequential_pll(&g, &ranking).index.memory_bytes();
+        let per_node = qdol.memory_per_node();
+        let max_node = *per_node.iter().max().unwrap();
+        assert!(max_node < full_bytes, "QDOL must store less than the full labeling per node");
+        assert!(max_node * 16 > full_bytes, "but far more than a 1/q share");
+    }
+
+    #[test]
+    fn latency_model_is_cheaper_than_qfdl_broadcast() {
+        let (_, qdol) = engine(16);
+        let spec = ClusterSpec::with_nodes(16);
+        // Two point-to-point hops must cost less than a 16-node broadcast
+        // plus reduction.
+        let qfdl_like = spec.network.broadcast_cost(8, 16) + spec.network.allreduce_cost(8, 16);
+        assert!(qdol.modeled_latency() < qfdl_like + Duration::from_micros(2));
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_numbers() {
+        let (_, engine) = engine(6);
+        let w = random_pairs(80, 3000, 9);
+        let r = engine.evaluate(&w);
+        assert_eq!(r.queries, 3000);
+        assert!(r.throughput_qps > 0.0);
+        assert_eq!(r.memory_per_node_bytes.len(), 6);
+        assert_eq!(r.mode, "QDOL");
+    }
+
+    #[test]
+    fn infinity_for_disconnected_pairs() {
+        let mut b = chl_graph::GraphBuilder::new_undirected();
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build().unwrap();
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let engine = QdolEngine::from_index(index, ClusterSpec::with_nodes(4));
+        assert_eq!(engine.query(0, 3), INFINITY);
+        assert_eq!(engine.query(0, 1), 1);
+    }
+}

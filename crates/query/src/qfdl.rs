@@ -1,0 +1,190 @@
+//! QFDL — Querying with Fully Distributed Labels.
+//!
+//! Every vertex's label set is split across all nodes (each node keeps the
+//! labels its own SPTs generated). A query is broadcast to every node, each
+//! node intersects its partial label sets, and the per-node minima are
+//! reduced (`MPI_MIN` in the paper) into the answer. Memory per node is the
+//! smallest of the three modes; every single query pays a broadcast plus a
+//! reduction, so latency is dominated by communication and is nearly
+//! independent of the dataset (Table 4).
+
+use std::time::{Duration, Instant};
+
+use chl_cluster::ClusterSpec;
+use chl_core::labels::LabelSet;
+use chl_distributed::DistributedLabeling;
+use chl_graph::types::{Distance, VertexId, INFINITY};
+use rayon::prelude::*;
+
+use crate::report::QueryModeReport;
+use crate::workload::QueryWorkload;
+use crate::QueryEngine;
+
+/// Wire size of one query (two vertex ids) and one response (a distance).
+const QUERY_WIRE_BYTES: usize = 8;
+const RESPONSE_WIRE_BYTES: usize = 8;
+
+/// The QFDL engine: per-node label partitions, broadcast + min-reduce queries.
+pub struct QfdlEngine {
+    partitions: Vec<Vec<LabelSet>>,
+    spec: ClusterSpec,
+}
+
+impl QfdlEngine {
+    /// Builds the engine from a distributed labeling, keeping its partitions
+    /// exactly as the construction left them.
+    pub fn new(labeling: &DistributedLabeling, spec: ClusterSpec) -> Self {
+        let partitions = (0..labeling.nodes()).map(|i| labeling.partition(i).to_vec()).collect();
+        QfdlEngine { partitions, spec }
+    }
+
+    /// Number of nodes holding partitions.
+    pub fn nodes(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn local_answer(partition: &[LabelSet], u: VertexId, v: VertexId) -> Distance {
+        partition[u as usize].query_distance(&partition[v as usize])
+    }
+}
+
+impl QueryEngine for QfdlEngine {
+    fn name(&self) -> &'static str {
+        "QFDL"
+    }
+
+    fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        if u == v {
+            return 0;
+        }
+        self.partitions
+            .iter()
+            .map(|p| Self::local_answer(p, u, v))
+            .min()
+            .unwrap_or(INFINITY)
+    }
+
+    fn modeled_latency(&self) -> Duration {
+        // Broadcast the query, compute locally on every node (they work in
+        // parallel, so the local term is a single partial intersection), then
+        // min-reduce one distance.
+        let q = self.spec.nodes;
+        let net = &self.spec.network;
+        let local = Duration::from_nanos(400); // partial label scan, sub-µs
+        net.broadcast_cost(QUERY_WIRE_BYTES, q) + local + net.allreduce_cost(RESPONSE_WIRE_BYTES, q)
+    }
+
+    fn memory_per_node(&self) -> Vec<usize> {
+        self.partitions
+            .iter()
+            .map(|p| p.iter().map(LabelSet::memory_bytes).sum())
+            .collect()
+    }
+
+    fn evaluate(&self, workload: &QueryWorkload) -> QueryModeReport {
+        // Batch processing: every node scans its partition for every query;
+        // nodes run in parallel, so the modeled compute is the slowest node.
+        let start = Instant::now();
+        let per_node_times: Vec<Duration> = self
+            .partitions
+            .par_iter()
+            .map(|partition| {
+                let node_start = Instant::now();
+                let mut acc = 0u64;
+                for &(u, v) in &workload.pairs {
+                    acc = acc.wrapping_add(Self::local_answer(partition, u, v));
+                }
+                std::hint::black_box(acc);
+                node_start.elapsed()
+            })
+            .collect();
+        let measured = start.elapsed();
+
+        let slowest = per_node_times.iter().copied().max().unwrap_or(Duration::ZERO);
+        // Batched communication: the whole query batch is broadcast once and
+        // the response vector reduced once.
+        let q = self.spec.nodes;
+        let net = &self.spec.network;
+        let comm = net.broadcast_cost(QUERY_WIRE_BYTES * workload.len(), q)
+            + net.allreduce_cost(RESPONSE_WIRE_BYTES * workload.len(), q);
+        let batch_time = slowest + comm;
+        let throughput = if batch_time.as_secs_f64() > 0.0 {
+            workload.len() as f64 / batch_time.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+
+        QueryModeReport {
+            mode: self.name().to_string(),
+            queries: workload.len(),
+            throughput_qps: throughput,
+            latency: self.modeled_latency(),
+            measured_batch_compute: measured,
+            memory_per_node_bytes: self.memory_per_node(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_pairs;
+    use chl_cluster::SimulatedCluster;
+    use chl_core::pll::sequential_pll;
+    use chl_distributed::{distributed_plant, DistributedConfig};
+    use chl_graph::generators::erdos_renyi;
+    use chl_ranking::degree_ranking;
+
+    fn engine(q: usize) -> (chl_graph::CsrGraph, QfdlEngine) {
+        let g = erdos_renyi(70, 0.08, 10, 23);
+        let ranking = degree_ranking(&g);
+        let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(q));
+        let labeling = distributed_plant(&g, &ranking, &cluster, &DistributedConfig::default());
+        let engine = QfdlEngine::new(&labeling, ClusterSpec::with_nodes(q));
+        (g, engine)
+    }
+
+    #[test]
+    fn distributed_queries_are_exact() {
+        let (g, engine) = engine(4);
+        let ranking = degree_ranking(&g);
+        let reference = sequential_pll(&g, &ranking).index;
+        for u in (0..70u32).step_by(7) {
+            for v in 0..70u32 {
+                assert_eq!(engine.query(u, v), reference.query(u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_partitioned_across_nodes() {
+        let (_, engine) = engine(4);
+        let mem = engine.memory_per_node();
+        assert_eq!(mem.len(), 4);
+        let total: usize = mem.iter().sum();
+        let max = *mem.iter().max().unwrap();
+        // No node holds more than half of the total labeling.
+        assert!(max * 2 < total * 2, "sanity");
+        assert!(max < total, "labels must be spread over nodes");
+    }
+
+    #[test]
+    fn latency_is_dominated_by_communication() {
+        let (_, e4) = engine(4);
+        let (_, e16) = engine(16);
+        // More nodes ⇒ more broadcast rounds ⇒ higher single-query latency.
+        assert!(e16.modeled_latency() >= e4.modeled_latency());
+        assert!(e4.modeled_latency() >= Duration::from_micros(5));
+    }
+
+    #[test]
+    fn evaluate_produces_a_full_report() {
+        let (_, engine) = engine(4);
+        let w = random_pairs(70, 2000, 5);
+        let r = engine.evaluate(&w);
+        assert_eq!(r.mode, "QFDL");
+        assert_eq!(r.queries, 2000);
+        assert!(r.throughput_qps > 0.0);
+        assert_eq!(r.memory_per_node_bytes.len(), 4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Query workload generation.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use chl_graph::types::VertexId;
+
+/// A batch of PPSD queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWorkload {
+    /// The query pairs.
+    pub pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl QueryWorkload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Generates `count` uniformly random query pairs over `num_vertices`
+/// vertices (self-queries allowed, as in the paper's 1 M / 100 M batches).
+pub fn random_pairs(num_vertices: usize, count: usize, seed: u64) -> QueryWorkload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7175_6572);
+    let n = num_vertices.max(1) as u32;
+    let pairs = (0..count).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    QueryWorkload { pairs }
+}
+
+/// Generates a skewed workload where a fraction `hot_fraction` of queries
+/// touch only the `hot_set_size` lowest-id vertices (models the locality of
+/// real navigation / social query traffic).
+pub fn skewed_pairs(
+    num_vertices: usize,
+    count: usize,
+    hot_set_size: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> QueryWorkload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5348_4f54);
+    let n = num_vertices.max(1) as u32;
+    let hot = hot_set_size.clamp(1, num_vertices.max(1)) as u32;
+    let pairs = (0..count)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                (rng.gen_range(0..hot), rng.gen_range(0..hot))
+            } else {
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            }
+        })
+        .collect();
+    QueryWorkload { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pairs_are_in_range_and_deterministic() {
+        let w = random_pairs(50, 1000, 7);
+        assert_eq!(w.len(), 1000);
+        assert!(!w.is_empty());
+        assert!(w.pairs.iter().all(|&(u, v)| u < 50 && v < 50));
+        assert_eq!(w, random_pairs(50, 1000, 7));
+        assert_ne!(w, random_pairs(50, 1000, 8));
+    }
+
+    #[test]
+    fn skewed_pairs_concentrate_on_hot_set() {
+        let w = skewed_pairs(1000, 2000, 10, 0.9, 3);
+        let hot_queries = w.pairs.iter().filter(|&&(u, v)| u < 10 && v < 10).count();
+        assert!(hot_queries > 1500, "expected most queries in the hot set, got {hot_queries}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_workloads() {
+        assert!(random_pairs(10, 0, 1).is_empty());
+        let w = random_pairs(1, 5, 1);
+        assert!(w.pairs.iter().all(|&(u, v)| u == 0 && v == 0));
+    }
+}

@@ -1,0 +1,80 @@
+//! Degree-based ordering.
+//!
+//! For scale-free networks the paper (following Akiba et al.) ranks vertices
+//! by degree: the dense core of hubs covers a very large fraction of shortest
+//! paths, so making them the most important vertices keeps label sets small.
+
+use chl_graph::CsrGraph;
+
+use crate::ranking::{Ranking, RankingStrategy};
+
+/// Ranks vertices by descending degree (ties by vertex id).
+pub fn degree_ranking(g: &CsrGraph) -> Ranking {
+    let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v) + g.in_degree(v)).collect();
+    Ranking::from_scores(&degrees)
+}
+
+/// [`RankingStrategy`] wrapper around [`degree_ranking`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeOrdering;
+
+impl RankingStrategy for DegreeOrdering {
+    fn rank(&self, g: &CsrGraph) -> Ranking {
+        degree_ranking(g)
+    }
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_graph::generators::{barabasi_albert, star_graph};
+    use chl_graph::GraphBuilder;
+
+    #[test]
+    fn star_center_ranks_first() {
+        let g = star_graph(10);
+        let r = degree_ranking(&g);
+        assert_eq!(r.vertex_at(0), 0);
+        assert_eq!(r.position(0), 0);
+    }
+
+    #[test]
+    fn hubs_of_scale_free_graph_rank_high() {
+        let g = barabasi_albert(400, 3, 3);
+        let r = degree_ranking(&g);
+        // The top-ranked vertex has the maximum degree.
+        let top = r.vertex_at(0);
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert_eq!(g.degree(top), max_deg);
+        // Positions are monotone in degree.
+        for pos in 1..r.len() as u32 {
+            let a = r.vertex_at(pos - 1);
+            let b = r.vertex_at(pos);
+            assert!(g.degree(a) >= g.degree(b));
+        }
+    }
+
+    #[test]
+    fn directed_degree_counts_both_directions() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 1, 1);
+        b.add_edge(3, 1, 1);
+        b.add_edge(0, 2, 1);
+        let g = b.build().unwrap();
+        let r = degree_ranking(&g);
+        // Vertex 1 has total degree 3 (all incoming), the highest.
+        assert_eq!(r.vertex_at(0), 1);
+    }
+
+    #[test]
+    fn strategy_trait_reports_name() {
+        let s = DegreeOrdering;
+        assert_eq!(s.name(), "degree");
+        let g = star_graph(4);
+        assert_eq!(s.rank(&g).vertex_at(0), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # chl-ranking
+//!
+//! Network hierarchies (total vertex orders) for canonical hub labeling.
+//!
+//! The Canonical Hub Labeling is defined *relative to a ranking* `R`: for
+//! every connected pair only the highest-ranked vertex on their shortest
+//! paths becomes a hub. The paper determines `R` by **approximate
+//! betweenness** for road networks and by **degree** for scale-free networks
+//! (§7.1.1); both are provided here, together with explicit/custom orders
+//! used throughout the tests.
+//!
+//! Rank positions: position `0` is the *most important* vertex. The paper
+//! writes `R(u) > R(v)` for "`u` is more important than `v`"; with positions
+//! that becomes `pos(u) < pos(v)`. Use [`Ranking::is_more_important`] to stay
+//! out of off-by-one territory.
+
+pub mod betweenness;
+pub mod degree;
+pub mod ranking;
+
+pub use betweenness::{approx_betweenness, betweenness_ranking, BetweennessOptions};
+pub use degree::degree_ranking;
+pub use ranking::{Ranking, RankingError, RankingStrategy};
+
+use chl_graph::CsrGraph;
+
+/// Chooses the paper's default ranking for a graph: approximate betweenness
+/// for road-like topologies (small max degree), degree ordering otherwise.
+pub fn default_ranking(g: &CsrGraph, seed: u64) -> Ranking {
+    if chl_graph::properties::looks_scale_free(g, 8.0) {
+        degree_ranking(g)
+    } else {
+        betweenness_ranking(g, &BetweennessOptions::default(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_graph::generators::{barabasi_albert, grid_network, GridOptions};
+
+    #[test]
+    fn default_ranking_picks_strategy_by_topology() {
+        // Both topology families must produce valid rankings regardless of
+        // which strategy fired.
+        let road = grid_network(&GridOptions { rows: 12, cols: 12, ..GridOptions::default() }, 1);
+        let social = barabasi_albert(300, 4, 2);
+        assert_eq!(default_ranking(&road, 7).len(), road.num_vertices());
+        assert_eq!(default_ranking(&social, 7).len(), social.num_vertices());
+
+        // An unambiguously scale-free graph (a star) must take the degree
+        // path: the hub is the most important vertex.
+        let star = chl_graph::generators::star_graph(50);
+        let r = default_ranking(&star, 7);
+        assert_eq!(r.vertex_at(0), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Query-serving scenario: evaluate the three distributed query modes
+//! (QLSN, QFDL, QDOL) of §6 on one dataset and print a Table-4-style
+//! comparison of throughput, latency and memory.
+//!
+//! Run with: `cargo run --release --example query_server`
+
+use planted_hub_labeling::prelude::*;
+use planted_hub_labeling::query::random_pairs;
+
+fn main() {
+    let ds = load_dataset(DatasetId::AUT, Scale::Small, 42);
+    let (graph, ranking) = (&ds.graph, &ds.ranking);
+    let nodes = 16usize;
+    println!(
+        "AUT stand-in: {} vertices, {} edges; {} simulated nodes",
+        graph.num_vertices(),
+        graph.num_edges(),
+        nodes
+    );
+
+    // Build the labeling once with the distributed Hybrid, then serve it.
+    let spec = ClusterSpec::with_nodes(nodes);
+    let cluster = SimulatedCluster::new(spec);
+    let labeling = distributed_hybrid(graph, ranking, &cluster, &DistributedConfig::default());
+    println!(
+        "labeling: ALS {:.1}, {} labels across {} nodes",
+        labeling.average_label_size(),
+        labeling.assemble().total_labels(),
+        labeling.nodes()
+    );
+
+    let workload = random_pairs(graph.num_vertices(), 500_000, 9);
+    let engines: Vec<Box<dyn QueryEngine>> = vec![
+        Box::new(QlsnEngine::new(&labeling, spec)),
+        Box::new(QfdlEngine::new(&labeling, spec)),
+        Box::new(QdolEngine::new(&labeling, spec)),
+    ];
+
+    println!(
+        "\n{:>6} | {:>18} | {:>14} | {:>18} | {:>18}",
+        "mode", "throughput (Mq/s)", "latency (µs)", "total label MiB", "max node MiB"
+    );
+    let mut answers: Option<Vec<u64>> = None;
+    for engine in &engines {
+        let report = engine.evaluate(&workload);
+        println!(
+            "{:>6} | {:>18.2} | {:>14.1} | {:>18.2} | {:>18.2}",
+            report.mode,
+            report.throughput_mqps(),
+            report.latency_us(),
+            report.total_memory_bytes() as f64 / (1024.0 * 1024.0),
+            report.max_memory_per_node_bytes() as f64 / (1024.0 * 1024.0),
+        );
+
+        // All three modes must return identical answers.
+        let these: Vec<u64> =
+            workload.pairs.iter().take(2000).map(|&(u, v)| engine.query(u, v)).collect();
+        if let Some(previous) = &answers {
+            assert_eq!(previous, &these, "{} disagrees with the previous mode", engine.name());
+        }
+        answers = Some(these);
+    }
+    println!("\nall modes returned identical answers for the sampled queries");
+}

@@ -1,0 +1,69 @@
+//! # planted-hub-labeling
+//!
+//! A from-scratch Rust reproduction of *"Planting Trees for scalable and
+//! efficient Canonical Hub Labeling"* (Lakhotia, Dong, Kannan, Prasanna —
+//! VLDB 2019): parallel shared-memory and distributed constructors for the
+//! Canonical Hub Labeling (CHL) of weighted graphs, the PLaNT
+//! communication-avoiding algorithm, the Hybrid PLaNT+DGLL constructor, the
+//! paraPLL baselines, three distributed query-serving modes and a benchmark
+//! harness that regenerates every table and figure of the paper's evaluation.
+//!
+//! This crate is a thin facade: it re-exports the workspace's sub-crates
+//! under one roof so applications can depend on a single package.
+//!
+//! | Module | Sub-crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `chl-graph` | CSR graphs, builders, IO, generators, reference SSSP |
+//! | [`ranking`] | `chl-ranking` | degree and approximate-betweenness hierarchies |
+//! | [`labeling`] | `chl-core` | PLL, paraPLL, LCC, GLL, PLaNT, Hybrid, cleaning, verification |
+//! | [`cluster`] | `chl-cluster` | simulated multi-node cluster substrate |
+//! | [`distributed`] | `chl-distributed` | DGLL, DparaPLL, distributed PLaNT and Hybrid |
+//! | [`query`] | `chl-query` | QLSN / QFDL / QDOL query modes |
+//! | [`datasets`] | `chl-datasets` | synthetic stand-ins for the paper's 12 datasets |
+//!
+//! # Quick start
+//!
+//! ```
+//! use planted_hub_labeling::prelude::*;
+//!
+//! // A small weighted road-like network and the paper's default hierarchy.
+//! let graph = grid_network(&GridOptions { rows: 12, cols: 12, ..GridOptions::default() }, 7);
+//! let ranking = default_ranking(&graph, 7);
+//!
+//! // Build the canonical hub labeling with the shared-memory Hybrid.
+//! let result = shared_hybrid(&graph, &ranking, &LabelingConfig::default());
+//! let index = result.index;
+//!
+//! // Answer exact point-to-point shortest-distance queries.
+//! let reference = planted_hub_labeling::graph::sssp::dijkstra(&graph, 0);
+//! assert_eq!(index.query(0, 143), reference[143]);
+//! ```
+
+pub use chl_cluster as cluster;
+pub use chl_core as labeling;
+pub use chl_datasets as datasets;
+pub use chl_distributed as distributed;
+pub use chl_graph as graph;
+pub use chl_query as query;
+pub use chl_ranking as ranking;
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use chl_cluster::{ClusterSpec, SimulatedCluster};
+    pub use chl_core::canonical::{brute_force_chl, is_canonical};
+    pub use chl_core::gll::gll;
+    pub use chl_core::hybrid::shared_hybrid;
+    pub use chl_core::lcc::lcc;
+    pub use chl_core::plant::plant_labeling;
+    pub use chl_core::pll::sequential_pll;
+    pub use chl_core::{HubLabelIndex, LabelingConfig, LabelingResult};
+    pub use chl_datasets::{load as load_dataset, DatasetId, Scale};
+    pub use chl_distributed::{
+        distributed_gll, distributed_hybrid, distributed_parapll, distributed_plant,
+        DistributedConfig, DistributedLabeling,
+    };
+    pub use chl_graph::generators::{barabasi_albert, grid_network, GridOptions};
+    pub use chl_graph::{CsrGraph, GraphBuilder};
+    pub use chl_query::{QdolEngine, QfdlEngine, QlsnEngine, QueryEngine};
+    pub use chl_ranking::{default_ranking, degree_ranking, Ranking};
+}

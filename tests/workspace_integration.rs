@@ -1,0 +1,97 @@
+//! Workspace-level integration tests exercising the facade crate end-to-end:
+//! dataset generation → ranking → construction (shared-memory and
+//! distributed) → query serving, all cross-checked against ground truth.
+
+use planted_hub_labeling::graph::sssp::dijkstra;
+use planted_hub_labeling::prelude::*;
+use planted_hub_labeling::query::random_pairs;
+
+#[test]
+fn end_to_end_road_network_pipeline() {
+    let ds = load_dataset(DatasetId::CAL, Scale::Tiny, 1);
+    let result = gll(&ds.graph, &ds.ranking, &LabelingConfig::default().with_threads(4));
+    // Exact queries against Dijkstra from several sources.
+    for src in [0u32, 10, 60] {
+        let reference = dijkstra(&ds.graph, src);
+        for v in 0..ds.graph.num_vertices() as u32 {
+            assert_eq!(result.index.query(src, v), reference[v as usize]);
+        }
+    }
+    assert!(is_canonical(&ds.graph, &ds.ranking, &result.index));
+}
+
+#[test]
+fn end_to_end_scale_free_pipeline_all_constructors_agree() {
+    let ds = load_dataset(DatasetId::SKIT, Scale::Tiny, 2);
+    let config = LabelingConfig::default().with_threads(4);
+    let reference = sequential_pll(&ds.graph, &ds.ranking).index;
+    assert_eq!(lcc(&ds.graph, &ds.ranking, &config).index, reference);
+    assert_eq!(gll(&ds.graph, &ds.ranking, &config).index, reference);
+    assert_eq!(plant_labeling(&ds.graph, &ds.ranking, &config).index, reference);
+    assert_eq!(shared_hybrid(&ds.graph, &ds.ranking, &config).index, reference);
+    assert_eq!(brute_force_chl(&ds.graph, &ds.ranking), reference);
+}
+
+#[test]
+fn end_to_end_distributed_pipeline_with_queries() {
+    let ds = load_dataset(DatasetId::AUT, Scale::Tiny, 3);
+    let spec = ClusterSpec::with_nodes(6);
+    let cluster = SimulatedCluster::new(spec);
+    let labeling =
+        distributed_hybrid(&ds.graph, &ds.ranking, &cluster, &DistributedConfig::default());
+    let reference = sequential_pll(&ds.graph, &ds.ranking).index;
+    assert_eq!(labeling.assemble(), reference);
+
+    // All three query modes agree with the reference on a random workload.
+    let workload = random_pairs(ds.graph.num_vertices(), 3_000, 5);
+    let qlsn = QlsnEngine::new(&labeling, spec);
+    let qfdl = QfdlEngine::new(&labeling, spec);
+    let qdol = QdolEngine::new(&labeling, spec);
+    for &(u, v) in &workload.pairs {
+        let expected = reference.query(u, v);
+        assert_eq!(qlsn.query(u, v), expected);
+        assert_eq!(qfdl.query(u, v), expected);
+        assert_eq!(qdol.query(u, v), expected);
+    }
+
+    // Memory ordering of the three modes matches §6: QFDL < QDOL < QLSN.
+    let qlsn_max = *qlsn.memory_per_node().iter().max().unwrap();
+    let qfdl_max = *qfdl.memory_per_node().iter().max().unwrap();
+    let qdol_max = *qdol.memory_per_node().iter().max().unwrap();
+    assert!(qfdl_max <= qdol_max);
+    assert!(qdol_max <= qlsn_max);
+}
+
+#[test]
+fn distributed_algorithms_report_expected_communication_profile() {
+    let ds = load_dataset(DatasetId::SKIT, Scale::Tiny, 4);
+    let config = DistributedConfig::default();
+    let q = 8;
+
+    let plant =
+        distributed_plant(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
+    let dgll =
+        distributed_gll(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
+    let dparapll =
+        distributed_parapll(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
+
+    // PLaNT: zero label traffic. DGLL: some. DparaPLL: full replication.
+    assert_eq!(plant.metrics.total_comm().total_bytes(), 0);
+    assert!(dgll.metrics.total_comm().broadcast_bytes > 0);
+    assert!(dparapll.metrics.total_comm().broadcast_bytes > 0);
+    let plant_peak = plant.metrics.peak_node_label_bytes;
+    let dparapll_peak = dparapll.metrics.peak_node_label_bytes;
+    assert!(
+        dparapll_peak > plant_peak,
+        "replicated storage must dominate partitioned storage ({dparapll_peak} vs {plant_peak})"
+    );
+}
+
+#[test]
+fn para_pll_label_size_exceeds_canonical_on_scale_free_graphs() {
+    let ds = load_dataset(DatasetId::YTB, Scale::Tiny, 6);
+    let config = LabelingConfig::default().with_threads(8);
+    let canonical = sequential_pll(&ds.graph, &ds.ranking).index;
+    let para = planted_hub_labeling::labeling::para_pll::spara_pll(&ds.graph, &ds.ranking, &config);
+    assert!(para.index.total_labels() >= canonical.total_labels());
+}
