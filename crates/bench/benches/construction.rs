@@ -18,12 +18,18 @@ fn bench_dataset(c: &mut Criterion, ds: &Dataset) {
     let mut group = c.benchmark_group(format!("construct/{}", ds.name()));
     let config = LabelingConfig::default().with_threads(4);
 
-    group.bench_function("seqPLL", |b| b.iter(|| black_box(sequential_pll(&ds.graph, &ds.ranking))));
+    group.bench_function("seqPLL", |b| {
+        b.iter(|| black_box(sequential_pll(&ds.graph, &ds.ranking)))
+    });
     group.bench_function("SparaPLL", |b| {
         b.iter(|| black_box(spara_pll(&ds.graph, &ds.ranking, &config)))
     });
-    group.bench_function("LCC", |b| b.iter(|| black_box(lcc(&ds.graph, &ds.ranking, &config))));
-    group.bench_function("GLL", |b| b.iter(|| black_box(gll(&ds.graph, &ds.ranking, &config))));
+    group.bench_function("LCC", |b| {
+        b.iter(|| black_box(lcc(&ds.graph, &ds.ranking, &config)))
+    });
+    group.bench_function("GLL", |b| {
+        b.iter(|| black_box(gll(&ds.graph, &ds.ranking, &config)))
+    });
     group.bench_function("PLaNT", |b| {
         b.iter(|| black_box(plant_labeling(&ds.graph, &ds.ranking, &config)))
     });
@@ -70,12 +76,21 @@ fn ablation_benchmarks(c: &mut Criterion) {
     // Common Label Table in the distributed hybrid.
     for eta in [0u32, 16] {
         let dconfig = DistributedConfig::default().with_common_hubs(eta);
-        group.bench_with_input(BenchmarkId::new("hybrid_common_hubs", eta), &dconfig, |b, cfg| {
-            b.iter(|| {
-                let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(4));
-                black_box(distributed_hybrid(&social.graph, &social.ranking, &cluster, cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_common_hubs", eta),
+            &dconfig,
+            |b, cfg| {
+                b.iter(|| {
+                    let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(4));
+                    black_box(distributed_hybrid(
+                        &social.graph,
+                        &social.ranking,
+                        &cluster,
+                        cfg,
+                    ))
+                })
+            },
+        );
     }
 
     // Distributed PLaNT as the communication-free reference point.

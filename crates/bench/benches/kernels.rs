@@ -81,7 +81,14 @@ fn spt_kernels(c: &mut Criterion) {
         b.iter_batched(
             || PlantScratch::new(n),
             |mut fresh| {
-                black_box(plant_dijkstra(&road.graph, &road.ranking, mid_root, true, &common, &mut fresh))
+                black_box(plant_dijkstra(
+                    &road.graph,
+                    &road.ranking,
+                    mid_root,
+                    true,
+                    &common,
+                    &mut fresh,
+                ))
             },
             BatchSize::SmallInput,
         )

@@ -4,27 +4,41 @@
 //! important roots and grows by orders of magnitude for the tail, with a far
 //! larger maximum on scale-free graphs than on road networks.
 
-use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
-use chl_core::{plant::plant_labeling, LabelingConfig};
+use chl_bench::{
+    banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
+use chl_core::api::Algorithm;
+use chl_core::LabelingConfig;
 use chl_datasets::{load, DatasetId};
 
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
     let datasets = datasets_from_env(&[DatasetId::CAL, DatasetId::SKIT]);
-    banner("Figure 3: Ψ per PLaNTed SPT", &format!("scale {scale:?}, seed {seed}"));
+    banner(
+        "Figure 3: Ψ per PLaNTed SPT",
+        &format!("scale {scale:?}, seed {seed}"),
+    );
 
     // PLaNT exactly as deployed (early termination on); a second series with
     // early termination disabled shows the raw tree sizes for comparison.
     let config = LabelingConfig::default();
-    let config_no_et = LabelingConfig { early_termination: false, ..LabelingConfig::default() };
+    let config_no_et = LabelingConfig {
+        early_termination: false,
+        ..LabelingConfig::default()
+    };
     let mut csv = Vec::new();
     let mut maxima = Vec::new();
 
     for id in datasets {
         let ds = load(id, scale, seed);
-        let result = plant_labeling(&ds.graph, &ds.ranking, &config);
-        let raw = plant_labeling(&ds.graph, &ds.ranking, &config_no_et);
+        let plant = Algorithm::Plant.labeler();
+        let result = plant
+            .build(&ds.graph, &ds.ranking, &config)
+            .expect("valid inputs");
+        let raw = plant
+            .build(&ds.graph, &ds.ranking, &config_no_et)
+            .expect("valid inputs");
         let raw_max = raw
             .stats
             .psi_per_spt()
@@ -32,24 +46,38 @@ fn main() {
             .map(|&(_, p)| p)
             .filter(|p| p.is_finite())
             .fold(0.0f64, f64::max);
-        println!("{}: max Ψ without early termination = {raw_max:.0}", ds.name());
+        println!(
+            "{}: max Ψ without early termination = {raw_max:.0}",
+            ds.name()
+        );
         let series = result.stats.psi_per_spt();
 
         println!("\n{} — {} SPTs", ds.name(), series.len());
         let printer = TablePrinter::new(&["SPT id (bucket start)", "Psi (bucket avg)"]);
         let bucket_size = series.len().div_ceil(20).max(1);
         for chunk in series.chunks(bucket_size) {
-            let finite: Vec<f64> = chunk.iter().map(|&(_, p)| p).filter(|p| p.is_finite()).collect();
+            let finite: Vec<f64> = chunk
+                .iter()
+                .map(|&(_, p)| p)
+                .filter(|p| p.is_finite())
+                .collect();
             let avg = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
             printer.print_row(&[chunk[0].0.to_string(), format!("{avg:.1}")]);
         }
-        let max_psi =
-            series.iter().map(|&(_, p)| p).filter(|p| p.is_finite()).fold(0.0f64, f64::max);
+        let max_psi = series
+            .iter()
+            .map(|&(_, p)| p)
+            .filter(|p| p.is_finite())
+            .fold(0.0f64, f64::max);
         println!("max Ψ = {max_psi:.0}");
         maxima.push((ds.name().to_string(), max_psi));
         for &(pos, psi) in &series {
             if psi.is_finite() {
-                csv.push(vec![ds.name().to_string(), pos.to_string(), format!("{psi:.3}")]);
+                csv.push(vec![
+                    ds.name().to_string(),
+                    pos.to_string(),
+                    format!("{psi:.3}"),
+                ]);
             }
         }
     }

@@ -4,8 +4,12 @@
 //! first few pruning hubs and approaches the canonical size quickly — the
 //! observation motivating the Common Label Table (§5.3).
 
-use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
-use chl_core::pll::{pll_with_restricted_pruning, sequential_pll};
+use chl_bench::{
+    banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
+use chl_core::api::Algorithm;
+use chl_core::pll::pll_with_restricted_pruning;
+use chl_core::LabelingConfig;
 use chl_datasets::{load, DatasetId};
 
 fn main() {
@@ -22,20 +26,36 @@ fn main() {
 
     for id in datasets {
         let ds = load(id, scale, seed);
-        let canonical = sequential_pll(&ds.graph, &ds.ranking).index.total_labels();
+        let canonical = Algorithm::Pll
+            .labeler()
+            .build(&ds.graph, &ds.ranking, &LabelingConfig::default())
+            .expect("valid inputs")
+            .index
+            .total_labels();
 
         println!("\n{} — canonical label count = {}", ds.name(), canonical);
         let printer = TablePrinter::new(&["# pruning hubs", "# labels", "vs canonical"]);
         for &x in &sweep {
-            let labels = pll_with_restricted_pruning(&ds.graph, &ds.ranking, x).index.total_labels();
+            let labels = pll_with_restricted_pruning(&ds.graph, &ds.ranking, x)
+                .index
+                .total_labels();
             printer.print_row(&[
                 x.to_string(),
                 labels.to_string(),
                 format!("{:.2}x", labels as f64 / canonical.max(1) as f64),
             ]);
-            csv.push(vec![ds.name().to_string(), x.to_string(), labels.to_string(), canonical.to_string()]);
+            csv.push(vec![
+                ds.name().to_string(),
+                x.to_string(),
+                labels.to_string(),
+                canonical.to_string(),
+            ]);
         }
     }
 
-    write_csv("fig4_pruning_hubs", &["dataset", "pruning_hubs", "labels", "canonical_labels"], &csv);
+    write_csv(
+        "fig4_pruning_hubs",
+        &["dataset", "pruning_hubs", "labels", "canonical_labels"],
+        &csv,
+    );
 }

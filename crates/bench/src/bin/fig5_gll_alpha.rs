@@ -3,8 +3,11 @@
 //! α between roughly 2 and 32, with degradation at α = 1 (too many
 //! synchronizations) and at very large α (cleaning degenerates to LCC).
 
-use chl_bench::{banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter};
-use chl_core::{gll::gll, LabelingConfig};
+use chl_bench::{
+    banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
+use chl_core::api::Algorithm;
+use chl_core::LabelingConfig;
 use chl_datasets::{load, DatasetId};
 
 fn main() {
@@ -21,7 +24,10 @@ fn main() {
         DatasetId::AUT,
     ]);
     let alphas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
-    banner("Figure 5: GLL execution time vs α", &format!("scale {scale:?}, seed {seed}"));
+    banner(
+        "Figure 5: GLL execution time vs α",
+        &format!("scale {scale:?}, seed {seed}"),
+    );
 
     let printer = TablePrinter::new(&["Dataset", "alpha", "time (s)", "supersteps"]);
     let mut csv = Vec::new();
@@ -30,7 +36,10 @@ fn main() {
         let ds = load(id, scale, seed);
         for &alpha in &alphas {
             let config = LabelingConfig::default().with_alpha(alpha);
-            let result = gll(&ds.graph, &ds.ranking, &config);
+            let result = Algorithm::Gll
+                .labeler()
+                .build(&ds.graph, &ds.ranking, &config)
+                .expect("valid inputs");
             printer.print_row(&[
                 ds.name().to_string(),
                 format!("{alpha}"),
@@ -46,5 +55,9 @@ fn main() {
         }
     }
 
-    write_csv("fig5_gll_alpha", &["dataset", "alpha", "time_s", "supersteps"], &csv);
+    write_csv(
+        "fig5_gll_alpha",
+        &["dataset", "alpha", "time_s", "supersteps"],
+        &csv,
+    );
 }

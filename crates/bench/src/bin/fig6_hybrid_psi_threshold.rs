@@ -5,7 +5,9 @@
 //! — while scale-free networks degrade when Ψ_th is too large because
 //! low-yield trees keep being PLaNTed.
 
-use chl_bench::{banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_bench::{
+    banner, datasets_from_env, fmt_secs, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
 use chl_cluster::{ClusterSpec, SimulatedCluster};
 use chl_datasets::{load, DatasetId, Topology};
 use chl_distributed::{distributed_hybrid, DistributedConfig};
@@ -13,7 +15,10 @@ use chl_distributed::{distributed_hybrid, DistributedConfig};
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    let nodes: usize = std::env::var("CHL_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let nodes: usize = std::env::var("CHL_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let datasets = datasets_from_env(&[
         DatasetId::CTR,
         DatasetId::CAL,
@@ -30,8 +35,13 @@ fn main() {
         &format!("scale {scale:?}, q = {nodes} simulated nodes (modeled time)"),
     );
 
-    let printer =
-        TablePrinter::new(&["Dataset", "type", "psi_th", "modeled time (s)", "wall time (s)"]);
+    let printer = TablePrinter::new(&[
+        "Dataset",
+        "type",
+        "psi_th",
+        "modeled time (s)",
+        "wall time (s)",
+    ]);
     let mut csv = Vec::new();
 
     for id in datasets {
@@ -65,7 +75,13 @@ fn main() {
 
     write_csv(
         "fig6_hybrid_psi_threshold",
-        &["dataset", "type", "psi_threshold", "modeled_time_s", "wall_time_s"],
+        &[
+            "dataset",
+            "type",
+            "psi_threshold",
+            "modeled_time_s",
+            "wall_time_s",
+        ],
         &csv,
     );
 }

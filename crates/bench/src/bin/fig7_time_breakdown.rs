@@ -3,8 +3,11 @@
 //! GLL's cleaning is a small fraction of its runtime, while LCC's cleaning is
 //! the dominant overhead, making GLL ~1.25× faster overall.
 
-use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
-use chl_core::{gll::gll, lcc::lcc, LabelingConfig};
+use chl_bench::{
+    banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
+use chl_core::api::Algorithm;
+use chl_core::LabelingConfig;
 use chl_datasets::{load, DatasetId};
 
 fn main() {
@@ -14,7 +17,10 @@ fn main() {
     let config = LabelingConfig::default();
     banner(
         "Figure 7: LCC vs GLL construction/cleaning breakdown (normalized by GLL total)",
-        &format!("scale {scale:?}, seed {seed}, {} threads", config.effective_threads()),
+        &format!(
+            "scale {scale:?}, seed {seed}, {} threads",
+            config.effective_threads()
+        ),
     );
 
     let printer = TablePrinter::new(&[
@@ -29,14 +35,26 @@ fn main() {
 
     for id in datasets {
         let ds = load(id, scale, seed);
-        let gll_run = gll(&ds.graph, &ds.ranking, &config);
-        let lcc_run = lcc(&ds.graph, &ds.ranking, &config);
+        let gll_run = Algorithm::Gll
+            .labeler()
+            .build(&ds.graph, &ds.ranking, &config)
+            .expect("valid inputs");
+        let lcc_run = Algorithm::Lcc
+            .labeler()
+            .build(&ds.graph, &ds.ranking, &config)
+            .expect("valid inputs");
         let norm = gll_run.stats.total_time.as_secs_f64().max(1e-9);
 
         let cells = vec![
             ds.name().to_string(),
-            format!("{:.2}", gll_run.stats.construction_time.as_secs_f64() / norm),
-            format!("{:.2}", lcc_run.stats.construction_time.as_secs_f64() / norm),
+            format!(
+                "{:.2}",
+                gll_run.stats.construction_time.as_secs_f64() / norm
+            ),
+            format!(
+                "{:.2}",
+                lcc_run.stats.construction_time.as_secs_f64() / norm
+            ),
             format!("{:.2}", gll_run.stats.cleaning_time.as_secs_f64() / norm),
             format!("{:.2}", lcc_run.stats.cleaning_time.as_secs_f64() / norm),
             format!("{:.2}", lcc_run.stats.total_time.as_secs_f64() / norm),
@@ -47,7 +65,14 @@ fn main() {
 
     write_csv(
         "fig7_time_breakdown",
-        &["dataset", "gll_construct", "lcc_construct", "gll_clean", "lcc_clean", "lcc_over_gll_total"],
+        &[
+            "dataset",
+            "gll_construct",
+            "lcc_construct",
+            "gll_clean",
+            "lcc_clean",
+            "lcc_over_gll_total",
+        ],
         &csv,
     );
 }

@@ -9,7 +9,9 @@
 //! DparaPLL flatten out or degrade as communication dominates, with DparaPLL
 //! additionally blowing up its per-node memory (it replicates all labels).
 
-use chl_bench::{banner, datasets_from_env, fmt_mib, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_bench::{
+    banner, datasets_from_env, fmt_mib, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
 use chl_cluster::{ClusterSpec, SimulatedCluster};
 use chl_datasets::{load, DatasetId};
 use chl_distributed::{
@@ -20,7 +22,12 @@ use chl_distributed::{
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    let datasets = datasets_from_env(&[DatasetId::CAL, DatasetId::SKIT, DatasetId::YTB, DatasetId::EAS]);
+    let datasets = datasets_from_env(&[
+        DatasetId::CAL,
+        DatasetId::SKIT,
+        DatasetId::YTB,
+        DatasetId::EAS,
+    ]);
     let node_counts: Vec<usize> = std::env::var("CHL_NODE_SWEEP")
         .ok()
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
@@ -91,7 +98,15 @@ fn main() {
 
     write_csv(
         "fig8_strong_scaling",
-        &["dataset", "algorithm", "nodes", "modeled_time_s", "speedup", "broadcast_bytes", "peak_node_label_bytes"],
+        &[
+            "dataset",
+            "algorithm",
+            "nodes",
+            "modeled_time_s",
+            "speedup",
+            "broadcast_bytes",
+            "peak_node_label_bytes",
+        ],
         &csv,
     );
 }

@@ -4,9 +4,12 @@
 //! the node count, while DparaPLL's ALS explodes with more nodes because
 //! labels from high-ranked hubs are missing during pruning.
 
-use chl_bench::{banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_bench::{
+    banner, datasets_from_env, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
 use chl_cluster::{ClusterSpec, SimulatedCluster};
-use chl_core::pll::sequential_pll;
+use chl_core::api::Algorithm;
+use chl_core::LabelingConfig;
 use chl_datasets::{load, DatasetId};
 use chl_distributed::{distributed_hybrid, distributed_parapll, DistributedConfig};
 
@@ -32,20 +35,32 @@ fn main() {
         &format!("scale {scale:?}, node sweep {node_counts:?}"),
     );
 
-    let printer =
-        TablePrinter::new(&["Dataset", "nodes", "DparaPLL ALS", "Hybrid ALS", "CHL ALS"]);
+    let printer = TablePrinter::new(&["Dataset", "nodes", "DparaPLL ALS", "Hybrid ALS", "CHL ALS"]);
     let mut csv = Vec::new();
 
     for id in datasets {
         let ds = load(id, scale, seed);
-        let chl_als = sequential_pll(&ds.graph, &ds.ranking).index.average_label_size();
+        let chl_als = Algorithm::Pll
+            .labeler()
+            .build(&ds.graph, &ds.ranking, &LabelingConfig::default())
+            .expect("valid inputs")
+            .index
+            .average_label_size();
         for &q in &node_counts {
             let spec = ClusterSpec::with_nodes(q);
             let config = DistributedConfig::default();
-            let dparapll =
-                distributed_parapll(&ds.graph, &ds.ranking, &SimulatedCluster::new(spec), &config);
-            let hybrid =
-                distributed_hybrid(&ds.graph, &ds.ranking, &SimulatedCluster::new(spec), &config);
+            let dparapll = distributed_parapll(
+                &ds.graph,
+                &ds.ranking,
+                &SimulatedCluster::new(spec),
+                &config,
+            );
+            let hybrid = distributed_hybrid(
+                &ds.graph,
+                &ds.ranking,
+                &SimulatedCluster::new(spec),
+                &config,
+            );
             let cells = vec![
                 ds.name().to_string(),
                 q.to_string(),

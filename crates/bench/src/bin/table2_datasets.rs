@@ -15,7 +15,13 @@ fn main() {
 
     let rows = table2(scale, seed);
     let printer = TablePrinter::new(&[
-        "Dataset", "n (synthetic)", "m (synthetic)", "n (paper)", "m (paper)", "Type", "~diameter",
+        "Dataset",
+        "n (synthetic)",
+        "m (synthetic)",
+        "n (paper)",
+        "m (paper)",
+        "Type",
+        "~diameter",
     ]);
     let mut csv = Vec::new();
     for row in &rows {
@@ -37,7 +43,15 @@ fn main() {
     }
     write_csv(
         "table2_datasets",
-        &["dataset", "n_synth", "m_synth", "n_paper", "m_paper", "type", "approx_diameter"],
+        &[
+            "dataset",
+            "n_synth",
+            "m_synth",
+            "n_paper",
+            "m_paper",
+            "type",
+            "approx_diameter",
+        ],
         &csv,
     );
 }

@@ -1,7 +1,9 @@
 //! Table 4 — query processing throughput, latency and memory for the three
 //! query modes (QLSN, QFDL, QDOL) on a 16-node cluster.
 
-use chl_bench::{banner, datasets_from_env, fmt_mib, scale_from_env, seed_from_env, write_csv, TablePrinter};
+use chl_bench::{
+    banner, datasets_from_env, fmt_mib, scale_from_env, seed_from_env, write_csv, TablePrinter,
+};
 use chl_cluster::{ClusterSpec, SimulatedCluster};
 use chl_datasets::{load, DatasetId};
 use chl_distributed::{distributed_hybrid, DistributedConfig};
@@ -10,8 +12,14 @@ use chl_query::{random_pairs, QdolEngine, QfdlEngine, QlsnEngine, QueryEngine};
 fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
-    let nodes: usize = std::env::var("CHL_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
-    let batch: usize = std::env::var("CHL_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let nodes: usize = std::env::var("CHL_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let batch: usize = std::env::var("CHL_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
     let datasets = datasets_from_env(&DatasetId::all());
     banner(
         "Table 4: query modes on a simulated cluster",
@@ -32,8 +40,12 @@ fn main() {
         let ds = load(id, scale, seed);
         let spec = ClusterSpec::with_nodes(nodes);
         let cluster = SimulatedCluster::new(spec);
-        let labeling =
-            distributed_hybrid(&ds.graph, &ds.ranking, &cluster, &DistributedConfig::default());
+        let labeling = distributed_hybrid(
+            &ds.graph,
+            &ds.ranking,
+            &cluster,
+            &DistributedConfig::default(),
+        );
         let workload = random_pairs(ds.graph.num_vertices(), batch, seed);
 
         let engines: Vec<Box<dyn QueryEngine>> = vec![
@@ -58,7 +70,14 @@ fn main() {
 
     write_csv(
         "table4_query_modes",
-        &["dataset", "mode", "throughput_mqps", "latency_us", "total_memory_mib", "max_node_memory_mib"],
+        &[
+            "dataset",
+            "mode",
+            "throughput_mqps",
+            "latency_us",
+            "total_memory_mib",
+            "max_node_memory_mib",
+        ],
         &csv,
     );
 }

@@ -37,7 +37,11 @@ use chl_datasets::{DatasetId, Scale};
 
 /// Reads the dataset scale from `CHL_SCALE` (default: small).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("CHL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("CHL_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "medium" => Scale::Medium,
         _ => Scale::Small,
@@ -46,7 +50,10 @@ pub fn scale_from_env() -> Scale {
 
 /// Reads the RNG seed from `CHL_SEED` (default: 42).
 pub fn seed_from_env() -> u64 {
-    std::env::var("CHL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("CHL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// Reads the dataset selection from `CHL_DATASETS`, falling back to
@@ -54,8 +61,11 @@ pub fn seed_from_env() -> u64 {
 pub fn datasets_from_env(default: &[DatasetId]) -> Vec<DatasetId> {
     match std::env::var("CHL_DATASETS") {
         Ok(list) if !list.trim().is_empty() => {
-            let wanted: Vec<String> =
-                list.split(',').map(|s| s.trim().to_uppercase()).filter(|s| !s.is_empty()).collect();
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_uppercase())
+                .filter(|s| !s.is_empty())
+                .collect();
             let selected: Vec<DatasetId> = DatasetId::all()
                 .into_iter()
                 .filter(|d| wanted.iter().any(|w| w == d.name()))
@@ -116,7 +126,10 @@ impl TablePrinter {
         let widths: Vec<usize> = columns.iter().map(|c| c.len().max(10)).collect();
         let printer = TablePrinter { widths };
         printer.print_row(&columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-        println!("{}", "-".repeat(printer.widths.iter().sum::<usize>() + 3 * printer.widths.len()));
+        println!(
+            "{}",
+            "-".repeat(printer.widths.iter().sum::<usize>() + 3 * printer.widths.len())
+        );
         printer
     }
 
@@ -125,7 +138,13 @@ impl TablePrinter {
         let line: Vec<String> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = self.widths.get(i).copied().unwrap_or(10)))
+            .map(|(i, c)| {
+                format!(
+                    "{:>width$}",
+                    c,
+                    width = self.widths.get(i).copied().unwrap_or(10)
+                )
+            })
             .collect();
         println!("{}", line.join(" | "));
     }
@@ -167,7 +186,11 @@ mod tests {
 
     #[test]
     fn csv_writer_creates_files() {
-        write_csv("unit_test_output", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        write_csv(
+            "unit_test_output",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
         let path = experiments_dir().join("unit_test_output.csv");
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.contains("a,b"));

@@ -33,7 +33,10 @@ pub struct SimulatedCluster {
 impl SimulatedCluster {
     /// Creates a cluster with the given spec.
     pub fn new(spec: ClusterSpec) -> Self {
-        SimulatedCluster { spec, comm: CommTracker::new() }
+        SimulatedCluster {
+            spec,
+            comm: CommTracker::new(),
+        }
     }
 
     /// The cluster's static description.
@@ -69,7 +72,11 @@ impl SimulatedCluster {
             let work = &work;
             for (node_id, slot) in results.iter_mut().enumerate() {
                 scope.spawn(move || {
-                    let handle = NodeHandle { node_id, nodes: q, threads };
+                    let handle = NodeHandle {
+                        node_id,
+                        nodes: q,
+                        threads,
+                    };
                     let start = Instant::now();
                     let out = work(handle);
                     *slot = Some((out, start.elapsed()));
@@ -96,7 +103,11 @@ impl SimulatedCluster {
         let threads = self.spec.threads_per_node;
         (0..q)
             .map(|node_id| {
-                let handle = NodeHandle { node_id, nodes: q, threads };
+                let handle = NodeHandle {
+                    node_id,
+                    nodes: q,
+                    threads,
+                };
                 let start = Instant::now();
                 let out = work(handle);
                 (out, start.elapsed())
@@ -147,17 +158,23 @@ mod tests {
             cluster.comm().record_p2p(1);
         });
         let v = cluster.comm().snapshot();
-        assert_eq!(v.broadcast_bytes, 0 + 10 + 20 + 30);
+        assert_eq!(v.broadcast_bytes, 10 + 20 + 30);
         assert_eq!(v.p2p_messages, 4);
     }
 
     #[test]
     fn sequential_round_matches_concurrent_round() {
         let cluster = SimulatedCluster::new(ClusterSpec::with_nodes(5));
-        let concurrent: Vec<usize> =
-            cluster.run_round(|node| node.node_id + 1).into_iter().map(|(v, _)| v).collect();
-        let sequential: Vec<usize> =
-            cluster.run_round_sequential(|node| node.node_id + 1).into_iter().map(|(v, _)| v).collect();
+        let concurrent: Vec<usize> = cluster
+            .run_round(|node| node.node_id + 1)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        let sequential: Vec<usize> = cluster
+            .run_round_sequential(|node| node.node_id + 1)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
         assert_eq!(concurrent, sequential);
         assert_eq!(sequential, vec![1, 2, 3, 4, 5]);
     }

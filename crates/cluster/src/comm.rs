@@ -72,7 +72,8 @@ impl CommTracker {
 
     /// Records a broadcast of `bytes` of payload.
     pub fn record_broadcast(&self, bytes: usize) {
-        self.broadcast_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.broadcast_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -84,7 +85,8 @@ impl CommTracker {
 
     /// Records an all-reduce of `bytes` of payload.
     pub fn record_allreduce(&self, bytes: usize) {
-        self.allreduce_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.allreduce_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.allreduces.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -151,8 +153,16 @@ mod tests {
 
     #[test]
     fn combined_adds_component_wise() {
-        let a = CommVolume { broadcast_bytes: 5, p2p_messages: 2, ..Default::default() };
-        let b = CommVolume { broadcast_bytes: 7, allreduces: 1, ..Default::default() };
+        let a = CommVolume {
+            broadcast_bytes: 5,
+            p2p_messages: 2,
+            ..Default::default()
+        };
+        let b = CommVolume {
+            broadcast_bytes: 7,
+            allreduces: 1,
+            ..Default::default()
+        };
         let c = a.combined(&b);
         assert_eq!(c.broadcast_bytes, 12);
         assert_eq!(c.p2p_messages, 2);

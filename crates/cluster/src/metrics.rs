@@ -24,7 +24,11 @@ pub struct SuperstepMetrics {
 impl SuperstepMetrics {
     /// The superstep's critical-path compute time: the slowest node.
     pub fn max_compute(&self) -> Duration {
-        self.per_node_compute.iter().copied().max().unwrap_or(Duration::ZERO)
+        self.per_node_compute
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Modeled wall time of the superstep on the given cluster: slowest node
@@ -68,12 +72,18 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Creates an empty record for `algorithm` on `nodes` nodes.
     pub fn new(algorithm: impl Into<String>, nodes: usize) -> Self {
-        RunMetrics { algorithm: algorithm.into(), nodes, ..Default::default() }
+        RunMetrics {
+            algorithm: algorithm.into(),
+            nodes,
+            ..Default::default()
+        }
     }
 
     /// Total communication volume over all supersteps.
     pub fn total_comm(&self) -> CommVolume {
-        self.supersteps.iter().fold(CommVolume::default(), |acc, s| acc.combined(&s.comm))
+        self.supersteps
+            .iter()
+            .fold(CommVolume::default(), |acc, s| acc.combined(&s.comm))
     }
 
     /// Modeled cluster execution time: the sum of modeled superstep times.
@@ -105,8 +115,15 @@ mod tests {
 
     fn superstep(compute_ms: &[u64], broadcast: u64) -> SuperstepMetrics {
         SuperstepMetrics {
-            per_node_compute: compute_ms.iter().map(|&m| Duration::from_millis(m)).collect(),
-            comm: CommVolume { broadcast_bytes: broadcast, broadcasts: 1, ..Default::default() },
+            per_node_compute: compute_ms
+                .iter()
+                .map(|&m| Duration::from_millis(m))
+                .collect(),
+            comm: CommVolume {
+                broadcast_bytes: broadcast,
+                broadcasts: 1,
+                ..Default::default()
+            },
             labels_generated: 10,
             labels_deleted: 2,
         }
@@ -121,7 +138,11 @@ mod tests {
 
     #[test]
     fn modeled_time_adds_communication() {
-        let spec = ClusterSpec { nodes: 8, network: NetworkModel::default(), ..Default::default() };
+        let spec = ClusterSpec {
+            nodes: 8,
+            network: NetworkModel::default(),
+            ..Default::default()
+        };
         let without_comm = superstep(&[10, 10], 0).modeled_time(&spec);
         let with_comm = superstep(&[10, 10], 100 << 20).modeled_time(&spec);
         assert!(with_comm > without_comm);

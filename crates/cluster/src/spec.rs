@@ -20,7 +20,10 @@ impl Default for NetworkModel {
         // Values typical of the HPC-class interconnects the paper's cluster
         // uses: ~5 µs end-to-end message latency, ~3 GB/s effective
         // point-to-point bandwidth.
-        NetworkModel { latency: Duration::from_micros(5), bandwidth_bytes_per_sec: 3.0e9 }
+        NetworkModel {
+            latency: Duration::from_micros(5),
+            bandwidth_bytes_per_sec: 3.0e9,
+        }
     }
 }
 
@@ -91,7 +94,10 @@ impl Default for ClusterSpec {
 impl ClusterSpec {
     /// Creates a spec with `nodes` nodes and defaults for everything else.
     pub fn with_nodes(nodes: usize) -> Self {
-        ClusterSpec { nodes: nodes.max(1), ..Default::default() }
+        ClusterSpec {
+            nodes: nodes.max(1),
+            ..Default::default()
+        }
     }
 
     /// Total hardware threads across the cluster ("# compute cores" on the

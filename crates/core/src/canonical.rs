@@ -70,9 +70,7 @@ pub fn shortest_path_maxima(g: &CsrGraph, ranking: &Ranking, source: VertexId) -
         }
         let mut best = v;
         for (p, w) in g.in_neighbors(v) {
-            if dist[p as usize] != INFINITY
-                && dist_add(dist[p as usize], w) == dist[v as usize]
-            {
+            if dist[p as usize] != INFINITY && dist_add(dist[p as usize], w) == dist[v as usize] {
                 best = ranking.more_important_of(best, max_on_path[p as usize]);
             }
         }
@@ -110,11 +108,14 @@ pub fn brute_force_chl(g: &CsrGraph, ranking: &Ranking) -> HubLabelIndex {
         .into_iter()
         .map(|m| {
             LabelSet::from_entries(
-                m.into_iter().map(|(hub, dist)| crate::labels::LabelEntry::new(hub, dist)).collect(),
+                m.into_iter()
+                    .map(|(hub, dist)| crate::labels::LabelEntry::new(hub, dist))
+                    .collect(),
             )
         })
         .collect();
     HubLabelIndex::new(labels, ranking.clone())
+        .expect("brute force produces one label set per vertex")
 }
 
 /// Violations found by [`check_labeling`].
@@ -164,7 +165,11 @@ pub enum LabelingViolation {
 /// Checks the three labeling properties of §4.1 against ground truth computed
 /// with plain Dijkstra. Returns every violation found (empty = the labeling
 /// is the CHL for `ranking`).
-pub fn check_labeling(g: &CsrGraph, ranking: &Ranking, index: &HubLabelIndex) -> Vec<LabelingViolation> {
+pub fn check_labeling(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    index: &HubLabelIndex,
+) -> Vec<LabelingViolation> {
     let n = g.num_vertices();
     let mut violations = Vec::new();
     let canonical = brute_force_chl(g, ranking);
@@ -191,7 +196,12 @@ pub fn check_labeling(g: &CsrGraph, ranking: &Ranking, index: &HubLabelIndex) ->
             let reported = index.query(u, v);
             // Cover property ⇔ exact distances for every pair.
             if reported != expected {
-                violations.push(LabelingViolation::WrongDistance { u, v, reported, expected });
+                violations.push(LabelingViolation::WrongDistance {
+                    u,
+                    v,
+                    reported,
+                    expected,
+                });
             }
             // Respecting the hierarchy: the canonical hub must label both.
             if u != v && expected != INFINITY {
@@ -299,7 +309,10 @@ mod tests {
         let ranking = degree_ranking(&g);
         let reference = brute_force_chl(&g, &ranking);
         assert_eq!(sequential_pll(&g, &ranking).index, reference);
-        assert_eq!(lcc(&g, &ranking, &LabelingConfig::default().with_threads(4)).index, reference);
+        assert_eq!(
+            lcc(&g, &ranking, &LabelingConfig::default().with_threads(4)).index,
+            reference
+        );
         assert!(check_labeling(&g, &ranking, &reference).is_empty());
     }
 
@@ -322,7 +335,14 @@ mod tests {
 
         // An extra (redundant) label at vertex 2 with hub 0 violates minimality.
         let redundant = HubLabelIndex::from_triples(
-            vec![(0, 0, 0), (0, 1, 1), (1, 1, 0), (2, 1, 1), (2, 2, 0), (2, 0, 2)],
+            vec![
+                (0, 0, 0),
+                (0, 1, 1),
+                (1, 1, 0),
+                (2, 1, 1),
+                (2, 2, 0),
+                (2, 0, 2),
+            ],
             ranking.clone(),
         );
         let violations = check_labeling(&g, &ranking, &redundant);
@@ -338,14 +358,18 @@ mod tests {
     fn checker_detects_wrong_label_distance() {
         let g = path_graph(2);
         let ranking = Ranking::identity(2);
-        let wrong = HubLabelIndex::from_triples(
-            vec![(0, 0, 0), (1, 0, 5), (1, 1, 0)],
-            ranking.clone(),
-        );
+        let wrong =
+            HubLabelIndex::from_triples(vec![(0, 0, 0), (1, 0, 5), (1, 1, 0)], ranking.clone());
         let violations = check_labeling(&g, &ranking, &wrong);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, LabelingViolation::WrongLabelDistance { vertex: 1, hub: 0, stored: 5, expected: 1 })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            LabelingViolation::WrongLabelDistance {
+                vertex: 1,
+                hub: 0,
+                stored: 5,
+                expected: 1
+            }
+        )));
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub fn clean_labels(labels: &[LabelSet], ranking: &Ranking) -> (Vec<LabelSet>, u
 
 /// The paper's `DQ_Clean`: is the label `entry` of vertex `v` redundant with
 /// respect to the labeling `labels`?
-pub fn is_redundant(v: VertexId, entry: LabelEntry, labels: &[LabelSet], ranking: &Ranking) -> bool {
+pub fn is_redundant(
+    v: VertexId,
+    entry: LabelEntry,
+    labels: &[LabelSet],
+    ranking: &Ranking,
+) -> bool {
     let hub_vertex = ranking.vertex_at(entry.hub);
     if hub_vertex == v {
         // A vertex's self label is never redundant.
@@ -136,7 +141,7 @@ mod tests {
         assert_eq!(removed, 1);
         assert!(!cleaned[2].contains_hub(ranking.position(0)));
         // Queries remain exact after cleaning.
-        let cleaned_idx = HubLabelIndex::new(cleaned, ranking);
+        let cleaned_idx = HubLabelIndex::new(cleaned, ranking).unwrap();
         assert_eq!(cleaned_idx.query(0, 2), 2);
     }
 
@@ -148,7 +153,7 @@ mod tests {
         let inflated = crate::pll::pll_with_restricted_pruning(&g, &ranking, 0).index;
         let sets = inflated.into_label_sets();
         let (cleaned, _) = clean_labels(&sets, &ranking);
-        let idx = HubLabelIndex::new(cleaned, ranking);
+        let idx = HubLabelIndex::new(cleaned, ranking).unwrap();
         for src in [0u32, 33, 69] {
             let d = dijkstra(&g, src);
             for v in 0..70u32 {
@@ -160,7 +165,8 @@ mod tests {
     #[test]
     fn self_labels_are_never_removed() {
         let ranking = chl_ranking::Ranking::identity(2);
-        let idx = HubLabelIndex::from_triples(vec![(0, 0, 0), (1, 1, 0), (1, 0, 5)], ranking.clone());
+        let idx =
+            HubLabelIndex::from_triples(vec![(0, 0, 0), (1, 1, 0), (1, 0, 5)], ranking.clone());
         let sets = idx.into_label_sets();
         let (cleaned, removed) = clean_labels(&sets, &ranking);
         assert_eq!(removed, 0);

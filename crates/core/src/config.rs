@@ -47,7 +47,9 @@ impl LabelingConfig {
         if self.num_threads > 0 {
             self.num_threads
         } else {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         }
     }
 
@@ -134,10 +136,18 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(LabelingConfig::default().with_alpha(0.5).validate().is_err());
-        assert!(LabelingConfig::default().with_psi_threshold(0.0).validate().is_err());
-        let mut c = LabelingConfig::default();
-        c.psi_window = 0;
+        assert!(LabelingConfig::default()
+            .with_alpha(0.5)
+            .validate()
+            .is_err());
+        assert!(LabelingConfig::default()
+            .with_psi_threshold(0.0)
+            .validate()
+            .is_err());
+        let c = LabelingConfig {
+            psi_window: 0,
+            ..LabelingConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

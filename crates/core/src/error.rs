@@ -14,6 +14,23 @@ pub enum LabelingError {
     },
     /// A configuration value is out of its valid range.
     InvalidConfig(String),
+    /// An index was assembled from label sets whose count differs from the
+    /// ranking's vertex count.
+    LabelShapeMismatch {
+        /// Number of per-vertex label sets supplied.
+        label_sets: usize,
+        /// Vertices covered by the ranking.
+        ranking_vertices: usize,
+    },
+    /// Two indexes built over different rankings were merged; their labels
+    /// refer to different hub positions, so a union would silently corrupt
+    /// query answers.
+    MergeRankingMismatch {
+        /// Vertices covered by the left (destination) index.
+        left_vertices: usize,
+        /// Vertices covered by the right (source) index.
+        right_vertices: usize,
+    },
 }
 
 impl fmt::Display for LabelingError {
@@ -24,6 +41,15 @@ impl fmt::Display for LabelingError {
                 "ranking covers {ranking_vertices} vertices but the graph has {graph_vertices}"
             ),
             LabelingError::InvalidConfig(msg) => write!(f, "invalid labeling configuration: {msg}"),
+            LabelingError::LabelShapeMismatch { label_sets, ranking_vertices } => write!(
+                f,
+                "index assembled from {label_sets} label sets but the ranking covers {ranking_vertices} vertices"
+            ),
+            LabelingError::MergeRankingMismatch { left_vertices, right_vertices } => write!(
+                f,
+                "cannot merge hub-label indexes built over different rankings \
+                 ({left_vertices} vs {right_vertices} vertices, or same size with different order)"
+            ),
         }
     }
 }
@@ -36,10 +62,23 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LabelingError::RankingMismatch { graph_vertices: 10, ranking_vertices: 9 };
+        let e = LabelingError::RankingMismatch {
+            graph_vertices: 10,
+            ranking_vertices: 9,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("9"));
         let e = LabelingError::InvalidConfig("alpha must be >= 1".into());
         assert!(e.to_string().contains("alpha"));
+        let e = LabelingError::LabelShapeMismatch {
+            label_sets: 4,
+            ranking_vertices: 5,
+        };
+        assert!(e.to_string().contains("4") && e.to_string().contains("5"));
+        let e = LabelingError::MergeRankingMismatch {
+            left_vertices: 2,
+            right_vertices: 3,
+        };
+        assert!(e.to_string().contains("different rankings"));
     }
 }

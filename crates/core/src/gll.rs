@@ -29,7 +29,17 @@ use crate::stats::ConstructionStats;
 use crate::table::{ConcurrentLabelTable, GllTables};
 
 /// Runs GLL and returns the Canonical Hub Labeling.
+///
+/// Thin wrapper over [`crate::api::GllLabeler`]; panics on invalid inputs.
+/// Prefer [`crate::api::ChlBuilder`] in new code.
 pub fn gll(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::GllLabeler
+        .build(g, ranking, config)
+        .unwrap_or_else(|e| panic!("gll: {e}"))
+}
+
+pub(crate) fn gll_impl(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
     let n = g.num_vertices();
     gll_from_state(g, ranking, config, vec![LabelSet::new(); n], 0)
 }
@@ -77,8 +87,14 @@ pub fn gll_from_state(
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut scratch = DijkstraScratch::new(n);
-                    let tables = GllTables { global: &global, local: &local };
-                    let opts = PruneOptions { rank_query: true, ..Default::default() };
+                    let tables = GllTables {
+                        global: &global,
+                        local: &local,
+                    };
+                    let opts = PruneOptions {
+                        rank_query: true,
+                        ..Default::default()
+                    };
                     let mut local_records = Vec::new();
                     let mut local_queries = 0usize;
                     loop {
@@ -133,7 +149,11 @@ pub fn gll_from_state(
                         if hub_vertex == v as u32 {
                             return true;
                         }
-                        !combined[v].is_redundant_label(e.hub, e.dist, &combined[hub_vertex as usize])
+                        !combined[v].is_redundant_label(
+                            e.hub,
+                            e.dist,
+                            &combined[hub_vertex as usize],
+                        )
                     })
                     .collect()
             })
@@ -151,7 +171,8 @@ pub fn gll_from_state(
         cleaning_time += clean_start.elapsed();
     }
 
-    let index = HubLabelIndex::new(global, ranking.clone());
+    let index = HubLabelIndex::new(global, ranking.clone())
+        .expect("constructor produced one label set per vertex");
     stats.construction_time = construction_time;
     stats.cleaning_time = cleaning_time;
     stats.total_time = start.elapsed();
@@ -180,7 +201,14 @@ mod tests {
     #[test]
     fn gll_matches_pll_on_grid_with_small_alpha() {
         // A small α forces many supersteps, exercising the commit path.
-        let g = grid_network(&GridOptions { rows: 8, cols: 8, ..GridOptions::default() }, 2);
+        let g = grid_network(
+            &GridOptions {
+                rows: 8,
+                cols: 8,
+                ..GridOptions::default()
+            },
+            2,
+        );
         let ranking = degree_ranking(&g);
         let canonical = sequential_pll(&g, &ranking).index;
         let config = LabelingConfig::default().with_threads(4).with_alpha(1.0);
@@ -206,7 +234,9 @@ mod tests {
     fn gll_with_large_alpha_degenerates_to_single_superstep() {
         let g = erdos_renyi(40, 0.15, 8, 7);
         let ranking = degree_ranking(&g);
-        let config = LabelingConfig::default().with_threads(2).with_alpha(1_000_000.0);
+        let config = LabelingConfig::default()
+            .with_threads(2)
+            .with_alpha(1_000_000.0);
         let result = gll(&g, &ranking, &config);
         assert_eq!(result.stats.supersteps, 1);
         assert_eq!(result.index, sequential_pll(&g, &ranking).index);
@@ -219,7 +249,10 @@ mod tests {
         let result = gll(&g, &ranking, &LabelingConfig::default().with_threads(4));
         assert_eq!(result.stats.algorithm, "GLL");
         assert!(result.stats.labels_before_cleaning >= result.stats.labels_after_cleaning);
-        assert_eq!(result.stats.labels_after_cleaning, result.index.total_labels());
+        assert_eq!(
+            result.stats.labels_after_cleaning,
+            result.index.total_labels()
+        );
         assert_eq!(result.stats.spt_records.len(), 60);
         assert!(result.stats.supersteps >= 1);
     }
@@ -227,13 +260,21 @@ mod tests {
     #[test]
     fn empty_and_single_vertex_graphs() {
         let empty = chl_graph::GraphBuilder::new_undirected().build().unwrap();
-        let r = gll(&empty, &Ranking::identity(0), &LabelingConfig::default().with_threads(2));
+        let r = gll(
+            &empty,
+            &Ranking::identity(0),
+            &LabelingConfig::default().with_threads(2),
+        );
         assert_eq!(r.index.total_labels(), 0);
 
         let mut b = chl_graph::GraphBuilder::new_undirected();
         b.ensure_vertices(1);
         let single = b.build().unwrap();
-        let r = gll(&single, &Ranking::identity(1), &LabelingConfig::default().with_threads(2));
+        let r = gll(
+            &single,
+            &Ranking::identity(1),
+            &LabelingConfig::default().with_threads(2),
+        );
         assert_eq!(r.index.total_labels(), 1);
         assert_eq!(r.index.query(0, 0), 0);
     }

@@ -30,7 +30,21 @@ use crate::stats::ConstructionStats;
 use crate::table::ConcurrentLabelTable;
 
 /// Runs the shared-memory Hybrid constructor.
+///
+/// Thin wrapper over [`crate::api::HybridLabeler`]; panics on invalid
+/// inputs. Prefer [`crate::api::ChlBuilder`] in new code.
 pub fn shared_hybrid(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::HybridLabeler
+        .build(g, ranking, config)
+        .unwrap_or_else(|e| panic!("shared_hybrid: {e}"))
+}
+
+pub(crate) fn shared_hybrid_impl(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    config: &LabelingConfig,
+) -> LabelingResult {
     let start = Instant::now();
     let n = g.num_vertices();
     let threads = config.effective_threads().max(1);
@@ -118,7 +132,9 @@ pub fn shared_hybrid(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -
     stats.planted_trees = planted_trees;
     stats.supersteps = result.stats.supersteps;
     stats.spt_records = planted_records;
-    stats.spt_records.extend(result.stats.spt_records.iter().copied());
+    stats
+        .spt_records
+        .extend(result.stats.spt_records.iter().copied());
     stats.distance_queries = result.stats.distance_queries;
     stats.construction_time = plant_time + result.stats.construction_time;
     stats.cleaning_time = result.stats.cleaning_time;
@@ -195,7 +211,9 @@ mod tests {
         let g = barabasi_albert(200, 3, 15);
         let ranking = degree_ranking(&g);
         let canonical = sequential_pll(&g, &ranking).index;
-        let mut config = LabelingConfig::default().with_threads(4).with_psi_threshold(5.0);
+        let mut config = LabelingConfig::default()
+            .with_threads(4)
+            .with_psi_threshold(5.0);
         config.psi_window = 8;
         let result = shared_hybrid(&g, &ranking, &config);
         assert_eq!(canonical, result.index);
@@ -208,7 +226,9 @@ mod tests {
     fn hybrid_with_huge_threshold_is_pure_plant() {
         let g = erdos_renyi(50, 0.1, 8, 9);
         let ranking = degree_ranking(&g);
-        let config = LabelingConfig::default().with_threads(2).with_psi_threshold(1e12);
+        let config = LabelingConfig::default()
+            .with_threads(2)
+            .with_psi_threshold(1e12);
         let result = shared_hybrid(&g, &ranking, &config);
         assert_eq!(result.stats.planted_trees, 50);
         assert_eq!(result.index, sequential_pll(&g, &ranking).index);
@@ -216,13 +236,25 @@ mod tests {
 
     #[test]
     fn hybrid_queries_match_dijkstra_on_road_like_graph() {
-        let g = grid_network(&GridOptions { rows: 10, cols: 10, ..GridOptions::default() }, 44);
+        let g = grid_network(
+            &GridOptions {
+                rows: 10,
+                cols: 10,
+                ..GridOptions::default()
+            },
+            44,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 20, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 20,
+                degree_tiebreak: true,
+            },
             1,
         );
-        let mut config = LabelingConfig::default().with_threads(4).with_psi_threshold(3.0);
+        let mut config = LabelingConfig::default()
+            .with_threads(4)
+            .with_psi_threshold(3.0);
         config.psi_window = 10;
         let result = shared_hybrid(&g, &ranking, &config);
         for src in [0u32, 45, 99] {

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use chl_graph::types::{Distance, VertexId};
 use chl_ranking::Ranking;
 
+use crate::error::LabelingError;
 use crate::labels::{LabelEntry, LabelSet};
 use crate::stats::ConstructionStats;
 
@@ -29,9 +30,18 @@ pub struct LabelingResult {
 impl HubLabelIndex {
     /// Creates an index from per-vertex label sets (indexed by vertex id) and
     /// the ranking whose positions the labels refer to.
-    pub fn new(labels: Vec<LabelSet>, ranking: Ranking) -> Self {
-        debug_assert_eq!(labels.len(), ranking.len());
-        HubLabelIndex { labels, ranking }
+    ///
+    /// The shape check runs in release builds too: an index whose label-set
+    /// count disagrees with its ranking corrupts every query that touches the
+    /// missing tail, so the mismatch is an error, not a debug assertion.
+    pub fn new(labels: Vec<LabelSet>, ranking: Ranking) -> Result<Self, LabelingError> {
+        if labels.len() != ranking.len() {
+            return Err(LabelingError::LabelShapeMismatch {
+                label_sets: labels.len(),
+                ranking_vertices: ranking.len(),
+            });
+        }
+        Ok(HubLabelIndex { labels, ranking })
     }
 
     /// Creates an empty index (no labels at all) for `ranking`.
@@ -140,11 +150,21 @@ impl HubLabelIndex {
     /// Merges the label sets of `other` into `self` (per-vertex union, keeping
     /// the minimum distance per hub). Both indexes must share the same
     /// ranking; used to reassemble distributed label partitions.
-    pub fn merge(&mut self, other: &HubLabelIndex) {
-        debug_assert_eq!(self.ranking, other.ranking);
+    ///
+    /// The compatibility check runs in release builds too: partitions built
+    /// over different rankings interpret hub positions differently, so a
+    /// silent union would corrupt the index. `self` is untouched on error.
+    pub fn merge(&mut self, other: &HubLabelIndex) -> Result<(), LabelingError> {
+        if self.ranking != other.ranking {
+            return Err(LabelingError::MergeRankingMismatch {
+                left_vertices: self.ranking.len(),
+                right_vertices: other.ranking.len(),
+            });
+        }
         for (mine, theirs) in self.labels.iter_mut().zip(other.labels.iter()) {
             mine.merge(theirs);
         }
+        Ok(())
     }
 }
 
@@ -212,9 +232,42 @@ mod tests {
         let ranking = Ranking::identity(2);
         let mut a = HubLabelIndex::from_triples(vec![(0, 0, 0)], ranking.clone());
         let b = HubLabelIndex::from_triples(vec![(1, 0, 4), (1, 1, 0)], ranking);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.total_labels(), 3);
         assert_eq!(a.query(0, 1), 4);
+    }
+
+    #[test]
+    fn new_rejects_mismatched_shapes_in_release_builds() {
+        let err = HubLabelIndex::new(vec![LabelSet::new(); 2], Ranking::identity(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::LabelingError::LabelShapeMismatch {
+                label_sets: 2,
+                ranking_vertices: 3
+            }
+        ));
+        assert!(HubLabelIndex::new(vec![LabelSet::new(); 3], Ranking::identity(3)).is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_rankings() {
+        // Different sizes.
+        let mut a = HubLabelIndex::empty(Ranking::identity(2));
+        let b = HubLabelIndex::empty(Ranking::identity(3));
+        assert!(a.merge(&b).is_err());
+        // Same size, different order: positions mean different hubs.
+        let mut c = HubLabelIndex::from_triples(vec![(0, 0, 0)], Ranking::identity(2));
+        let d = HubLabelIndex::from_triples(
+            vec![(0, 0, 0)],
+            Ranking::from_order(vec![1, 0], 2).unwrap(),
+        );
+        let before = c.clone();
+        assert!(c.merge(&d).is_err());
+        assert_eq!(
+            c, before,
+            "failed merge must leave the destination untouched"
+        );
     }
 
     #[test]

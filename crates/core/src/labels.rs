@@ -39,7 +39,9 @@ pub struct LabelSet {
 impl LabelSet {
     /// Creates an empty label set.
     pub fn new() -> Self {
-        LabelSet { entries: Vec::new() }
+        LabelSet {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a label set from raw entries, sorting them and dropping
@@ -158,7 +160,7 @@ impl LabelSet {
                 j += 1;
             } else {
                 let total = a.dist.saturating_add(b.dist);
-                if best.map_or(true, |(_, d)| total < d) {
+                if best.is_none_or(|(_, d)| total < d) {
                     best = Some((a.hub, total));
                 }
                 i += 1;
@@ -215,7 +217,12 @@ impl LabelSet {
     /// (used to build the Common Label Table of §5.3).
     pub fn restrict_to_top_hubs(&self, eta: u32) -> LabelSet {
         LabelSet {
-            entries: self.entries.iter().copied().filter(|e| e.hub < eta).collect(),
+            entries: self
+                .entries
+                .iter()
+                .copied()
+                .filter(|e| e.hub < eta)
+                .collect(),
         }
     }
 }
@@ -275,7 +282,12 @@ mod tests {
     use super::*;
 
     fn set(entries: &[(u32, Distance)]) -> LabelSet {
-        LabelSet::from_entries(entries.iter().map(|&(h, d)| LabelEntry::new(h, d)).collect())
+        LabelSet::from_entries(
+            entries
+                .iter()
+                .map(|&(h, d)| LabelEntry::new(h, d))
+                .collect(),
+        )
     }
 
     #[test]
@@ -292,7 +304,10 @@ mod tests {
         s.push(LabelEntry::new(0, 5));
         s.push(LabelEntry::new(3, 2));
         s.push(LabelEntry::new(7, 9));
-        assert_eq!(s.entries().iter().map(|e| e.hub).collect::<Vec<_>>(), vec![0, 3, 7]);
+        assert_eq!(
+            s.entries().iter().map(|e| e.hub).collect::<Vec<_>>(),
+            vec![0, 3, 7]
+        );
     }
 
     #[test]
@@ -304,7 +319,10 @@ mod tests {
         s.push(LabelEntry::new(2, 5)); // duplicate with larger distance: ignored
         s.push(LabelEntry::new(9, 0)); // duplicate with smaller distance: replaces
         assert_eq!(
-            s.entries().iter().map(|e| (e.hub, e.dist)).collect::<Vec<_>>(),
+            s.entries()
+                .iter()
+                .map(|e| (e.hub, e.dist))
+                .collect::<Vec<_>>(),
             vec![(2, 1), (5, 1), (9, 0)]
         );
     }
@@ -325,7 +343,10 @@ mod tests {
         let b = set(&[(1, 4), (2, 7), (8, 3)]);
         a.merge(&b);
         assert_eq!(
-            a.entries().iter().map(|e| (e.hub, e.dist)).collect::<Vec<_>>(),
+            a.entries()
+                .iter()
+                .map(|e| (e.hub, e.dist))
+                .collect::<Vec<_>>(),
             vec![(1, 4), (2, 7), (3, 2), (8, 1)]
         );
         // Merging an empty set is a no-op.

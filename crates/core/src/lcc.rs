@@ -27,7 +27,17 @@ use crate::stats::ConstructionStats;
 use crate::table::ConcurrentLabelTable;
 
 /// Runs the two-phase LCC algorithm and returns the Canonical Hub Labeling.
+///
+/// Thin wrapper over [`crate::api::LccLabeler`]; panics on invalid inputs.
+/// Prefer [`crate::api::ChlBuilder`] in new code.
 pub fn lcc(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::LccLabeler
+        .build(g, ranking, config)
+        .unwrap_or_else(|e| panic!("lcc: {e}"))
+}
+
+pub(crate) fn lcc_impl(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
     let start = Instant::now();
     let n = g.num_vertices();
     let threads = config.effective_threads().max(1);
@@ -41,7 +51,10 @@ pub fn lcc(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> Labeling
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut scratch = DijkstraScratch::new(n);
-                let opts = PruneOptions { rank_query: true, ..Default::default() };
+                let opts = PruneOptions {
+                    rank_query: true,
+                    ..Default::default()
+                };
                 let mut local_records = Vec::new();
                 let mut local_queries = 0usize;
                 loop {
@@ -69,7 +82,8 @@ pub fn lcc(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> Labeling
     let (cleaned, _removed) = clean_labels(&constructed, ranking);
     let cleaning_time = clean_start.elapsed();
 
-    let index = HubLabelIndex::new(cleaned, ranking.clone());
+    let index = HubLabelIndex::new(cleaned, ranking.clone())
+        .expect("constructor produced one label set per vertex");
     let mut stats = ConstructionStats::new("LCC");
     stats.threads = threads;
     stats.spt_records = records.into_inner();
@@ -101,10 +115,20 @@ mod tests {
 
     #[test]
     fn lcc_on_road_like_graph_matches_pll() {
-        let g = grid_network(&GridOptions { rows: 9, cols: 8, ..GridOptions::default() }, 17);
+        let g = grid_network(
+            &GridOptions {
+                rows: 9,
+                cols: 8,
+                ..GridOptions::default()
+            },
+            17,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 24, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 24,
+                degree_tiebreak: true,
+            },
             3,
         );
         let canonical = sequential_pll(&g, &ranking).index;
@@ -131,7 +155,10 @@ mod tests {
         let ranking = degree_ranking(&g);
         let result = lcc(&g, &ranking, &LabelingConfig::default().with_threads(4));
         assert!(result.stats.labels_before_cleaning >= result.stats.labels_after_cleaning);
-        assert_eq!(result.stats.labels_after_cleaning, result.index.total_labels());
+        assert_eq!(
+            result.stats.labels_after_cleaning,
+            result.index.total_labels()
+        );
         assert_eq!(result.stats.spt_records.len(), 50);
         assert_eq!(result.stats.algorithm, "LCC");
         assert!(result.stats.total_time >= result.stats.cleaning_time);

@@ -11,39 +11,62 @@
 //! distance (PPSD) query then reduces to intersecting two small sorted label
 //! sets.
 //!
-//! ## Constructors
+//! ## The unified API
 //!
-//! | Function | Paper section | Parallel? | Notes |
-//! |---|---|---|---|
-//! | [`pll::sequential_pll`] | §1 (baseline, Akiba et al.) | no | reference CHL constructor |
-//! | [`para_pll::spara_pll`] | §3 (baseline, Qiu et al.) | yes | no rank queries ⇒ larger, non-canonical labeling |
-//! | [`lcc::lcc`] | §4.1, Alg. 2 | yes | construction + full cleaning ⇒ CHL |
-//! | [`gll::gll`] | §4.2 | yes | superstep global/local tables ⇒ CHL, cheaper cleaning |
-//! | [`plant::plant_labeling`] | §5.2, Alg. 3 | yes | embarrassingly parallel, no pruning queries ⇒ CHL |
-//! | [`hybrid::shared_hybrid`] | §5.2.1 (shared-memory variant) | yes | PLaNT for the label-heavy prefix, GLL for the tail |
-//!
-//! All constructors return the same canonical labeling for a given ranking
-//! (except `spara_pll`, whose whole point is that it does not); the
-//! [`canonical`] module contains a brute-force reference and property
-//! checkers used heavily by the test-suite.
-//!
-//! ## Example
+//! All construction goes through one entry point, [`api::ChlBuilder`], which
+//! dispatches over the [`api::Algorithm`] enum via the object-safe
+//! [`api::Labeler`] trait; all querying goes through the
+//! [`oracle::DistanceOracle`] trait, implemented by [`HubLabelIndex`] here
+//! and by the distributed partitions and serving engines elsewhere in the
+//! workspace. Constructors and query backends can therefore be swapped
+//! without touching call sites.
 //!
 //! ```
 //! use chl_graph::generators::{grid_network, GridOptions};
-//! use chl_ranking::degree_ranking;
-//! use chl_core::{gll::gll, config::LabelingConfig};
+//! use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
+//! use chl_core::oracle::DistanceOracle;
 //!
 //! let g = grid_network(&GridOptions { rows: 8, cols: 8, ..GridOptions::default() }, 7);
-//! let ranking = degree_ranking(&g);
-//! let result = gll(&g, &ranking, &LabelingConfig::default());
-//! let index = result.index;
+//! let result = ChlBuilder::new(&g)
+//!     .ranking(RankingStrategy::Degree)
+//!     .algorithm(Algorithm::Hybrid)
+//!     .threads(2)
+//!     .validate()
+//!     .expect("configuration is valid")
+//!     .build()
+//!     .expect("construction succeeds");
 //!
-//! // Hub labels answer exact shortest-path distance queries.
-//! let d = index.query(0, 63);
-//! assert_eq!(d, chl_graph::sssp::dijkstra(&g, 0)[63]);
+//! // Hub labels answer exact shortest-path distance queries — through the
+//! // index directly or through any `&dyn DistanceOracle`.
+//! let oracle: &dyn DistanceOracle = &result.index;
+//! assert_eq!(oracle.distance(0, 63), chl_graph::sssp::dijkstra(&g, 0)[63]);
 //! ```
+//!
+//! ## Constructors
+//!
+//! Every [`api::Algorithm`] variant maps to one constructor module and one
+//! paper section:
+//!
+//! | [`api::Algorithm`] | Module entry point | Paper section | Parallel? | Notes |
+//! |---|---|---|---|---|
+//! | `Pll` | [`pll::sequential_pll`] | §1 (baseline, Akiba et al.) | no | reference CHL constructor |
+//! | `SParaPll` | [`para_pll::spara_pll`] | §3 (baseline, Qiu et al.) | yes | no rank queries ⇒ larger, non-canonical labeling |
+//! | `Lcc` | [`lcc::lcc`] | §4.1, Alg. 2 | yes | construction + full cleaning ⇒ CHL |
+//! | `Gll` | [`gll::gll`] | §4.2 | yes | superstep global/local tables ⇒ CHL, cheaper cleaning |
+//! | `Plant` | [`plant::plant_labeling`] | §5.2, Alg. 3 | yes | embarrassingly parallel, no pruning queries ⇒ CHL |
+//! | `Hybrid` | [`hybrid::shared_hybrid`] | §5.2.1 (shared-memory variant) | yes | PLaNT for the label-heavy prefix, GLL for the tail |
+//!
+//! The per-module free functions remain as thin, panicking wrappers over the
+//! corresponding [`api::Labeler`] so pre-builder call sites keep compiling;
+//! new code should use the builder, which reports invalid input as
+//! [`LabelingError`] instead.
+//!
+//! All constructors return the same canonical labeling for a given ranking
+//! (except `SParaPll`, whose whole point is that it does not); the
+//! [`canonical`] module contains a brute-force reference and property
+//! checkers used heavily by the test-suite.
 
+pub mod api;
 pub mod canonical;
 pub mod cleaning;
 pub mod config;
@@ -53,6 +76,7 @@ pub mod hybrid;
 pub mod index;
 pub mod labels;
 pub mod lcc;
+pub mod oracle;
 pub mod para_pll;
 pub mod plant;
 pub mod pll;
@@ -60,8 +84,10 @@ pub mod pruned_dijkstra;
 pub mod stats;
 pub mod table;
 
+pub use api::{Algorithm, ChlBuilder, Labeler, RankingStrategy};
 pub use config::LabelingConfig;
 pub use error::LabelingError;
 pub use index::{HubLabelIndex, LabelingResult};
 pub use labels::{LabelEntry, LabelSet};
+pub use oracle::DistanceOracle;
 pub use stats::ConstructionStats;

@@ -1,0 +1,90 @@
+//! The [`DistanceOracle`] trait: the workspace's single query surface.
+//!
+//! Every structure that can answer exact point-to-point shortest-distance
+//! (PPSD) queries implements this trait — the shared-memory
+//! [`HubLabelIndex`], the distributed label partitions
+//! (`chl_distributed::DistributedLabeling`) and the three query-serving
+//! engines of `chl-query` (QLSN / QFDL / QDOL). Callers that only need
+//! distances can therefore be written once against `&dyn DistanceOracle` and
+//! swap storage layouts and serving modes freely; batch evaluation and
+//! memory accounting come with the trait.
+
+use chl_graph::types::{Distance, VertexId, INFINITY};
+
+use crate::index::HubLabelIndex;
+
+/// An exact PPSD distance oracle over a fixed vertex set `0..num_vertices`.
+///
+/// Implementations must return the true shortest-path distance for every
+/// vertex pair ([`INFINITY`] for disconnected pairs) — hub labelings make
+/// this cheap, but nothing in the trait assumes labels.
+pub trait DistanceOracle {
+    /// Exact shortest-path distance between `u` and `v`, [`INFINITY`] when
+    /// they are not connected.
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance;
+
+    /// Number of vertices the oracle covers (valid ids are `0..n`).
+    fn num_vertices(&self) -> usize;
+
+    /// Total label memory backing the oracle, in bytes, summed over every
+    /// copy actually held (a replicated engine reports every replica).
+    fn memory_bytes(&self) -> usize;
+
+    /// Evaluates a batch of queries. The default maps [`Self::distance`]
+    /// sequentially; engines with cheaper batch paths may override it.
+    fn distances(&self, pairs: &[(VertexId, VertexId)]) -> Vec<Distance> {
+        pairs.iter().map(|&(u, v)| self.distance(u, v)).collect()
+    }
+
+    /// `true` when `u` and `v` are in the same connected component.
+    fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.distance(u, v) != INFINITY
+    }
+}
+
+impl DistanceOracle for HubLabelIndex {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.query(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        HubLabelIndex::num_vertices(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        HubLabelIndex::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_ranking::Ranking;
+
+    fn path_index() -> HubLabelIndex {
+        let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
+        HubLabelIndex::from_triples(
+            vec![(0, 0, 0), (0, 1, 1), (1, 1, 0), (2, 1, 1), (2, 2, 0)],
+            ranking,
+        )
+    }
+
+    #[test]
+    fn index_answers_through_the_trait_object() {
+        let idx = path_index();
+        let oracle: &dyn DistanceOracle = &idx;
+        assert_eq!(oracle.distance(0, 2), 2);
+        assert_eq!(oracle.num_vertices(), 3);
+        assert!(oracle.memory_bytes() > 0);
+        assert!(oracle.connected(0, 2));
+        assert_eq!(oracle.distances(&[(0, 1), (1, 2), (0, 0)]), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_reported() {
+        let idx = HubLabelIndex::from_triples(vec![(0, 0, 0), (1, 1, 0)], Ranking::identity(2));
+        let oracle: &dyn DistanceOracle = &idx;
+        assert!(!oracle.connected(0, 1));
+        assert_eq!(oracle.distance(0, 1), INFINITY);
+    }
+}

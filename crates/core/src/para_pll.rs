@@ -23,7 +23,21 @@ use crate::stats::ConstructionStats;
 use crate::table::ConcurrentLabelTable;
 
 /// Runs shared-memory paraPLL with `config.num_threads` workers.
+///
+/// Thin wrapper over [`crate::api::SParaPllLabeler`]; panics on invalid
+/// inputs. Prefer [`crate::api::ChlBuilder`] in new code.
 pub fn spara_pll(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::SParaPllLabeler
+        .build(g, ranking, config)
+        .unwrap_or_else(|e| panic!("spara_pll: {e}"))
+}
+
+pub(crate) fn spara_pll_impl(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    config: &LabelingConfig,
+) -> LabelingResult {
     let start = Instant::now();
     let n = g.num_vertices();
     let threads = config.effective_threads().max(1);
@@ -36,7 +50,10 @@ pub fn spara_pll(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> La
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut scratch = DijkstraScratch::new(n);
-                let opts = PruneOptions { rank_query: false, ..Default::default() };
+                let opts = PruneOptions {
+                    rank_query: false,
+                    ..Default::default()
+                };
                 let mut local_records = Vec::new();
                 let mut local_queries = 0usize;
                 loop {
@@ -63,7 +80,8 @@ pub fn spara_pll(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> La
     stats.construction_time = start.elapsed();
     stats.total_time = start.elapsed();
 
-    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone())
+        .expect("constructor produced one label set per vertex");
     stats.labels_before_cleaning = index.total_labels();
     stats.labels_after_cleaning = index.total_labels();
     LabelingResult { index, stats }

@@ -51,7 +51,10 @@ pub struct CommonLabelTable {
 impl CommonLabelTable {
     /// Creates an empty table (prunes nothing).
     pub fn empty(num_vertices: usize) -> Self {
-        CommonLabelTable { per_vertex: vec![LabelSet::new(); num_vertices], eta: 0 }
+        CommonLabelTable {
+            per_vertex: vec![LabelSet::new(); num_vertices],
+            eta: 0,
+        }
     }
 
     /// Builds the table from a full labeling by keeping, for every vertex,
@@ -71,7 +74,10 @@ impl CommonLabelTable {
 
     /// Creates an empty table that will accept hubs ranked `< eta`.
     pub fn with_eta(num_vertices: usize, eta: u32) -> Self {
-        CommonLabelTable { per_vertex: vec![LabelSet::new(); num_vertices], eta }
+        CommonLabelTable {
+            per_vertex: vec![LabelSet::new(); num_vertices],
+            eta,
+        }
     }
 
     /// Number of hub positions covered.
@@ -181,7 +187,11 @@ pub fn plant_dijkstra(
         None
     };
 
-    let mut tree = PlantedTree { root_position: root_pos, labels: Vec::new(), vertices_explored: 0 };
+    let mut tree = PlantedTree {
+        root_position: root_pos,
+        labels: Vec::new(),
+        vertices_explored: 0,
+    };
 
     scratch.dist[root as usize] = 0;
     scratch.ancestor[root as usize] = root;
@@ -263,7 +273,21 @@ pub fn plant_dijkstra(
 
 /// Embarrassingly parallel CHL construction: every root is PLaNTed
 /// independently; no pruning queries, no cleaning, no cross-SPT state.
+///
+/// Thin wrapper over [`crate::api::PlantLabeler`]; panics on invalid inputs.
+/// Prefer [`crate::api::ChlBuilder`] in new code.
 pub fn plant_labeling(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::PlantLabeler
+        .build(g, ranking, config)
+        .unwrap_or_else(|e| panic!("plant_labeling: {e}"))
+}
+
+pub(crate) fn plant_labeling_impl(
+    g: &CsrGraph,
+    ranking: &Ranking,
+    config: &LabelingConfig,
+) -> LabelingResult {
     let start = Instant::now();
     let n = g.num_vertices();
     let threads = config.effective_threads().max(1);
@@ -308,7 +332,8 @@ pub fn plant_labeling(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig) 
     stats.construction_time = start.elapsed();
     stats.total_time = start.elapsed();
 
-    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone())
+        .expect("constructor produced one label set per vertex");
     stats.labels_before_cleaning = index.total_labels();
     stats.labels_after_cleaning = index.total_labels();
     LabelingResult { index, stats }
@@ -369,7 +394,10 @@ mod tests {
         assert!(labeled.contains(&0));
         assert!(labeled.contains(&2));
         assert!(!labeled.contains(&1), "vertex 1 outranks the root");
-        assert!(!labeled.contains(&3), "vertex 3 is covered by the more important vertex 1");
+        assert!(
+            !labeled.contains(&3),
+            "vertex 3 is covered by the more important vertex 1"
+        );
     }
 
     #[test]
@@ -377,20 +405,32 @@ mod tests {
         let g = erdos_renyi(70, 0.08, 16, 19);
         let ranking = degree_ranking(&g);
         let canonical = sequential_pll(&g, &ranking).index;
-        let planted = plant_labeling(&g, &ranking, &LabelingConfig::default().with_threads(4)).index;
+        let planted =
+            plant_labeling(&g, &ranking, &LabelingConfig::default().with_threads(4)).index;
         assert_eq!(canonical, planted);
     }
 
     #[test]
     fn plant_labeling_equals_pll_on_road_like_graph() {
-        let g = grid_network(&GridOptions { rows: 9, cols: 7, ..GridOptions::default() }, 29);
+        let g = grid_network(
+            &GridOptions {
+                rows: 9,
+                cols: 7,
+                ..GridOptions::default()
+            },
+            29,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 16, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 16,
+                degree_tiebreak: true,
+            },
             5,
         );
         let canonical = sequential_pll(&g, &ranking).index;
-        let planted = plant_labeling(&g, &ranking, &LabelingConfig::default().with_threads(8)).index;
+        let planted =
+            plant_labeling(&g, &ranking, &LabelingConfig::default().with_threads(8)).index;
         assert_eq!(canonical, planted);
     }
 
@@ -401,12 +441,18 @@ mod tests {
         let with_et = plant_labeling(
             &g,
             &ranking,
-            &LabelingConfig { early_termination: true, ..LabelingConfig::default().with_threads(4) },
+            &LabelingConfig {
+                early_termination: true,
+                ..LabelingConfig::default().with_threads(4)
+            },
         );
         let without_et = plant_labeling(
             &g,
             &ranking,
-            &LabelingConfig { early_termination: false, ..LabelingConfig::default().with_threads(4) },
+            &LabelingConfig {
+                early_termination: false,
+                ..LabelingConfig::default().with_threads(4)
+            },
         );
         assert_eq!(with_et.index, without_et.index);
         // Early termination can only reduce exploration.
@@ -421,10 +467,7 @@ mod tests {
         let ranking = degree_ranking(&g);
         let canonical = sequential_pll(&g, &ranking).index;
         let eta = 16u32;
-        let common = CommonLabelTable::from_labels(
-            &canonical.clone().into_label_sets(),
-            eta,
-        );
+        let common = CommonLabelTable::from_labels(&canonical.clone().into_label_sets(), eta);
 
         let n = g.num_vertices();
         let table = ConcurrentLabelTable::new(n);
@@ -438,7 +481,7 @@ mod tests {
                 table.append(v, LabelEntry::new(pos, d));
             }
         }
-        let pruned_index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+        let pruned_index = HubLabelIndex::new(table.into_label_sets(), ranking.clone()).unwrap();
         assert_eq!(pruned_index, canonical);
 
         // Re-run without the table to compare exploration volume.
@@ -459,10 +502,18 @@ mod tests {
         // the exploration counts reflect the raw tree sizes.
         let g = barabasi_albert(200, 3, 13);
         let ranking = degree_ranking(&g);
-        let config = LabelingConfig { early_termination: false, ..LabelingConfig::default().with_threads(2) };
+        let config = LabelingConfig {
+            early_termination: false,
+            ..LabelingConfig::default().with_threads(2)
+        };
         let result = plant_labeling(&g, &ranking, &config);
         let psi = result.stats.psi_per_spt();
-        let early: f64 = psi[..10].iter().map(|&(_, p)| p).filter(|p| p.is_finite()).sum::<f64>() / 10.0;
+        let early: f64 = psi[..10]
+            .iter()
+            .map(|&(_, p)| p)
+            .filter(|p| p.is_finite())
+            .sum::<f64>()
+            / 10.0;
         let late: Vec<f64> = psi[psi.len() - 20..]
             .iter()
             .map(|&(_, p)| p)

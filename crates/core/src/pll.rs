@@ -14,7 +14,18 @@ use crate::table::ConcurrentLabelTable;
 /// Builds the CHL sequentially: one pruned SPT per vertex, in decreasing rank
 /// order, each pruned by distance queries against all previously generated
 /// labels.
+///
+/// Thin wrapper over [`crate::api::PllLabeler`]; panics on invalid inputs.
+/// Prefer [`crate::api::ChlBuilder`] (or the [`crate::api::Labeler`] trait)
+/// in new code, which reports problems as [`crate::error::LabelingError`].
 pub fn sequential_pll(g: &CsrGraph, ranking: &Ranking) -> LabelingResult {
+    use crate::api::Labeler as _;
+    crate::api::PllLabeler
+        .build(g, ranking, &crate::config::LabelingConfig::default())
+        .unwrap_or_else(|e| panic!("sequential_pll: {e}"))
+}
+
+pub(crate) fn sequential_pll_impl(g: &CsrGraph, ranking: &Ranking) -> LabelingResult {
     let start = Instant::now();
     let n = g.num_vertices();
     let table = ConcurrentLabelTable::new(n);
@@ -26,7 +37,10 @@ pub fn sequential_pll(g: &CsrGraph, ranking: &Ranking) -> LabelingResult {
     // important vertex already has its SPT and prunes via the distance
     // query), but harmless; we keep the distance-query-only configuration to
     // match the original PLL formulation.
-    let opts = PruneOptions { rank_query: false, ..Default::default() };
+    let opts = PruneOptions {
+        rank_query: false,
+        ..Default::default()
+    };
     for pos in 0..n as u32 {
         let root = ranking.vertex_at(pos);
         let (record, queries) = pruned_dijkstra(g, ranking, root, &table, opts, &mut scratch);
@@ -36,7 +50,8 @@ pub fn sequential_pll(g: &CsrGraph, ranking: &Ranking) -> LabelingResult {
 
     stats.construction_time = start.elapsed();
     stats.total_time = start.elapsed();
-    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone())
+        .expect("constructor produced one label set per vertex");
     stats.labels_before_cleaning = index.total_labels();
     stats.labels_after_cleaning = index.total_labels();
     LabelingResult { index, stats }
@@ -61,7 +76,10 @@ pub fn pll_with_restricted_pruning(
 
     // With distance pruning weakened the rank query becomes essential,
     // otherwise label counts degenerate to |V|^2 even for x = 0.
-    let opts = PruneOptions { rank_query: true, max_pruning_hub };
+    let opts = PruneOptions {
+        rank_query: true,
+        max_pruning_hub,
+    };
     for pos in 0..n as u32 {
         let root = ranking.vertex_at(pos);
         let (record, queries) = pruned_dijkstra(g, ranking, root, &table, opts, &mut scratch);
@@ -71,7 +89,8 @@ pub fn pll_with_restricted_pruning(
 
     stats.construction_time = start.elapsed();
     stats.total_time = start.elapsed();
-    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone());
+    let index = HubLabelIndex::new(table.into_label_sets(), ranking.clone())
+        .expect("constructor produced one label set per vertex");
     stats.labels_before_cleaning = index.total_labels();
     stats.labels_after_cleaning = index.total_labels();
     LabelingResult { index, stats }
@@ -135,23 +154,47 @@ mod tests {
 
     #[test]
     fn stats_record_every_spt() {
-        let g = grid_network(&GridOptions { rows: 5, cols: 5, ..GridOptions::default() }, 3);
+        let g = grid_network(
+            &GridOptions {
+                rows: 5,
+                cols: 5,
+                ..GridOptions::default()
+            },
+            3,
+        );
         let ranking = degree_ranking(&g);
         let result = sequential_pll(&g, &ranking);
         assert_eq!(result.stats.spt_records.len(), 25);
-        assert_eq!(result.stats.total_labels_generated(), result.index.total_labels());
+        assert_eq!(
+            result.stats.total_labels_generated(),
+            result.index.total_labels()
+        );
         assert!(result.stats.distance_queries > 0);
         assert_eq!(result.stats.algorithm, "seqPLL");
     }
 
     #[test]
     fn restricted_pruning_grows_label_count_monotonically() {
-        let g = grid_network(&GridOptions { rows: 6, cols: 6, ..GridOptions::default() }, 5);
+        let g = grid_network(
+            &GridOptions {
+                rows: 6,
+                cols: 6,
+                ..GridOptions::default()
+            },
+            5,
+        );
         let ranking = degree_ranking(&g);
         let full = sequential_pll(&g, &ranking).index.total_labels();
-        let some = pll_with_restricted_pruning(&g, &ranking, 4).index.total_labels();
-        let none = pll_with_restricted_pruning(&g, &ranking, 0).index.total_labels();
-        assert!(none >= some, "fewer pruning hubs can never shrink the labeling");
+        let some = pll_with_restricted_pruning(&g, &ranking, 4)
+            .index
+            .total_labels();
+        let none = pll_with_restricted_pruning(&g, &ranking, 0)
+            .index
+            .total_labels();
+        assert!(
+            none >= some,
+            "fewer pruning hubs can never shrink the labeling"
+        );
         assert!(some >= full);
         // Queries still answer correctly even with redundant labels present.
         let restricted = pll_with_restricted_pruning(&g, &ranking, 0);

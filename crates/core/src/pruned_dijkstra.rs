@@ -65,7 +65,10 @@ pub struct PruneOptions {
 
 impl Default for PruneOptions {
     fn default() -> Self {
-        PruneOptions { rank_query: true, max_pruning_hub: u32::MAX }
+        PruneOptions {
+            rank_query: true,
+            max_pruning_hub: u32::MAX,
+        }
     }
 }
 
@@ -92,11 +95,19 @@ pub fn pruned_dijkstra<L: LabelAccess>(
         RootLabelHash::from_entries(scratch.label_buf.iter().copied())
     } else {
         RootLabelHash::from_entries(
-            scratch.label_buf.iter().copied().filter(|e| e.hub < opts.max_pruning_hub),
+            scratch
+                .label_buf
+                .iter()
+                .copied()
+                .filter(|e| e.hub < opts.max_pruning_hub),
         )
     };
 
-    let mut record = SptRecord { root_position: root_pos, labels_generated: 0, vertices_explored: 0 };
+    let mut record = SptRecord {
+        root_position: root_pos,
+        labels_generated: 0,
+        vertices_explored: 0,
+    };
     let mut distance_queries = 0usize;
 
     scratch.dist[root as usize] = 0;
@@ -181,13 +192,26 @@ mod tests {
         let mut scratch = DijkstraScratch::new(5);
 
         // First build SPT_v1 (root 0): labels every vertex with hub v1.
-        let (rec0, _) = pruned_dijkstra(&g, &ranking, 0, &table, PruneOptions::default(), &mut scratch);
+        let (rec0, _) = pruned_dijkstra(
+            &g,
+            &ranking,
+            0,
+            &table,
+            PruneOptions::default(),
+            &mut scratch,
+        );
         assert_eq!(rec0.labels_generated, 5);
 
         // Then SPT_v2 (root 1): the paper's walkthrough generates labels for
         // v2 (itself, dist 0) and v3 (dist 10), pruning v1 and v5.
-        let (rec1, queries) =
-            pruned_dijkstra(&g, &ranking, 1, &table, PruneOptions::default(), &mut scratch);
+        let (rec1, queries) = pruned_dijkstra(
+            &g,
+            &ranking,
+            1,
+            &table,
+            PruneOptions::default(),
+            &mut scratch,
+        );
         assert_eq!(rec1.labels_generated, 2);
         assert!(queries > 0);
         let sets = table.into_label_sets();
@@ -206,7 +230,14 @@ mod tests {
         let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
         let table = ConcurrentLabelTable::new(3);
         let mut scratch = DijkstraScratch::new(3);
-        let (rec, _) = pruned_dijkstra(&g, &ranking, 0, &table, PruneOptions::default(), &mut scratch);
+        let (rec, _) = pruned_dijkstra(
+            &g,
+            &ranking,
+            0,
+            &table,
+            PruneOptions::default(),
+            &mut scratch,
+        );
         assert_eq!(rec.labels_generated, 1); // only the root labels itself
         let sets = table.into_label_sets();
         assert!(sets[1].is_empty());
@@ -221,7 +252,10 @@ mod tests {
         let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
         let table = ConcurrentLabelTable::new(3);
         let mut scratch = DijkstraScratch::new(3);
-        let opts = PruneOptions { rank_query: false, ..Default::default() };
+        let opts = PruneOptions {
+            rank_query: false,
+            ..Default::default()
+        };
         let (rec, _) = pruned_dijkstra(&g, &ranking, 0, &table, opts, &mut scratch);
         assert_eq!(rec.labels_generated, 3);
     }
@@ -236,8 +270,18 @@ mod tests {
         let ranking = Ranking::identity(5);
         let table = ConcurrentLabelTable::new(5);
         let mut scratch = DijkstraScratch::new(5);
-        pruned_dijkstra(&g, &ranking, 0, &table, PruneOptions::default(), &mut scratch);
-        let opts = PruneOptions { rank_query: false, ..Default::default() };
+        pruned_dijkstra(
+            &g,
+            &ranking,
+            0,
+            &table,
+            PruneOptions::default(),
+            &mut scratch,
+        );
+        let opts = PruneOptions {
+            rank_query: false,
+            ..Default::default()
+        };
         let (rec, _) = pruned_dijkstra(&g, &ranking, 1, &table, opts, &mut scratch);
         assert_eq!(rec.labels_generated, 1);
         let sets = table.into_label_sets();
@@ -257,11 +301,21 @@ mod tests {
         let full = ConcurrentLabelTable::new(6);
         let mut scratch = DijkstraScratch::new(6);
         for v in 0..6u32 {
-            pruned_dijkstra(&g, &ranking, v, &full, PruneOptions::default(), &mut scratch);
+            pruned_dijkstra(
+                &g,
+                &ranking,
+                v,
+                &full,
+                PruneOptions::default(),
+                &mut scratch,
+            );
         }
 
         let restricted = ConcurrentLabelTable::new(6);
-        let opts = PruneOptions { rank_query: true, max_pruning_hub: 0 };
+        let opts = PruneOptions {
+            rank_query: true,
+            max_pruning_hub: 0,
+        };
         for v in 0..6u32 {
             pruned_dijkstra(&g, &ranking, v, &restricted, opts, &mut scratch);
         }
@@ -270,7 +324,10 @@ mod tests {
         // Allowing the single most important hub for pruning already recovers
         // part of the gap.
         let partial = ConcurrentLabelTable::new(6);
-        let opts = PruneOptions { rank_query: true, max_pruning_hub: 1 };
+        let opts = PruneOptions {
+            rank_query: true,
+            max_pruning_hub: 1,
+        };
         for v in 0..6u32 {
             pruned_dijkstra(&g, &ranking, v, &partial, opts, &mut scratch);
         }
@@ -287,17 +344,36 @@ mod tests {
         let ranking = Ranking::identity(6);
         let fresh_table = ConcurrentLabelTable::new(6);
         let mut fresh_scratch = DijkstraScratch::new(6);
-        let (fresh_rec, _) =
-            pruned_dijkstra(&g, &ranking, 0, &fresh_table, PruneOptions::default(), &mut fresh_scratch);
+        let (fresh_rec, _) = pruned_dijkstra(
+            &g,
+            &ranking,
+            0,
+            &fresh_table,
+            PruneOptions::default(),
+            &mut fresh_scratch,
+        );
 
         let reused_table = ConcurrentLabelTable::new(6);
         let mut reused_scratch = DijkstraScratch::new(6);
         for v in 1..6u32 {
             let scratch_only = ConcurrentLabelTable::new(6);
-            pruned_dijkstra(&g, &ranking, v, &scratch_only, PruneOptions::default(), &mut reused_scratch);
+            pruned_dijkstra(
+                &g,
+                &ranking,
+                v,
+                &scratch_only,
+                PruneOptions::default(),
+                &mut reused_scratch,
+            );
         }
-        let (reused_rec, _) =
-            pruned_dijkstra(&g, &ranking, 0, &reused_table, PruneOptions::default(), &mut reused_scratch);
+        let (reused_rec, _) = pruned_dijkstra(
+            &g,
+            &ranking,
+            0,
+            &reused_table,
+            PruneOptions::default(),
+            &mut reused_scratch,
+        );
 
         assert_eq!(fresh_rec, reused_rec);
         assert_eq!(fresh_table.snapshot(5), reused_table.snapshot(5));

@@ -66,7 +66,11 @@ pub struct ConstructionStats {
 impl ConstructionStats {
     /// Creates an empty record tagged with an algorithm name.
     pub fn new(algorithm: impl Into<String>) -> Self {
-        ConstructionStats { algorithm: algorithm.into(), supersteps: 1, ..Default::default() }
+        ConstructionStats {
+            algorithm: algorithm.into(),
+            supersteps: 1,
+            ..Default::default()
+        }
     }
 
     /// Total labels generated across all SPTs (before any cleaning).
@@ -82,17 +86,23 @@ impl ConstructionStats {
     /// Labels-per-SPT series ordered by root rank position (Figure 2). The
     /// result has one entry per recorded SPT.
     pub fn labels_per_spt(&self) -> Vec<(u32, usize)> {
-        let mut v: Vec<(u32, usize)> =
-            self.spt_records.iter().map(|r| (r.root_position, r.labels_generated)).collect();
+        let mut v: Vec<(u32, usize)> = self
+            .spt_records
+            .iter()
+            .map(|r| (r.root_position, r.labels_generated))
+            .collect();
         v.sort_unstable_by_key(|&(pos, _)| pos);
         v
     }
 
     /// Ψ-per-SPT series ordered by root rank position (Figure 3).
     pub fn psi_per_spt(&self) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> =
-            self.spt_records.iter().map(|r| (r.root_position, r.psi())).collect();
-        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut v: Vec<(u32, f64)> = self
+            .spt_records
+            .iter()
+            .map(|r| (r.root_position, r.psi()))
+            .collect();
+        v.sort_unstable_by_key(|a| a.0);
         v
     }
 
@@ -112,17 +122,33 @@ mod tests {
 
     #[test]
     fn psi_handles_zero_labels() {
-        let r = SptRecord { root_position: 3, labels_generated: 0, vertices_explored: 50 };
+        let r = SptRecord {
+            root_position: 3,
+            labels_generated: 0,
+            vertices_explored: 50,
+        };
         assert!(r.psi().is_infinite());
-        let r = SptRecord { root_position: 3, labels_generated: 10, vertices_explored: 50 };
+        let r = SptRecord {
+            root_position: 3,
+            labels_generated: 10,
+            vertices_explored: 50,
+        };
         assert_eq!(r.psi(), 5.0);
     }
 
     #[test]
     fn aggregates_sum_over_spts() {
         let mut s = ConstructionStats::new("test");
-        s.spt_records.push(SptRecord { root_position: 1, labels_generated: 4, vertices_explored: 8 });
-        s.spt_records.push(SptRecord { root_position: 0, labels_generated: 6, vertices_explored: 6 });
+        s.spt_records.push(SptRecord {
+            root_position: 1,
+            labels_generated: 4,
+            vertices_explored: 8,
+        });
+        s.spt_records.push(SptRecord {
+            root_position: 0,
+            labels_generated: 6,
+            vertices_explored: 6,
+        });
         assert_eq!(s.total_labels_generated(), 10);
         assert_eq!(s.total_vertices_explored(), 14);
         // Series are sorted by root position.

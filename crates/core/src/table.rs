@@ -38,7 +38,9 @@ pub struct ConcurrentLabelTable {
 impl ConcurrentLabelTable {
     /// Creates a table for `n` vertices.
     pub fn new(n: usize) -> Self {
-        ConcurrentLabelTable { slots: (0..n).map(|_| Mutex::new(Vec::new())).collect() }
+        ConcurrentLabelTable {
+            slots: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
     }
 
     /// Number of vertices.
@@ -73,7 +75,10 @@ impl ConcurrentLabelTable {
 
     /// Drains the table into per-vertex raw entry vectors, leaving it empty.
     pub fn drain_all(&self) -> Vec<Vec<LabelEntry>> {
-        self.slots.iter().map(|s| std::mem::take(&mut *s.lock())).collect()
+        self.slots
+            .iter()
+            .map(|s| std::mem::take(&mut *s.lock()))
+            .collect()
     }
 
     /// Consumes the table into sorted per-vertex [`LabelSet`]s.
@@ -152,7 +157,10 @@ mod tests {
                 let t = Arc::clone(&t);
                 scope.spawn(move || {
                     for i in 0..100u32 {
-                        t.append((i % 8) as VertexId, LabelEntry::new(thread_id * 1000 + i, i as u64));
+                        t.append(
+                            (i % 8) as VertexId,
+                            LabelEntry::new(thread_id * 1000 + i, i as u64),
+                        );
                     }
                 });
             }
@@ -168,7 +176,10 @@ mod tests {
         ];
         let local = ConcurrentLabelTable::new(2);
         local.append(0, LabelEntry::new(5, 9));
-        let tables = GllTables { global: &global, local: &local };
+        let tables = GllTables {
+            global: &global,
+            local: &local,
+        };
 
         let mut out = Vec::new();
         tables.collect_labels(0, &mut out);

@@ -81,18 +81,102 @@ impl DatasetId {
         use DatasetId::*;
         use Topology::*;
         let (name, description, topology, n, m, directed) = match self {
-            CAL => ("CAL", "California road network", Road, 1_890_815, 4_657_742, false),
-            EAS => ("EAS", "East USA road network", Road, 3_598_623, 8_778_114, false),
-            CTR => ("CTR", "Center USA road network", Road, 14_081_816, 34_292_496, false),
-            USA => ("USA", "Full USA road network", Road, 23_947_347, 58_333_344, false),
-            SKIT => ("SKIT", "Skitter autonomous systems", ScaleFree, 192_244, 636_643, false),
-            WND => ("WND", "Univ. Notre Dame webpages", ScaleFree, 325_729, 1_497_134, true),
-            AUT => ("AUT", "Citeseer collaboration", ScaleFree, 227_320, 814_134, false),
-            YTB => ("YTB", "Youtube social network", ScaleFree, 1_134_890, 2_987_624, false),
-            ACT => ("ACT", "Actor collaboration network", ScaleFree, 382_219, 33_115_812, false),
-            BDU => ("BDU", "Baidu hyperlink network", ScaleFree, 2_141_300, 17_794_839, true),
-            POK => ("POK", "Social network Pokec", ScaleFree, 1_632_803, 30_622_564, true),
-            LIJ => ("LIJ", "LiveJournal social network", ScaleFree, 4_847_571, 68_993_773, true),
+            CAL => (
+                "CAL",
+                "California road network",
+                Road,
+                1_890_815,
+                4_657_742,
+                false,
+            ),
+            EAS => (
+                "EAS",
+                "East USA road network",
+                Road,
+                3_598_623,
+                8_778_114,
+                false,
+            ),
+            CTR => (
+                "CTR",
+                "Center USA road network",
+                Road,
+                14_081_816,
+                34_292_496,
+                false,
+            ),
+            USA => (
+                "USA",
+                "Full USA road network",
+                Road,
+                23_947_347,
+                58_333_344,
+                false,
+            ),
+            SKIT => (
+                "SKIT",
+                "Skitter autonomous systems",
+                ScaleFree,
+                192_244,
+                636_643,
+                false,
+            ),
+            WND => (
+                "WND",
+                "Univ. Notre Dame webpages",
+                ScaleFree,
+                325_729,
+                1_497_134,
+                true,
+            ),
+            AUT => (
+                "AUT",
+                "Citeseer collaboration",
+                ScaleFree,
+                227_320,
+                814_134,
+                false,
+            ),
+            YTB => (
+                "YTB",
+                "Youtube social network",
+                ScaleFree,
+                1_134_890,
+                2_987_624,
+                false,
+            ),
+            ACT => (
+                "ACT",
+                "Actor collaboration network",
+                ScaleFree,
+                382_219,
+                33_115_812,
+                false,
+            ),
+            BDU => (
+                "BDU",
+                "Baidu hyperlink network",
+                ScaleFree,
+                2_141_300,
+                17_794_839,
+                true,
+            ),
+            POK => (
+                "POK",
+                "Social network Pokec",
+                ScaleFree,
+                1_632_803,
+                30_622_564,
+                true,
+            ),
+            LIJ => (
+                "LIJ",
+                "LiveJournal social network",
+                ScaleFree,
+                4_847_571,
+                68_993_773,
+                true,
+            ),
         };
         DatasetInfo {
             id: self,

@@ -34,7 +34,11 @@ pub fn load_graph(id: DatasetId, scale: Scale, seed: u64) -> CsrGraph {
     let info = id.info();
     let target_n = scale.target_vertices(&info);
     // Per-dataset seed so different datasets are not merely rescaled copies.
-    let seed = seed ^ (info.name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64)));
+    let seed = seed
+        ^ (info
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64)));
 
     match info.topology {
         Topology::Road => {
@@ -58,7 +62,8 @@ pub fn load_graph(id: DatasetId, scale: Scale, seed: u64) -> CsrGraph {
             // Average degree of the real dataset determines the attachment
             // parameter; hyperlink-style graphs (BDU) use R-MAT for a more
             // skewed structure, the rest use preferential attachment.
-            let avg_degree = (info.paper_edges as f64 / info.paper_vertices as f64).round() as usize;
+            let avg_degree =
+                (info.paper_edges as f64 / info.paper_vertices as f64).round() as usize;
             match id {
                 DatasetId::BDU => {
                     let scale_log = (target_n as f64).log2().round().max(6.0) as u32;
@@ -89,7 +94,10 @@ pub fn load(id: DatasetId, scale: Scale, seed: u64) -> Dataset {
     let ranking = match id.topology() {
         Topology::Road => betweenness_ranking(
             &graph,
-            &BetweennessOptions { samples: 48, degree_tiebreak: true },
+            &BetweennessOptions {
+                samples: 48,
+                degree_tiebreak: true,
+            },
             seed,
         ),
         Topology::ScaleFree => degree_ranking(&graph),
@@ -148,10 +156,17 @@ mod tests {
     fn road_stand_ins_look_like_roads() {
         for id in [DatasetId::CAL, DatasetId::USA] {
             let g = load_graph(id, Scale::Tiny, 1);
-            assert!(!looks_scale_free(&g, 8.0), "{:?} should not be scale-free", id);
+            assert!(
+                !looks_scale_free(&g, 8.0),
+                "{:?} should not be scale-free",
+                id
+            );
             let stats = graph_stats(&g);
             assert!(stats.max_degree <= 8);
-            assert!(stats.approx_diameter_hops > 10, "road networks have large diameter");
+            assert!(
+                stats.approx_diameter_hops > 10,
+                "road networks have large diameter"
+            );
         }
     }
 
@@ -191,7 +206,12 @@ mod tests {
         let social = load(DatasetId::YTB, Scale::Tiny, 5);
         // Degree ranking: the top vertex has maximum degree.
         let top = social.ranking.vertex_at(0);
-        let max_deg = social.graph.vertices().map(|v| social.graph.degree(v)).max().unwrap();
+        let max_deg = social
+            .graph
+            .vertices()
+            .map(|v| social.graph.degree(v))
+            .max()
+            .unwrap();
         assert_eq!(social.graph.degree(top), max_deg);
         // Scale-free stand-ins are connected by construction (BA model).
         assert_eq!(connected_components(&social.graph).count(), 1);

@@ -108,7 +108,10 @@ mod tests {
         let c = DistributedConfig::default();
         assert_eq!(c.dparapll_superstep_count(8), 1);
         assert!(c.dparapll_superstep_count(1_000_000) >= 6);
-        let fixed = DistributedConfig { dparapll_supersteps: 3, ..Default::default() };
+        let fixed = DistributedConfig {
+            dparapll_supersteps: 3,
+            ..Default::default()
+        };
         assert_eq!(fixed.dparapll_superstep_count(1_000_000), 3);
     }
 }

@@ -18,7 +18,9 @@
 
 use std::time::Instant;
 
-use chl_cluster::{RunMetrics, SimulatedCluster, SuperstepMetrics, SuperstepSchedule, TaskPartition};
+use chl_cluster::{
+    RunMetrics, SimulatedCluster, SuperstepMetrics, SuperstepSchedule, TaskPartition,
+};
 use chl_core::labels::{LabelEntry, LabelSet};
 use chl_core::plant::CommonLabelTable;
 use chl_core::pruned_dijkstra::DijkstraScratch;
@@ -78,7 +80,7 @@ pub(crate) fn dgll_superstep(
     range: (u32, u32),
     own_partitions: &mut [Vec<LabelSet>],
     common: &mut CommonLabelTable,
-    ) -> SuperstepMetrics {
+) -> SuperstepMetrics {
     let n = g.num_vertices();
     let q = own_partitions.len();
     let positions: Vec<Vec<u32>> = (0..q)
@@ -97,8 +99,14 @@ pub(crate) fn dgll_superstep(
             local: &local,
         };
         let mut scratch = DijkstraScratch::new(n);
-        let records =
-            construct_positions(g, ranking, &positions[node.node_id], &view, true, &mut scratch);
+        let records = construct_positions(
+            g,
+            ranking,
+            &positions[node.node_id],
+            &view,
+            true,
+            &mut scratch,
+        );
         (records, local.drain_all())
     });
 
@@ -130,7 +138,11 @@ pub(crate) fn dgll_superstep(
             for e in raw {
                 let hub_vertex = ranking.vertex_at(e.hub);
                 let redundant = hub_vertex != v as u32
-                    && combined[v].is_redundant_label(e.hub, e.dist, &combined[hub_vertex as usize]);
+                    && combined[v].is_redundant_label(
+                        e.hub,
+                        e.dist,
+                        &combined[hub_vertex as usize],
+                    );
                 if redundant {
                     superstep.labels_deleted += 1;
                 } else {
@@ -206,7 +218,10 @@ mod tests {
     }
 
     fn config() -> DistributedConfig {
-        DistributedConfig { initial_superstep: 8, ..Default::default() }
+        DistributedConfig {
+            initial_superstep: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -220,10 +235,20 @@ mod tests {
 
     #[test]
     fn dgll_is_canonical_on_road_like_graph() {
-        let g = grid_network(&GridOptions { rows: 8, cols: 8, ..GridOptions::default() }, 3);
+        let g = grid_network(
+            &GridOptions {
+                rows: 8,
+                cols: 8,
+                ..GridOptions::default()
+            },
+            3,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 16, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 16,
+                degree_tiebreak: true,
+            },
             9,
         );
         let d = distributed_gll(&g, &ranking, &cluster(6), &config());
@@ -252,7 +277,12 @@ mod tests {
         for node in 0..q {
             for v in 0..g.num_vertices() as u32 {
                 for e in d.labels_on_node(node, v).entries() {
-                    assert_eq!(partition.owner_of(e.hub), node, "hub {} stored off its owner", e.hub);
+                    assert_eq!(
+                        partition.owner_of(e.hub),
+                        node,
+                        "hub {} stored off its owner",
+                        e.hub
+                    );
                 }
             }
         }

@@ -54,7 +54,12 @@ pub fn distributed_parapll(
     while from < n {
         let to = (from + step).min(n);
         let range: Vec<(usize, Vec<u32>)> = (0..q)
-            .map(|node| (node, partition.positions_of_in_range(node, from as u32, to as u32)))
+            .map(|node| {
+                (
+                    node,
+                    partition.positions_of_in_range(node, from as u32, to as u32),
+                )
+            })
             .collect();
 
         let outputs = run_nodes(cluster, config.execution, |node| {
@@ -108,8 +113,7 @@ pub fn distributed_parapll(
         .map(|t| t.iter().map(LabelSet::memory_bytes).sum())
         .max()
         .unwrap_or(0);
-    metrics.out_of_memory =
-        metrics.peak_node_label_bytes > cluster.spec().memory_per_node_bytes;
+    metrics.out_of_memory = metrics.peak_node_label_bytes > cluster.spec().memory_per_node_bytes;
 
     // DparaPLL replicates storage: the result's partitions are the full
     // tables so per-node memory accounting reflects the replication.
@@ -147,7 +151,10 @@ mod tests {
         let als8 = distributed_parapll(&g, &ranking, &cluster(8), &DistributedConfig::default())
             .average_label_size();
         assert!(als1 >= canonical - 1e-9);
-        assert!(als8 >= als1, "ALS must not shrink with more nodes (als1={als1}, als8={als8})");
+        assert!(
+            als8 >= als1,
+            "ALS must not shrink with more nodes (als1={als1}, als8={als8})"
+        );
     }
 
     #[test]
@@ -158,7 +165,10 @@ mod tests {
         let per_node = d.labels_per_node();
         let assembled = d.assemble().total_labels();
         for &count in &per_node {
-            assert_eq!(count, assembled, "replicated storage: every node holds everything");
+            assert_eq!(
+                count, assembled,
+                "replicated storage: every node holds everything"
+            );
         }
     }
 

@@ -32,7 +32,9 @@ pub fn distributed_plant(
     let partition = TaskPartition::new(q, n);
     let empty_common = CommonLabelTable::empty(n);
 
-    let positions: Vec<Vec<u32>> = (0..q).map(|node| partition.positions_of(node).collect()).collect();
+    let positions: Vec<Vec<u32>> = (0..q)
+        .map(|node| partition.positions_of(node).collect())
+        .collect();
 
     let outputs = run_nodes(cluster, config.execution, |node| {
         let mut scratch = PlantScratch::new(n);
@@ -41,7 +43,14 @@ pub fn distributed_plant(
         let mut generated = 0usize;
         for &pos in &positions[node.node_id] {
             let root = ranking.vertex_at(pos);
-            let tree = plant_dijkstra(g, ranking, root, config.early_termination, &empty_common, &mut scratch);
+            let tree = plant_dijkstra(
+                g,
+                ranking,
+                root,
+                config.early_termination,
+                &empty_common,
+                &mut scratch,
+            );
             explored += tree.vertices_explored;
             generated += tree.labels.len();
             for &(v, d) in &tree.labels {
@@ -91,10 +100,20 @@ mod tests {
 
     #[test]
     fn plant_is_canonical_on_road_like_graph() {
-        let g = grid_network(&GridOptions { rows: 9, cols: 9, ..GridOptions::default() }, 8);
+        let g = grid_network(
+            &GridOptions {
+                rows: 9,
+                cols: 9,
+                ..GridOptions::default()
+            },
+            8,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 16, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 16,
+                degree_tiebreak: true,
+            },
             2,
         );
         let d = distributed_plant(&g, &ranking, &cluster(8), &DistributedConfig::default());
@@ -125,7 +144,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(d.labels_per_node().iter().sum::<usize>(), d.assemble().total_labels());
+        assert_eq!(
+            d.labels_per_node().iter().sum::<usize>(),
+            d.assemble().total_labels()
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 
 use std::time::Instant;
 
-use chl_cluster::{RunMetrics, SimulatedCluster, SuperstepMetrics, SuperstepSchedule, TaskPartition};
+use chl_cluster::{
+    RunMetrics, SimulatedCluster, SuperstepMetrics, SuperstepSchedule, TaskPartition,
+};
 use chl_core::labels::{LabelEntry, LabelSet};
 use chl_core::plant::{plant_dijkstra, CommonLabelTable, PlantScratch};
 use chl_graph::CsrGraph;
@@ -62,8 +64,9 @@ pub fn distributed_hybrid(
 
         // ---- PLaNT superstep ----
         planted_supersteps += 1;
-        let positions: Vec<Vec<u32>> =
-            (0..q).map(|node| partition.positions_of_in_range(node, from, to)).collect();
+        let positions: Vec<Vec<u32>> = (0..q)
+            .map(|node| partition.positions_of_in_range(node, from, to))
+            .collect();
         let own_ref: &[Vec<LabelSet>] = &own_partitions;
         let common_ref: &CommonLabelTable = &common;
         let _ = own_ref; // nodes do not consult other labels while PLaNTing
@@ -148,7 +151,10 @@ mod tests {
     }
 
     fn config() -> DistributedConfig {
-        DistributedConfig { initial_superstep: 8, ..Default::default() }
+        DistributedConfig {
+            initial_superstep: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -184,10 +190,20 @@ mod tests {
 
     #[test]
     fn hybrid_is_canonical_on_road_like_graph() {
-        let g = grid_network(&GridOptions { rows: 9, cols: 8, ..GridOptions::default() }, 31);
+        let g = grid_network(
+            &GridOptions {
+                rows: 9,
+                cols: 8,
+                ..GridOptions::default()
+            },
+            31,
+        );
         let ranking = chl_ranking::betweenness_ranking(
             &g,
-            &chl_ranking::BetweennessOptions { samples: 16, degree_tiebreak: true },
+            &chl_ranking::BetweennessOptions {
+                samples: 16,
+                degree_tiebreak: true,
+            },
             4,
         );
         let cfg = config().with_psi_threshold(3.0);

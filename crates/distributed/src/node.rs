@@ -58,7 +58,10 @@ pub fn construct_positions(
     rank_query: bool,
     scratch: &mut DijkstraScratch,
 ) -> Vec<SptRecord> {
-    let opts = PruneOptions { rank_query, ..Default::default() };
+    let opts = PruneOptions {
+        rank_query,
+        ..Default::default()
+    };
     positions
         .iter()
         .map(|&pos| {
@@ -115,7 +118,12 @@ mod tests {
         let local = ConcurrentLabelTable::new(2);
         local.append(0, LabelEntry::new(3, 4));
 
-        let view = NodeView { own: &own, replicated: &replicated, common: Some(&common), local: &local };
+        let view = NodeView {
+            own: &own,
+            replicated: &replicated,
+            common: Some(&common),
+            local: &local,
+        };
         let mut out = Vec::new();
         view.collect_labels(0, &mut out);
         assert_eq!(out.len(), 4);
@@ -130,7 +138,12 @@ mod tests {
         let ranking = Ranking::identity(5);
         let own = vec![LabelSet::new(); 5];
         let local = ConcurrentLabelTable::new(5);
-        let view = NodeView { own: &own, replicated: &[], common: None, local: &local };
+        let view = NodeView {
+            own: &own,
+            replicated: &[],
+            common: None,
+            local: &local,
+        };
         let mut scratch = DijkstraScratch::new(5);
         let records = construct_positions(&g, &ranking, &[0, 2], &view, true, &mut scratch);
         assert_eq!(records.len(), 2);

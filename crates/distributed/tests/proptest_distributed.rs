@@ -13,7 +13,11 @@ use chl_graph::{CsrGraph, GraphBuilder};
 use chl_ranking::Ranking;
 
 fn arb_graph_and_ranking() -> impl Strategy<Value = (CsrGraph, Ranking)> {
-    (4usize..24, proptest::collection::vec((0u32..24, 0u32..24, 1u32..16), 3..90), any::<u64>())
+    (
+        4usize..24,
+        proptest::collection::vec((0u32..24, 0u32..24, 1u32..16), 3..90),
+        any::<u64>(),
+    )
         .prop_map(|(n, edges, seed)| {
             let mut b = GraphBuilder::new_undirected();
             b.ensure_vertices(n);
@@ -24,7 +28,9 @@ fn arb_graph_and_ranking() -> impl Strategy<Value = (CsrGraph, Ranking)> {
             let mut order: Vec<u32> = (0..n as u32).collect();
             let mut state = seed | 1;
             for i in (1..n).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % (i + 1);
                 order.swap(i, j);
             }
@@ -37,7 +43,10 @@ fn cluster(q: usize) -> SimulatedCluster {
 }
 
 fn config() -> DistributedConfig {
-    DistributedConfig { initial_superstep: 4, ..Default::default() }
+    DistributedConfig {
+        initial_superstep: 4,
+        ..Default::default()
+    }
 }
 
 proptest! {

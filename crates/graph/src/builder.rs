@@ -100,12 +100,16 @@ impl GraphBuilder {
         }
         if self.reject_zero_weights {
             if let Some(e) = self.edges.iter().find(|e| e.w == 0) {
-                return Err(GraphError::InvalidWeight { u: e.u as u64, v: e.v as u64 });
+                return Err(GraphError::InvalidWeight {
+                    u: e.u as u64,
+                    v: e.v as u64,
+                });
             }
         }
 
         // Deduplicate, keeping the minimum weight per (directed) endpoint pair.
-        let mut best: HashMap<(VertexId, VertexId), Weight> = HashMap::with_capacity(self.edges.len());
+        let mut best: HashMap<(VertexId, VertexId), Weight> =
+            HashMap::with_capacity(self.edges.len());
         for e in &self.edges {
             let key = match self.kind {
                 GraphKind::Undirected => {
@@ -114,7 +118,9 @@ impl GraphBuilder {
                 }
                 GraphKind::Directed => (e.u, e.v),
             };
-            best.entry(key).and_modify(|w| *w = (*w).min(e.w)).or_insert(e.w);
+            best.entry(key)
+                .and_modify(|w| *w = (*w).min(e.w))
+                .or_insert(e.w);
         }
 
         let mut adjacency: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
@@ -130,7 +136,11 @@ impl GraphBuilder {
             nbrs.sort_unstable();
         }
 
-        Ok(CsrGraph::from_adjacency(self.kind, adjacency, logical_edges))
+        Ok(CsrGraph::from_adjacency(
+            self.kind,
+            adjacency,
+            logical_edges,
+        ))
     }
 }
 
@@ -205,7 +215,11 @@ mod tests {
     fn extend_edges_and_len() {
         let mut b = GraphBuilder::new_undirected();
         assert!(b.is_empty());
-        b.extend_edges(vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3), Edge::new(3, 3, 9)]);
+        b.extend_edges(vec![
+            Edge::new(0, 1, 2),
+            Edge::new(1, 2, 3),
+            Edge::new(3, 3, 9),
+        ]);
         // Self loop ignored at insertion time.
         assert_eq!(b.len(), 2);
         let g = b.build().unwrap();

@@ -67,12 +67,13 @@ pub fn connected_components(g: &CsrGraph) -> Components {
         stack.push(start as VertexId);
         while let Some(v) = stack.pop() {
             size += 1;
-            let push_unvisited = |u: VertexId, component: &mut Vec<u32>, stack: &mut Vec<VertexId>| {
-                if component[u as usize] == u32::MAX {
-                    component[u as usize] = id;
-                    stack.push(u);
-                }
-            };
+            let push_unvisited =
+                |u: VertexId, component: &mut Vec<u32>, stack: &mut Vec<VertexId>| {
+                    if component[u as usize] == u32::MAX {
+                        component[u as usize] = id;
+                        stack.push(u);
+                    }
+                };
             for (u, _) in g.neighbors(v) {
                 push_unvisited(u, &mut component, &mut stack);
             }

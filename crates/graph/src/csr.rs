@@ -142,7 +142,7 @@ impl CsrGraph {
     /// Iterator over all vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices as VertexId).into_iter()
+        0..self.num_vertices as VertexId
     }
 
     /// Out-degree of `v` (degree for undirected graphs).
@@ -185,7 +185,10 @@ impl CsrGraph {
             GraphKind::Directed => (&self.rev_offsets, &self.rev_targets, &self.rev_weights),
         };
         let range = offsets[v]..offsets[v + 1];
-        targets[range.clone()].iter().copied().zip(weights[range].iter().copied())
+        targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(weights[range].iter().copied())
     }
 
     /// Returns the weight of edge `(u, v)` if it exists (out-direction).

@@ -39,17 +39,25 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex id {vertex} out of range for a graph with {num_vertices} vertices"
             ),
             GraphError::InvalidWeight { u, v } => {
-                write!(f, "edge ({u}, {v}) has an invalid (zero) weight; weights must be positive")
+                write!(
+                    f,
+                    "edge ({u}, {v}) has an invalid (zero) weight; weights must be positive"
+                )
             }
             GraphError::TooManyVertices(n) => {
                 write!(f, "graph with {n} vertices exceeds the u32 vertex id space")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Corrupt(msg) => write!(f, "corrupt graph snapshot: {msg}"),
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -77,14 +85,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("5"));
 
         let e = GraphError::InvalidWeight { u: 1, v: 2 };
         assert!(e.to_string().contains("(1, 2)"));
 
-        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

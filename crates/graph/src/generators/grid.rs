@@ -85,7 +85,8 @@ pub fn grid_network(opts: &GridOptions, seed: u64) -> CsrGraph {
         }
     }
 
-    b.build().expect("grid generator produces positive weights only")
+    b.build()
+        .expect("grid generator produces positive weights only")
 }
 
 #[cfg(test)]
@@ -97,36 +98,84 @@ mod tests {
     #[test]
     fn grid_is_connected_and_road_like() {
         let g = grid_network(
-            &GridOptions { rows: 20, cols: 15, removal_fraction: 0.1, ..GridOptions::default() },
+            &GridOptions {
+                rows: 20,
+                cols: 15,
+                removal_fraction: 0.1,
+                ..GridOptions::default()
+            },
             42,
         );
         assert_eq!(g.num_vertices(), 300);
         assert_eq!(connected_components(&g).count(), 1);
         let stats = graph_stats(&g);
-        assert!(stats.max_degree <= 6, "road networks have small degree, got {}", stats.max_degree);
-        assert!(estimate_diameter_hops(&g, 4) >= 20, "grids have large diameter");
+        assert!(
+            stats.max_degree <= 6,
+            "road networks have small degree, got {}",
+            stats.max_degree
+        );
+        assert!(
+            estimate_diameter_hops(&g, 4) >= 20,
+            "grids have large diameter"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let o = GridOptions { rows: 10, cols: 10, ..GridOptions::default() };
+        let o = GridOptions {
+            rows: 10,
+            cols: 10,
+            ..GridOptions::default()
+        };
         assert_eq!(grid_network(&o, 1), grid_network(&o, 1));
         assert_ne!(grid_network(&o, 1), grid_network(&o, 2));
     }
 
     #[test]
     fn shortcuts_are_added() {
-        let no_sc = grid_network(&GridOptions { rows: 10, cols: 10, removal_fraction: 0.0, shortcut_edges: 0, ..GridOptions::default() }, 3);
-        let with_sc = grid_network(&GridOptions { rows: 10, cols: 10, removal_fraction: 0.0, shortcut_edges: 25, ..GridOptions::default() }, 3);
+        let no_sc = grid_network(
+            &GridOptions {
+                rows: 10,
+                cols: 10,
+                removal_fraction: 0.0,
+                shortcut_edges: 0,
+                ..GridOptions::default()
+            },
+            3,
+        );
+        let with_sc = grid_network(
+            &GridOptions {
+                rows: 10,
+                cols: 10,
+                removal_fraction: 0.0,
+                shortcut_edges: 25,
+                ..GridOptions::default()
+            },
+            3,
+        );
         assert!(with_sc.num_edges() > no_sc.num_edges());
     }
 
     #[test]
     fn degenerate_sizes() {
-        let g = grid_network(&GridOptions { rows: 1, cols: 1, ..GridOptions::default() }, 0);
+        let g = grid_network(
+            &GridOptions {
+                rows: 1,
+                cols: 1,
+                ..GridOptions::default()
+            },
+            0,
+        );
         assert_eq!(g.num_vertices(), 1);
         assert_eq!(g.num_edges(), 0);
-        let g = grid_network(&GridOptions { rows: 1, cols: 5, ..GridOptions::default() }, 0);
+        let g = grid_network(
+            &GridOptions {
+                rows: 1,
+                cols: 5,
+                ..GridOptions::default()
+            },
+            0,
+        );
         assert_eq!(g.num_edges(), 4);
     }
 }

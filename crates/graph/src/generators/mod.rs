@@ -19,8 +19,8 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::csr::CsrGraph;
 use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
 use crate::types::Weight;
 
 /// Deterministic RNG shared by all generators.
@@ -44,7 +44,8 @@ pub fn assign_random_weights(g: &CsrGraph, max_weight: Weight, seed: u64) -> Csr
     for e in g.edges() {
         b.add_edge(e.u, e.v, rng.gen_range(1..=max_weight));
     }
-    b.build().expect("re-weighted graph is structurally identical to its valid source")
+    b.build()
+        .expect("re-weighted graph is structurally identical to its valid source")
 }
 
 /// The paper's weight bound for originally-unweighted graphs: `⌊sqrt(n)⌋`,

@@ -22,7 +22,8 @@ pub fn erdos_renyi(n: usize, p: f64, max_weight: Weight, seed: u64) -> CsrGraph 
             }
         }
     }
-    b.build().expect("erdos-renyi generator produces positive weights only")
+    b.build()
+        .expect("erdos-renyi generator produces positive weights only")
 }
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to
@@ -74,7 +75,8 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
             endpoints.push(t);
         }
     }
-    b.build().expect("BA generator produces positive weights only")
+    b.build()
+        .expect("BA generator produces positive weights only")
 }
 
 /// Options for the [`rmat`] generator.
@@ -96,7 +98,14 @@ pub struct RmatOptions {
 
 impl Default for RmatOptions {
     fn default() -> Self {
-        RmatOptions { scale: 10, edge_factor: 8, a: 0.57, b: 0.19, c: 0.19, max_weight: 32 }
+        RmatOptions {
+            scale: 10,
+            edge_factor: 8,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            max_weight: 32,
+        }
     }
 }
 
@@ -133,7 +142,8 @@ pub fn rmat(opts: &RmatOptions, seed: u64) -> CsrGraph {
             b.add_edge(u as VertexId, v as VertexId, rng.gen_range(1..=max_weight));
         }
     }
-    b.build().expect("rmat generator produces positive weights only")
+    b.build()
+        .expect("rmat generator produces positive weights only")
 }
 
 /// Watts–Strogatz small world: a ring lattice where each vertex connects to
@@ -163,11 +173,16 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, max_weight: Weight, seed: u
                 v
             };
             if target != u {
-                b.add_edge(u as VertexId, target as VertexId, rng.gen_range(1..=max_weight));
+                b.add_edge(
+                    u as VertexId,
+                    target as VertexId,
+                    rng.gen_range(1..=max_weight),
+                );
             }
         }
     }
-    b.build().expect("WS generator produces positive weights only")
+    b.build()
+        .expect("WS generator produces positive weights only")
 }
 
 #[cfg(test)]
@@ -196,7 +211,11 @@ mod tests {
         let g = barabasi_albert(500, 3, 77);
         assert_eq!(connected_components(&g).count(), 1);
         let stats = graph_stats(&g);
-        assert!(stats.max_degree > 20, "expected a hub, got max degree {}", stats.max_degree);
+        assert!(
+            stats.max_degree > 20,
+            "expected a hub, got max degree {}",
+            stats.max_degree
+        );
         assert!(stats.avg_degree < 10.0);
     }
 
@@ -211,7 +230,14 @@ mod tests {
 
     #[test]
     fn rmat_produces_skewed_degrees() {
-        let g = rmat(&RmatOptions { scale: 9, edge_factor: 8, ..RmatOptions::default() }, 5);
+        let g = rmat(
+            &RmatOptions {
+                scale: 9,
+                edge_factor: 8,
+                ..RmatOptions::default()
+            },
+            5,
+        );
         assert_eq!(g.num_vertices(), 512);
         let stats = graph_stats(&g);
         assert!(stats.max_degree as f64 > 4.0 * stats.avg_degree);
@@ -234,6 +260,9 @@ mod tests {
             rmat(&RmatOptions::default(), 3),
             rmat(&RmatOptions::default(), 3)
         );
-        assert_eq!(watts_strogatz(80, 4, 0.2, 5, 2), watts_strogatz(80, 4, 0.2, 5, 2));
+        assert_eq!(
+            watts_strogatz(80, 4, 0.2, 5, 2),
+            watts_strogatz(80, 4, 0.2, 5, 2)
+        );
     }
 }

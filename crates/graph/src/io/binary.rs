@@ -56,7 +56,9 @@ pub fn from_bytes(mut data: Bytes) -> Result<CsrGraph, GraphError> {
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+        return Err(GraphError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let kind = match data.get_u8() {
         0 => GraphKind::Undirected,
@@ -106,7 +108,14 @@ mod tests {
 
     #[test]
     fn roundtrip_undirected() {
-        let g = grid_network(&GridOptions { rows: 9, cols: 4, ..GridOptions::default() }, 2);
+        let g = grid_network(
+            &GridOptions {
+                rows: 9,
+                cols: 4,
+                ..GridOptions::default()
+            },
+            2,
+        );
         let bytes = to_bytes(&g);
         let back = from_bytes(bytes).unwrap();
         assert_eq!(g, back);
@@ -136,7 +145,14 @@ mod tests {
     fn corrupt_inputs_are_rejected() {
         assert!(from_bytes(Bytes::from_static(b"short")).is_err());
 
-        let g = grid_network(&GridOptions { rows: 3, cols: 3, ..GridOptions::default() }, 0);
+        let g = grid_network(
+            &GridOptions {
+                rows: 3,
+                cols: 3,
+                ..GridOptions::default()
+            },
+            0,
+        );
         let mut bytes = to_bytes(&g).to_vec();
         bytes[0] = b'X'; // break magic
         assert!(from_bytes(Bytes::from(bytes)).is_err());

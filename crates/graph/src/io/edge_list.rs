@@ -24,7 +24,11 @@ pub struct EdgeListOptions {
 
 impl Default for EdgeListOptions {
     fn default() -> Self {
-        EdgeListOptions { directed: false, one_based: false, default_weight: 1 }
+        EdgeListOptions {
+            directed: false,
+            one_based: false,
+            default_weight: 1,
+        }
     }
 }
 
@@ -61,7 +65,13 @@ pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<CsrG
 
 /// Writes `g` as a `u v w` edge list (0-based ids).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# {} vertices, {} edges, {:?}", g.num_vertices(), g.num_edges(), g.kind())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} edges, {:?}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.kind()
+    )?;
     for e in g.edges() {
         writeln!(writer, "{} {} {}", e.u, e.v, e.w)?;
     }
@@ -111,7 +121,10 @@ mod tests {
     #[test]
     fn parse_weighted_konect_style_one_based() {
         let input = "% konect\n1 2 7\n2 3 9\n";
-        let opts = EdgeListOptions { one_based: true, ..Default::default() };
+        let opts = EdgeListOptions {
+            one_based: true,
+            ..Default::default()
+        };
         let g = read_edge_list(input.as_bytes(), &opts).unwrap();
         assert_eq!(g.edge_weight(0, 1), Some(7));
         assert_eq!(g.edge_weight(1, 2), Some(9));
@@ -120,7 +133,10 @@ mod tests {
     #[test]
     fn default_weight_is_configurable() {
         let input = "0 1\n";
-        let opts = EdgeListOptions { default_weight: 42, ..Default::default() };
+        let opts = EdgeListOptions {
+            default_weight: 42,
+            ..Default::default()
+        };
         let g = read_edge_list(input.as_bytes(), &opts).unwrap();
         assert_eq!(g.edge_weight(0, 1), Some(42));
     }
@@ -128,7 +144,10 @@ mod tests {
     #[test]
     fn directed_read() {
         let input = "0 1 5\n1 0 6\n";
-        let opts = EdgeListOptions { directed: true, ..Default::default() };
+        let opts = EdgeListOptions {
+            directed: true,
+            ..Default::default()
+        };
         let g = read_edge_list(input.as_bytes(), &opts).unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edge_weight(0, 1), Some(5));
@@ -154,7 +173,10 @@ mod tests {
         assert!(read_edge_list(missing_endpoint.as_bytes(), &EdgeListOptions::default()).is_err());
 
         let zero_in_one_based = "0 1\n";
-        let opts = EdgeListOptions { one_based: true, ..Default::default() };
+        let opts = EdgeListOptions {
+            one_based: true,
+            ..Default::default()
+        };
         assert!(read_edge_list(zero_in_one_based.as_bytes(), &opts).is_err());
     }
 }

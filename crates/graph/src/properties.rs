@@ -118,14 +118,28 @@ mod tests {
 
     #[test]
     fn degree_histogram_sums_to_n() {
-        let g = grid_network(&GridOptions { rows: 5, cols: 5, ..GridOptions::default() }, 1);
+        let g = grid_network(
+            &GridOptions {
+                rows: 5,
+                cols: 5,
+                ..GridOptions::default()
+            },
+            1,
+        );
         let hist = degree_histogram(&g);
         assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
     }
 
     #[test]
     fn scale_free_detector_separates_topologies() {
-        let road = grid_network(&GridOptions { rows: 20, cols: 20, ..GridOptions::default() }, 7);
+        let road = grid_network(
+            &GridOptions {
+                rows: 20,
+                cols: 20,
+                ..GridOptions::default()
+            },
+            7,
+        );
         let social = barabasi_albert(600, 4, 42);
         assert!(!looks_scale_free(&road, 8.0));
         assert!(looks_scale_free(&social, 8.0));

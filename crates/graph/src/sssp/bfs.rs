@@ -33,7 +33,13 @@ pub fn bfs_hops(g: &CsrGraph, source: VertexId) -> Vec<usize> {
 pub fn bfs_unit_distances(g: &CsrGraph, source: VertexId) -> Vec<Distance> {
     bfs_hops(g, source)
         .into_iter()
-        .map(|h| if h == usize::MAX { INFINITY } else { h as Distance })
+        .map(|h| {
+            if h == usize::MAX {
+                INFINITY
+            } else {
+                h as Distance
+            }
+        })
         .collect()
 }
 

@@ -27,17 +27,15 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Weight) -> Vec<Dist
     let mut buckets: Vec<Vec<VertexId>> = Vec::new();
     let mut bucket_of = vec![usize::MAX; n];
 
-    let place = |v: VertexId,
-                 d: Distance,
-                 buckets: &mut Vec<Vec<VertexId>>,
-                 bucket_of: &mut Vec<usize>| {
-        let b = (d / delta) as usize;
-        if b >= buckets.len() {
-            buckets.resize_with(b + 1, Vec::new);
-        }
-        buckets[b].push(v);
-        bucket_of[v as usize] = b;
-    };
+    let place =
+        |v: VertexId, d: Distance, buckets: &mut Vec<Vec<VertexId>>, bucket_of: &mut Vec<usize>| {
+            let b = (d / delta) as usize;
+            if b >= buckets.len() {
+                buckets.resize_with(b + 1, Vec::new);
+            }
+            buckets[b].push(v);
+            bucket_of[v as usize] = b;
+        };
 
     dist[source as usize] = 0;
     place(source, 0, &mut buckets, &mut bucket_of);
@@ -96,7 +94,7 @@ pub fn suggest_delta(g: &CsrGraph) -> Weight {
         return 1;
     }
     let total = g.total_weight();
-    ((total + g.num_edges() as Distance - 1) / g.num_edges() as Distance).max(1) as Weight
+    total.div_ceil(g.num_edges() as Distance).max(1) as Weight
 }
 
 #[cfg(test)]
@@ -117,7 +115,15 @@ mod tests {
 
     #[test]
     fn grid_with_heavy_and_light_edges() {
-        let g = grid_network(&GridOptions { rows: 8, cols: 8, max_weight: 50, ..GridOptions::default() }, 11);
+        let g = grid_network(
+            &GridOptions {
+                rows: 8,
+                cols: 8,
+                max_weight: 50,
+                ..GridOptions::default()
+            },
+            11,
+        );
         assert_eq!(delta_stepping(&g, 0, suggest_delta(&g)), dijkstra(&g, 0));
     }
 

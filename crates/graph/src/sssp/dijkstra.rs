@@ -26,7 +26,10 @@ pub fn dijkstra(g: &CsrGraph, source: VertexId) -> Vec<Distance> {
 pub fn dijkstra_with_parents(g: &CsrGraph, source: VertexId) -> Vec<SptNode> {
     let n = g.num_vertices();
     let mut nodes: Vec<SptNode> = (0..n)
-        .map(|v| SptNode { distance: INFINITY, parent: v as VertexId })
+        .map(|v| SptNode {
+            distance: INFINITY,
+            parent: v as VertexId,
+        })
         .collect();
     if n == 0 {
         return nodes;

@@ -20,12 +20,16 @@ pub struct DistanceQueue {
 impl DistanceQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        DistanceQueue { heap: BinaryHeap::new() }
+        DistanceQueue {
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Creates an empty queue with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        DistanceQueue { heap: BinaryHeap::with_capacity(cap) }
+        DistanceQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
     }
 
     /// Pushes an entry. Duplicate entries for a vertex are allowed; the caller

@@ -39,7 +39,14 @@ mod consistency_tests {
 
     #[test]
     fn all_algorithms_agree_on_grid() {
-        let g = grid_network(&GridOptions { rows: 12, cols: 9, ..GridOptions::default() }, 3);
+        let g = grid_network(
+            &GridOptions {
+                rows: 12,
+                cols: 9,
+                ..GridOptions::default()
+            },
+            3,
+        );
         let d1 = dijkstra(&g, 5);
         let d2 = bellman_ford(&g, 5);
         let d3 = delta_stepping(&g, 5, 16);

@@ -37,7 +37,11 @@ impl Edge {
 
     /// Returns the edge with endpoints swapped (same weight).
     pub fn reversed(self) -> Self {
-        Edge { u: self.v, v: self.u, w: self.w }
+        Edge {
+            u: self.v,
+            v: self.u,
+            w: self.w,
+        }
     }
 
     /// Returns the edge with endpoints ordered so that `u <= v`. Useful for

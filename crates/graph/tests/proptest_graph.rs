@@ -10,16 +10,18 @@ use chl_graph::{CsrGraph, GraphBuilder};
 
 /// Strategy: an arbitrary small weighted undirected graph.
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..50), 0..200)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40, 1u32..50), 0..200),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = GraphBuilder::new_undirected();
             b.ensure_vertices(n);
             for (u, v, w) in edges {
                 b.add_edge(u % n as u32, v % n as u32, w);
             }
             b.build().expect("generated weights are positive")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -15,10 +15,14 @@
 //!   labels of one partition pair and answers exactly the queries that fall
 //!   inside its pair via cheap point-to-point messages.
 //!
-//! Each mode exposes the same [`QueryEngine`]-style interface: single-query
-//! answers (always exact), batch evaluation, per-node memory accounting and a
-//! latency/throughput model driven by [`chl_cluster::NetworkModel`], which
-//! the Table 4 benchmark consumes.
+//! All three modes answer queries through the workspace-wide
+//! [`DistanceOracle`] trait (shared with the plain [`chl_core::HubLabelIndex`]
+//! and the distributed partitions), so exactness checks, batch evaluation and
+//! memory accounting are written once against `&dyn DistanceOracle`. The
+//! [`QueryEngine`] subtrait adds what only a serving engine has: a mode name,
+//! a modeled per-query latency and per-node memory driven by
+//! [`chl_cluster::NetworkModel`], and workload evaluation producing the
+//! [`QueryModeReport`] the Table 4 benchmark consumes.
 
 pub mod qdol;
 pub mod qfdl;
@@ -26,6 +30,7 @@ pub mod qlsn;
 pub mod report;
 pub mod workload;
 
+pub use chl_core::oracle::DistanceOracle;
 pub use qdol::QdolEngine;
 pub use qfdl::QfdlEngine;
 pub use qlsn::QlsnEngine;
@@ -34,12 +39,18 @@ pub use workload::{random_pairs, QueryWorkload};
 
 use chl_graph::types::{Distance, VertexId};
 
-/// Common interface of the three query modes.
-pub trait QueryEngine {
+/// Common serving interface of the three query modes.
+///
+/// Every engine is first a [`DistanceOracle`]; this subtrait layers the
+/// cluster-model concerns on top. `query` is kept as a provided alias of
+/// [`DistanceOracle::distance`] so existing call sites stay source-compatible.
+pub trait QueryEngine: DistanceOracle {
     /// Short mode name ("QLSN", "QFDL", "QDOL").
     fn name(&self) -> &'static str;
-    /// Answers one PPSD query exactly.
-    fn query(&self, u: VertexId, v: VertexId) -> Distance;
+    /// Answers one PPSD query exactly (alias of [`DistanceOracle::distance`]).
+    fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        self.distance(u, v)
+    }
     /// Modeled single-query latency, including any cross-node communication.
     fn modeled_latency(&self) -> std::time::Duration;
     /// Label memory consumed on each node, in bytes.

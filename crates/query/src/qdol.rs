@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use chl_cluster::ClusterSpec;
 use chl_core::labels::LabelSet;
+use chl_core::oracle::DistanceOracle;
 use chl_core::HubLabelIndex;
 use chl_distributed::DistributedLabeling;
 use chl_graph::types::{Distance, VertexId};
@@ -68,7 +69,13 @@ impl QdolEngine {
         }
         let pair_of_node: Vec<(usize, usize)> =
             (0..q).map(|node| pairs[node % pairs.len()]).collect();
-        QdolEngine { full: index.into_label_sets(), zeta, pair_of_node, num_vertices, spec }
+        QdolEngine {
+            full: index.into_label_sets(),
+            zeta,
+            pair_of_node,
+            num_vertices,
+            spec,
+        }
     }
 
     /// Partition of a vertex: contiguous chunks of the id space.
@@ -106,17 +113,28 @@ impl QdolEngine {
     }
 }
 
-impl QueryEngine for QdolEngine {
-    fn name(&self) -> &'static str {
-        "QDOL"
-    }
-
-    fn query(&self, u: VertexId, v: VertexId) -> Distance {
+impl DistanceOracle for QdolEngine {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
         // Routing does not change the answer (the target node holds the full
         // labels of both endpoints); evaluate it for the side effect of
         // exercising the routing table in debug builds.
         debug_assert!(self.node_for_query(u, v) < self.spec.nodes.max(1));
         self.local_answer(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Each partition pair's labels are held once per owning node.
+    fn memory_bytes(&self) -> usize {
+        self.memory_per_node().iter().sum()
+    }
+}
+
+impl QueryEngine for QdolEngine {
+    fn name(&self) -> &'static str {
+        "QDOL"
     }
 
     fn modeled_latency(&self) -> Duration {
@@ -163,7 +181,11 @@ impl QueryEngine for QdolEngine {
             .collect();
         let measured = start.elapsed();
 
-        let slowest = per_node_times.iter().copied().max().unwrap_or(Duration::ZERO);
+        let slowest = per_node_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO);
         let net = &self.spec.network;
         let largest_bucket = buckets.iter().map(Vec::len).max().unwrap_or(0);
         // Queries are scattered to nodes and responses gathered back; the
@@ -192,11 +214,11 @@ impl QueryEngine for QdolEngine {
 mod tests {
     use super::*;
     use crate::workload::random_pairs;
-    use chl_graph::types::INFINITY;
     use chl_cluster::SimulatedCluster;
     use chl_core::pll::sequential_pll;
     use chl_distributed::{distributed_plant, DistributedConfig};
     use chl_graph::generators::erdos_renyi;
+    use chl_graph::types::INFINITY;
     use chl_ranking::degree_ranking;
 
     fn engine(q: usize) -> (chl_graph::CsrGraph, QdolEngine) {
@@ -244,7 +266,10 @@ mod tests {
         let full_bytes = sequential_pll(&g, &ranking).index.memory_bytes();
         let per_node = qdol.memory_per_node();
         let max_node = *per_node.iter().max().unwrap();
-        assert!(max_node < full_bytes, "QDOL must store less than the full labeling per node");
+        assert!(
+            max_node < full_bytes,
+            "QDOL must store less than the full labeling per node"
+        );
         assert!(max_node * 16 > full_bytes, "but far more than a 1/q share");
     }
 

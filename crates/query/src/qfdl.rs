@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use chl_cluster::ClusterSpec;
 use chl_core::labels::LabelSet;
+use chl_core::oracle::DistanceOracle;
 use chl_distributed::DistributedLabeling;
 use chl_graph::types::{Distance, VertexId, INFINITY};
 use rayon::prelude::*;
@@ -34,7 +35,9 @@ impl QfdlEngine {
     /// Builds the engine from a distributed labeling, keeping its partitions
     /// exactly as the construction left them.
     pub fn new(labeling: &DistributedLabeling, spec: ClusterSpec) -> Self {
-        let partitions = (0..labeling.nodes()).map(|i| labeling.partition(i).to_vec()).collect();
+        let partitions = (0..labeling.nodes())
+            .map(|i| labeling.partition(i).to_vec())
+            .collect();
         QfdlEngine { partitions, spec }
     }
 
@@ -48,12 +51,8 @@ impl QfdlEngine {
     }
 }
 
-impl QueryEngine for QfdlEngine {
-    fn name(&self) -> &'static str {
-        "QFDL"
-    }
-
-    fn query(&self, u: VertexId, v: VertexId) -> Distance {
+impl DistanceOracle for QfdlEngine {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
         if u == v {
             return 0;
         }
@@ -62,6 +61,21 @@ impl QueryEngine for QfdlEngine {
             .map(|p| Self::local_answer(p, u, v))
             .min()
             .unwrap_or(INFINITY)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.partitions.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Labels are partitioned: the cluster total is the labeling itself.
+    fn memory_bytes(&self) -> usize {
+        self.memory_per_node().iter().sum()
+    }
+}
+
+impl QueryEngine for QfdlEngine {
+    fn name(&self) -> &'static str {
+        "QFDL"
     }
 
     fn modeled_latency(&self) -> Duration {
@@ -100,7 +114,11 @@ impl QueryEngine for QfdlEngine {
             .collect();
         let measured = start.elapsed();
 
-        let slowest = per_node_times.iter().copied().max().unwrap_or(Duration::ZERO);
+        let slowest = per_node_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO);
         // Batched communication: the whole query batch is broadcast once and
         // the response vector reduced once.
         let q = self.spec.nodes;

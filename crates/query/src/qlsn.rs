@@ -9,6 +9,7 @@
 use std::time::{Duration, Instant};
 
 use chl_cluster::ClusterSpec;
+use chl_core::oracle::DistanceOracle;
 use chl_core::HubLabelIndex;
 use chl_distributed::DistributedLabeling;
 use chl_graph::types::{Distance, VertexId};
@@ -27,7 +28,10 @@ impl QlsnEngine {
     /// Builds the engine from a distributed labeling by assembling (and
     /// conceptually replicating) the full index.
     pub fn new(labeling: &DistributedLabeling, spec: ClusterSpec) -> Self {
-        QlsnEngine { index: labeling.assemble(), spec }
+        QlsnEngine {
+            index: labeling.assemble(),
+            spec,
+        }
     }
 
     /// Builds the engine directly from an assembled index.
@@ -43,19 +47,33 @@ impl QlsnEngine {
     /// Measures the average local query time over the workload.
     fn measure_local(&self, workload: &QueryWorkload) -> (Duration, Vec<Distance>) {
         let start = Instant::now();
-        let answers: Vec<Distance> =
-            workload.pairs.iter().map(|&(u, v)| self.index.query(u, v)).collect();
+        let answers: Vec<Distance> = workload
+            .pairs
+            .iter()
+            .map(|&(u, v)| self.index.query(u, v))
+            .collect();
         (start.elapsed(), answers)
+    }
+}
+
+impl DistanceOracle for QlsnEngine {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.index.query(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.index.num_vertices()
+    }
+
+    /// Full labeling replicated on every node.
+    fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() * self.spec.nodes.max(1)
     }
 }
 
 impl QueryEngine for QlsnEngine {
     fn name(&self) -> &'static str {
         "QLSN"
-    }
-
-    fn query(&self, u: VertexId, v: VertexId) -> Distance {
-        self.index.query(u, v)
     }
 
     fn modeled_latency(&self) -> Duration {

@@ -30,7 +30,11 @@ impl QueryModeReport {
 
     /// Maximum per-node label memory in bytes.
     pub fn max_memory_per_node_bytes(&self) -> usize {
-        self.memory_per_node_bytes.iter().copied().max().unwrap_or(0)
+        self.memory_per_node_bytes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total label memory in gigabytes (the unit of Table 4).

@@ -30,7 +30,9 @@ impl QueryWorkload {
 pub fn random_pairs(num_vertices: usize, count: usize, seed: u64) -> QueryWorkload {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7175_6572);
     let n = num_vertices.max(1) as u32;
-    let pairs = (0..count).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let pairs = (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     QueryWorkload { pairs }
 }
 
@@ -77,7 +79,10 @@ mod tests {
     fn skewed_pairs_concentrate_on_hot_set() {
         let w = skewed_pairs(1000, 2000, 10, 0.9, 3);
         let hot_queries = w.pairs.iter().filter(|&&(u, v)| u < 10 && v < 10).count();
-        assert!(hot_queries > 1500, "expected most queries in the hot set, got {hot_queries}");
+        assert!(
+            hot_queries > 1500,
+            "expected most queries in the hot set, got {hot_queries}"
+        );
     }
 
     #[test]

@@ -12,16 +12,18 @@ use chl_query::{QdolEngine, QfdlEngine, QlsnEngine, QueryEngine};
 use chl_ranking::degree_ranking;
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (4usize..30, proptest::collection::vec((0u32..30, 0u32..30, 1u32..20), 3..120)).prop_map(
-        |(n, edges)| {
+    (
+        4usize..30,
+        proptest::collection::vec((0u32..30, 0u32..30, 1u32..20), 3..120),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = GraphBuilder::new_undirected();
             b.ensure_vertices(n);
             for (u, v, w) in edges {
                 b.add_edge(u % n as u32, v % n as u32, w);
             }
             b.build().expect("positive weights")
-        },
-    )
+        })
 }
 
 proptest! {

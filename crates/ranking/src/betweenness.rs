@@ -30,7 +30,10 @@ pub struct BetweennessOptions {
 
 impl Default for BetweennessOptions {
     fn default() -> Self {
-        BetweennessOptions { samples: 32, degree_tiebreak: true }
+        BetweennessOptions {
+            samples: 32,
+            degree_tiebreak: true,
+        }
     }
 }
 
@@ -124,18 +127,12 @@ pub fn betweenness_ranking(g: &CsrGraph, opts: &BetweennessOptions, seed: u64) -
 }
 
 /// [`RankingStrategy`] wrapper around [`betweenness_ranking`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BetweennessOrdering {
     /// Sampling options.
     pub options: BetweennessOptions,
     /// RNG seed for root sampling.
     pub seed: u64,
-}
-
-impl Default for BetweennessOrdering {
-    fn default() -> Self {
-        BetweennessOrdering { options: BetweennessOptions::default(), seed: 0 }
-    }
 }
 
 impl RankingStrategy for BetweennessOrdering {
@@ -154,15 +151,23 @@ mod tests {
     use chl_graph::GraphBuilder;
 
     fn exact_options(n: usize) -> BetweennessOptions {
-        BetweennessOptions { samples: n, degree_tiebreak: false }
+        BetweennessOptions {
+            samples: n,
+            degree_tiebreak: false,
+        }
     }
 
     #[test]
     fn path_center_has_highest_betweenness() {
         let g = path_graph(7);
         let c = approx_betweenness(&g, &exact_options(7), 0);
-        let best = (0..7).max_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap()).unwrap();
-        assert_eq!(best, 3, "centre of a path carries the most shortest paths: {c:?}");
+        let best = (0..7)
+            .max_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap())
+            .unwrap();
+        assert_eq!(
+            best, 3,
+            "centre of a path carries the most shortest paths: {c:?}"
+        );
         // Endpoints carry none.
         assert_eq!(c[0], 0.0);
         assert_eq!(c[6], 0.0);
@@ -205,8 +210,18 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_and_bounded() {
-        let g = grid_network(&GridOptions { rows: 10, cols: 10, ..GridOptions::default() }, 5);
-        let opts = BetweennessOptions { samples: 16, degree_tiebreak: true };
+        let g = grid_network(
+            &GridOptions {
+                rows: 10,
+                cols: 10,
+                ..GridOptions::default()
+            },
+            5,
+        );
+        let opts = BetweennessOptions {
+            samples: 16,
+            degree_tiebreak: true,
+        };
         let a = betweenness_ranking(&g, &opts, 11);
         let b = betweenness_ranking(&g, &opts, 11);
         assert_eq!(a, b);

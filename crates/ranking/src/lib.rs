@@ -43,7 +43,14 @@ mod tests {
     fn default_ranking_picks_strategy_by_topology() {
         // Both topology families must produce valid rankings regardless of
         // which strategy fired.
-        let road = grid_network(&GridOptions { rows: 12, cols: 12, ..GridOptions::default() }, 1);
+        let road = grid_network(
+            &GridOptions {
+                rows: 12,
+                cols: 12,
+                ..GridOptions::default()
+            },
+            1,
+        );
         let social = barabasi_albert(300, 4, 2);
         assert_eq!(default_ranking(&road, 7).len(), road.num_vertices());
         assert_eq!(default_ranking(&social, 7).len(), social.num_vertices());

@@ -28,7 +28,9 @@ impl fmt::Display for RankingError {
                 write!(f, "ranking must list every vertex exactly once: expected {expected} entries, found {found}")
             }
             RankingError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
-            RankingError::DuplicateVertex(v) => write!(f, "vertex {v} appears twice in the ranking"),
+            RankingError::DuplicateVertex(v) => {
+                write!(f, "vertex {v} appears twice in the ranking")
+            }
         }
     }
 }
@@ -51,7 +53,10 @@ impl Ranking {
     /// Builds a ranking from an explicit order, most important vertex first.
     pub fn from_order(order: Vec<VertexId>, num_vertices: usize) -> Result<Self, RankingError> {
         if order.len() != num_vertices {
-            return Err(RankingError::NotAPermutation { expected: num_vertices, found: order.len() });
+            return Err(RankingError::NotAPermutation {
+                expected: num_vertices,
+                found: order.len(),
+            });
         }
         let mut position = vec![u32::MAX; num_vertices];
         for (pos, &v) in order.iter().enumerate() {
@@ -203,7 +208,10 @@ mod tests {
     fn invalid_orders_are_rejected() {
         assert_eq!(
             Ranking::from_order(vec![0, 1], 3).unwrap_err(),
-            RankingError::NotAPermutation { expected: 3, found: 2 }
+            RankingError::NotAPermutation {
+                expected: 3,
+                found: 2
+            }
         );
         assert_eq!(
             Ranking::from_order(vec![0, 1, 3], 3).unwrap_err(),

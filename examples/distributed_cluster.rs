@@ -17,14 +17,15 @@ fn main() {
 
     let spec = ClusterSpec::with_nodes(16);
     let config = DistributedConfig::default();
-    let reference = sequential_pll(graph, ranking).index;
+    let reference = ChlBuilder::new(graph)
+        .ranking(RankingStrategy::Explicit(ranking.clone()))
+        .algorithm(Algorithm::Pll)
+        .build()
+        .expect("construction succeeds")
+        .index;
 
-    type Runner = fn(
-        &CsrGraph,
-        &Ranking,
-        &SimulatedCluster,
-        &DistributedConfig,
-    ) -> DistributedLabeling;
+    type Runner =
+        fn(&CsrGraph, &Ranking, &SimulatedCluster, &DistributedConfig) -> DistributedLabeling;
     let algorithms: [(&str, Runner); 4] = [
         ("DparaPLL", distributed_parapll as Runner),
         ("DGLL", distributed_gll as Runner),
@@ -57,13 +58,16 @@ fn main() {
         }
     }
 
-    // Distributed queries over the partitioned labels (QFDL-style reduce).
+    // Distributed queries over the partitioned labels (QFDL-style reduce):
+    // the partitions and the assembled reference answer through the same
+    // DistanceOracle surface.
     let cluster = SimulatedCluster::new(spec);
     let hybrid = distributed_hybrid(graph, ranking, &cluster, &config);
+    let oracle: &dyn DistanceOracle = &hybrid;
     println!("\nQFDL-style distributed queries over the partitioned labels:");
     for (u, v) in [(0u32, 57u32), (3, 99), (12, 150)] {
-        println!("  dist({u}, {v}) = {}", hybrid.query_distributed(u, v));
-        assert_eq!(hybrid.query_distributed(u, v), reference.query(u, v));
+        println!("  dist({u}, {v}) = {}", oracle.distance(u, v));
+        assert_eq!(oracle.distance(u, v), reference.distance(u, v));
     }
     println!("\nlabels per node: {:?}", hybrid.labels_per_node());
 }

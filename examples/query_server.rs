@@ -1,6 +1,8 @@
 //! Query-serving scenario: evaluate the three distributed query modes
 //! (QLSN, QFDL, QDOL) of §6 on one dataset and print a Table-4-style
-//! comparison of throughput, latency and memory.
+//! comparison of throughput, latency and memory. All exactness checks go
+//! through the `DistanceOracle` trait, which the serving engines share with
+//! the plain assembled index and the raw distributed partitions.
 //!
 //! Run with: `cargo run --release --example query_server`
 
@@ -40,6 +42,7 @@ fn main() {
         "\n{:>6} | {:>18} | {:>14} | {:>18} | {:>18}",
         "mode", "throughput (Mq/s)", "latency (µs)", "total label MiB", "max node MiB"
     );
+    let sample: Vec<(u32, u32)> = workload.pairs.iter().take(2000).copied().collect();
     let mut answers: Option<Vec<u64>> = None;
     for engine in &engines {
         let report = engine.evaluate(&workload);
@@ -52,13 +55,23 @@ fn main() {
             report.max_memory_per_node_bytes() as f64 / (1024.0 * 1024.0),
         );
 
-        // All three modes must return identical answers.
-        let these: Vec<u64> =
-            workload.pairs.iter().take(2000).map(|&(u, v)| engine.query(u, v)).collect();
+        // All three modes must return identical answers. The engines are
+        // queried through the oracle surface they share with plain indexes.
+        let these = engine.distances(&sample);
         if let Some(previous) = &answers {
-            assert_eq!(previous, &these, "{} disagrees with the previous mode", engine.name());
+            assert_eq!(
+                previous,
+                &these,
+                "{} disagrees with the previous mode",
+                engine.name()
+            );
         }
         answers = Some(these);
     }
+
+    // The raw distributed partitions are a DistanceOracle too — no engine,
+    // no assembly — and must agree with the serving modes.
+    let partitions: &dyn DistanceOracle = &labeling;
+    assert_eq!(partitions.distances(&sample), answers.expect("engines ran"));
     println!("\nall modes returned identical answers for the sampled queries");
 }

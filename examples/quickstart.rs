@@ -1,5 +1,6 @@
-//! Quickstart: build a canonical hub labeling for a small weighted graph and
-//! answer point-to-point shortest distance queries with it.
+//! Quickstart: build a canonical hub labeling for a small weighted graph
+//! through the unified `ChlBuilder` API and answer point-to-point shortest
+//! distance queries with it.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -9,21 +10,36 @@ use planted_hub_labeling::prelude::*;
 fn main() {
     // 1. Build a small weighted road-like network (a 30x30 perturbed grid).
     let graph = grid_network(
-        &GridOptions { rows: 30, cols: 30, max_weight: 100, ..GridOptions::default() },
+        &GridOptions {
+            rows: 30,
+            cols: 30,
+            max_weight: 100,
+            ..GridOptions::default()
+        },
         7,
     );
-    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
 
-    // 2. Pick a network hierarchy. `default_ranking` follows the paper:
-    //    approximate betweenness for road-like graphs, degree otherwise.
-    let ranking = default_ranking(&graph, 7);
-
-    // 3. Construct the Canonical Hub Labeling with the shared-memory Hybrid
-    //    (PLaNT for the label-heavy prefix, GLL for the tail).
-    let result = shared_hybrid(&graph, &ranking, &LabelingConfig::default());
+    // 2-3. One fluent entry point picks the hierarchy and the constructor.
+    //    `RankingStrategy::Auto` follows the paper: approximate betweenness
+    //    for road-like graphs, degree otherwise. `Algorithm::Hybrid` PLaNTs
+    //    the label-heavy prefix and finishes with GLL; swapping in any other
+    //    canonical `Algorithm` changes nothing downstream.
+    let result = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Auto { seed: 7 })
+        .algorithm(Algorithm::Hybrid)
+        .validate()
+        .expect("configuration is valid")
+        .build()
+        .expect("construction succeeds");
     let index = result.index;
     println!(
-        "labeling: {} labels total, average label size {:.1}, built in {:?} ({} SPTs PLaNTed)",
+        "labeling ({}): {} labels total, average label size {:.1}, built in {:?} ({} SPTs PLaNTed)",
+        Algorithm::Hybrid,
         index.total_labels(),
         index.average_label_size(),
         result.stats.total_time,
@@ -42,8 +58,13 @@ fn main() {
     }
 
     // 5. The labeling is canonical: minimal for this hierarchy.
+    let ranking = index.ranking().clone();
     println!(
         "canonical check on a subsample: {}",
-        if is_canonical(&graph, &ranking, &index) { "ok" } else { "FAILED" }
+        if is_canonical(&graph, &ranking, &index) {
+            "ok"
+        } else {
+            "FAILED"
+        }
     );
 }

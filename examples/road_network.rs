@@ -1,14 +1,14 @@
 //! Road-network scenario: the workload the paper's introduction motivates
 //! with route navigation. Builds the CAL stand-in road network, constructs
-//! the CHL with several algorithms, compares their construction profiles and
-//! shows the query-time advantage over running Dijkstra per query.
+//! the CHL with every constructor through the unified `Labeler` interface,
+//! compares their construction profiles and shows the query-time advantage
+//! over running Dijkstra per query.
 //!
 //! Run with: `cargo run --release --example road_network`
 
 use std::time::Instant;
 
 use planted_hub_labeling::graph::sssp::dijkstra;
-use planted_hub_labeling::labeling::{para_pll::spara_pll, plant::plant_labeling};
 use planted_hub_labeling::prelude::*;
 use planted_hub_labeling::query::random_pairs;
 
@@ -22,33 +22,52 @@ fn main() {
         graph.num_edges()
     );
 
-    // Construct the labeling with the CHL constructors and the paraPLL baseline.
-    let config = LabelingConfig::default();
-    let seq = sequential_pll(graph, ranking);
-    let gll = gll(graph, ranking, &config);
-    let planted = plant_labeling(graph, ranking, &config);
-    let para = spara_pll(graph, ranking, &config);
-
+    // One loop covers every constructor: the builder dispatches through the
+    // `Labeler` trait, so comparing algorithms is data, not code.
+    let algorithms = [
+        Algorithm::Pll,
+        Algorithm::Gll,
+        Algorithm::Plant,
+        Algorithm::SParaPll,
+    ];
     println!("\nconstruction comparison (road network):");
-    for (name, res) in
-        [("seqPLL", &seq), ("GLL", &gll), ("PLaNT", &planted), ("SparaPLL", &para)]
-    {
+    let mut canonical_index: Option<HubLabelIndex> = None;
+    let mut gll_index: Option<HubLabelIndex> = None;
+    for algo in algorithms {
+        let res = ChlBuilder::new(graph)
+            .ranking(RankingStrategy::Explicit(ranking.clone()))
+            .algorithm(algo)
+            .build()
+            .expect("construction succeeds");
         println!(
-            "  {name:>9}: {:>9} labels  ALS {:>6.1}  time {:?}",
+            "  {:>9}: {:>9} labels  ALS {:>6.1}  time {:?}",
+            algo.name(),
             res.index.total_labels(),
             res.index.average_label_size(),
             res.stats.total_time
         );
+        // Every canonical constructor must reproduce the same labeling.
+        if algo.is_canonical() {
+            match &canonical_index {
+                None => canonical_index = Some(res.index.clone()),
+                Some(reference) => assert_eq!(
+                    &res.index, reference,
+                    "{algo} must produce the canonical labeling"
+                ),
+            }
+        }
+        if algo == Algorithm::Gll {
+            gll_index = Some(res.index);
+        }
     }
-    assert_eq!(seq.index, gll.index, "GLL must produce the canonical labeling");
-    assert_eq!(seq.index, planted.index, "PLaNT must produce the canonical labeling");
+    let gll_index = gll_index.expect("GLL ran");
 
     // Query-time comparison: hub labels vs running Dijkstra per query.
     let workload = random_pairs(graph.num_vertices(), 10_000, 3);
     let start = Instant::now();
     let mut acc = 0u64;
     for &(u, v) in &workload.pairs {
-        acc = acc.wrapping_add(gll.index.query(u, v));
+        acc = acc.wrapping_add(gll_index.query(u, v));
     }
     let label_time = start.elapsed();
 
@@ -70,7 +89,6 @@ fn main() {
     println!("  dijkstra   : {dijkstra_time_per_query:?} per query");
     println!(
         "  speedup    : {:.0}x per query",
-        dijkstra_time_per_query.as_secs_f64()
-            / (label_time.as_secs_f64() / workload.len() as f64)
+        dijkstra_time_per_query.as_secs_f64() / (label_time.as_secs_f64() / workload.len() as f64)
     );
 }

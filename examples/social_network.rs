@@ -6,7 +6,6 @@
 //!
 //! Run with: `cargo run --release --example social_network`
 
-use planted_hub_labeling::labeling::para_pll::spara_pll;
 use planted_hub_labeling::prelude::*;
 
 fn main() {
@@ -19,8 +18,13 @@ fn main() {
         graph.num_edges()
     );
 
-    // Canonical labeling via GLL.
-    let canonical = gll(graph, ranking, &LabelingConfig::default());
+    // Canonical labeling via GLL, through the unified builder.
+    let builder = ChlBuilder::new(graph).ranking(RankingStrategy::Explicit(ranking.clone()));
+    let canonical = builder
+        .clone()
+        .algorithm(Algorithm::Gll)
+        .build()
+        .expect("construction succeeds");
     println!(
         "\ncanonical labeling: ALS = {:.1}, {} labels, construction {:?}",
         canonical.index.average_label_size(),
@@ -31,9 +35,18 @@ fn main() {
     // paraPLL's label size grows with the thread count; the CHL does not.
     println!("\naverage label size vs. construction threads (paraPLL vs GLL):");
     for threads in [1usize, 2, 4, 8] {
-        let config = LabelingConfig::default().with_threads(threads);
-        let para = spara_pll(graph, ranking, &config);
-        let glln = gll(graph, ranking, &config);
+        let para = builder
+            .clone()
+            .algorithm(Algorithm::SParaPll)
+            .threads(threads)
+            .build()
+            .expect("construction succeeds");
+        let glln = builder
+            .clone()
+            .algorithm(Algorithm::Gll)
+            .threads(threads)
+            .build()
+            .expect("construction succeeds");
         println!(
             "  {threads:>2} threads: paraPLL ALS {:>6.1}   GLL ALS {:>6.1}",
             para.index.average_label_size(),
@@ -44,7 +57,9 @@ fn main() {
 
     // Use the labels: find, for a few users, which of their candidate
     // contacts is "closest" in the weighted network.
-    let candidates: Vec<u32> = (0..8).map(|i| (i * 97) % graph.num_vertices() as u32).collect();
+    let candidates: Vec<u32> = (0..8)
+        .map(|i| (i * 97) % graph.num_vertices() as u32)
+        .collect();
     println!("\ncloseness queries:");
     for &user in &[3u32, 42, 111] {
         let best = candidates
@@ -53,6 +68,9 @@ fn main() {
             .map(|&c| (c, canonical.index.query(user, c)))
             .min_by_key(|&(_, d)| d)
             .expect("candidate set is non-empty");
-        println!("  closest candidate to user {user}: vertex {} at distance {}", best.0, best.1);
+        println!(
+            "  closest candidate to user {user}: vertex {} at distance {}",
+            best.0, best.1
+        );
     }
 }

@@ -1,0 +1,6 @@
+//! The usual `use proptest::prelude::*` surface.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+    Strategy, TestCaseError,
+};

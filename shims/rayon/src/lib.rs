@@ -1,0 +1,98 @@
+//! Sequential shim for `rayon`: `par_iter` and friends lower onto ordinary
+//! std iterators, so every adaptor that follows (`map`, `zip`, `filter`,
+//! `collect`, `for_each`, ...) is the std one and semantics are identical up
+//! to parallelism. The workspace's constructor worker pools use explicit
+//! `std::thread` scopes and are unaffected; only `par_iter` call sites run
+//! sequentially under this shim.
+
+pub mod prelude {
+    /// `par_iter()` on shared slices and vectors.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element iterator type.
+        type Iter: Iterator;
+        /// Returns a (sequential) stand-in for a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `par_iter_mut()` on mutable slices and vectors.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element iterator type.
+        type Iter: Iterator;
+        /// Returns a (sequential) stand-in for a parallel mutable iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    /// `into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// Element iterator type.
+        type Iter: Iterator;
+        /// Consumes `self`, returning a (sequential) stand-in iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1, 2];
+        w.par_iter_mut()
+            .zip(vec![10, 20].into_par_iter())
+            .for_each(|(a, b)| *a += b);
+        assert_eq!(w, vec![11, 22]);
+    }
+}

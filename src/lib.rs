@@ -15,28 +15,44 @@
 //! |---|---|---|
 //! | [`graph`] | `chl-graph` | CSR graphs, builders, IO, generators, reference SSSP |
 //! | [`ranking`] | `chl-ranking` | degree and approximate-betweenness hierarchies |
-//! | [`labeling`] | `chl-core` | PLL, paraPLL, LCC, GLL, PLaNT, Hybrid, cleaning, verification |
+//! | [`labeling`] | `chl-core` | the [`ChlBuilder`](labeling::ChlBuilder) API over PLL, paraPLL, LCC, GLL, PLaNT, Hybrid |
 //! | [`cluster`] | `chl-cluster` | simulated multi-node cluster substrate |
 //! | [`distributed`] | `chl-distributed` | DGLL, DparaPLL, distributed PLaNT and Hybrid |
-//! | [`query`] | `chl-query` | QLSN / QFDL / QDOL query modes |
+//! | [`query`] | `chl-query` | QLSN / QFDL / QDOL query modes behind [`DistanceOracle`](labeling::DistanceOracle) |
 //! | [`datasets`] | `chl-datasets` | synthetic stand-ins for the paper's 12 datasets |
 //!
 //! # Quick start
 //!
+//! Construction goes through one fluent entry point, `ChlBuilder`, which
+//! works identically for every [`Algorithm`](labeling::Algorithm); querying
+//! goes through the `DistanceOracle` trait, implemented by the shared-memory
+//! index, the distributed partitions and all three serving engines.
+//!
 //! ```
 //! use planted_hub_labeling::prelude::*;
 //!
-//! // A small weighted road-like network and the paper's default hierarchy.
+//! // A small weighted road-like network.
 //! let graph = grid_network(&GridOptions { rows: 12, cols: 12, ..GridOptions::default() }, 7);
-//! let ranking = default_ranking(&graph, 7);
 //!
-//! // Build the canonical hub labeling with the shared-memory Hybrid.
-//! let result = shared_hybrid(&graph, &ranking, &LabelingConfig::default());
-//! let index = result.index;
+//! // Build the canonical hub labeling: pick a hierarchy strategy and a
+//! // constructor, validate, build. Swapping `Algorithm::Hybrid` for any
+//! // other canonical constructor changes nothing downstream.
+//! let result = ChlBuilder::new(&graph)
+//!     .ranking(RankingStrategy::Auto { seed: 7 })
+//!     .algorithm(Algorithm::Hybrid)
+//!     .validate()
+//!     .expect("valid configuration")
+//!     .build()
+//!     .expect("construction succeeds");
 //!
 //! // Answer exact point-to-point shortest-distance queries.
+//! let index = result.index;
 //! let reference = planted_hub_labeling::graph::sssp::dijkstra(&graph, 0);
 //! assert_eq!(index.query(0, 143), reference[143]);
+//!
+//! // Or hold any backend behind the uniform oracle surface.
+//! let oracle: &dyn DistanceOracle = &index;
+//! assert_eq!(oracle.distance(0, 143), reference[143]);
 //! ```
 
 pub use chl_cluster as cluster;
@@ -50,13 +66,18 @@ pub use chl_ranking as ranking;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use chl_cluster::{ClusterSpec, SimulatedCluster};
+    pub use chl_core::api::{
+        Algorithm, ChlBuilder, GllLabeler, HybridLabeler, Labeler, LccLabeler, PlantLabeler,
+        PllLabeler, RankingStrategy, SParaPllLabeler,
+    };
     pub use chl_core::canonical::{brute_force_chl, is_canonical};
     pub use chl_core::gll::gll;
     pub use chl_core::hybrid::shared_hybrid;
     pub use chl_core::lcc::lcc;
+    pub use chl_core::oracle::DistanceOracle;
     pub use chl_core::plant::plant_labeling;
     pub use chl_core::pll::sequential_pll;
-    pub use chl_core::{HubLabelIndex, LabelingConfig, LabelingResult};
+    pub use chl_core::{HubLabelIndex, LabelingConfig, LabelingError, LabelingResult};
     pub use chl_datasets::{load as load_dataset, DatasetId, Scale};
     pub use chl_distributed::{
         distributed_gll, distributed_hybrid, distributed_parapll, distributed_plant,

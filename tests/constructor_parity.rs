@@ -1,0 +1,137 @@
+//! Constructor parity: the paper's central claim, as one test. Every
+//! canonical `Algorithm` variant, driven through the unified `ChlBuilder`,
+//! must produce the *identical* labeling on both topology families the paper
+//! evaluates — and `SParaPll` a superset that answers identical distances.
+
+use planted_hub_labeling::graph::sssp::dijkstra;
+use planted_hub_labeling::prelude::*;
+
+/// The two topology families of the paper's evaluation, seeded so runs are
+/// reproducible: a perturbed weighted grid (road-like) and a Barabási–Albert
+/// graph (scale-free). Weights are spread wide to keep shortest paths nearly
+/// tie-free, which makes even `SParaPll`'s size relation deterministic in
+/// practice.
+fn testbeds() -> Vec<(&'static str, CsrGraph)> {
+    let grid = grid_network(
+        &GridOptions {
+            rows: 14,
+            cols: 14,
+            max_weight: 1000,
+            ..GridOptions::default()
+        },
+        0xC0FFEE,
+    );
+    let ba = barabasi_albert(250, 3, 0xBEEF);
+    vec![("grid", grid), ("barabasi-albert", ba)]
+}
+
+#[test]
+fn all_canonical_constructors_agree_on_both_topologies() {
+    for (name, graph) in testbeds() {
+        let ranking = degree_ranking(&graph);
+        let builder = ChlBuilder::new(&graph)
+            .ranking(RankingStrategy::Explicit(ranking.clone()))
+            .threads(3);
+
+        let reference = builder
+            .clone()
+            .algorithm(Algorithm::Pll)
+            .validate()
+            .expect("configuration is valid")
+            .build()
+            .expect("construction succeeds")
+            .index;
+
+        for algo in Algorithm::CANONICAL {
+            let built = builder
+                .clone()
+                .algorithm(algo)
+                .build()
+                .unwrap_or_else(|e| panic!("{algo} on {name}: {e}"))
+                .index;
+            assert_eq!(
+                built, reference,
+                "{algo} must produce the identical canonical labeling on {name}"
+            );
+        }
+        // The reference itself is the true CHL.
+        assert!(
+            is_canonical(&graph, &ranking, &reference),
+            "seqPLL output not canonical on {name}"
+        );
+    }
+}
+
+#[test]
+fn spara_pll_is_a_query_equivalent_superset() {
+    for (name, graph) in testbeds() {
+        let ranking = degree_ranking(&graph);
+        let builder = ChlBuilder::new(&graph)
+            .ranking(RankingStrategy::Explicit(ranking.clone()))
+            .threads(4);
+
+        let canonical = builder
+            .clone()
+            .algorithm(Algorithm::Pll)
+            .build()
+            .unwrap()
+            .index;
+        let para = builder
+            .algorithm(Algorithm::SParaPll)
+            .build()
+            .unwrap()
+            .index;
+
+        // Superset in size (nearly tie-free weights make this robust to
+        // thread interleaving)...
+        assert!(
+            para.total_labels() >= canonical.total_labels(),
+            "SParaPll produced fewer labels than the CHL on {name}"
+        );
+
+        // ...and identical distances everywhere, verified against Dijkstra
+        // through the shared DistanceOracle surface.
+        let n = graph.num_vertices() as u32;
+        for u in (0..n).step_by(17) {
+            let truth = dijkstra(&graph, u);
+            for v in 0..n {
+                assert_eq!(para.distance(u, v), truth[v as usize], "{name}: d({u},{v})");
+                assert_eq!(
+                    canonical.distance(u, v),
+                    truth[v as usize],
+                    "{name}: d({u},{v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_switch_points_do_not_change_the_labeling() {
+    // The builder's tuning knobs steer performance, never the output: the
+    // Hybrid must stay canonical across aggressive and lazy switch points.
+    let (_, graph) = testbeds().remove(0);
+    let ranking = degree_ranking(&graph);
+    let builder = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Explicit(ranking.clone()))
+        .threads(2);
+    let reference = builder
+        .clone()
+        .algorithm(Algorithm::Pll)
+        .build()
+        .unwrap()
+        .index;
+    for psi in [1.0, 10.0, 1000.0] {
+        let hybrid = builder
+            .clone()
+            .algorithm(Algorithm::Hybrid)
+            .psi_threshold(psi)
+            .build()
+            .unwrap()
+            .index;
+        assert_eq!(
+            hybrid, reference,
+            "Hybrid with psi_threshold={psi} diverged"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Workspace-level integration tests exercising the facade crate end-to-end:
-//! dataset generation → ranking → construction (shared-memory and
-//! distributed) → query serving, all cross-checked against ground truth.
+//! dataset generation → ranking → construction through the unified
+//! `ChlBuilder` (shared-memory and distributed) → query serving behind the
+//! `DistanceOracle` trait, all cross-checked against ground truth.
 
 use planted_hub_labeling::graph::sssp::dijkstra;
 use planted_hub_labeling::prelude::*;
@@ -9,7 +10,14 @@ use planted_hub_labeling::query::random_pairs;
 #[test]
 fn end_to_end_road_network_pipeline() {
     let ds = load_dataset(DatasetId::CAL, Scale::Tiny, 1);
-    let result = gll(&ds.graph, &ds.ranking, &LabelingConfig::default().with_threads(4));
+    let result = ChlBuilder::new(&ds.graph)
+        .ranking(RankingStrategy::Explicit(ds.ranking.clone()))
+        .algorithm(Algorithm::Gll)
+        .threads(4)
+        .validate()
+        .expect("configuration is valid")
+        .build()
+        .expect("construction succeeds");
     // Exact queries against Dijkstra from several sources.
     for src in [0u32, 10, 60] {
         let reference = dijkstra(&ds.graph, src);
@@ -23,12 +31,26 @@ fn end_to_end_road_network_pipeline() {
 #[test]
 fn end_to_end_scale_free_pipeline_all_constructors_agree() {
     let ds = load_dataset(DatasetId::SKIT, Scale::Tiny, 2);
-    let config = LabelingConfig::default().with_threads(4);
-    let reference = sequential_pll(&ds.graph, &ds.ranking).index;
-    assert_eq!(lcc(&ds.graph, &ds.ranking, &config).index, reference);
-    assert_eq!(gll(&ds.graph, &ds.ranking, &config).index, reference);
-    assert_eq!(plant_labeling(&ds.graph, &ds.ranking, &config).index, reference);
-    assert_eq!(shared_hybrid(&ds.graph, &ds.ranking, &config).index, reference);
+    let builder = ChlBuilder::new(&ds.graph)
+        .ranking(RankingStrategy::Explicit(ds.ranking.clone()))
+        .threads(4);
+    let reference = builder
+        .clone()
+        .algorithm(Algorithm::Pll)
+        .build()
+        .expect("construction succeeds")
+        .index;
+    for algo in Algorithm::CANONICAL {
+        let built = builder
+            .clone()
+            .algorithm(algo)
+            .build()
+            .expect("construction succeeds");
+        assert_eq!(
+            built.index, reference,
+            "{algo} must reproduce the canonical labeling"
+        );
+    }
     assert_eq!(brute_force_chl(&ds.graph, &ds.ranking), reference);
 }
 
@@ -37,29 +59,44 @@ fn end_to_end_distributed_pipeline_with_queries() {
     let ds = load_dataset(DatasetId::AUT, Scale::Tiny, 3);
     let spec = ClusterSpec::with_nodes(6);
     let cluster = SimulatedCluster::new(spec);
-    let labeling =
-        distributed_hybrid(&ds.graph, &ds.ranking, &cluster, &DistributedConfig::default());
+    let labeling = distributed_hybrid(
+        &ds.graph,
+        &ds.ranking,
+        &cluster,
+        &DistributedConfig::default(),
+    );
     let reference = sequential_pll(&ds.graph, &ds.ranking).index;
     assert_eq!(labeling.assemble(), reference);
 
-    // All three query modes agree with the reference on a random workload.
+    // All three query modes agree with the reference on a random workload —
+    // checked uniformly through the DistanceOracle surface they share.
     let workload = random_pairs(ds.graph.num_vertices(), 3_000, 5);
+    let oracles: Vec<Box<dyn DistanceOracle>> = vec![
+        Box::new(QlsnEngine::new(&labeling, spec)),
+        Box::new(QfdlEngine::new(&labeling, spec)),
+        Box::new(QdolEngine::new(&labeling, spec)),
+    ];
+    let expected = reference.distances(&workload.pairs);
+    for oracle in &oracles {
+        assert_eq!(oracle.num_vertices(), ds.graph.num_vertices());
+        assert_eq!(oracle.distances(&workload.pairs), expected);
+    }
+    // The raw partitions answer identically as well.
+    let as_oracle: &dyn DistanceOracle = &labeling;
+    assert_eq!(as_oracle.distances(&workload.pairs), expected);
+
+    // Memory ordering of the three modes matches §6: QFDL < QDOL < QLSN,
+    // per node and in oracle-level totals.
     let qlsn = QlsnEngine::new(&labeling, spec);
     let qfdl = QfdlEngine::new(&labeling, spec);
     let qdol = QdolEngine::new(&labeling, spec);
-    for &(u, v) in &workload.pairs {
-        let expected = reference.query(u, v);
-        assert_eq!(qlsn.query(u, v), expected);
-        assert_eq!(qfdl.query(u, v), expected);
-        assert_eq!(qdol.query(u, v), expected);
-    }
-
-    // Memory ordering of the three modes matches §6: QFDL < QDOL < QLSN.
     let qlsn_max = *qlsn.memory_per_node().iter().max().unwrap();
     let qfdl_max = *qfdl.memory_per_node().iter().max().unwrap();
     let qdol_max = *qdol.memory_per_node().iter().max().unwrap();
     assert!(qfdl_max <= qdol_max);
     assert!(qdol_max <= qlsn_max);
+    assert!(qfdl.memory_bytes() <= qdol.memory_bytes());
+    assert!(qdol.memory_bytes() <= qlsn.memory_bytes());
 }
 
 #[test]
@@ -68,12 +105,24 @@ fn distributed_algorithms_report_expected_communication_profile() {
     let config = DistributedConfig::default();
     let q = 8;
 
-    let plant =
-        distributed_plant(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
-    let dgll =
-        distributed_gll(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
-    let dparapll =
-        distributed_parapll(&ds.graph, &ds.ranking, &SimulatedCluster::new(ClusterSpec::with_nodes(q)), &config);
+    let plant = distributed_plant(
+        &ds.graph,
+        &ds.ranking,
+        &SimulatedCluster::new(ClusterSpec::with_nodes(q)),
+        &config,
+    );
+    let dgll = distributed_gll(
+        &ds.graph,
+        &ds.ranking,
+        &SimulatedCluster::new(ClusterSpec::with_nodes(q)),
+        &config,
+    );
+    let dparapll = distributed_parapll(
+        &ds.graph,
+        &ds.ranking,
+        &SimulatedCluster::new(ClusterSpec::with_nodes(q)),
+        &config,
+    );
 
     // PLaNT: zero label traffic. DGLL: some. DparaPLL: full replication.
     assert_eq!(plant.metrics.total_comm().total_bytes(), 0);
@@ -90,8 +139,36 @@ fn distributed_algorithms_report_expected_communication_profile() {
 #[test]
 fn para_pll_label_size_exceeds_canonical_on_scale_free_graphs() {
     let ds = load_dataset(DatasetId::YTB, Scale::Tiny, 6);
-    let config = LabelingConfig::default().with_threads(8);
-    let canonical = sequential_pll(&ds.graph, &ds.ranking).index;
-    let para = planted_hub_labeling::labeling::para_pll::spara_pll(&ds.graph, &ds.ranking, &config);
-    assert!(para.index.total_labels() >= canonical.total_labels());
+    let builder = ChlBuilder::new(&ds.graph)
+        .ranking(RankingStrategy::Explicit(ds.ranking.clone()))
+        .threads(8);
+    let canonical = builder
+        .clone()
+        .algorithm(Algorithm::Pll)
+        .build()
+        .unwrap()
+        .index;
+    let para = builder
+        .algorithm(Algorithm::SParaPll)
+        .build()
+        .unwrap()
+        .index;
+    assert!(para.total_labels() >= canonical.total_labels());
+}
+
+#[test]
+fn builder_surfaces_configuration_errors_instead_of_panicking() {
+    let ds = load_dataset(DatasetId::CAL, Scale::Tiny, 9);
+    // Bad alpha.
+    let err = ChlBuilder::new(&ds.graph)
+        .alpha(0.0)
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, LabelingError::InvalidConfig(_)));
+    // Ranking for a different graph.
+    let err = ChlBuilder::new(&ds.graph)
+        .ranking(RankingStrategy::Explicit(Ranking::identity(3)))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, LabelingError::RankingMismatch { .. }));
 }
