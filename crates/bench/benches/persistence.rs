@@ -1,0 +1,70 @@
+//! Micro-benchmarks for the persistence subsystem: the contiguous
+//! [`FlatIndex`] query path against the pointer-per-vertex
+//! [`HubLabelIndex`] it was flattened from, and the cost of a full
+//! serialize → deserialize round trip of the `.chl` byte format.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use chl_core::flat::FlatIndex;
+use chl_core::pll::sequential_pll;
+use chl_datasets::{load, DatasetId, Scale};
+
+fn flat_vs_pointer_queries(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let flat = FlatIndex::from_index(&index);
+    let n = ds.graph.num_vertices() as u32;
+
+    // Identical pseudo-random access pattern for both layouts, so the only
+    // difference measured is pointer-chasing vs contiguous slices.
+    let mut group = c.benchmark_group("flat_vs_pointer");
+    group.bench_function("pointer_hub_label_index", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            let u = i % n;
+            let v = (i >> 8) % n;
+            black_box(index.query(u, v))
+        })
+    });
+    group.bench_function("flat_index", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            let u = i % n;
+            let v = (i >> 8) % n;
+            black_box(flat.query(u, v))
+        })
+    });
+    group.finish();
+}
+
+fn persistence_round_trip(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let flat = FlatIndex::from_index(&index);
+    let bytes = flat.to_bytes();
+
+    let mut group = c.benchmark_group("persistence");
+    group.bench_function("flatten_from_pointer_index", |b| {
+        b.iter(|| black_box(FlatIndex::from_index(&index)))
+    });
+    group.bench_function("serialize_to_bytes", |b| {
+        b.iter(|| black_box(flat.to_bytes()))
+    });
+    group.bench_function("deserialize_and_validate", |b| {
+        b.iter(|| black_box(FlatIndex::from_bytes(&bytes).expect("clean bytes")))
+    });
+    group.bench_function("full_round_trip", |b| {
+        b.iter_batched(
+            || FlatIndex::from_index(&index),
+            |f| FlatIndex::from_bytes(&f.to_bytes()).expect("clean bytes"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flat_vs_pointer_queries, persistence_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `chl build`: graph file → `ChlBuilder` → `.chl` index file.
+
+use std::path::Path;
+use std::time::Instant;
+
+use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
+use chl_core::flat::FlatIndex;
+
+use crate::graph_files::{load_graph, GraphFormat};
+use crate::opts::Opts;
+use crate::CliError;
+
+pub const USAGE: &str = "\
+usage: chl build <graph-file> --out <index.chl> [options]
+
+Builds the canonical hub labeling of a graph and writes it as a .chl index.
+
+options:
+  --out FILE          output index path (required)
+  --algorithm NAME    pll | sparapll | lcc | gll | plant | hybrid  [hybrid]
+  --ranking NAME      degree | betweenness | auto                  [auto]
+  --seed N            seed for ranking sampling                    [42]
+  --threads N         worker threads, 0 = all cores                [0]
+  --format NAME       dimacs | binary | edgelist    [inferred from extension]
+  --directed          read the graph as directed
+  --one-based         edge-list vertex ids start at 1 (KONECT)";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(
+        args,
+        &["out", "algorithm", "ranking", "seed", "threads", "format"],
+        &["directed", "one-based"],
+    )?;
+    let graph_path = opts.positional(0, "graph file argument")?.to_string();
+    opts.reject_extra_positionals(1)?;
+    let out = opts
+        .value("out")
+        .ok_or("missing --out <index.chl>")?
+        .to_string();
+
+    let algorithm: Algorithm = opts
+        .value("algorithm")
+        .unwrap_or("hybrid")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let seed: u64 = opts.parsed_or("seed", 42)?;
+    let threads: usize = opts.parsed_or("threads", 0)?;
+    let ranking = match opts.value("ranking").unwrap_or("auto") {
+        "degree" => RankingStrategy::Degree,
+        "betweenness" => RankingStrategy::Betweenness { seed },
+        "auto" => RankingStrategy::Auto { seed },
+        other => {
+            return Err(
+                format!("unknown ranking '{other}' (expected degree, betweenness or auto)").into(),
+            )
+        }
+    };
+    let format = opts.value("format").map(GraphFormat::parse).transpose()?;
+
+    let load_start = Instant::now();
+    let graph = load_graph(
+        Path::new(&graph_path),
+        format,
+        opts.switch("directed"),
+        opts.switch("one-based"),
+    )?;
+    println!(
+        "loaded {}: {} vertices, {} edges in {:.2?}",
+        graph_path,
+        graph.num_vertices(),
+        graph.num_edges(),
+        load_start.elapsed()
+    );
+
+    let build_start = Instant::now();
+    let result = ChlBuilder::new(&graph)
+        .ranking(ranking)
+        .algorithm(algorithm)
+        .threads(threads)
+        .validate()?
+        .build()?;
+    let build_time = build_start.elapsed();
+    println!(
+        "built {} labeling in {:.2?}: {} labels, avg {:.2} per vertex, max {}",
+        algorithm,
+        build_time,
+        result.index.total_labels(),
+        result.index.average_label_size(),
+        result.index.max_label_size()
+    );
+
+    let flat = FlatIndex::from_index(&result.index);
+    flat.save(&out)
+        .map_err(|e| format!("cannot write index {out}: {e}"))?;
+    let file_len = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {out}: {file_len} bytes");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! `chl gen`: write a synthetic graph file so the build → serve pipeline can
+//! be exercised without external datasets.
+
+use chl_graph::generators::{barabasi_albert, grid_network, GridOptions};
+use chl_graph::io::write_binary;
+
+use crate::opts::Opts;
+use crate::CliError;
+
+pub const USAGE: &str = "\
+usage: chl gen grid --rows R --cols C --out <graph.bin> [--seed N] [--max-weight W]
+       chl gen ba --vertices N --edges-per-vertex M --out <graph.bin> [--seed N]
+
+Generates a synthetic graph (road-like weighted grid, or Barabasi-Albert
+scale-free) and writes it as a binary snapshot `chl build` can read.";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "rows",
+            "cols",
+            "vertices",
+            "edges-per-vertex",
+            "seed",
+            "max-weight",
+            "out",
+        ],
+        &[],
+    )?;
+    let kind = opts
+        .positional(0, "generator kind (grid or ba)")?
+        .to_string();
+    opts.reject_extra_positionals(1)?;
+    // Flags belonging to the *other* generator must not be silently ignored:
+    // `chl gen grid --vertices 1600` would otherwise build a default grid.
+    let disallowed: &[&str] = match kind.as_str() {
+        "grid" => &["vertices", "edges-per-vertex"],
+        "ba" => &["rows", "cols", "max-weight"],
+        _ => &[],
+    };
+    for flag in disallowed {
+        if opts.value(flag).is_some() {
+            return Err(format!("--{flag} does not apply to the '{kind}' generator").into());
+        }
+    }
+    let out = opts
+        .value("out")
+        .ok_or("missing --out <graph.bin>")?
+        .to_string();
+    let seed: u64 = opts.parsed_or("seed", 42)?;
+
+    let graph = match kind.as_str() {
+        "grid" => {
+            let rows: usize = opts.parsed_or("rows", 16)?;
+            let cols: usize = opts.parsed_or("cols", 16)?;
+            let max_weight: u32 = opts.parsed_or("max-weight", 16)?;
+            grid_network(
+                &GridOptions {
+                    rows,
+                    cols,
+                    max_weight,
+                    ..GridOptions::default()
+                },
+                seed,
+            )
+        }
+        "ba" => {
+            let n: usize = opts.parsed_or("vertices", 1000)?;
+            let m: usize = opts.parsed_or("edges-per-vertex", 4)?;
+            barabasi_albert(n, m, seed)
+        }
+        other => return Err(format!("unknown generator '{other}' (expected grid or ba)").into()),
+    };
+
+    let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_binary(&graph, file)?;
+    println!(
+        "wrote {out}: {} graph, {} vertices, {} edges",
+        kind,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Loading graphs from files for `chl build`, with format inference.
+//!
+//! The format is picked from the file extension unless `--format` overrides
+//! it: `.gr` is DIMACS, `.bin` / `.chlg` are binary CSR snapshots, anything
+//! else is a whitespace edge list (SNAP / KONECT style).
+
+use std::fs::File;
+use std::path::Path;
+
+use chl_graph::io::edge_list::EdgeListOptions;
+use chl_graph::io::{read_binary, read_dimacs, read_edge_list};
+use chl_graph::CsrGraph;
+
+/// The graph file formats `chl build` can read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// DIMACS 9th-challenge `.gr`.
+    Dimacs,
+    /// Binary CSR snapshot written by `chl gen` or `chl_graph::io::binary`.
+    Binary,
+    /// Whitespace-separated `u v [w]` edge list.
+    EdgeList,
+}
+
+impl GraphFormat {
+    /// Parses a `--format` value.
+    pub fn parse(name: &str) -> Result<GraphFormat, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "dimacs" | "gr" => Ok(GraphFormat::Dimacs),
+            "binary" | "bin" => Ok(GraphFormat::Binary),
+            "edgelist" | "edge-list" | "txt" => Ok(GraphFormat::EdgeList),
+            other => Err(format!(
+                "unknown graph format '{other}' (expected dimacs, binary or edgelist)"
+            )),
+        }
+    }
+
+    /// Infers the format from a file extension, defaulting to an edge list.
+    pub fn infer(path: &Path) -> GraphFormat {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(|e| e.to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("gr") => GraphFormat::Dimacs,
+            Some("bin") | Some("chlg") => GraphFormat::Binary,
+            _ => GraphFormat::EdgeList,
+        }
+    }
+}
+
+/// Loads a graph file in the given (or inferred) format.
+pub fn load_graph(
+    path: &Path,
+    format: Option<GraphFormat>,
+    directed: bool,
+    one_based: bool,
+) -> Result<CsrGraph, String> {
+    let format = format.unwrap_or_else(|| GraphFormat::infer(path));
+    let file =
+        File::open(path).map_err(|e| format!("cannot open graph file {}: {e}", path.display()))?;
+    let result = match format {
+        GraphFormat::Dimacs => read_dimacs(file, directed),
+        GraphFormat::Binary => read_binary(file),
+        GraphFormat::EdgeList => read_edge_list(
+            file,
+            &EdgeListOptions {
+                directed,
+                one_based,
+                ..EdgeListOptions::default()
+            },
+        ),
+    };
+    result.map_err(|e| format!("cannot read graph file {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_inference_follows_extensions() {
+        assert_eq!(GraphFormat::infer(Path::new("a.gr")), GraphFormat::Dimacs);
+        assert_eq!(GraphFormat::infer(Path::new("a.bin")), GraphFormat::Binary);
+        assert_eq!(GraphFormat::infer(Path::new("a.chlg")), GraphFormat::Binary);
+        assert_eq!(
+            GraphFormat::infer(Path::new("a.txt")),
+            GraphFormat::EdgeList
+        );
+        assert_eq!(
+            GraphFormat::infer(Path::new("noext")),
+            GraphFormat::EdgeList
+        );
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!(GraphFormat::parse("DIMACS").unwrap(), GraphFormat::Dimacs);
+        assert_eq!(GraphFormat::parse("bin").unwrap(), GraphFormat::Binary);
+        assert_eq!(
+            GraphFormat::parse("edgelist").unwrap(),
+            GraphFormat::EdgeList
+        );
+        assert!(GraphFormat::parse("parquet").is_err());
+    }
+
+    #[test]
+    fn missing_files_are_reported_not_panicked() {
+        let err = load_graph(Path::new("/nonexistent/g.gr"), None, false, false).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,122 @@
+//! `chl inspect`: print a `.chl` file's header, size statistics and
+//! label-size histogram without querying it.
+
+use chl_core::flat::FlatIndex;
+use chl_core::persist;
+use chl_graph::types::VertexId;
+
+use crate::opts::Opts;
+use crate::CliError;
+
+pub const USAGE: &str = "\
+usage: chl inspect <index.chl>
+
+Prints the on-disk header, memory footprint and label-size histogram of a
+saved index.";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let path = opts.positional(0, "index file argument")?.to_string();
+    opts.reject_extra_positionals(1)?;
+
+    let file_len = std::fs::metadata(&path)
+        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .len();
+    let header =
+        persist::load_header(&path).map_err(|e| format!("cannot read header of {path}: {e}"))?;
+    println!("file:             {path} ({file_len} bytes)");
+    println!("format version:   {}", header.version);
+    println!("vertices:         {}", header.num_vertices);
+    println!("label entries:    {}", header.num_entries);
+    println!("payload checksum: {:#010x}", header.checksum);
+
+    // The full load re-validates length, checksum and invariants, so inspect
+    // doubles as an integrity check.
+    let index = FlatIndex::load(&path).map_err(|e| format!("cannot load index {path}: {e}"))?;
+    println!("integrity:        ok");
+    println!(
+        "avg label size:   {:.2} per vertex",
+        index.average_label_size()
+    );
+    println!("max label size:   {}", index.max_label_size());
+    println!(
+        "memory footprint: {} bytes ({:.2} MiB resident when served)",
+        index.memory_bytes(),
+        index.memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    let histogram = label_size_histogram(&index);
+    println!("label-size histogram (vertices per bucket):");
+    for (label, count) in &histogram {
+        if *count > 0 {
+            println!("  {label:>12}  {count}");
+        }
+    }
+    Ok(())
+}
+
+/// Buckets vertices by label-set size: 0, 1, 2, then doubling ranges.
+fn label_size_histogram(index: &FlatIndex) -> Vec<(String, usize)> {
+    // 0 -> 0, 1 -> 1, 2 -> 2, 3..=4 -> 3, 5..=8 -> 4, 9..=16 -> 5, ...
+    fn bucket_of(size: usize) -> usize {
+        match size {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            s => 3 + (usize::BITS - (s - 1).leading_zeros()) as usize - 2,
+        }
+    }
+    let mut buckets: Vec<(String, usize)> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for v in 0..index.num_vertices() as VertexId {
+        let b = bucket_of(index.labels_of(v).len());
+        if counts.len() <= b {
+            counts.resize(b + 1, 0);
+        }
+        counts[b] += 1;
+    }
+    for (b, &count) in counts.iter().enumerate() {
+        let label = match b {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            2 => "2".to_string(),
+            b => format!("{}-{}", (1usize << (b - 2)) + 1, 1usize << (b - 1)),
+        };
+        buckets.push((label, count));
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_core::HubLabelIndex;
+    use chl_ranking::Ranking;
+
+    #[test]
+    fn histogram_buckets_cover_doubling_ranges() {
+        // Vertex label counts: 0, 1, 2, 3, 5, 9 across six vertices.
+        let ranking = Ranking::identity(16);
+        let mut triples = Vec::new();
+        for (v, count) in [(0u32, 0u32), (1, 1), (2, 2), (3, 3), (4, 5), (5, 9)] {
+            for h in 0..count {
+                triples.push((v, h, u64::from(h) + 1));
+            }
+        }
+        let index = HubLabelIndex::from_triples(triples, ranking);
+        let flat = FlatIndex::from_index(&index);
+        let hist = label_size_histogram(&flat);
+        let get = |label: &str| {
+            hist.iter()
+                .find(|(l, _)| l == label)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("0"), 11); // vertices 0 and 6..=15
+        assert_eq!(get("1"), 1);
+        assert_eq!(get("2"), 1);
+        assert_eq!(get("3-4"), 1);
+        assert_eq!(get("5-8"), 1);
+        assert_eq!(get("9-16"), 1);
+    }
+}

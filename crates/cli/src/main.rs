@@ -1,0 +1,89 @@
+//! The `chl` command line: the build → save → load → serve lifecycle of a
+//! hub-label index as four subcommands.
+//!
+//! ```text
+//! chl gen grid --rows 40 --cols 40 --out g.bin     # synthetic graph file
+//! chl build g.bin --out g.chl --algorithm hybrid   # construct + persist
+//! chl query g.chl 0 1599                           # serve from the file
+//! chl query g.chl --random 100000                  # latency statistics
+//! chl inspect g.chl                                # header + histogram
+//! ```
+//!
+//! Construction is the expensive phase and querying the latency-critical one
+//! (paper §6); the `.chl` file (see `chl_core::persist`) is the seam between
+//! them, so a labeling built once can be served by any number of later
+//! processes. All failures — bad flags, missing files, corrupt indexes — are
+//! reported on stderr with exit code 1; panics are bugs.
+
+mod build;
+mod gen;
+mod graph_files;
+mod inspect;
+mod opts;
+mod query;
+
+/// Boxed error: every subcommand reports failures as displayable values
+/// (library errors stay typed; the CLI only prints them).
+pub type CliError = Box<dyn std::error::Error>;
+
+/// The entry point of one subcommand.
+type Runner = fn(&[String]) -> Result<(), CliError>;
+
+const USAGE: &str = "\
+usage: chl <command> [args]
+
+commands:
+  gen      generate a synthetic graph file (grid / scale-free)
+  build    build a hub labeling from a graph file and save it as .chl
+  query    answer PPSD queries from a saved .chl index
+  inspect  show a .chl file's header, footprint and label histogram
+
+Run 'chl <command> --help' for per-command options.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(Exit::Usage(usage)) => {
+            println!("{usage}");
+        }
+        Err(Exit::Error(e)) => {
+            eprintln!("chl: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+enum Exit {
+    /// Help was requested: print usage, exit 0.
+    Usage(&'static str),
+    /// A real failure: print to stderr, exit 1.
+    Error(CliError),
+}
+
+fn run(args: &[String]) -> Result<(), Exit> {
+    // A missing command is misuse, not a help request: usage goes to stderr
+    // with a failing exit code so `chl "$CMD" …` with an empty variable
+    // cannot masquerade as success in a shell pipeline.
+    let Some(command) = args.first() else {
+        return Err(Exit::Error(format!("missing command\n{USAGE}").into()));
+    };
+    let rest = &args[1..];
+    let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
+    let (usage, runner): (&'static str, Runner) = match command.as_str() {
+        "gen" => (gen::USAGE, gen::run),
+        "build" => (build::USAGE, build::run),
+        "query" => (query::USAGE, query::run),
+        "inspect" => (inspect::USAGE, inspect::run),
+        "--help" | "-h" | "help" => return Err(Exit::Usage(USAGE)),
+        other => {
+            return Err(Exit::Error(
+                format!("unknown command '{other}'\n{USAGE}").into(),
+            ))
+        }
+    };
+    if wants_help {
+        return Err(Exit::Usage(usage));
+    }
+    runner(rest).map_err(Exit::Error)
+}

@@ -1,0 +1,151 @@
+//! A tiny dependency-free flag parser for the `chl` subcommands.
+//!
+//! Supports `--name value`, `--name=value`, boolean switches and positional
+//! arguments. Unknown flags are errors — silently ignoring a typo like
+//! `--algortihm` would build with the wrong default.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed command-line options for one subcommand.
+#[derive(Debug, Default)]
+pub struct Opts {
+    positionals: Vec<String>,
+    values: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+impl Opts {
+    /// Parses `args`, accepting exactly the given value-carrying flags and
+    /// boolean switches (names without the leading `--`).
+    pub fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Opts, String> {
+        let mut opts = Opts::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let (name, inline_value) = match flag.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (flag, None),
+                };
+                if value_flags.contains(&name) {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => iter
+                            .next()
+                            .ok_or_else(|| format!("--{name} requires a value"))?
+                            .clone(),
+                    };
+                    if opts.values.insert(name.to_string(), value).is_some() {
+                        return Err(format!("--{name} given more than once"));
+                    }
+                } else if switch_flags.contains(&name) {
+                    if inline_value.is_some() {
+                        return Err(format!("--{name} does not take a value"));
+                    }
+                    opts.switches.insert(name.to_string());
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                opts.positionals.push(arg.clone());
+            }
+        }
+        Ok(opts)
+    }
+
+    /// All positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `i`-th positional argument, or an error naming what was expected.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Errors when more than `max` positional arguments were given — the
+    /// same strictness as for unknown flags: a stray `40` where `--rows 40`
+    /// was meant must not silently fall back to a default.
+    pub fn reject_extra_positionals(&self, max: usize) -> Result<(), String> {
+        match self.positionals.get(max) {
+            None => Ok(()),
+            Some(extra) => Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `T`, or `default` when absent.
+    pub fn parsed_or<T>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| format!("invalid value '{raw}' for --{name}: {e}")),
+        }
+    }
+
+    /// `true` when the boolean switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        let o = Opts::parse(
+            &args(&["g.bin", "--seed", "7", "--directed", "--out=x.chl", "extra"]),
+            &["seed", "out"],
+            &["directed"],
+        )
+        .unwrap();
+        assert_eq!(o.positionals(), &["g.bin".to_string(), "extra".to_string()]);
+        assert_eq!(o.value("out"), Some("x.chl"));
+        assert_eq!(o.parsed_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(o.parsed_or::<u64>("missing", 42).unwrap(), 42);
+        assert!(o.switch("directed"));
+        assert!(!o.switch("one-based"));
+    }
+
+    #[test]
+    fn rejects_unknown_duplicate_and_malformed_flags() {
+        assert!(Opts::parse(&args(&["--nope"]), &[], &[]).is_err());
+        assert!(Opts::parse(&args(&["--seed"]), &["seed"], &[]).is_err());
+        assert!(Opts::parse(&args(&["--seed", "1", "--seed", "2"]), &["seed"], &[]).is_err());
+        assert!(Opts::parse(&args(&["--directed=yes"]), &[], &["directed"]).is_err());
+        let o = Opts::parse(&args(&["--seed", "x"]), &["seed"], &[]).unwrap();
+        assert!(o.parsed_or::<u64>("seed", 0).is_err());
+        assert!(o.positional(0, "graph file").is_err());
+    }
+
+    #[test]
+    fn extra_positionals_are_rejected_on_request() {
+        let o = Opts::parse(&args(&["a", "b"]), &[], &[]).unwrap();
+        assert!(o.reject_extra_positionals(2).is_ok());
+        let err = o.reject_extra_positionals(1).unwrap_err();
+        assert!(err.contains("'b'"), "{err}");
+    }
+}

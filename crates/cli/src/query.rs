@@ -1,0 +1,228 @@
+//! `chl query`: load a `.chl` index and answer PPSD queries.
+//!
+//! Three query sources, checked in this order: explicit `u v` pairs on the
+//! command line, a workload file (`--workload`), or a generated random batch
+//! (`--random`). Batch runs print latency statistics; explicit pairs print
+//! one distance per line.
+
+use std::time::{Duration, Instant};
+
+use chl_core::flat::FlatIndex;
+use chl_graph::types::{VertexId, INFINITY};
+use chl_query::workload::{load_workload, random_pairs, QueryWorkload};
+
+use crate::opts::Opts;
+use crate::CliError;
+
+pub const USAGE: &str = "\
+usage: chl query <index.chl> [u v [u v ...]]
+       chl query <index.chl> --workload <pairs.txt>
+       chl query <index.chl> --random <count> [--seed N]
+
+Answers point-to-point shortest-distance queries from a saved index.
+Explicit pairs print one distance per line; batch modes (--workload /
+--random) print latency statistics.
+
+options:
+  --workload FILE     text file with one 'u v' pair per line (# comments)
+  --random N          generate N uniform random pairs
+  --seed N            seed for --random                           [42]";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["workload", "random", "seed"], &[])?;
+    let index_path = opts.positional(0, "index file argument")?.to_string();
+    let index =
+        FlatIndex::load(&index_path).map_err(|e| format!("cannot load index {index_path}: {e}"))?;
+    let n = index.num_vertices();
+
+    if opts.value("seed").is_some() && opts.value("random").is_none() {
+        return Err("--seed only applies together with --random".into());
+    }
+
+    let explicit_pairs = parse_explicit_pairs(&opts.positionals()[1..])?;
+    if !explicit_pairs.is_empty() {
+        if opts.value("workload").is_some() || opts.value("random").is_some() {
+            return Err("give either explicit pairs or a batch flag, not both".into());
+        }
+        for &(u, v) in &explicit_pairs {
+            check_vertex(u, n)?;
+            check_vertex(v, n)?;
+            let d = index.query(u, v);
+            if d == INFINITY {
+                println!("dist({u}, {v}) = unreachable");
+            } else {
+                println!("dist({u}, {v}) = {d}");
+            }
+        }
+        return Ok(());
+    }
+
+    let workload = match (opts.value("workload"), opts.value("random")) {
+        (Some(_), Some(_)) => return Err("--workload and --random are mutually exclusive".into()),
+        (Some(path), None) => {
+            load_workload(path).map_err(|e| format!("cannot load workload {path}: {e}"))?
+        }
+        (None, Some(_)) => {
+            let count: usize = opts.parsed_or("random", 0)?;
+            let seed: u64 = opts.parsed_or("seed", 42)?;
+            random_pairs(n, count, seed)
+        }
+        (None, None) => {
+            return Err("nothing to query: give 'u v' pairs, --workload or --random".into())
+        }
+    };
+    if workload.is_empty() {
+        return Err("the workload contains no query pairs".into());
+    }
+    for &(u, v) in &workload.pairs {
+        check_vertex(u, n)?;
+        check_vertex(v, n)?;
+    }
+
+    run_batch(&index, &workload);
+    Ok(())
+}
+
+fn parse_explicit_pairs(tokens: &[String]) -> Result<Vec<(VertexId, VertexId)>, CliError> {
+    if !tokens.len().is_multiple_of(2) {
+        return Err("explicit queries need an even number of vertex ids (u v pairs)".into());
+    }
+    tokens
+        .chunks(2)
+        .map(|c| {
+            let u = c[0]
+                .parse::<VertexId>()
+                .map_err(|_| format!("invalid vertex id '{}'", c[0]))?;
+            let v = c[1]
+                .parse::<VertexId>()
+                .map_err(|_| format!("invalid vertex id '{}'", c[1]))?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+fn check_vertex(v: VertexId, n: usize) -> Result<(), CliError> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(format!("vertex id {v} out of range for an index with {n} vertices").into())
+    }
+}
+
+/// Cap on individually timed queries: per-query `Instant` reads cost tens of
+/// nanoseconds and 16 bytes each, so percentiles are taken from an evenly
+/// strided sample while throughput comes from whole-batch timing.
+const MAX_LATENCY_SAMPLES: usize = 1_000_000;
+
+fn run_batch(index: &FlatIndex, workload: &QueryWorkload) {
+    // Warm-up pass: fault the index in and collect answer statistics, so the
+    // timed passes below measure steady-state serving.
+    let mut reachable = 0usize;
+    let mut distance_sum = 0u64;
+    for &(u, v) in &workload.pairs {
+        let d = index.query(u, v);
+        if d != INFINITY {
+            reachable += 1;
+            distance_sum = distance_sum.wrapping_add(d);
+        }
+    }
+
+    // Throughput pass: one clock read around the whole batch, so timer
+    // overhead does not dilute the queries/s figure.
+    let batch_start = Instant::now();
+    for &(u, v) in &workload.pairs {
+        std::hint::black_box(index.query(u, v));
+    }
+    let batch_time = batch_start.elapsed();
+
+    // Latency pass: per-query timing over an evenly strided sample.
+    let total = workload.len();
+    let stride = total.div_ceil(MAX_LATENCY_SAMPLES).max(1);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total.div_ceil(stride));
+    for &(u, v) in workload.pairs.iter().step_by(stride) {
+        let start = Instant::now();
+        std::hint::black_box(index.query(u, v));
+        latencies.push(start.elapsed());
+    }
+    latencies.sort_unstable();
+
+    println!("queries:        {total}");
+    println!(
+        "reachable:      {reachable} ({:.1}%)",
+        100.0 * reachable as f64 / total as f64
+    );
+    println!("distance sum:   {distance_sum}");
+    println!("batch time:     {batch_time:.2?}");
+    println!(
+        "throughput:     {:.0} queries/s",
+        total as f64 / batch_time.as_secs_f64().max(1e-12)
+    );
+    if stride > 1 {
+        println!(
+            "latency sample: every {stride}th query ({} samples)",
+            latencies.len()
+        );
+    }
+    println!("latency mean:   {:.3} us", mean_us(&latencies));
+    for (name, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        println!(
+            "latency {name}:    {:.3} us",
+            percentile(&latencies, q).as_secs_f64() * 1e6
+        );
+    }
+    println!(
+        "latency max:    {:.3} us",
+        latencies
+            .last()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64()
+            * 1e6
+    );
+}
+
+fn mean_us(latencies: &[Duration]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let total: Duration = latencies.iter().sum();
+    total.as_secs_f64() * 1e6 / latencies.len() as f64
+}
+
+/// Nearest-rank percentile of a sorted latency list.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(mean_us(&[]), 0.0);
+        assert!(
+            (mean_us(&[Duration::from_micros(4), Duration::from_micros(6)]) - 5.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn explicit_pair_parsing() {
+        let toks: Vec<String> = ["1", "2", "3", "4"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_explicit_pairs(&toks).unwrap(), vec![(1, 2), (3, 4)]);
+        assert!(parse_explicit_pairs(&toks[..1]).is_err());
+        let bad: Vec<String> = ["a", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_explicit_pairs(&bad).is_err());
+        assert!(check_vertex(3, 4).is_ok());
+        assert!(check_vertex(4, 4).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end test of the build → save → load → serve lifecycle through the
+//! `chl` binary itself: the distances served from a `.chl` file written by
+//! `chl build` must be byte-identical to what the in-memory
+//! [`HubLabelIndex`] built from the same graph answers, and corrupted files
+//! must fail with an error message, not a panic.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
+use chl_core::flat::FlatIndex;
+use chl_graph::io::read_binary;
+
+fn chl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chl"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chl-cli-test-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn chl");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn run_err(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn chl");
+    assert!(
+        !out.status.success(),
+        "command unexpectedly succeeded\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8(out.stderr).unwrap()
+}
+
+fn gen_and_build(dir: &Path) -> (PathBuf, PathBuf) {
+    let graph_path = dir.join("g.bin");
+    let index_path = dir.join("g.chl");
+    run_ok(chl().args([
+        "gen",
+        "grid",
+        "--rows",
+        "8",
+        "--cols",
+        "8",
+        "--seed",
+        "7",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]));
+    run_ok(chl().args([
+        "build",
+        graph_path.to_str().unwrap(),
+        "--out",
+        index_path.to_str().unwrap(),
+        "--algorithm",
+        "hybrid",
+        "--ranking",
+        "degree",
+        "--threads",
+        "2",
+    ]));
+    (graph_path, index_path)
+}
+
+#[test]
+fn saved_index_serves_identically_to_in_memory_build() {
+    let dir = temp_dir("roundtrip");
+    let (graph_path, index_path) = gen_and_build(&dir);
+
+    // Rebuild in-process from the same graph file with the same settings.
+    let graph = read_binary(std::fs::File::open(&graph_path).unwrap()).unwrap();
+    let in_memory = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Degree)
+        .algorithm(Algorithm::Hybrid)
+        .threads(2)
+        .build()
+        .unwrap()
+        .index;
+
+    // The CLI-written file must answer every pair exactly like the
+    // in-memory index.
+    let served = FlatIndex::load(&index_path).unwrap();
+    let n = graph.num_vertices() as u32;
+    assert_eq!(served.num_vertices(), graph.num_vertices());
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(served.query(u, v), in_memory.query(u, v), "({u}, {v})");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cli_query_output_matches_library_answers() {
+    let dir = temp_dir("query");
+    let (graph_path, index_path) = gen_and_build(&dir);
+
+    let graph = read_binary(std::fs::File::open(&graph_path).unwrap()).unwrap();
+    let index = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Degree)
+        .algorithm(Algorithm::Hybrid)
+        .threads(2)
+        .build()
+        .unwrap()
+        .index;
+
+    let stdout = run_ok(chl().args(["query", index_path.to_str().unwrap(), "0", "63", "5", "5"]));
+    assert!(
+        stdout.contains(&format!("dist(0, 63) = {}", index.query(0, 63))),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("dist(5, 5) = 0"), "stdout: {stdout}");
+
+    // Batch mode over a workload file prints latency statistics.
+    let workload_path = dir.join("pairs.txt");
+    std::fs::write(&workload_path, "# two pairs\n0 63\n10 20\n").unwrap();
+    let stdout = run_ok(chl().args([
+        "query",
+        index_path.to_str().unwrap(),
+        "--workload",
+        workload_path.to_str().unwrap(),
+    ]));
+    for needle in ["queries:", "throughput:", "latency p99:"] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn inspect_reports_header_and_histogram() {
+    let dir = temp_dir("inspect");
+    let (_graph, index_path) = gen_and_build(&dir);
+    let stdout = run_ok(chl().args(["inspect", index_path.to_str().unwrap()]));
+    for needle in [
+        "format version:   1",
+        "vertices:         64",
+        "integrity:        ok",
+        "label-size histogram",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_and_missing_inputs_fail_cleanly() {
+    let dir = temp_dir("corrupt");
+    let (_graph, index_path) = gen_and_build(&dir);
+
+    // Flip one payload byte: query must fail with the checksum error on
+    // stderr and a nonzero exit code — not a panic.
+    let mut bytes = std::fs::read(&index_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&index_path, &bytes).unwrap();
+    let stderr = run_err(chl().args(["query", index_path.to_str().unwrap(), "0", "1"]));
+    assert!(stderr.contains("checksum"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    let stderr =
+        run_err(chl().args(["query", dir.join("missing.chl").to_str().unwrap(), "0", "1"]));
+    assert!(stderr.contains("error"), "stderr: {stderr}");
+
+    let stderr = run_err(chl().args(["frobnicate"]));
+    assert!(stderr.contains("unknown command"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

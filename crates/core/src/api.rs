@@ -100,6 +100,16 @@ impl Algorithm {
     }
 
     /// The paper section introducing the algorithm.
+    ///
+    /// ```
+    /// use chl_core::api::Algorithm;
+    ///
+    /// assert_eq!(Algorithm::Plant.paper_section(), "§5.2, Algorithm 3");
+    /// // Names parse back case-insensitively, so CLI flags and config files
+    /// // can round-trip through `to_string`.
+    /// assert_eq!("plant".parse::<Algorithm>().unwrap(), Algorithm::Plant);
+    /// assert_eq!(Algorithm::Plant.to_string(), "PLaNT");
+    /// ```
     pub fn paper_section(self) -> &'static str {
         match self {
             Algorithm::Pll => "§1 (baseline, Akiba et al. 2013)",

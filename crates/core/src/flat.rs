@@ -1,0 +1,328 @@
+//! Flat, cache-contiguous storage of a hub labeling.
+//!
+//! [`HubLabelIndex`] keeps one heap allocation per vertex (`Vec<LabelSet>`),
+//! which is the natural shape during construction — label sets grow
+//! independently — but a poor shape for serving: every query chases two
+//! pointers into unrelated heap regions, and the index cannot be written to
+//! or read from disk without walking every allocation.
+//!
+//! [`FlatIndex`] is the read-optimized counterpart: all label entries live in
+//! one contiguous array, with a CSR-style offsets array marking each vertex's
+//! slice, exactly like [`chl_graph::CsrGraph`] stores adjacency. The layout
+//! is what the `.chl` on-disk format (see [`crate::persist`]) stores
+//! byte-for-byte, so loading an index is one read plus validation — no
+//! per-vertex re-allocation. Conversion to and from [`HubLabelIndex`] is
+//! lossless, and both answer every query identically (asserted by the
+//! persistence proptests).
+
+use serde::{Deserialize, Serialize};
+
+use chl_graph::types::{Distance, VertexId};
+use chl_ranking::Ranking;
+
+use crate::index::HubLabelIndex;
+use crate::labels::{join_sorted_slices, LabelEntry, LabelSet};
+use crate::oracle::DistanceOracle;
+use crate::persist::{self, PersistError};
+
+/// A hub labeling stored as two contiguous CSR-style arrays.
+///
+/// `entries[offsets[v] .. offsets[v + 1]]` is the label set of vertex `v`,
+/// sorted ascending by hub rank position (the same invariant
+/// [`crate::labels::LabelSet`] maintains). Offsets are `u64` so the in-memory
+/// representation matches the on-disk format exactly.
+///
+/// Build one with [`FlatIndex::from_index`] (or `From<&HubLabelIndex>`),
+/// persist it with [`FlatIndex::save`] and reload it with
+/// [`FlatIndex::load`]:
+///
+/// ```
+/// use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
+/// use chl_core::flat::FlatIndex;
+/// use chl_graph::generators::{grid_network, GridOptions};
+///
+/// let g = grid_network(&GridOptions { rows: 5, cols: 5, ..GridOptions::default() }, 3);
+/// let built = ChlBuilder::new(&g)
+///     .ranking(RankingStrategy::Degree)
+///     .algorithm(Algorithm::Pll)
+///     .build()
+///     .unwrap();
+/// let flat = FlatIndex::from_index(&built.index);
+/// assert_eq!(flat.query(0, 24), built.index.query(0, 24));
+/// assert_eq!(flat.to_index().unwrap(), built.index);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatIndex {
+    offsets: Vec<u64>,
+    entries: Vec<LabelEntry>,
+    ranking: Ranking,
+}
+
+impl FlatIndex {
+    /// Flattens a pointer-per-vertex index into contiguous storage.
+    pub fn from_index(index: &HubLabelIndex) -> Self {
+        let n = index.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::with_capacity(index.total_labels());
+        offsets.push(0);
+        for v in 0..n as VertexId {
+            entries.extend_from_slice(index.labels_of(v).entries());
+            offsets.push(entries.len() as u64);
+        }
+        FlatIndex {
+            offsets,
+            entries,
+            ranking: index.ranking().clone(),
+        }
+    }
+
+    /// Rebuilds the pointer-per-vertex [`HubLabelIndex`]. The conversion is
+    /// lossless: `FlatIndex::from_index(&i).to_index().unwrap() == i`.
+    pub fn to_index(&self) -> Result<HubLabelIndex, crate::error::LabelingError> {
+        let labels = (0..self.num_vertices() as VertexId)
+            .map(|v| LabelSet::from_entries(self.labels_of(v).to_vec()))
+            .collect();
+        HubLabelIndex::new(labels, self.ranking.clone())
+    }
+
+    /// Assembles a flat index from raw parts, without validating the CSR
+    /// invariants. The persistence layer calls this after its own validation;
+    /// everything else should go through [`FlatIndex::from_index`].
+    pub(crate) fn from_validated_parts(
+        offsets: Vec<u64>,
+        entries: Vec<LabelEntry>,
+        ranking: Ranking,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), ranking.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), entries.len() as u64);
+        FlatIndex {
+            offsets,
+            entries,
+            ranking,
+        }
+    }
+
+    /// Number of vertices covered by the index.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The ranking the labeling respects.
+    pub fn ranking(&self) -> &Ranking {
+        &self.ranking
+    }
+
+    /// The CSR offsets array (`num_vertices + 1` entries, first `0`, last
+    /// equal to [`Self::total_labels`]).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// All label entries, concatenated in vertex order.
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+
+    /// Label slice of vertex `v`, sorted ascending by hub rank position.
+    #[inline]
+    pub fn labels_of(&self, v: VertexId) -> &[LabelEntry] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Answers a PPSD query: the exact shortest-path distance between `u` and
+    /// `v`, or [`chl_graph::types::INFINITY`] when they are not connected.
+    /// Same contract as [`HubLabelIndex::query`], on contiguous storage.
+    pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        if u == v {
+            return 0;
+        }
+        join_sorted_slices(self.labels_of(u), self.labels_of(v))
+            .map(|(_, d)| d)
+            .unwrap_or(chl_graph::types::INFINITY)
+    }
+
+    /// Like [`Self::query`] but also reports the hub (as a vertex id) through
+    /// which the minimum distance is achieved.
+    pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
+        if u == v {
+            return Some((u, 0));
+        }
+        join_sorted_slices(self.labels_of(u), self.labels_of(v))
+            .map(|(hub_pos, d)| (self.ranking.vertex_at(hub_pos), d))
+    }
+
+    /// Total number of labels stored.
+    pub fn total_labels(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Average label size per vertex (ALS).
+    pub fn average_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.total_labels() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum label-set size over all vertices.
+    pub fn max_label_size(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap memory consumed by the flat arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.entries.len() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Serializes the index into the versioned `.chl` byte format
+    /// (see [`crate::persist`] for the field-by-field layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        persist::to_bytes(self)
+    }
+
+    /// Deserializes an index from `.chl` bytes, validating magic, version,
+    /// checksum and every CSR/ranking invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        persist::from_bytes(bytes)
+    }
+
+    /// Writes the index to `path` in the `.chl` format.
+    ///
+    /// A worked round-trip (the serving half runs in a fresh process in real
+    /// deployments — `load` only needs the file):
+    ///
+    /// ```
+    /// use chl_core::flat::FlatIndex;
+    /// use chl_core::HubLabelIndex;
+    /// use chl_ranking::Ranking;
+    ///
+    /// // Label a 3-vertex path graph 0 - 1 - 2 by hand.
+    /// let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
+    /// let index = HubLabelIndex::from_triples(
+    ///     vec![(0, 0, 0), (0, 1, 1), (1, 1, 0), (2, 1, 1), (2, 2, 0)],
+    ///     ranking,
+    /// );
+    ///
+    /// let path = std::env::temp_dir().join(format!("chl-doctest-{}.chl", std::process::id()));
+    /// FlatIndex::from_index(&index).save(&path).unwrap();
+    ///
+    /// let served = FlatIndex::load(&path).unwrap();
+    /// assert_eq!(served.query(0, 2), 2);
+    /// assert_eq!(served.query(0, 2), index.query(0, 2));
+    /// std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), PersistError> {
+        persist::save(self, path)
+    }
+
+    /// Reads an index from a `.chl` file written by [`Self::save`].
+    /// Corruption of any kind — truncation, bit flips, wrong magic or
+    /// version — is reported as a typed [`PersistError`], never a panic.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, PersistError> {
+        persist::load(path)
+    }
+}
+
+impl From<&HubLabelIndex> for FlatIndex {
+    fn from(index: &HubLabelIndex) -> Self {
+        FlatIndex::from_index(index)
+    }
+}
+
+impl DistanceOracle for FlatIndex {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.query(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        FlatIndex::num_vertices(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FlatIndex::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chl_graph::types::INFINITY;
+
+    fn tiny_index() -> HubLabelIndex {
+        // Path 0 - 1 - 2, ranking 1 > 0 > 2 (see index.rs tests).
+        let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
+        HubLabelIndex::from_triples(
+            vec![(0, 0, 0), (0, 1, 1), (1, 1, 0), (2, 1, 1), (2, 2, 0)],
+            ranking,
+        )
+    }
+
+    #[test]
+    fn flat_answers_identically_to_pointer_layout() {
+        let idx = tiny_index();
+        let flat = FlatIndex::from_index(&idx);
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(flat.query(u, v), idx.query(u, v), "({u}, {v})");
+                assert_eq!(flat.query_with_hub(u, v), idx.query_with_hub(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_round_trips_losslessly() {
+        let idx = tiny_index();
+        let flat = FlatIndex::from(&idx);
+        assert_eq!(flat.to_index().unwrap(), idx);
+    }
+
+    #[test]
+    fn csr_shape_and_statistics_match() {
+        let idx = tiny_index();
+        let flat = FlatIndex::from_index(&idx);
+        assert_eq!(flat.num_vertices(), 3);
+        assert_eq!(flat.offsets(), &[0, 2, 3, 5]);
+        assert_eq!(flat.total_labels(), idx.total_labels());
+        assert_eq!(flat.max_label_size(), idx.max_label_size());
+        assert!((flat.average_label_size() - idx.average_label_size()).abs() < 1e-12);
+        assert_eq!(flat.labels_of(1).len(), 1);
+        assert!(flat.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_index_flattens() {
+        let flat = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(4)));
+        assert_eq!(flat.num_vertices(), 4);
+        assert_eq!(flat.total_labels(), 0);
+        assert_eq!(flat.query(0, 3), INFINITY);
+        assert_eq!(flat.query(2, 2), 0);
+        assert_eq!(flat.max_label_size(), 0);
+        assert_eq!(flat.average_label_size(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_index_flattens() {
+        let flat = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(0)));
+        assert_eq!(flat.num_vertices(), 0);
+        assert_eq!(flat.average_label_size(), 0.0);
+        assert_eq!(flat.offsets(), &[0]);
+    }
+
+    #[test]
+    fn oracle_surface_matches_direct_calls() {
+        let flat = FlatIndex::from_index(&tiny_index());
+        let oracle: &dyn DistanceOracle = &flat;
+        assert_eq!(oracle.distance(0, 2), 2);
+        assert_eq!(oracle.num_vertices(), 3);
+        assert!(oracle.memory_bytes() > 0);
+        assert_eq!(oracle.distances(&[(0, 1), (0, 2)]), vec![1, 2]);
+    }
+}

@@ -76,7 +76,8 @@ impl HubLabelIndex {
     }
 
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
-    /// `v`, or [`INFINITY`] when they are not connected.
+    /// `v`, or [`INFINITY`](chl_graph::types::INFINITY) when they are not
+    /// connected.
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
         if u == v {
             return 0;

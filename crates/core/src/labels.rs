@@ -36,6 +36,35 @@ pub struct LabelSet {
     entries: Vec<LabelEntry>,
 }
 
+/// PPSD merge-join over two hub-sorted label slices: the minimum
+/// `d(u,h) + d(v,h)` over common hubs, together with the hub achieving it.
+///
+/// This is the query kernel shared by [`LabelSet`] (pointer-per-vertex
+/// storage) and [`crate::flat::FlatIndex`] (contiguous CSR storage): both
+/// hold their entries sorted ascending by hub rank position, so the same
+/// linear scan serves either layout.
+pub fn join_sorted_slices(a: &[LabelEntry], b: &[LabelEntry]) -> Option<(u32, Distance)> {
+    let (mut i, mut j) = (0, 0);
+    let mut best: Option<(u32, Distance)> = None;
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        if x.hub < y.hub {
+            i += 1;
+        } else if y.hub < x.hub {
+            j += 1;
+        } else {
+            let total = x.dist.saturating_add(y.dist);
+            if best.is_none_or(|(_, d)| total < d) {
+                best = Some((x.hub, total));
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    best
+}
+
 impl LabelSet {
     /// Creates an empty label set.
     pub fn new() -> Self {
@@ -149,25 +178,7 @@ impl LabelSet {
     /// PPSD merge-join: the minimum `d(u,h) + d(v,h)` over common hubs of the
     /// two sets, together with the hub achieving it.
     pub fn query_join(&self, other: &LabelSet) -> Option<(u32, Distance)> {
-        let (mut i, mut j) = (0, 0);
-        let mut best: Option<(u32, Distance)> = None;
-        while i < self.entries.len() && j < other.entries.len() {
-            let a = self.entries[i];
-            let b = other.entries[j];
-            if a.hub < b.hub {
-                i += 1;
-            } else if b.hub < a.hub {
-                j += 1;
-            } else {
-                let total = a.dist.saturating_add(b.dist);
-                if best.is_none_or(|(_, d)| total < d) {
-                    best = Some((a.hub, total));
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-        best
+        join_sorted_slices(&self.entries, &other.entries)
     }
 
     /// PPSD distance between the owners of the two label sets

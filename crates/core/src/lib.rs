@@ -65,12 +65,32 @@
 //! (except `SParaPll`, whose whole point is that it does not); the
 //! [`canonical`] module contains a brute-force reference and property
 //! checkers used heavily by the test-suite.
+//!
+//! ## Persistence: build once, serve forever
+//!
+//! Construction is the expensive phase and querying the latency-critical one
+//! (§6), so the two are decoupled by a durable index: [`flat::FlatIndex`]
+//! stores every label set in two contiguous CSR-style arrays (the serving
+//! layout), and [`persist`] defines the versioned, checksummed `.chl` file
+//! format it saves to and loads from. The lifecycle is
+//!
+//! ```text
+//! ChlBuilder::build -> HubLabelIndex -> FlatIndex::from_index -> save(path)
+//!                                 ...any process, any time later...
+//! FlatIndex::load(path) -> &dyn DistanceOracle
+//! ```
+//!
+//! Conversion between the two layouts is lossless, every corruption mode
+//! (truncation, bit flips, wrong magic/version) loads as a typed
+//! [`PersistError`], and the `chl` CLI (`crates/cli`) drives the same
+//! lifecycle from the shell.
 
 pub mod api;
 pub mod canonical;
 pub mod cleaning;
 pub mod config;
 pub mod error;
+pub mod flat;
 pub mod gll;
 pub mod hybrid;
 pub mod index;
@@ -78,6 +98,7 @@ pub mod labels;
 pub mod lcc;
 pub mod oracle;
 pub mod para_pll;
+pub mod persist;
 pub mod plant;
 pub mod pll;
 pub mod pruned_dijkstra;
@@ -87,7 +108,9 @@ pub mod table;
 pub use api::{Algorithm, ChlBuilder, Labeler, RankingStrategy};
 pub use config::LabelingConfig;
 pub use error::LabelingError;
+pub use flat::FlatIndex;
 pub use index::{HubLabelIndex, LabelingResult};
 pub use labels::{LabelEntry, LabelSet};
 pub use oracle::DistanceOracle;
+pub use persist::PersistError;
 pub use stats::ConstructionStats;

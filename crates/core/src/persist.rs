@@ -1,0 +1,580 @@
+//! The versioned `.chl` on-disk index format.
+//!
+//! A `.chl` file is a byte-exact dump of a [`FlatIndex`]: the ranking that
+//! gives hub positions their meaning, the CSR offsets array and the
+//! contiguous label entries. Layout (all integers little-endian, following
+//! the `chl_graph::io::binary` conventions):
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic    "CHLI"
+//! 4       4           version  u32, currently 1
+//! 8       8           n        u64, number of vertices
+//! 16      8           m        u64, total number of label entries
+//! 24      4           crc32    u32, CRC-32 (IEEE) of every byte after the header
+//! 28      n * 4       ranking  vertex ids, most important first
+//! ..      (n+1) * 8   offsets  entries[offsets[v]..offsets[v+1]] labels vertex v
+//! ..      m * 12      entries  (u32 hub rank position, u64 distance) pairs
+//! ```
+//!
+//! ## Versioning and compatibility policy
+//!
+//! `version` is bumped on **any** layout change; readers reject versions they
+//! do not know ([`PersistError::UnsupportedVersion`]) rather than guessing.
+//! There is no in-place migration: an index is cheap to rebuild from its
+//! graph, so old files are regenerated, not converted.
+//!
+//! ## Corruption detection
+//!
+//! Loading validates, in order: the magic, the version, that the file length
+//! matches the header's dimensions exactly (truncation and trailing garbage
+//! are both rejected), the CRC-32 of the payload, and finally the semantic
+//! invariants — the ranking is a permutation, the offsets start at zero and
+//! rise monotonically to `m`, and every vertex's entries are strictly
+//! hub-sorted with in-range hub positions. Every failure is a typed
+//! [`PersistError`]; no input, however mangled, panics the loader.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use chl_graph::types::VertexId;
+use chl_ranking::Ranking;
+
+use crate::flat::FlatIndex;
+use crate::labels::LabelEntry;
+
+/// File magic: "Canonical Hub Label Index".
+pub const MAGIC: &[u8; 4] = b"CHLI";
+/// Current format version. Bumped on any layout change.
+pub const VERSION: u32 = 1;
+/// Size of the fixed header in bytes (`magic | version | n | m | crc32`).
+pub const HEADER_LEN: usize = 28;
+/// Size of one serialized label entry in bytes (`u32 hub | u64 dist`).
+pub const ENTRY_LEN: usize = 12;
+
+/// Errors produced while reading or writing `.chl` index files.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `CHLI` magic — not an index file.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file was written by a format version this reader does not know.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+    },
+    /// The file is shorter than its header claims — an interrupted write or
+    /// a truncated copy.
+    Truncated {
+        /// Bytes the header (or the fixed header size) requires.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The file is longer than its header claims; the surplus would be
+    /// silently ignored data, so it is rejected.
+    TrailingBytes {
+        /// Surplus bytes after the declared payload.
+        extra: usize,
+    },
+    /// The payload checksum does not match — the bytes were corrupted after
+    /// the header was written (bit rot, torn write, manual edit).
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
+    /// The bytes checksum correctly but violate a semantic invariant
+    /// (non-permutation ranking, non-monotonic offsets, unsorted or
+    /// out-of-range hubs) — a writer bug or a forged file.
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic { found } => write!(
+                f,
+                "not a .chl index file: expected magic {MAGIC:?}, found {found:?}"
+            ),
+            PersistError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported .chl format version {found} (this reader understands up to {VERSION})"
+            ),
+            PersistError::Truncated { expected, found } => write!(
+                f,
+                "truncated .chl file: expected {expected} bytes, found {found}"
+            ),
+            PersistError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    ".chl file has {extra} trailing bytes beyond its declared payload"
+                )
+            }
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "corrupt .chl payload: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::Malformed(msg) => write!(f, "malformed .chl index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The fixed-size header of a `.chl` file, readable without loading the
+/// payload (used by `chl inspect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Format version stamped in the file.
+    pub version: u32,
+    /// Number of vertices the index covers.
+    pub num_vertices: u64,
+    /// Total number of label entries.
+    pub num_entries: u64,
+    /// CRC-32 of the payload, as stored.
+    pub checksum: u32,
+}
+
+impl FileHeader {
+    /// Total file size in bytes implied by the header's dimensions.
+    pub fn expected_file_len(&self) -> Option<usize> {
+        expected_payload_len(self.num_vertices, self.num_entries)
+            .map(|payload| HEADER_LEN + payload)
+    }
+}
+
+// --- CRC-32 (IEEE 802.3), table-driven; small enough to vendor rather than
+// --- pull a dependency the offline build cannot fetch.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`, the checksum the `.chl` header stores.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Payload size implied by the header dimensions, `None` on overflow (which
+/// can only arise from a corrupt or hostile header).
+fn expected_payload_len(n: u64, m: u64) -> Option<usize> {
+    let ranking = n.checked_mul(4)?;
+    let offsets = n.checked_add(1)?.checked_mul(8)?;
+    let entries = m.checked_mul(ENTRY_LEN as u64)?;
+    let total = ranking.checked_add(offsets)?.checked_add(entries)?;
+    usize::try_from(total).ok()
+}
+
+/// Serializes `index` into the `.chl` byte format.
+pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
+    let n = index.num_vertices();
+    let m = index.total_labels();
+    let payload_len =
+        expected_payload_len(n as u64, m as u64).expect("in-memory index fits in memory");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(m as u64).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
+
+    for &v in index.ranking().order() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for &off in index.offsets() {
+        buf.extend_from_slice(&off.to_le_bytes());
+    }
+    for e in index.entries() {
+        buf.extend_from_slice(&e.hub.to_le_bytes());
+        buf.extend_from_slice(&e.dist.to_le_bytes());
+    }
+
+    let crc = crc32(&buf[HEADER_LEN..]);
+    buf[24..28].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Little-endian cursor over a byte slice. All reads are bounds-checked by
+/// the caller having verified the total length up front.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> &'a [u8] {
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        s
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("length checked"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("length checked"))
+    }
+}
+
+/// Parses just the fixed header, validating magic and version but not the
+/// payload. `data` must hold at least [`HEADER_LEN`] bytes.
+pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
+    if data.len() < HEADER_LEN {
+        return Err(PersistError::Truncated {
+            expected: HEADER_LEN,
+            found: data.len(),
+        });
+    }
+    let mut cur = Cursor::new(data);
+    let magic: [u8; 4] = cur.take(4).try_into().expect("length checked");
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = cur.get_u32();
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let num_vertices = cur.get_u64();
+    let num_entries = cur.get_u64();
+    let checksum = cur.get_u32();
+    Ok(FileHeader {
+        version,
+        num_vertices,
+        num_entries,
+        checksum,
+    })
+}
+
+/// Deserializes an index from `.chl` bytes produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
+    let header = parse_header(data)?;
+    let n64 = header.num_vertices;
+    let m64 = header.num_entries;
+    if n64 > VertexId::MAX as u64 {
+        return Err(PersistError::Malformed(format!(
+            "{n64} vertices exceeds the u32 vertex id space"
+        )));
+    }
+    let payload_len = expected_payload_len(n64, m64).ok_or_else(|| {
+        PersistError::Malformed(format!(
+            "declared dimensions (n = {n64}, m = {m64}) overflow the addressable size"
+        ))
+    })?;
+    let expected = HEADER_LEN + payload_len;
+    if data.len() < expected {
+        return Err(PersistError::Truncated {
+            expected,
+            found: data.len(),
+        });
+    }
+    if data.len() > expected {
+        return Err(PersistError::TrailingBytes {
+            extra: data.len() - expected,
+        });
+    }
+
+    let computed = crc32(&data[HEADER_LEN..]);
+    if computed != header.checksum {
+        return Err(PersistError::ChecksumMismatch {
+            stored: header.checksum,
+            computed,
+        });
+    }
+
+    let n = n64 as usize;
+    let m = m64 as usize;
+    let mut cur = Cursor::new(&data[HEADER_LEN..]);
+
+    let order: Vec<VertexId> = (0..n).map(|_| cur.get_u32()).collect();
+    let ranking = Ranking::from_order(order, n)
+        .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
+
+    let offsets: Vec<u64> = (0..=n).map(|_| cur.get_u64()).collect();
+    if offsets[0] != 0 {
+        return Err(PersistError::Malformed(format!(
+            "offsets must start at 0, found {}",
+            offsets[0]
+        )));
+    }
+    if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+        return Err(PersistError::Malformed(format!(
+            "offsets must be monotonically non-decreasing, found {} before {}",
+            w[0], w[1]
+        )));
+    }
+    if offsets[n] != m64 {
+        return Err(PersistError::Malformed(format!(
+            "final offset {} disagrees with the declared entry count {m64}",
+            offsets[n]
+        )));
+    }
+
+    let mut entries = Vec::with_capacity(m);
+    for _ in 0..m {
+        let hub = cur.get_u32();
+        let dist = cur.get_u64();
+        entries.push(LabelEntry::new(hub, dist));
+    }
+    for v in 0..n {
+        let slice = &entries[offsets[v] as usize..offsets[v + 1] as usize];
+        let mut prev: Option<u32> = None;
+        for e in slice {
+            if e.hub as u64 >= n64 {
+                return Err(PersistError::Malformed(format!(
+                    "vertex {v} has a label with hub position {} outside 0..{n64}",
+                    e.hub
+                )));
+            }
+            if prev.is_some_and(|p| p >= e.hub) {
+                return Err(PersistError::Malformed(format!(
+                    "labels of vertex {v} are not strictly hub-sorted"
+                )));
+            }
+            prev = Some(e.hub);
+        }
+    }
+
+    Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
+}
+
+/// Writes `index` to `path` in the `.chl` format, overwriting any existing
+/// file. The write is not atomic; writers that must never expose a torn file
+/// should write to a sibling temp path and rename.
+pub fn save<P: AsRef<Path>>(index: &FlatIndex, path: P) -> Result<(), PersistError> {
+    fs::write(path, to_bytes(index))?;
+    Ok(())
+}
+
+/// Reads an index from a `.chl` file written by [`save`].
+pub fn load<P: AsRef<Path>>(path: P) -> Result<FlatIndex, PersistError> {
+    let data = fs::read(path)?;
+    from_bytes(&data)
+}
+
+/// Reads and validates just the header of a `.chl` file.
+pub fn load_header<P: AsRef<Path>>(path: P) -> Result<FileHeader, PersistError> {
+    use std::io::Read;
+    let mut file = fs::File::open(path)?;
+    let mut buf = [0u8; HEADER_LEN];
+    let mut read = 0;
+    while read < HEADER_LEN {
+        match file.read(&mut buf[read..])? {
+            0 => break,
+            k => read += k,
+        }
+    }
+    parse_header(&buf[..read])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::HubLabelIndex;
+
+    fn tiny_flat() -> FlatIndex {
+        let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
+        FlatIndex::from_index(&HubLabelIndex::from_triples(
+            vec![(0, 0, 0), (0, 1, 1), (1, 1, 0), (2, 1, 1), (2, 2, 0)],
+            ranking,
+        ))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        let flat = tiny_flat();
+        let bytes = to_bytes(&flat);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, flat);
+        // Serialization is deterministic.
+        assert_eq!(to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn header_describes_the_file() {
+        let flat = tiny_flat();
+        let bytes = to_bytes(&flat);
+        let header = parse_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert_eq!(header.num_vertices, 3);
+        assert_eq!(header.num_entries, 5);
+        assert_eq!(header.expected_file_len(), Some(bytes.len()));
+    }
+
+    #[test]
+    fn empty_and_zero_vertex_indexes_round_trip() {
+        let empty = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(5)));
+        assert_eq!(from_bytes(&to_bytes(&empty)).unwrap(), empty);
+        let zero = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(0)));
+        assert_eq!(from_bytes(&to_bytes(&zero)).unwrap(), zero);
+    }
+
+    #[test]
+    fn corruption_is_detected_with_typed_errors() {
+        let bytes = to_bytes(&tiny_flat());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            from_bytes(&bad_magic),
+            Err(PersistError::BadMagic { .. })
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            from_bytes(&bad_version),
+            Err(PersistError::UnsupportedVersion { found: 99 })
+        ));
+
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            from_bytes(truncated),
+            Err(PersistError::Truncated { .. })
+        ));
+
+        assert!(matches!(
+            from_bytes(&bytes[..10]),
+            Err(PersistError::Truncated { .. })
+        ));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            from_bytes(&trailing),
+            Err(PersistError::TrailingBytes { extra: 1 })
+        ));
+
+        // Flip one payload byte: caught by the checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&flipped),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+
+        // Flip a checksum byte itself: also a mismatch.
+        let mut bad_crc = bytes.clone();
+        bad_crc[24] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&bad_crc),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn semantically_invalid_payloads_are_malformed() {
+        // Hand-craft a file whose checksum is valid but whose ranking is not
+        // a permutation (vertex 0 listed twice).
+        let n = 2u64;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[0] = 0
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[1] = 0 (dup)
+        for _ in 0..3 {
+            buf.extend_from_slice(&0u64.to_le_bytes()); // offsets
+        }
+        let crc = crc32(&buf[HEADER_LEN..]);
+        buf[24..28].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(from_bytes(&buf), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn files_round_trip_on_disk() {
+        let flat = tiny_flat();
+        let path = std::env::temp_dir().join(format!(
+            "chl-persist-test-{}-{:?}.chl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        save(&flat, &path).unwrap();
+        let header = load_header(&path).unwrap();
+        assert_eq!(header.num_vertices, 3);
+        let back = load(&path).unwrap();
+        assert_eq!(back, flat);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PersistError::BadMagic { found: *b"NOPE" };
+        assert!(e.to_string().contains("magic"));
+        let e = PersistError::UnsupportedVersion { found: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = PersistError::Truncated {
+            expected: 100,
+            found: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = PersistError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = PersistError::TrailingBytes { extra: 3 };
+        assert!(e.to_string().contains("trailing"));
+        let e = PersistError::Malformed("oops".into());
+        assert!(e.to_string().contains("oops"));
+    }
+}

@@ -23,6 +23,19 @@
 //! a modeled per-query latency and per-node memory driven by
 //! [`chl_cluster::NetworkModel`], and workload evaluation producing the
 //! [`QueryModeReport`] the Table 4 benchmark consumes.
+//!
+//! The [`workload`] module generates query batches and reads/writes them as
+//! text files (one `u v` pair per line), the format `chl query --workload`
+//! consumes:
+//!
+//! ```
+//! use chl_query::workload::{random_pairs, read_workload, write_workload};
+//!
+//! let workload = random_pairs(1_000, 64, 7);
+//! let mut file = Vec::new(); // any io::Write
+//! write_workload(&workload, &mut file).unwrap();
+//! assert_eq!(read_workload(file.as_slice()).unwrap(), workload);
+//! ```
 
 pub mod qdol;
 pub mod qfdl;
@@ -35,7 +48,10 @@ pub use qdol::QdolEngine;
 pub use qfdl::QfdlEngine;
 pub use qlsn::QlsnEngine;
 pub use report::QueryModeReport;
-pub use workload::{random_pairs, QueryWorkload};
+pub use workload::{
+    load_workload, random_pairs, read_workload, skewed_pairs, write_workload, QueryWorkload,
+    WorkloadError,
+};
 
 use chl_graph::types::{Distance, VertexId};
 

@@ -1,4 +1,12 @@
-//! Query workload generation.
+//! Query workload generation and workload files.
+//!
+//! Workloads are either generated ([`random_pairs`], [`skewed_pairs`]) or
+//! loaded from a text file ([`read_workload`] / [`load_workload`]): one
+//! `u v` pair per line, `#`/`%` comment lines ignored — the same layout the
+//! `chl query --workload` CLI flag consumes and [`write_workload`] emits.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -61,6 +69,100 @@ pub fn skewed_pairs(
     QueryWorkload { pairs }
 }
 
+/// Errors produced while reading a workload file.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// An underlying IO error.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "io error: {e}"),
+            WorkloadError::Parse { line, message } => {
+                write!(f, "workload parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+/// Reads a workload from a text stream: one `u v` pair of vertex ids per
+/// line, blank lines and lines starting with `#` or `%` ignored.
+pub fn read_workload<R: Read>(reader: R) -> Result<QueryWorkload, WorkloadError> {
+    let reader = BufReader::new(reader);
+    let mut pairs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let u = parse_vertex(tokens.next(), line_no)?;
+        let v = parse_vertex(tokens.next(), line_no)?;
+        if let Some(extra) = tokens.next() {
+            return Err(WorkloadError::Parse {
+                line: line_no,
+                message: format!("unexpected trailing token '{extra}' (expected 'u v')"),
+            });
+        }
+        pairs.push((u, v));
+    }
+    Ok(QueryWorkload { pairs })
+}
+
+fn parse_vertex(token: Option<&str>, line: usize) -> Result<VertexId, WorkloadError> {
+    let token = token.ok_or_else(|| WorkloadError::Parse {
+        line,
+        message: "expected two vertex ids 'u v'".to_string(),
+    })?;
+    token.parse::<VertexId>().map_err(|_| WorkloadError::Parse {
+        line,
+        message: format!("invalid vertex id '{token}'"),
+    })
+}
+
+/// Loads a workload file from disk (see [`read_workload`] for the format).
+pub fn load_workload<P: AsRef<Path>>(path: P) -> Result<QueryWorkload, WorkloadError> {
+    read_workload(std::fs::File::open(path)?)
+}
+
+/// Writes `workload` in the textual format [`read_workload`] accepts.
+pub fn write_workload<W: Write>(
+    workload: &QueryWorkload,
+    mut writer: W,
+) -> Result<(), std::io::Error> {
+    writeln!(writer, "# {} PPSD query pairs", workload.len())?;
+    for &(u, v) in &workload.pairs {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +192,38 @@ mod tests {
         assert!(random_pairs(10, 0, 1).is_empty());
         let w = random_pairs(1, 5, 1);
         assert!(w.pairs.iter().all(|&(u, v)| u == 0 && v == 0));
+    }
+
+    #[test]
+    fn workload_files_round_trip() {
+        let w = random_pairs(100, 50, 9);
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        assert_eq!(read_workload(buf.as_slice()).unwrap(), w);
+    }
+
+    #[test]
+    fn workload_parser_accepts_comments_and_blank_lines() {
+        let text = "# header\n\n% konect-style comment\n3 4\n  7 9  \n";
+        let w = read_workload(text.as_bytes()).unwrap();
+        assert_eq!(w.pairs, vec![(3, 4), (7, 9)]);
+    }
+
+    #[test]
+    fn workload_parser_rejects_malformed_lines() {
+        for bad in ["5", "a b", "1 2 3", "1 -2"] {
+            let err = read_workload(bad.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, WorkloadError::Parse { line: 1, .. }),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_workload_file_is_an_io_error() {
+        let err = load_workload("/nonexistent/workload.txt").unwrap_err();
+        assert!(matches!(err, WorkloadError::Io(_)));
+        assert!(err.to_string().contains("io error"));
     }
 }

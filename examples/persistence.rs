@@ -1,0 +1,58 @@
+//! The build → save → load → serve lifecycle as a library consumer sees it:
+//! construct a labeling once, persist it as a `.chl` file, reload it into the
+//! flat contiguous serving layout and answer queries — the same pipeline the
+//! `chl` CLI drives from the shell (`chl build … && chl query …`).
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use planted_hub_labeling::graph::sssp::dijkstra;
+use planted_hub_labeling::prelude::*;
+
+fn main() {
+    // 1. Build phase (expensive, run once): construct the canonical hub
+    //    labeling of a road-like grid.
+    let graph = grid_network(
+        &GridOptions {
+            rows: 25,
+            cols: 25,
+            ..GridOptions::default()
+        },
+        7,
+    );
+    let result = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Degree)
+        .algorithm(Algorithm::Hybrid)
+        .validate()
+        .expect("configuration is valid")
+        .build()
+        .expect("construction succeeds");
+    println!(
+        "built: {} vertices, {} labels (avg {:.2} per vertex)",
+        result.index.num_vertices(),
+        result.index.total_labels(),
+        result.index.average_label_size()
+    );
+
+    // 2. Persist: flatten the pointer-per-vertex index into two contiguous
+    //    CSR arrays and write the versioned, checksummed `.chl` file.
+    let path = std::env::temp_dir().join(format!("chl-example-{}.chl", std::process::id()));
+    FlatIndex::from_index(&result.index)
+        .save(&path)
+        .expect("index saves");
+    let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("saved: {} ({file_len} bytes)", path.display());
+
+    // 3. Serve phase (cheap, run anywhere): a fresh process only needs the
+    //    file. Loading validates magic, version, checksum and invariants —
+    //    corruption surfaces as a typed `PersistError`, never a bad answer.
+    let served = FlatIndex::load(&path).expect("index loads");
+    let oracle: &dyn DistanceOracle = &served;
+    let reference = dijkstra(&graph, 0);
+    for v in [1u32, 300, 624] {
+        let d = oracle.distance(0, v);
+        assert_eq!(d, reference[v as usize], "served answers stay exact");
+        println!("dist(0, {v}) = {d}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}

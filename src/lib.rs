@@ -53,6 +53,13 @@
 //! // Or hold any backend behind the uniform oracle surface.
 //! let oracle: &dyn DistanceOracle = &index;
 //! assert_eq!(oracle.distance(0, 143), reference[143]);
+//!
+//! // Flatten into the contiguous serving layout; `flat.save(path)` /
+//! // `FlatIndex::load(path)` persist it as a versioned `.chl` file (see
+//! // `chl_core::persist`), which is also what the `chl` CLI builds and
+//! // serves from.
+//! let flat = FlatIndex::from_index(&index);
+//! assert_eq!(flat.query(0, 143), reference[143]);
 //! ```
 
 pub use chl_cluster as cluster;
@@ -77,7 +84,9 @@ pub mod prelude {
     pub use chl_core::oracle::DistanceOracle;
     pub use chl_core::plant::plant_labeling;
     pub use chl_core::pll::sequential_pll;
-    pub use chl_core::{HubLabelIndex, LabelingConfig, LabelingError, LabelingResult};
+    pub use chl_core::{
+        FlatIndex, HubLabelIndex, LabelingConfig, LabelingError, LabelingResult, PersistError,
+    };
     pub use chl_datasets::{load as load_dataset, DatasetId, Scale};
     pub use chl_distributed::{
         distributed_gll, distributed_hybrid, distributed_parapll, distributed_plant,
