@@ -4,12 +4,23 @@
 //! command line, a workload file (`--workload`), or a generated random batch
 //! (`--random`). Batch runs print latency statistics; explicit pairs print
 //! one distance per line.
+//!
+//! Batch throughput goes through [`DistanceOracle::distances`], which fans
+//! the workload out across a rayon pool sized by `--threads` (defaulting to
+//! all cores / `RAYON_NUM_THREADS`). The output is byte-identical at every
+//! thread count: chunks are contiguous and reassembled in order.
+//!
+//! Every query pair is validated against the index's vertex count before the
+//! batch runs. Workload files are validated while line numbers are still
+//! known, so a stale file fails with an error naming the offending line —
+//! never a panic from the query kernel.
 
 use std::time::{Duration, Instant};
 
 use chl_core::flat::FlatIndex;
+use chl_core::oracle::DistanceOracle;
 use chl_graph::types::{VertexId, INFINITY};
-use chl_query::workload::{load_workload, random_pairs, QueryWorkload};
+use chl_query::workload::{load_workload_checked, random_pairs, QueryWorkload};
 
 use crate::opts::Opts;
 use crate::CliError;
@@ -26,10 +37,11 @@ Explicit pairs print one distance per line; batch modes (--workload /
 options:
   --workload FILE     text file with one 'u v' pair per line (# comments)
   --random N          generate N uniform random pairs
-  --seed N            seed for --random                           [42]";
+  --seed N            seed for --random                           [42]
+  --threads N         worker threads for batch queries       [all cores]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let opts = Opts::parse(args, &["workload", "random", "seed"], &[])?;
+    let opts = Opts::parse(args, &["workload", "random", "seed", "threads"], &[])?;
     let index_path = opts.positional(0, "index file argument")?.to_string();
     let index =
         FlatIndex::load(&index_path).map_err(|e| format!("cannot load index {index_path}: {e}"))?;
@@ -38,11 +50,20 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if opts.value("seed").is_some() && opts.value("random").is_none() {
         return Err("--seed only applies together with --random".into());
     }
+    let threads: usize = opts.parsed_or("threads", 0)?;
+    if opts.value("threads").is_some() && threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
     let explicit_pairs = parse_explicit_pairs(&opts.positionals()[1..])?;
     if !explicit_pairs.is_empty() {
         if opts.value("workload").is_some() || opts.value("random").is_some() {
             return Err("give either explicit pairs or a batch flag, not both".into());
+        }
+        if opts.value("threads").is_some() {
+            // One query occupies one thread; silently ignoring the flag
+            // would let `--threads 8` masquerade as a benchmark setting.
+            return Err("--threads only applies to batch modes (--workload / --random)".into());
         }
         for &(u, v) in &explicit_pairs {
             check_vertex(u, n)?;
@@ -60,9 +81,17 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let workload = match (opts.value("workload"), opts.value("random")) {
         (Some(_), Some(_)) => return Err("--workload and --random are mutually exclusive".into()),
         (Some(path), None) => {
-            load_workload(path).map_err(|e| format!("cannot load workload {path}: {e}"))?
+            // The checked loader validates ids while line numbers are still
+            // known: a stale workload names its offending line.
+            load_workload_checked(path, n)
+                .map_err(|e| format!("cannot load workload {path}: {e}"))?
         }
         (None, Some(_)) => {
+            if n == 0 {
+                // random_pairs would otherwise emit (0, 0) pairs that name a
+                // vertex this index does not have.
+                return Err("the index has no vertices to query".into());
+            }
             let count: usize = opts.parsed_or("random", 0)?;
             let seed: u64 = opts.parsed_or("seed", 42)?;
             random_pairs(n, count, seed)
@@ -74,12 +103,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if workload.is_empty() {
         return Err("the workload contains no query pairs".into());
     }
-    for &(u, v) in &workload.pairs {
-        check_vertex(u, n)?;
-        check_vertex(v, n)?;
-    }
 
-    run_batch(&index, &workload);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("cannot build thread pool: {e}"))?;
+    run_batch(&index, &workload, &pool);
     Ok(())
 }
 
@@ -114,28 +143,30 @@ fn check_vertex(v: VertexId, n: usize) -> Result<(), CliError> {
 /// strided sample while throughput comes from whole-batch timing.
 const MAX_LATENCY_SAMPLES: usize = 1_000_000;
 
-fn run_batch(index: &FlatIndex, workload: &QueryWorkload) {
+fn run_batch(index: &FlatIndex, workload: &QueryWorkload, pool: &rayon::ThreadPool) {
     // Warm-up pass: fault the index in and collect answer statistics, so the
-    // timed passes below measure steady-state serving.
+    // timed passes below measure steady-state serving. This is the same
+    // parallel batch path the timed pass uses.
+    let answers = pool.install(|| index.distances(&workload.pairs));
     let mut reachable = 0usize;
     let mut distance_sum = 0u64;
-    for &(u, v) in &workload.pairs {
-        let d = index.query(u, v);
+    for &d in &answers {
         if d != INFINITY {
             reachable += 1;
             distance_sum = distance_sum.wrapping_add(d);
         }
     }
 
-    // Throughput pass: one clock read around the whole batch, so timer
-    // overhead does not dilute the queries/s figure.
+    // Throughput pass: one clock read around the whole parallel batch, so
+    // timer overhead does not dilute the queries/s figure.
     let batch_start = Instant::now();
-    for &(u, v) in &workload.pairs {
-        std::hint::black_box(index.query(u, v));
-    }
+    let timed = pool.install(|| index.distances(&workload.pairs));
     let batch_time = batch_start.elapsed();
+    debug_assert_eq!(timed, answers, "batch answers must be deterministic");
+    std::hint::black_box(&timed);
 
-    // Latency pass: per-query timing over an evenly strided sample.
+    // Latency pass: per-query timing over an evenly strided sample. A single
+    // query is answered by one thread, so this is deliberately sequential.
     let total = workload.len();
     let stride = total.div_ceil(MAX_LATENCY_SAMPLES).max(1);
     let mut latencies: Vec<Duration> = Vec::with_capacity(total.div_ceil(stride));
@@ -147,6 +178,7 @@ fn run_batch(index: &FlatIndex, workload: &QueryWorkload) {
     latencies.sort_unstable();
 
     println!("queries:        {total}");
+    println!("threads:        {}", pool.current_num_threads());
     println!(
         "reachable:      {reachable} ({:.1}%)",
         100.0 * reachable as f64 / total as f64

@@ -122,7 +122,8 @@ fn cli_query_output_matches_library_answers() {
     );
     assert!(stdout.contains("dist(5, 5) = 0"), "stdout: {stdout}");
 
-    // Batch mode over a workload file prints latency statistics.
+    // Batch mode over a workload file prints latency statistics, including
+    // the thread count serving the batch.
     let workload_path = dir.join("pairs.txt");
     std::fs::write(&workload_path, "# two pairs\n0 63\n10 20\n").unwrap();
     let stdout = run_ok(chl().args([
@@ -130,9 +131,99 @@ fn cli_query_output_matches_library_answers() {
         index_path.to_str().unwrap(),
         "--workload",
         workload_path.to_str().unwrap(),
+        "--threads",
+        "2",
     ]));
-    for needle in ["queries:", "throughput:", "latency p99:"] {
+    for needle in [
+        "queries:",
+        "threads:        2",
+        "throughput:",
+        "latency p99:",
+    ] {
         assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_workload_fails_typed_with_the_offending_line() {
+    let dir = temp_dir("stale-workload");
+    let (_graph, index_path) = gen_and_build(&dir); // 8x8 grid: 64 vertices
+
+    // A workload written for a larger graph: vertex 64 does not exist in
+    // this index. The CLI must exit non-zero with an error naming the line,
+    // not panic in the query kernel.
+    let workload_path = dir.join("stale.txt");
+    std::fs::write(&workload_path, "# written for a bigger graph\n0 63\n64 2\n").unwrap();
+    let stderr = run_err(chl().args([
+        "query",
+        index_path.to_str().unwrap(),
+        "--workload",
+        workload_path.to_str().unwrap(),
+    ]));
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+    assert!(stderr.contains("vertex id 64"), "stderr: {stderr}");
+    assert!(stderr.contains("out of range"), "stderr: {stderr}");
+    assert!(stderr.contains("64 vertices"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // Explicit out-of-range pairs fail the same way (no line numbers).
+    let stderr = run_err(chl().args(["query", index_path.to_str().unwrap(), "64", "0"]));
+    assert!(stderr.contains("out of range"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // --threads is a batch-mode flag; explicit pairs reject it instead of
+    // silently ignoring it.
+    let stderr = run_err(chl().args([
+        "query",
+        index_path.to_str().unwrap(),
+        "0",
+        "1",
+        "--threads",
+        "2",
+    ]));
+    assert!(stderr.contains("batch modes"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_answers_are_identical_across_thread_counts() {
+    let dir = temp_dir("thread-determinism");
+    let (_graph, index_path) = gen_and_build(&dir);
+
+    let workload_path = dir.join("pairs.txt");
+    let mut lines = String::from("# determinism workload\n");
+    for i in 0u32..200 {
+        lines.push_str(&format!("{} {}\n", (i * 7) % 64, (i * 13) % 64));
+    }
+    std::fs::write(&workload_path, lines).unwrap();
+
+    // `reachable` and `distance sum` aggregate every per-query answer, so
+    // matching them across thread counts means the batch produced the same
+    // distances in the same order.
+    let fingerprint = |threads: &str| -> (String, String) {
+        let stdout = run_ok(chl().args([
+            "query",
+            index_path.to_str().unwrap(),
+            "--workload",
+            workload_path.to_str().unwrap(),
+            "--threads",
+            threads,
+        ]));
+        let grab = |prefix: &str| {
+            stdout
+                .lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} in: {stdout}"))
+                .to_string()
+        };
+        (grab("reachable:"), grab("distance sum:"))
+    };
+    let single = fingerprint("1");
+    for threads in ["2", "4", "8"] {
+        assert_eq!(fingerprint(threads), single, "threads={threads}");
     }
 
     std::fs::remove_dir_all(&dir).unwrap();

@@ -24,7 +24,9 @@ use crate::labels::{LabelEntry, LabelSet};
 /// output sets, so it parallelizes over vertices without any locking and is
 /// independent of the order in which redundancies are discovered (canonical
 /// labels are never redundant, hence never deleted, hence every redundancy
-/// witness used by a query survives the pass).
+/// witness used by a query survives the pass). It runs on the ambient rayon
+/// pool; callers with a thread budget (the LCC/GLL constructors honoring
+/// `LabelingConfig::num_threads`) wrap the call in `ThreadPool::install`.
 pub fn clean_labels(labels: &[LabelSet], ranking: &Ranking) -> (Vec<LabelSet>, usize) {
     let cleaned: Vec<LabelSet> = labels
         .par_iter()

@@ -124,6 +124,11 @@ impl FlatIndex {
     }
 
     /// Label slice of vertex `v`, sorted ascending by hub rank position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= num_vertices()`; use [`Self::try_labels_of`] for
+    /// ids that may come from untrusted input.
     #[inline]
     pub fn labels_of(&self, v: VertexId) -> &[LabelEntry] {
         let lo = self.offsets[v as usize] as usize;
@@ -131,26 +136,40 @@ impl FlatIndex {
         &self.entries[lo..hi]
     }
 
+    /// Label slice of vertex `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn try_labels_of(&self, v: VertexId) -> Option<&[LabelEntry]> {
+        let lo = *self.offsets.get(v as usize)? as usize;
+        let hi = *self.offsets.get(v as usize + 1)? as usize;
+        Some(&self.entries[lo..hi])
+    }
+
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
     /// `v`, or [`chl_graph::types::INFINITY`] when they are not connected.
-    /// Same contract as [`HubLabelIndex::query`], on contiguous storage.
+    /// Same contract as [`HubLabelIndex::query`], on contiguous storage: ids
+    /// outside `0..num_vertices()` are unreachable, including `query(u, u)`
+    /// for a nonexistent `u`.
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        let (Some(lu), Some(lv)) = (self.try_labels_of(u), self.try_labels_of(v)) else {
+            return chl_graph::types::INFINITY;
+        };
         if u == v {
             return 0;
         }
-        join_sorted_slices(self.labels_of(u), self.labels_of(v))
+        join_sorted_slices(lu, lv)
             .map(|(_, d)| d)
             .unwrap_or(chl_graph::types::INFINITY)
     }
 
     /// Like [`Self::query`] but also reports the hub (as a vertex id) through
-    /// which the minimum distance is achieved.
+    /// which the minimum distance is achieved. `None` for disconnected pairs
+    /// and for out-of-range ids.
     pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
+        let (lu, lv) = (self.try_labels_of(u)?, self.try_labels_of(v)?);
         if u == v {
             return Some((u, 0));
         }
-        join_sorted_slices(self.labels_of(u), self.labels_of(v))
-            .map(|(hub_pos, d)| (self.ranking.vertex_at(hub_pos), d))
+        join_sorted_slices(lu, lv).map(|(hub_pos, d)| (self.ranking.vertex_at(hub_pos), d))
     }
 
     /// Total number of labels stored.
@@ -324,5 +343,25 @@ mod tests {
         assert_eq!(oracle.num_vertices(), 3);
         assert!(oracle.memory_bytes() > 0);
         assert_eq!(oracle.distances(&[(0, 1), (0, 2)]), vec![1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_unreachable_not_a_panic() {
+        let flat = FlatIndex::from_index(&tiny_index()); // 3 vertices
+        for &(u, v) in &[(0, 3), (3, 0), (3, 3), (7, 9), (u32::MAX, 0)] {
+            assert_eq!(flat.query(u, v), INFINITY, "({u}, {v})");
+            assert_eq!(flat.query_with_hub(u, v), None, "({u}, {v})");
+        }
+        // A self-query on a nonexistent vertex is NOT 0.
+        assert_eq!(flat.query(3, 3), INFINITY);
+        assert!(flat.try_labels_of(2).is_some());
+        assert!(flat.try_labels_of(3).is_none());
+        // Batch queries go through the same checked path.
+        let oracle: &dyn DistanceOracle = &flat;
+        assert_eq!(
+            oracle.distances(&[(0, 2), (3, 3), (0, 9)]),
+            vec![2, INFINITY, INFINITY]
+        );
+        assert!(!oracle.connected(3, 3));
     }
 }

@@ -74,6 +74,14 @@ pub fn gll_from_state(
     let mut cleaning_time = Duration::ZERO;
     let mut labels_generated_total = 0usize;
 
+    // The cleaning/commit phases below are rayon-parallel; pin them to the
+    // configured thread count so `--threads 1` caps the whole build, not
+    // just the construction scope.
+    let clean_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+
     while (next_root.load(Ordering::Relaxed) as usize) < n {
         stats.supersteps += 1;
         let local = ConcurrentLabelTable::new(n);
@@ -126,48 +134,50 @@ pub fn gll_from_state(
         let local_entries = local.drain_all();
         labels_generated_total += local_entries.iter().map(Vec::len).sum::<usize>();
 
-        // Combined view of each vertex's labels (global ∪ local), needed both
-        // as L_v and as L_h by the cleaning queries.
-        let combined: Vec<LabelSet> = global
-            .par_iter()
-            .zip(local_entries.par_iter())
-            .map(|(global_set, local_raw)| {
-                let mut set = global_set.clone();
-                set.merge(&LabelSet::from_entries(local_raw.clone()));
-                set
-            })
-            .collect();
+        clean_pool.install(|| {
+            // Combined view of each vertex's labels (global ∪ local), needed
+            // both as L_v and as L_h by the cleaning queries.
+            let combined: Vec<LabelSet> = global
+                .par_iter()
+                .zip(local_entries.par_iter())
+                .map(|(global_set, local_raw)| {
+                    let mut set = global_set.clone();
+                    set.merge(&LabelSet::from_entries(local_raw.clone()));
+                    set
+                })
+                .collect();
 
-        let survivors: Vec<Vec<LabelEntry>> = local_entries
-            .par_iter()
-            .enumerate()
-            .map(|(v, raw)| {
-                raw.iter()
-                    .copied()
-                    .filter(|e| {
-                        let hub_vertex = ranking.vertex_at(e.hub);
-                        if hub_vertex == v as u32 {
-                            return true;
-                        }
-                        !combined[v].is_redundant_label(
-                            e.hub,
-                            e.dist,
-                            &combined[hub_vertex as usize],
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
+            let survivors: Vec<Vec<LabelEntry>> = local_entries
+                .par_iter()
+                .enumerate()
+                .map(|(v, raw)| {
+                    raw.iter()
+                        .copied()
+                        .filter(|e| {
+                            let hub_vertex = ranking.vertex_at(e.hub);
+                            if hub_vertex == v as u32 {
+                                return true;
+                            }
+                            !combined[v].is_redundant_label(
+                                e.hub,
+                                e.dist,
+                                &combined[hub_vertex as usize],
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
 
-        // Commit survivors to the global table.
-        global
-            .par_iter_mut()
-            .zip(survivors.into_par_iter())
-            .for_each(|(global_set, kept)| {
-                if !kept.is_empty() {
-                    global_set.merge(&LabelSet::from_entries(kept));
-                }
-            });
+            // Commit survivors to the global table.
+            global
+                .par_iter_mut()
+                .zip(survivors.into_par_iter())
+                .for_each(|(global_set, kept)| {
+                    if !kept.is_empty() {
+                        global_set.merge(&LabelSet::from_entries(kept));
+                    }
+                });
+        });
         cleaning_time += clean_start.elapsed();
     }
 

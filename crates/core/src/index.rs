@@ -61,8 +61,18 @@ impl HubLabelIndex {
     }
 
     /// Label set of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= num_vertices()`; use [`Self::try_labels_of`] for
+    /// ids that may come from untrusted input.
     pub fn labels_of(&self, v: VertexId) -> &LabelSet {
         &self.labels[v as usize]
+    }
+
+    /// Label set of vertex `v`, or `None` when `v` is out of range.
+    pub fn try_labels_of(&self, v: VertexId) -> Option<&LabelSet> {
+        self.labels.get(v as usize)
     }
 
     /// Mutable label set of vertex `v` (used by the cleaning pass).
@@ -77,22 +87,28 @@ impl HubLabelIndex {
 
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
     /// `v`, or [`INFINITY`](chl_graph::types::INFINITY) when they are not
-    /// connected.
+    /// connected. Ids outside `0..num_vertices()` name no vertex and are
+    /// treated as unreachable — including `query(u, u)` for `u >= n`, which
+    /// must not pretend a nonexistent vertex is at distance 0 from itself.
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        let (Some(lu), Some(lv)) = (self.try_labels_of(u), self.try_labels_of(v)) else {
+            return chl_graph::types::INFINITY;
+        };
         if u == v {
             return 0;
         }
-        self.labels[u as usize].query_distance(&self.labels[v as usize])
+        lu.query_distance(lv)
     }
 
     /// Like [`Self::query`] but also reports the hub (as a vertex id) through
-    /// which the minimum distance is achieved.
+    /// which the minimum distance is achieved. `None` for disconnected pairs
+    /// and for out-of-range ids.
     pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
+        let (lu, lv) = (self.try_labels_of(u)?, self.try_labels_of(v)?);
         if u == v {
             return Some((u, 0));
         }
-        self.labels[u as usize]
-            .query_join(&self.labels[v as usize])
+        lu.query_join(lv)
             .map(|(hub_pos, d)| (self.ranking.vertex_at(hub_pos), d))
     }
 
@@ -269,6 +285,19 @@ mod tests {
             c, before,
             "failed merge must leave the destination untouched"
         );
+    }
+
+    #[test]
+    fn out_of_range_ids_are_unreachable_not_a_panic() {
+        let idx = tiny_index(); // 3 vertices
+        for &(u, v) in &[(0, 3), (3, 0), (3, 3), (7, 9), (u32::MAX, 0)] {
+            assert_eq!(idx.query(u, v), INFINITY, "({u}, {v})");
+            assert_eq!(idx.query_with_hub(u, v), None, "({u}, {v})");
+        }
+        // In particular a self-query on a nonexistent vertex is NOT 0.
+        assert_eq!(idx.query(3, 3), INFINITY);
+        assert!(idx.try_labels_of(2).is_some());
+        assert!(idx.try_labels_of(3).is_none());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! swap storage layouts and serving modes freely; batch evaluation and
 //! memory accounting come with the trait.
 
+use rayon::prelude::*;
+
 use chl_graph::types::{Distance, VertexId, INFINITY};
 
 use crate::index::HubLabelIndex;
@@ -16,11 +18,20 @@ use crate::index::HubLabelIndex;
 /// An exact PPSD distance oracle over a fixed vertex set `0..num_vertices`.
 ///
 /// Implementations must return the true shortest-path distance for every
-/// vertex pair ([`INFINITY`] for disconnected pairs) — hub labelings make
-/// this cheap, but nothing in the trait assumes labels.
-pub trait DistanceOracle {
+/// valid vertex pair ([`INFINITY`] for disconnected pairs) — hub labelings
+/// make this cheap, but nothing in the trait assumes labels. Ids outside
+/// `0..num_vertices()` name no vertex and must behave as unreachable:
+/// [`Self::distance`] returns [`INFINITY`] (even for `u == v`) and
+/// [`Self::connected`] returns `false`, never a panic. Workload files and
+/// network requests routinely carry stale ids, so the serving surface treats
+/// them as data, not as programmer error.
+///
+/// Oracles are `Sync`: an index answers queries from many threads at once,
+/// which is what lets [`Self::distances`] fan a batch out across the rayon
+/// pool by default.
+pub trait DistanceOracle: Sync {
     /// Exact shortest-path distance between `u` and `v`, [`INFINITY`] when
-    /// they are not connected.
+    /// they are not connected or either id is out of range.
     fn distance(&self, u: VertexId, v: VertexId) -> Distance;
 
     /// Number of vertices the oracle covers (valid ids are `0..n`).
@@ -30,13 +41,21 @@ pub trait DistanceOracle {
     /// copy actually held (a replicated engine reports every replica).
     fn memory_bytes(&self) -> usize;
 
-    /// Evaluates a batch of queries. The default maps [`Self::distance`]
-    /// sequentially; engines with cheaper batch paths may override it.
+    /// Evaluates a batch of queries, mapping [`Self::distance`] over `pairs`
+    /// in parallel chunks on the current rayon pool. `distances(pairs)[i]`
+    /// always equals `distance(pairs[i].0, pairs[i].1)` — output order and
+    /// values are independent of the thread count (property-tested for every
+    /// implementation in this workspace). Engines with cheaper batch paths
+    /// may override it, but must preserve that contract.
     fn distances(&self, pairs: &[(VertexId, VertexId)]) -> Vec<Distance> {
-        pairs.iter().map(|&(u, v)| self.distance(u, v)).collect()
+        pairs
+            .par_iter()
+            .map(|&(u, v)| self.distance(u, v))
+            .collect()
     }
 
-    /// `true` when `u` and `v` are in the same connected component.
+    /// `true` when `u` and `v` are in the same connected component (`false`
+    /// whenever either id is out of range).
     fn connected(&self, u: VertexId, v: VertexId) -> bool {
         self.distance(u, v) != INFINITY
     }
@@ -86,5 +105,37 @@ mod tests {
         let oracle: &dyn DistanceOracle = &idx;
         assert!(!oracle.connected(0, 1));
         assert_eq!(oracle.distance(0, 1), INFINITY);
+    }
+
+    #[test]
+    fn out_of_range_ids_answer_infinity_through_the_trait() {
+        let idx = path_index(); // 3 vertices
+        let oracle: &dyn DistanceOracle = &idx;
+        assert_eq!(oracle.distance(0, 3), INFINITY);
+        assert_eq!(
+            oracle.distance(3, 3),
+            INFINITY,
+            "no vertex 3, even for u == v"
+        );
+        assert!(!oracle.connected(3, 3));
+        assert_eq!(
+            oracle.distances(&[(0, 2), (3, 0), (9, 9)]),
+            vec![2, INFINITY, INFINITY]
+        );
+    }
+
+    #[test]
+    fn batch_distances_preserve_order_at_every_thread_count() {
+        let idx = path_index();
+        let pairs: Vec<(u32, u32)> = (0..64).map(|i| (i % 4, (i * 7) % 5)).collect();
+        let sequential: Vec<_> = pairs.iter().map(|&(u, v)| idx.query(u, v)).collect();
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let parallel = pool.install(|| DistanceOracle::distances(&idx, &pairs));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 }

@@ -49,8 +49,8 @@ pub use qfdl::QfdlEngine;
 pub use qlsn::QlsnEngine;
 pub use report::QueryModeReport;
 pub use workload::{
-    load_workload, random_pairs, read_workload, skewed_pairs, write_workload, QueryWorkload,
-    WorkloadError,
+    load_workload, load_workload_checked, random_pairs, read_workload, read_workload_checked,
+    skewed_pairs, write_workload, QueryWorkload, WorkloadError,
 };
 
 use chl_graph::types::{Distance, VertexId};

@@ -106,10 +106,15 @@ impl QdolEngine {
     }
 
     fn local_answer(&self, u: VertexId, v: VertexId) -> Distance {
+        let (Some(lu), Some(lv)) = (self.full.get(u as usize), self.full.get(v as usize)) else {
+            // Out-of-range ids name no vertex: unreachable, even for u == v
+            // (see the `DistanceOracle` contract).
+            return chl_graph::types::INFINITY;
+        };
         if u == v {
             return 0;
         }
-        self.full[u as usize].query_distance(&self.full[v as usize])
+        lu.query_distance(lv)
     }
 }
 
@@ -160,6 +165,10 @@ impl QueryEngine for QdolEngine {
         // Sort queries by target node (the paper does exactly this), then let
         // every node answer its own bucket; modeled batch time is the slowest
         // node plus the point-to-point exchange of queries and responses.
+        // Buckets run concurrently on this host, so with more buckets than
+        // cores the per-node times include scheduling contention a
+        // dedicated-node cluster would not see (upper bound, not an isolated
+        // measurement).
         let q = self.spec.nodes.max(1);
         let mut buckets: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); q];
         for &(u, v) in &workload.pairs {

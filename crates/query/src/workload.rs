@@ -4,6 +4,10 @@
 //! loaded from a text file ([`read_workload`] / [`load_workload`]): one
 //! `u v` pair per line, `#`/`%` comment lines ignored — the same layout the
 //! `chl query --workload` CLI flag consumes and [`write_workload`] emits.
+//! The `*_checked` variants ([`read_workload_checked`] /
+//! [`load_workload_checked`]) additionally validate every pair against an
+//! index's vertex count while line numbers are still known, so a stale
+//! workload fails with a typed error naming the offending line.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -81,6 +85,18 @@ pub enum WorkloadError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A pair referencing a vertex the target index does not have (only
+    /// raised by the `*_checked` readers). Workload files outlive the
+    /// indexes they were written for, so a stale id is an input error that
+    /// must name its line — never a panic deep in the query kernel.
+    VertexOutOfRange {
+        /// 1-based line number of the offending pair.
+        line: usize,
+        /// The out-of-range vertex id.
+        vertex: VertexId,
+        /// Vertex count of the index the workload was checked against.
+        num_vertices: usize,
+    },
 }
 
 impl std::fmt::Display for WorkloadError {
@@ -90,6 +106,15 @@ impl std::fmt::Display for WorkloadError {
             WorkloadError::Parse { line, message } => {
                 write!(f, "workload parse error on line {line}: {message}")
             }
+            WorkloadError::VertexOutOfRange {
+                line,
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "workload line {line}: vertex id {vertex} out of range for an \
+                 index with {num_vertices} vertices"
+            ),
         }
     }
 }
@@ -112,6 +137,23 @@ impl From<std::io::Error> for WorkloadError {
 /// Reads a workload from a text stream: one `u v` pair of vertex ids per
 /// line, blank lines and lines starting with `#` or `%` ignored.
 pub fn read_workload<R: Read>(reader: R) -> Result<QueryWorkload, WorkloadError> {
+    read_workload_impl(reader, None)
+}
+
+/// Like [`read_workload`], but additionally validates every pair against a
+/// vertex count: the first id `>= num_vertices` fails with
+/// [`WorkloadError::VertexOutOfRange`] naming the offending line.
+pub fn read_workload_checked<R: Read>(
+    reader: R,
+    num_vertices: usize,
+) -> Result<QueryWorkload, WorkloadError> {
+    read_workload_impl(reader, Some(num_vertices))
+}
+
+fn read_workload_impl<R: Read>(
+    reader: R,
+    bound: Option<usize>,
+) -> Result<QueryWorkload, WorkloadError> {
     let reader = BufReader::new(reader);
     let mut pairs = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
@@ -129,6 +171,17 @@ pub fn read_workload<R: Read>(reader: R) -> Result<QueryWorkload, WorkloadError>
                 line: line_no,
                 message: format!("unexpected trailing token '{extra}' (expected 'u v')"),
             });
+        }
+        if let Some(n) = bound {
+            for id in [u, v] {
+                if id as usize >= n {
+                    return Err(WorkloadError::VertexOutOfRange {
+                        line: line_no,
+                        vertex: id,
+                        num_vertices: n,
+                    });
+                }
+            }
         }
         pairs.push((u, v));
     }
@@ -149,6 +202,15 @@ fn parse_vertex(token: Option<&str>, line: usize) -> Result<VertexId, WorkloadEr
 /// Loads a workload file from disk (see [`read_workload`] for the format).
 pub fn load_workload<P: AsRef<Path>>(path: P) -> Result<QueryWorkload, WorkloadError> {
     read_workload(std::fs::File::open(path)?)
+}
+
+/// Loads a workload file from disk, validating every pair against
+/// `num_vertices` (see [`read_workload_checked`]).
+pub fn load_workload_checked<P: AsRef<Path>>(
+    path: P,
+    num_vertices: usize,
+) -> Result<QueryWorkload, WorkloadError> {
+    read_workload_checked(std::fs::File::open(path)?, num_vertices)
 }
 
 /// Writes `workload` in the textual format [`read_workload`] accepts.
@@ -218,6 +280,32 @@ mod tests {
                 "{bad:?} -> {err}"
             );
         }
+    }
+
+    #[test]
+    fn checked_reader_names_the_offending_line() {
+        let text = "# header\n0 1\n\n2 7\n";
+        // Bound 8: everything in range.
+        let w = read_workload_checked(text.as_bytes(), 8).unwrap();
+        assert_eq!(w.pairs, vec![(0, 1), (2, 7)]);
+        // Bound 7: the second pair's `7` is stale; the error carries the
+        // 1-based file line (4: header and blank lines still count).
+        let err = read_workload_checked(text.as_bytes(), 7).unwrap_err();
+        match err {
+            WorkloadError::VertexOutOfRange {
+                line,
+                vertex,
+                num_vertices,
+            } => {
+                assert_eq!((line, vertex, num_vertices), (4, 7, 7));
+            }
+            other => panic!("expected VertexOutOfRange, got {other}"),
+        }
+        let rendered = read_workload_checked(text.as_bytes(), 7)
+            .unwrap_err()
+            .to_string();
+        assert!(rendered.contains("line 4"), "{rendered}");
+        assert!(rendered.contains("out of range"), "{rendered}");
     }
 
     #[test]
