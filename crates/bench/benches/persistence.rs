@@ -1,12 +1,18 @@
 //! Micro-benchmarks for the persistence subsystem: the contiguous
 //! [`FlatIndex`] query path against the pointer-per-vertex
-//! [`HubLabelIndex`] it was flattened from, and the cost of a full
-//! serialize → deserialize round trip of the `.chl` byte format.
+//! [`HubLabelIndex`] it was flattened from, the cost of a full
+//! serialize → deserialize round trip of the `.chl` byte format, and the
+//! cold-serve comparison the zero-copy refactor exists for — time from
+//! "bytes/file in hand" to "first query answered" for the copying v1/v2
+//! loaders, the borrowed view and the mmap open, plus steady-state query
+//! parity between the owned and borrowed kernels.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use chl_core::flat::FlatIndex;
+use chl_core::mapped::MmapIndex;
+use chl_core::persist::{self, AlignedBytes};
 use chl_core::pll::sequential_pll;
 use chl_datasets::{load, DatasetId, Scale};
 
@@ -66,5 +72,87 @@ fn persistence_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, flat_vs_pointer_queries, persistence_round_trip);
+/// Time-to-first-query per serving path: what a process restart costs. The
+/// copying loaders pay deserialization + validation + allocation; the
+/// zero-copy view pays validation only; the mmap open additionally pays the
+/// syscall but no read of the label payload.
+fn cold_serve(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let flat = FlatIndex::from_index(&index);
+    let n = ds.graph.num_vertices() as u32;
+    let (u, v) = (0u32, n - 1);
+
+    let v1_bytes = persist::to_bytes_v1(&flat);
+    let v2_bytes = flat.to_bytes();
+    let aligned = AlignedBytes::from_slice(&v2_bytes);
+    let path =
+        std::env::temp_dir().join(format!("chl-bench-cold-serve-{}.chl", std::process::id()));
+    std::fs::write(&path, &v2_bytes).expect("bench scratch file");
+
+    let mut group = c.benchmark_group("cold_serve");
+    group.bench_function("copy_load_v1_first_query", |b| {
+        b.iter(|| {
+            let idx = FlatIndex::from_bytes(&v1_bytes).expect("clean v1 bytes");
+            black_box(idx.query(u, v))
+        })
+    });
+    group.bench_function("copy_load_v2_first_query", |b| {
+        b.iter(|| {
+            let idx = FlatIndex::from_bytes(&v2_bytes).expect("clean v2 bytes");
+            black_box(idx.query(u, v))
+        })
+    });
+    group.bench_function("zero_copy_view_first_query", |b| {
+        b.iter(|| {
+            let view = persist::view_bytes(&aligned).expect("clean v2 bytes");
+            black_box(view.query(u, v))
+        })
+    });
+    group.bench_function("mmap_open_first_query", |b| {
+        b.iter(|| {
+            let idx = MmapIndex::open(&path).expect("clean v2 file");
+            black_box(idx.view().query(u, v))
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Steady-state query cost of the owned index against a borrowed view over
+/// the serialized bytes — the two must be indistinguishable, since the owned
+/// path forwards through the same kernel.
+fn owned_vs_view_steady_state(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let flat = FlatIndex::from_index(&index);
+    let aligned = AlignedBytes::from_slice(&flat.to_bytes());
+    let view = persist::view_bytes(&aligned).expect("clean v2 bytes");
+    let n = ds.graph.num_vertices() as u32;
+
+    let mut group = c.benchmark_group("owned_vs_view");
+    group.bench_function("owned_flat_index", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            black_box(flat.query(i % n, (i >> 8) % n))
+        })
+    });
+    group.bench_function("borrowed_view", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            black_box(view.query(i % n, (i >> 8) % n))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    flat_vs_pointer_queries,
+    persistence_round_trip,
+    cold_serve,
+    owned_vs_view_steady_state
+);
 criterion_main!(benches);

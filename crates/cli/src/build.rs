@@ -89,10 +89,15 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         result.index.max_label_size()
     );
 
+    // save() writes the current v2 format: 8-byte-aligned sections that can
+    // be served zero-copy (`chl query --mmap`).
     let flat = FlatIndex::from_index(&result.index);
     flat.save(&out)
         .map_err(|e| format!("cannot write index {out}: {e}"))?;
     let file_len = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
-    println!("wrote {out}: {file_len} bytes");
+    println!(
+        "wrote {out}: {file_len} bytes (.chl v{})",
+        chl_core::persist::VERSION
+    );
     Ok(())
 }

@@ -1,21 +1,28 @@
-//! `chl inspect`: print a `.chl` file's header, size statistics and
-//! label-size histogram without querying it.
+//! `chl inspect`: print a `.chl` file's header and size statistics without
+//! loading the payload — O(header bytes) even on a multi-GB index — plus an
+//! opt-in full integrity check and label-size histogram (`--histogram`).
 
 use chl_core::flat::FlatIndex;
-use chl_core::persist;
+use chl_core::persist::{self, Checksums};
 use chl_graph::types::VertexId;
 
 use crate::opts::Opts;
 use crate::CliError;
 
 pub const USAGE: &str = "\
-usage: chl inspect <index.chl>
+usage: chl inspect <index.chl> [--histogram]
 
-Prints the on-disk header, memory footprint and label-size histogram of a
-saved index.";
+Prints the on-disk header and footprint statistics of a saved index. The
+default reads only the fixed header, so inspecting a multi-GB file is
+instant; --histogram additionally loads and fully validates the payload to
+print the label-size histogram.
+
+options:
+  --histogram         load the payload: verify integrity, print max label
+                      size and the label-size histogram";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let opts = Opts::parse(args, &[], &[])?;
+    let opts = Opts::parse(args, &[], &["histogram"])?;
     let path = opts.positional(0, "index file argument")?.to_string();
     opts.reject_extra_positionals(1)?;
 
@@ -28,21 +35,53 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     println!("format version:   {}", header.version);
     println!("vertices:         {}", header.num_vertices);
     println!("label entries:    {}", header.num_entries);
-    println!("payload checksum: {:#010x}", header.checksum);
+    match header.checksums {
+        Checksums::WholePayload(crc) => println!("payload checksum: {crc:#010x}"),
+        Checksums::PerSection {
+            ranking,
+            offsets,
+            entries,
+        } => println!(
+            "section checksums: ranking {ranking:#010x}, offsets {offsets:#010x}, entries {entries:#010x}"
+        ),
+    }
+    let n = header.num_vertices;
+    let m = header.num_entries;
+    if n > 0 {
+        println!("avg label size:   {:.2} per vertex", m as f64 / n as f64);
+    }
+    // Footprint when served owned, derived from the header alone: offsets
+    // (n+1) * 8, entries m * 16, ranking order + position 8 per vertex.
+    // Saturating: a hostile header must not wrap the arithmetic here.
+    let estimated = n
+        .saturating_add(1)
+        .saturating_mul(8)
+        .saturating_add(m.saturating_mul(16))
+        .saturating_add(n.saturating_mul(8));
+    let mib = estimated as f64 / (1024.0 * 1024.0);
+    if header.version >= 2 {
+        println!(
+            "serving footprint: {estimated} bytes ({mib:.2} MiB owned; zero-copy --mmap \
+             serves the {file_len}-byte file image instead)"
+        );
+    } else {
+        // v1 files cannot back a zero-copy view; do not advertise --mmap.
+        println!("serving footprint: {estimated} bytes ({mib:.2} MiB owned)");
+    }
 
-    // The full load re-validates length, checksum and invariants, so inspect
-    // doubles as an integrity check.
+    if !opts.switch("histogram") {
+        println!("integrity:        header only (run with --histogram for a full check)");
+        return Ok(());
+    }
+
+    // The full load re-validates length, checksums and invariants, so
+    // --histogram doubles as an integrity check.
     let index = FlatIndex::load(&path).map_err(|e| format!("cannot load index {path}: {e}"))?;
     println!("integrity:        ok");
-    println!(
-        "avg label size:   {:.2} per vertex",
-        index.average_label_size()
-    );
     println!("max label size:   {}", index.max_label_size());
     println!(
-        "memory footprint: {} bytes ({:.2} MiB resident when served)",
-        index.memory_bytes(),
-        index.memory_bytes() as f64 / (1024.0 * 1024.0)
+        "memory footprint: {} bytes resident when served owned",
+        index.memory_bytes()
     );
 
     let histogram = label_size_histogram(&index);

@@ -6,7 +6,9 @@
 //! chl build g.bin --out g.chl --algorithm hybrid   # construct + persist
 //! chl query g.chl 0 1599                           # serve from the file
 //! chl query g.chl --random 100000                  # latency statistics
-//! chl inspect g.chl                                # header + histogram
+//! chl query g.chl --mmap --random 100000           # zero-copy serving
+//! chl inspect g.chl                                # header, O(1) in file size
+//! chl inspect g.chl --histogram                    # + full integrity check
 //! ```
 //!
 //! Construction is the expensive phase and querying the latency-critical one
@@ -35,8 +37,8 @@ usage: chl <command> [args]
 commands:
   gen      generate a synthetic graph file (grid / scale-free)
   build    build a hub labeling from a graph file and save it as .chl
-  query    answer PPSD queries from a saved .chl index
-  inspect  show a .chl file's header, footprint and label histogram
+  query    answer PPSD queries from a saved .chl index (--mmap: zero-copy)
+  inspect  show a .chl file's header and footprint (--histogram: full check)
 
 Run 'chl <command> --help' for per-command options.";
 

@@ -233,15 +233,140 @@ fn batch_answers_are_identical_across_thread_counts() {
 fn inspect_reports_header_and_histogram() {
     let dir = temp_dir("inspect");
     let (_graph, index_path) = gen_and_build(&dir);
+
+    // Default inspect is header-only: instant on multi-GB files, so it must
+    // neither claim full integrity nor walk the payload for a histogram.
     let stdout = run_ok(chl().args(["inspect", index_path.to_str().unwrap()]));
     for needle in [
-        "format version:   1",
+        "format version:   2",
         "vertices:         64",
+        "section checksums:",
+        "serving footprint:",
+        "integrity:        header only",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+    assert!(
+        !stdout.contains("label-size histogram"),
+        "default inspect must not build the histogram: {stdout}"
+    );
+
+    // --histogram opts into the full load: integrity check + histogram.
+    let stdout = run_ok(chl().args(["inspect", index_path.to_str().unwrap(), "--histogram"]));
+    for needle in [
+        "format version:   2",
         "integrity:        ok",
+        "max label size:",
         "label-size histogram",
     ] {
         assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mmap_serving_matches_copy_load_end_to_end() {
+    let dir = temp_dir("mmap");
+    let (_graph, index_path) = gen_and_build(&dir);
+
+    // Explicit pairs through the zero-copy backend print the same distances
+    // the copy-loading backend prints.
+    let copy = run_ok(chl().args(["query", index_path.to_str().unwrap(), "0", "63", "5", "5"]));
+    let mapped = run_ok(chl().args([
+        "query",
+        index_path.to_str().unwrap(),
+        "--mmap",
+        "0",
+        "63",
+        "5",
+        "5",
+    ]));
+    assert_eq!(copy, mapped, "backends must print identical distances");
+
+    // Batch mode: the aggregate answer fingerprint must match between
+    // backends, and the statistics must name the backend in play.
+    let workload_path = dir.join("pairs.txt");
+    let mut lines = String::from("# mmap parity workload\n");
+    for i in 0u32..300 {
+        lines.push_str(&format!("{} {}\n", (i * 11) % 64, (i * 17) % 64));
+    }
+    std::fs::write(&workload_path, lines).unwrap();
+    let fingerprint = |extra: &[&str]| {
+        let mut args = vec!["query", index_path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--workload", workload_path.to_str().unwrap()]);
+        let stdout = run_ok(chl().args(&args));
+        let grab = |prefix: &str| {
+            stdout
+                .lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} in: {stdout}"))
+                .to_string()
+        };
+        (grab("reachable:"), grab("distance sum:"), grab("backend:"))
+    };
+    let (reach_owned, sum_owned, backend_owned) = fingerprint(&[]);
+    let (reach_mmap, sum_mmap, backend_mmap) = fingerprint(&["--mmap"]);
+    assert_eq!(reach_owned, reach_mmap);
+    assert_eq!(sum_owned, sum_mmap);
+    assert!(backend_owned.contains("owned"), "{backend_owned}");
+    assert!(backend_mmap.contains("mmap"), "{backend_mmap}");
+
+    // A corrupted file must fail --mmap with the typed checksum error on
+    // stderr, never a panic.
+    let mut bytes = std::fs::read(&index_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x20;
+    std::fs::write(&index_path, &bytes).unwrap();
+    let stderr = run_err(chl().args(["query", index_path.to_str().unwrap(), "--mmap", "0", "1"]));
+    assert!(stderr.contains("checksum"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_files_still_serve_through_the_copying_path() {
+    use chl_core::persist;
+    use chl_graph::generators::{grid_network, GridOptions};
+
+    let dir = temp_dir("v1-compat");
+    let graph = grid_network(
+        &GridOptions {
+            rows: 6,
+            cols: 6,
+            ..GridOptions::default()
+        },
+        7,
+    );
+    let index = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Degree)
+        .algorithm(Algorithm::Hybrid)
+        .build()
+        .unwrap()
+        .index;
+    let flat = FlatIndex::from_index(&index);
+
+    // A file written by the legacy v1 writer...
+    let v1_path = dir.join("legacy.chl");
+    std::fs::write(&v1_path, persist::to_bytes_v1(&flat)).unwrap();
+
+    // ...is inspectable and serves correct distances via the copying path.
+    let stdout = run_ok(chl().args(["inspect", v1_path.to_str().unwrap()]));
+    assert!(stdout.contains("format version:   1"), "stdout: {stdout}");
+    assert!(stdout.contains("payload checksum:"), "stdout: {stdout}");
+    let stdout = run_ok(chl().args(["query", v1_path.to_str().unwrap(), "0", "35"]));
+    assert!(
+        stdout.contains(&format!("dist(0, 35) = {}", index.query(0, 35))),
+        "stdout: {stdout}"
+    );
+
+    // ...but cannot be served zero-copy: typed refusal, not a panic.
+    let stderr = run_err(chl().args(["query", v1_path.to_str().unwrap(), "--mmap", "0", "35"]));
+    assert!(stderr.contains("v1"), "stderr: {stderr}");
+    assert!(stderr.contains("zero-copy"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,4 +1,4 @@
-//! Flat, cache-contiguous storage of a hub labeling.
+//! Flat, cache-contiguous storage of a hub labeling — owned or borrowed.
 //!
 //! [`HubLabelIndex`] keeps one heap allocation per vertex (`Vec<LabelSet>`),
 //! which is the natural shape during construction — label sets grow
@@ -6,14 +6,24 @@
 //! pointers into unrelated heap regions, and the index cannot be written to
 //! or read from disk without walking every allocation.
 //!
-//! [`FlatIndex`] is the read-optimized counterpart: all label entries live in
-//! one contiguous array, with a CSR-style offsets array marking each vertex's
-//! slice, exactly like [`chl_graph::CsrGraph`] stores adjacency. The layout
-//! is what the `.chl` on-disk format (see [`crate::persist`]) stores
-//! byte-for-byte, so loading an index is one read plus validation — no
-//! per-vertex re-allocation. Conversion to and from [`HubLabelIndex`] is
-//! lossless, and both answer every query identically (asserted by the
-//! persistence proptests).
+//! The serving layout lives here twice, with one query kernel:
+//!
+//! * [`FlatView`] is the **ownership-agnostic query kernel**: ranking,
+//!   offsets and entries as plain borrowed slices, with every query method
+//!   defined on it. It does not care whether the slices come from `Vec`s, a
+//!   serialized byte buffer ([`crate::persist::view_bytes`]) or an mmap
+//!   ([`crate::mapped::MmapIndex`]).
+//! * [`FlatIndex`] is the thin owning wrapper: the same three arrays in
+//!   `Vec`s plus the full [`Ranking`], delegating every query through
+//!   [`FlatIndex::as_view`]. (A literal `Deref<Target = FlatView>` is not
+//!   expressible — the view borrows from `self` — so the wrapper forwards
+//!   method by method instead.)
+//!
+//! The layout is what the `.chl` on-disk format (see [`crate::persist`])
+//! stores byte-for-byte, so loading an index is one read plus validation —
+//! and, for v2 files, querying needs no copy at all. Conversion to and from
+//! [`HubLabelIndex`] is lossless, and all layouts answer every query
+//! identically (asserted by the persistence proptests).
 
 use serde::{Deserialize, Serialize};
 
@@ -25,12 +35,178 @@ use crate::labels::{join_sorted_slices, LabelEntry, LabelSet};
 use crate::oracle::DistanceOracle;
 use crate::persist::{self, PersistError};
 
-/// A hub labeling stored as two contiguous CSR-style arrays.
+/// A borrowed hub labeling in the flat CSR serving layout: the query kernel
+/// shared by every storage backend.
 ///
 /// `entries[offsets[v] .. offsets[v + 1]]` is the label set of vertex `v`,
-/// sorted ascending by hub rank position (the same invariant
-/// [`crate::labels::LabelSet`] maintains). Offsets are `u64` so the in-memory
-/// representation matches the on-disk format exactly.
+/// sorted ascending by hub rank position; `order[pos]` is the vertex at rank
+/// position `pos` (most important first). Construction is restricted to this
+/// crate — a view always comes from a validated source, either
+/// [`FlatIndex::as_view`] or the persistence layer's
+/// [`view_bytes`](crate::persist::view_bytes) — so the query methods can
+/// index with the CSR invariants taken as given.
+///
+/// Views are `Copy`: three fat pointers, cheap to pass around and to send to
+/// worker threads (`FlatView: Sync` via its shared slices).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'a> {
+    offsets: &'a [u64],
+    entries: &'a [LabelEntry],
+    order: &'a [VertexId],
+}
+
+impl<'a> FlatView<'a> {
+    /// Assembles a view from raw parts, without validating the CSR
+    /// invariants. Callers (the owning wrapper and the persistence layer)
+    /// must have established them.
+    pub(crate) fn from_validated_parts(
+        order: &'a [VertexId],
+        offsets: &'a [u64],
+        entries: &'a [LabelEntry],
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), order.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), entries.len() as u64);
+        FlatView {
+            offsets,
+            entries,
+            order,
+        }
+    }
+
+    /// Number of vertices covered by the view.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The ranking's order array: `order()[pos]` is the vertex at rank
+    /// position `pos`, most important first.
+    pub fn order(&self) -> &'a [VertexId] {
+        self.order
+    }
+
+    /// Vertex at rank position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pos >= num_vertices()`.
+    #[inline]
+    pub fn vertex_at(&self, pos: u32) -> VertexId {
+        self.order[pos as usize]
+    }
+
+    /// The CSR offsets array (`num_vertices + 1` entries, first `0`, last
+    /// equal to [`Self::total_labels`]).
+    pub fn offsets(&self) -> &'a [u64] {
+        self.offsets
+    }
+
+    /// All label entries, concatenated in vertex order.
+    pub fn entries(&self) -> &'a [LabelEntry] {
+        self.entries
+    }
+
+    /// Label slice of vertex `v`, sorted ascending by hub rank position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= num_vertices()`; use [`Self::try_labels_of`] for
+    /// ids that may come from untrusted input.
+    #[inline]
+    pub fn labels_of(&self, v: VertexId) -> &'a [LabelEntry] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Label slice of vertex `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn try_labels_of(&self, v: VertexId) -> Option<&'a [LabelEntry]> {
+        let lo = *self.offsets.get(v as usize)? as usize;
+        let hi = *self.offsets.get(v as usize + 1)? as usize;
+        Some(&self.entries[lo..hi])
+    }
+
+    /// Answers a PPSD query: the exact shortest-path distance between `u` and
+    /// `v`, or [`chl_graph::types::INFINITY`] when they are not connected.
+    /// Ids outside `0..num_vertices()` are unreachable, including
+    /// `query(u, u)` for a nonexistent `u`.
+    pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        let (Some(lu), Some(lv)) = (self.try_labels_of(u), self.try_labels_of(v)) else {
+            return chl_graph::types::INFINITY;
+        };
+        if u == v {
+            return 0;
+        }
+        join_sorted_slices(lu, lv)
+            .map(|(_, d)| d)
+            .unwrap_or(chl_graph::types::INFINITY)
+    }
+
+    /// Like [`Self::query`] but also reports the hub (as a vertex id) through
+    /// which the minimum distance is achieved. `None` for disconnected pairs
+    /// and for out-of-range ids.
+    pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
+        let (lu, lv) = (self.try_labels_of(u)?, self.try_labels_of(v)?);
+        if u == v {
+            return Some((u, 0));
+        }
+        join_sorted_slices(lu, lv).map(|(hub_pos, d)| (self.vertex_at(hub_pos), d))
+    }
+
+    /// Total number of labels stored.
+    pub fn total_labels(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Average label size per vertex (ALS).
+    pub fn average_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.total_labels() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum label-set size over all vertices.
+    pub fn max_label_size(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bytes of backing storage the view's slices span — for a view over a
+    /// `.chl` v2 buffer, the file bytes actually touched by queries. Unlike
+    /// an owned [`FlatIndex`], a view carries no rank-position array, so this
+    /// is smaller than [`FlatIndex::memory_bytes`] by `4 * n`.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.offsets)
+            + std::mem::size_of_val(self.entries)
+            + std::mem::size_of_val(self.order)
+    }
+}
+
+impl DistanceOracle for FlatView<'_> {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.query(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        FlatView::num_vertices(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FlatView::memory_bytes(self)
+    }
+}
+
+/// A hub labeling stored as two contiguous CSR-style arrays, owned.
+///
+/// This is a thin owning wrapper over the [`FlatView`] query kernel: the
+/// arrays live in `Vec`s (plus the full [`Ranking`], whose rank-position
+/// array the borrowed view does not need), and every query delegates through
+/// [`FlatIndex::as_view`].
 ///
 /// Build one with [`FlatIndex::from_index`] (or `From<&HubLabelIndex>`),
 /// persist it with [`FlatIndex::save`] and reload it with
@@ -74,6 +250,27 @@ impl FlatIndex {
             entries,
             ranking: index.ranking().clone(),
         }
+    }
+
+    /// Copies a borrowed view into owned storage (the inverse of
+    /// [`FlatIndex::as_view`]); the only allocation a zero-copy load path
+    /// performs when a caller explicitly asks for ownership.
+    pub fn from_view(view: FlatView<'_>) -> Self {
+        let ranking = Ranking::from_order(view.order().to_vec(), view.num_vertices())
+            .expect("views only exist over validated permutations");
+        FlatIndex {
+            offsets: view.offsets().to_vec(),
+            entries: view.entries().to_vec(),
+            ranking,
+        }
+    }
+
+    /// Borrows the index as the ownership-agnostic query kernel. All query
+    /// methods on `FlatIndex` are thin forwards through this view, so owned
+    /// and borrowed serving paths execute literally the same code.
+    #[inline]
+    pub fn as_view(&self) -> FlatView<'_> {
+        FlatView::from_validated_parts(self.ranking.order(), &self.offsets, &self.entries)
     }
 
     /// Rebuilds the pointer-per-vertex [`HubLabelIndex`]. The conversion is
@@ -131,17 +328,13 @@ impl FlatIndex {
     /// ids that may come from untrusted input.
     #[inline]
     pub fn labels_of(&self, v: VertexId) -> &[LabelEntry] {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        &self.entries[lo..hi]
+        self.as_view().labels_of(v)
     }
 
     /// Label slice of vertex `v`, or `None` when `v` is out of range.
     #[inline]
     pub fn try_labels_of(&self, v: VertexId) -> Option<&[LabelEntry]> {
-        let lo = *self.offsets.get(v as usize)? as usize;
-        let hi = *self.offsets.get(v as usize + 1)? as usize;
-        Some(&self.entries[lo..hi])
+        self.as_view().try_labels_of(v)
     }
 
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
@@ -150,26 +343,14 @@ impl FlatIndex {
     /// outside `0..num_vertices()` are unreachable, including `query(u, u)`
     /// for a nonexistent `u`.
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
-        let (Some(lu), Some(lv)) = (self.try_labels_of(u), self.try_labels_of(v)) else {
-            return chl_graph::types::INFINITY;
-        };
-        if u == v {
-            return 0;
-        }
-        join_sorted_slices(lu, lv)
-            .map(|(_, d)| d)
-            .unwrap_or(chl_graph::types::INFINITY)
+        self.as_view().query(u, v)
     }
 
     /// Like [`Self::query`] but also reports the hub (as a vertex id) through
     /// which the minimum distance is achieved. `None` for disconnected pairs
     /// and for out-of-range ids.
     pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
-        let (lu, lv) = (self.try_labels_of(u)?, self.try_labels_of(v)?);
-        if u == v {
-            return Some((u, 0));
-        }
-        join_sorted_slices(lu, lv).map(|(hub_pos, d)| (self.ranking.vertex_at(hub_pos), d))
+        self.as_view().query_with_hub(u, v)
     }
 
     /// Total number of labels stored.
@@ -179,26 +360,21 @@ impl FlatIndex {
 
     /// Average label size per vertex (ALS).
     pub fn average_label_size(&self) -> f64 {
-        if self.num_vertices() == 0 {
-            0.0
-        } else {
-            self.total_labels() as f64 / self.num_vertices() as f64
-        }
+        self.as_view().average_label_size()
     }
 
     /// Maximum label-set size over all vertices.
     pub fn max_label_size(&self) -> usize {
-        self.offsets
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as usize)
-            .max()
-            .unwrap_or(0)
+        self.as_view().max_label_size()
     }
 
-    /// Approximate heap memory consumed by the flat arrays, in bytes.
+    /// Approximate heap memory consumed, in bytes: the two flat arrays plus
+    /// both direction arrays of the [`Ranking`] (order and rank position) —
+    /// everything resident when this index serves.
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u64>()
             + self.entries.len() * std::mem::size_of::<LabelEntry>()
+            + self.ranking.memory_bytes()
     }
 
     /// Serializes the index into the versioned `.chl` byte format
@@ -256,6 +432,12 @@ impl From<&HubLabelIndex> for FlatIndex {
     }
 }
 
+impl From<FlatView<'_>> for FlatIndex {
+    fn from(view: FlatView<'_>) -> Self {
+        FlatIndex::from_view(view)
+    }
+}
+
 impl DistanceOracle for FlatIndex {
     fn distance(&self, u: VertexId, v: VertexId) -> Distance {
         self.query(u, v)
@@ -297,6 +479,26 @@ mod tests {
     }
 
     #[test]
+    fn view_is_the_same_kernel_as_the_owned_index() {
+        let flat = FlatIndex::from_index(&tiny_index());
+        let view = flat.as_view();
+        assert_eq!(view.num_vertices(), flat.num_vertices());
+        assert_eq!(view.total_labels(), flat.total_labels());
+        assert_eq!(view.max_label_size(), flat.max_label_size());
+        assert_eq!(view.order(), flat.ranking().order());
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(view.query(u, v), flat.query(u, v), "({u}, {v})");
+                assert_eq!(view.query_with_hub(u, v), flat.query_with_hub(u, v));
+            }
+        }
+        // Views are Copy and round-trip to an equal owned index.
+        let copy = view;
+        assert_eq!(FlatIndex::from_view(copy), flat);
+        assert_eq!(FlatIndex::from(view), flat);
+    }
+
+    #[test]
     fn conversion_round_trips_losslessly() {
         let idx = tiny_index();
         let flat = FlatIndex::from(&idx);
@@ -317,6 +519,17 @@ mod tests {
     }
 
     #[test]
+    fn memory_bytes_accounts_for_the_ranking_too() {
+        let flat = FlatIndex::from_index(&tiny_index());
+        let n = flat.num_vertices();
+        let arrays = std::mem::size_of_val(flat.offsets()) + std::mem::size_of_val(flat.entries());
+        // The owned index keeps order + position (8 bytes per vertex)...
+        assert_eq!(flat.memory_bytes(), arrays + 8 * n);
+        // ...while a borrowed view only spans the order array (4 per vertex).
+        assert_eq!(flat.as_view().memory_bytes(), arrays + 4 * n);
+    }
+
+    #[test]
     fn empty_index_flattens() {
         let flat = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(4)));
         assert_eq!(flat.num_vertices(), 4);
@@ -333,6 +546,8 @@ mod tests {
         assert_eq!(flat.num_vertices(), 0);
         assert_eq!(flat.average_label_size(), 0.0);
         assert_eq!(flat.offsets(), &[0]);
+        assert_eq!(flat.as_view().num_vertices(), 0);
+        assert_eq!(flat.as_view().average_label_size(), 0.0);
     }
 
     #[test]
@@ -343,6 +558,11 @@ mod tests {
         assert_eq!(oracle.num_vertices(), 3);
         assert!(oracle.memory_bytes() > 0);
         assert_eq!(oracle.distances(&[(0, 1), (0, 2)]), vec![1, 2]);
+        // The borrowed view serves through the same trait.
+        let view = flat.as_view();
+        let oracle: &dyn DistanceOracle = &view;
+        assert_eq!(oracle.distance(0, 2), 2);
+        assert_eq!(oracle.distances(&[(0, 1), (0, 2)]), vec![1, 2]);
     }
 
     #[test]
@@ -351,11 +571,14 @@ mod tests {
         for &(u, v) in &[(0, 3), (3, 0), (3, 3), (7, 9), (u32::MAX, 0)] {
             assert_eq!(flat.query(u, v), INFINITY, "({u}, {v})");
             assert_eq!(flat.query_with_hub(u, v), None, "({u}, {v})");
+            assert_eq!(flat.as_view().query(u, v), INFINITY, "view ({u}, {v})");
+            assert_eq!(flat.as_view().query_with_hub(u, v), None);
         }
         // A self-query on a nonexistent vertex is NOT 0.
         assert_eq!(flat.query(3, 3), INFINITY);
         assert!(flat.try_labels_of(2).is_some());
         assert!(flat.try_labels_of(3).is_none());
+        assert!(flat.as_view().try_labels_of(3).is_none());
         // Batch queries go through the same checked path.
         let oracle: &dyn DistanceOracle = &flat;
         assert_eq!(

@@ -15,13 +15,30 @@ use serde::{Deserialize, Serialize};
 use chl_graph::types::{Distance, INFINITY};
 
 /// A single hub label: the hub's rank position and the distance to it.
+///
+/// The layout is `#[repr(C)]` because the `.chl` v2 on-disk format (see
+/// [`crate::persist`]) stores entries byte-identically to this struct —
+/// `hub` at offset 0, four bytes of zero padding, `dist` at offset 8 — so a
+/// validated byte buffer can be reinterpreted in place as `&[LabelEntry]`
+/// without copying. Every bit pattern of the two integer fields is a valid
+/// value, which is what makes that reinterpretation sound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(C)]
 pub struct LabelEntry {
     /// Rank position of the hub (0 = most important vertex).
     pub hub: u32,
     /// Shortest distance from the labeled vertex to the hub.
     pub dist: Distance,
 }
+
+// The persistence layer depends on this exact layout; fail the build, not
+// the loader, if it ever drifts.
+const _: () = {
+    assert!(std::mem::size_of::<LabelEntry>() == 16);
+    assert!(std::mem::align_of::<LabelEntry>() == 8);
+    assert!(std::mem::offset_of!(LabelEntry, hub) == 0);
+    assert!(std::mem::offset_of!(LabelEntry, dist) == 8);
+};
 
 impl LabelEntry {
     /// Creates a new label entry.

@@ -72,18 +72,24 @@
 //! (§6), so the two are decoupled by a durable index: [`flat::FlatIndex`]
 //! stores every label set in two contiguous CSR-style arrays (the serving
 //! layout), and [`persist`] defines the versioned, checksummed `.chl` file
-//! format it saves to and loads from. The lifecycle is
+//! format it saves to and loads from. Since format v2 the on-disk layout is
+//! byte-identical to the in-memory one (8-byte-aligned sections), so serving
+//! does not even need the copy: [`persist::view_bytes`] borrows a
+//! [`flat::FlatView`] — the ownership-agnostic query kernel — straight from
+//! a validated buffer, and [`mapped::MmapIndex`] serves a file through that
+//! view from the OS page cache. The lifecycle is
 //!
 //! ```text
 //! ChlBuilder::build -> HubLabelIndex -> FlatIndex::from_index -> save(path)
 //!                                 ...any process, any time later...
-//! FlatIndex::load(path) -> &dyn DistanceOracle
+//! FlatIndex::load(path)  -> &dyn DistanceOracle   (owned, copying)
+//! MmapIndex::open(path)  -> &dyn DistanceOracle   (borrowed, zero-copy)
 //! ```
 //!
-//! Conversion between the two layouts is lossless, every corruption mode
+//! Conversion between the layouts is lossless, every corruption mode
 //! (truncation, bit flips, wrong magic/version) loads as a typed
 //! [`PersistError`], and the `chl` CLI (`crates/cli`) drives the same
-//! lifecycle from the shell.
+//! lifecycle from the shell (`chl query --mmap` for the zero-copy path).
 
 pub mod api;
 pub mod canonical;
@@ -96,6 +102,7 @@ pub mod hybrid;
 pub mod index;
 pub mod labels;
 pub mod lcc;
+pub mod mapped;
 pub mod oracle;
 pub mod para_pll;
 pub mod persist;
@@ -108,9 +115,10 @@ pub mod table;
 pub use api::{Algorithm, ChlBuilder, Labeler, RankingStrategy};
 pub use config::LabelingConfig;
 pub use error::LabelingError;
-pub use flat::FlatIndex;
+pub use flat::{FlatIndex, FlatView};
 pub use index::{HubLabelIndex, LabelingResult};
 pub use labels::{LabelEntry, LabelSet};
+pub use mapped::MmapIndex;
 pub use oracle::DistanceOracle;
 pub use persist::PersistError;
 pub use stats::ConstructionStats;

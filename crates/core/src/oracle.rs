@@ -61,6 +61,34 @@ pub trait DistanceOracle: Sync {
     }
 }
 
+/// Shared references serve like the oracle they point at, so borrowed
+/// storage (a [`crate::flat::FlatView`] handed out by an mmap-backed index,
+/// a `&FlatIndex` shared across request handlers) can flow anywhere a
+/// `DistanceOracle` is expected without taking ownership.
+impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        (**self).distance(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    // Forward the defaulted methods too, so an implementation's cheaper
+    // batch path is not lost behind the reference.
+    fn distances(&self, pairs: &[(VertexId, VertexId)]) -> Vec<Distance> {
+        (**self).distances(pairs)
+    }
+
+    fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        (**self).connected(u, v)
+    }
+}
+
 impl DistanceOracle for HubLabelIndex {
     fn distance(&self, u: VertexId, v: VertexId) -> Distance {
         self.query(u, v)

@@ -2,56 +2,125 @@
 //!
 //! A `.chl` file is a byte-exact dump of a [`FlatIndex`]: the ranking that
 //! gives hub positions their meaning, the CSR offsets array and the
-//! contiguous label entries. Layout (all integers little-endian, following
-//! the `chl_graph::io::binary` conventions):
+//! contiguous label entries. Since version 2 the on-disk layout **is** the
+//! query-time layout: every section starts on an 8-byte boundary and stores
+//! its integers exactly as the in-memory arrays do, so a validated buffer can
+//! be served through a borrowed [`FlatView`] without copying a single label
+//! ([`view_bytes`]). Version 1 files (the original packed layout) keep
+//! loading through the copying path ([`from_bytes`] / [`load`]).
+//!
+//! ## Version 2 layout (current)
+//!
+//! All integers little-endian; every section 8-byte aligned and zero-padded
+//! to a multiple of 8 bytes:
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic        "CHLI"
+//! 4       4           version      u32, 2
+//! 8       8           n            u64, number of vertices
+//! 16      8           m            u64, total number of label entries
+//! 24      4           flags        u32, must be 0 (reserved)
+//! 28      4           crc_ranking  u32, CRC-32 of the ranking section (incl. padding)
+//! 32      4           crc_offsets  u32, CRC-32 of the offsets section
+//! 36      4           crc_entries  u32, CRC-32 of the entries section
+//! 40      n * 4 (+pad) ranking     vertex ids, most important first, zero-padded to 8
+//! ..      (n+1) * 8   offsets      entries[offsets[v]..offsets[v+1]] labels vertex v
+//! ..      m * 16      entries      (u32 hub rank position, u32 zero, u64 distance)
+//! ```
+//!
+//! The 16-byte entry record mirrors `#[repr(C)] LabelEntry` exactly (hub at
+//! offset 0, distance at offset 8, four padding bytes that must be zero), so
+//! `&[u8] -> &[LabelEntry]` is a pointer cast on little-endian hosts.
+//!
+//! ## Version 1 layout (legacy, read-only)
 //!
 //! ```text
 //! offset  size        field
 //! 0       4           magic    "CHLI"
-//! 4       4           version  u32, currently 1
-//! 8       8           n        u64, number of vertices
-//! 16      8           m        u64, total number of label entries
-//! 24      4           crc32    u32, CRC-32 (IEEE) of every byte after the header
-//! 28      n * 4       ranking  vertex ids, most important first
-//! ..      (n+1) * 8   offsets  entries[offsets[v]..offsets[v+1]] labels vertex v
-//! ..      m * 12      entries  (u32 hub rank position, u64 distance) pairs
+//! 4       4           version  u32, 1
+//! 8       8           n        u64
+//! 16      8           m        u64
+//! 24      4           crc32    u32, CRC-32 of every byte after the header
+//! 28      n * 4       ranking
+//! ..      (n+1) * 8   offsets
+//! ..      m * 12      entries  (u32 hub, u64 distance) packed pairs
 //! ```
 //!
 //! ## Versioning and compatibility policy
 //!
 //! `version` is bumped on **any** layout change; readers reject versions they
 //! do not know ([`PersistError::UnsupportedVersion`]) rather than guessing.
-//! There is no in-place migration: an index is cheap to rebuild from its
-//! graph, so old files are regenerated, not converted.
+//! v1 files load (copying) but cannot back a zero-copy view
+//! ([`PersistError::NotZeroCopy`]); there is no in-place migration — an
+//! index is cheap to rebuild from its graph, so old files are regenerated,
+//! not converted. Writers emit v2 only ([`to_bytes`] / [`save`]);
+//! [`to_bytes_v1`] remains for compatibility tests and old tooling.
 //!
 //! ## Corruption detection
 //!
-//! Loading validates, in order: the magic, the version, that the file length
-//! matches the header's dimensions exactly (truncation and trailing garbage
-//! are both rejected), the CRC-32 of the payload, and finally the semantic
-//! invariants — the ranking is a permutation, the offsets start at zero and
-//! rise monotonically to `m`, and every vertex's entries are strictly
-//! hub-sorted with in-range hub positions. Every failure is a typed
+//! Loading validates, in order: the magic, the version, the flags word, that
+//! the file length matches the header's dimensions exactly (truncation and
+//! trailing garbage are both rejected), the checksums — one CRC-32 per
+//! section in v2, so integrity can be checked (and was computed by the
+//! writer) incrementally, section by section, instead of in one pass over a
+//! multi-GB payload — that all padding bytes are zero, and finally the
+//! semantic invariants: the ranking is a permutation, the offsets start at
+//! zero and rise monotonically to `m`, and every vertex's entries are
+//! strictly hub-sorted with in-range hub positions. Every failure is a typed
 //! [`PersistError`]; no input, however mangled, panics the loader.
 
 use std::fmt;
 use std::fs;
+use std::ops::Range;
 use std::path::Path;
 
 use chl_graph::types::VertexId;
 use chl_ranking::Ranking;
 
-use crate::flat::FlatIndex;
+use crate::flat::{FlatIndex, FlatView};
 use crate::labels::LabelEntry;
 
 /// File magic: "Canonical Hub Label Index".
 pub const MAGIC: &[u8; 4] = b"CHLI";
 /// Current format version. Bumped on any layout change.
-pub const VERSION: u32 = 1;
-/// Size of the fixed header in bytes (`magic | version | n | m | crc32`).
-pub const HEADER_LEN: usize = 28;
-/// Size of one serialized label entry in bytes (`u32 hub | u64 dist`).
-pub const ENTRY_LEN: usize = 12;
+pub const VERSION: u32 = 2;
+/// The legacy packed format version, still readable via the copying path.
+pub const VERSION_V1: u32 = 1;
+/// Size of the v1 fixed header in bytes (`magic | version | n | m | crc32`).
+pub const HEADER_LEN_V1: usize = 28;
+/// Size of the v2 fixed header in bytes
+/// (`magic | version | n | m | flags | crc_ranking | crc_offsets | crc_entries`).
+pub const HEADER_LEN_V2: usize = 40;
+/// Size of one serialized v1 label entry in bytes (`u32 hub | u64 dist`).
+pub const ENTRY_LEN_V1: usize = 12;
+/// Size of one serialized v2 label entry in bytes
+/// (`u32 hub | u32 zero | u64 dist`), identical to `size_of::<LabelEntry>()`.
+pub const ENTRY_LEN_V2: usize = 16;
+/// Alignment every v2 section start and length is padded to.
+pub const SECTION_ALIGN: usize = 8;
+
+/// The three payload sections of a `.chl` file, in file order. v2 stores one
+/// checksum per section so corruption reports name the section hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// The ranking order array (`order[pos] = vertex`).
+    Ranking,
+    /// The CSR offsets array.
+    Offsets,
+    /// The concatenated label entries.
+    Entries,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Section::Ranking => "ranking",
+            Section::Offsets => "offsets",
+            Section::Entries => "entries",
+        })
+    }
+}
 
 /// Errors produced while reading or writing `.chl` index files.
 #[derive(Debug)]
@@ -68,6 +137,11 @@ pub enum PersistError {
         /// Version stamped in the file.
         found: u32,
     },
+    /// The v2 flags word carries bits this reader does not understand.
+    UnsupportedFlags {
+        /// Flags word stamped in the file.
+        found: u32,
+    },
     /// The file is shorter than its header claims — an interrupted write or
     /// a truncated copy.
     Truncated {
@@ -82,13 +156,47 @@ pub enum PersistError {
         /// Surplus bytes after the declared payload.
         extra: usize,
     },
-    /// The payload checksum does not match — the bytes were corrupted after
-    /// the header was written (bit rot, torn write, manual edit).
+    /// The v1 whole-payload checksum does not match — the bytes were
+    /// corrupted after the header was written (bit rot, torn write, manual
+    /// edit).
     ChecksumMismatch {
         /// Checksum stored in the header.
         stored: u32,
         /// Checksum computed over the payload actually read.
         computed: u32,
+    },
+    /// A v2 per-section checksum does not match; the named section was
+    /// corrupted after the header was written.
+    SectionChecksumMismatch {
+        /// The section whose bytes disagree with the header.
+        section: Section,
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the section actually read.
+        computed: u32,
+    },
+    /// A v2 padding byte (section tail padding or the four reserved bytes
+    /// inside an entry record) is not zero — a forged or hand-edited file,
+    /// since every padding flip in a written file already fails its section
+    /// checksum.
+    NonZeroPadding {
+        /// Absolute file offset of the offending byte.
+        offset: usize,
+    },
+    /// The bytes are a valid-looking v2 file but cannot back a zero-copy
+    /// view in this process: the buffer's base address is not 8-byte
+    /// aligned, or the host is big-endian (v2 sections are reinterpreted in
+    /// place as little-endian words). Load through [`from_bytes`] instead,
+    /// or hand [`view_bytes`] an [`AlignedBytes`] / mmap-backed buffer.
+    Unviewable {
+        /// What the buffer or host lacks.
+        reason: &'static str,
+    },
+    /// The file's format version predates the aligned v2 layout: it can only
+    /// be loaded through the copying path ([`from_bytes`] / [`load`]).
+    NotZeroCopy {
+        /// Version stamped in the file.
+        version: u32,
     },
     /// The bytes checksum correctly but violate a semantic invariant
     /// (non-permutation ranking, non-monotonic offsets, unsorted or
@@ -108,6 +216,10 @@ impl fmt::Display for PersistError {
                 f,
                 "unsupported .chl format version {found} (this reader understands up to {VERSION})"
             ),
+            PersistError::UnsupportedFlags { found } => write!(
+                f,
+                "unsupported .chl flags {found:#010x} (this reader understands no flags)"
+            ),
             PersistError::Truncated { expected, found } => write!(
                 f,
                 "truncated .chl file: expected {expected} bytes, found {found}"
@@ -121,6 +233,27 @@ impl fmt::Display for PersistError {
             PersistError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "corrupt .chl payload: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::SectionChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "corrupt .chl {section} section: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::NonZeroPadding { offset } => write!(
+                f,
+                "malformed .chl file: padding byte at offset {offset} is not zero"
+            ),
+            PersistError::Unviewable { reason } => write!(
+                f,
+                "buffer cannot back a zero-copy .chl view ({reason}); load it with the copying reader instead"
+            ),
+            PersistError::NotZeroCopy { version } => write!(
+                f,
+                ".chl format v{version} predates the aligned zero-copy layout (v{VERSION}): \
+                 load it with the copying reader or rebuild the index"
             ),
             PersistError::Malformed(msg) => write!(f, "malformed .chl index: {msg}"),
         }
@@ -142,6 +275,25 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// The checksums a `.chl` header stores: one CRC over the whole payload in
+/// v1, one CRC per section in v2 (the incremental mode — each section can be
+/// produced and verified independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checksums {
+    /// v1: a single CRC-32 over every byte after the header.
+    WholePayload(u32),
+    /// v2: one CRC-32 per section, each covering the section's data bytes
+    /// and its tail padding.
+    PerSection {
+        /// CRC-32 of the ranking section.
+        ranking: u32,
+        /// CRC-32 of the offsets section.
+        offsets: u32,
+        /// CRC-32 of the entries section.
+        entries: u32,
+    },
+}
+
 /// The fixed-size header of a `.chl` file, readable without loading the
 /// payload (used by `chl inspect`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,15 +304,26 @@ pub struct FileHeader {
     pub num_vertices: u64,
     /// Total number of label entries.
     pub num_entries: u64,
-    /// CRC-32 of the payload, as stored.
-    pub checksum: u32,
+    /// The stored payload checksum(s).
+    pub checksums: Checksums,
 }
 
 impl FileHeader {
+    /// Size of this header on disk, in bytes (version-dependent).
+    pub fn header_len(&self) -> usize {
+        match self.version {
+            VERSION_V1 => HEADER_LEN_V1,
+            _ => HEADER_LEN_V2,
+        }
+    }
+
     /// Total file size in bytes implied by the header's dimensions.
     pub fn expected_file_len(&self) -> Option<usize> {
-        expected_payload_len(self.num_vertices, self.num_entries)
-            .map(|payload| HEADER_LEN + payload)
+        let payload = match self.version {
+            VERSION_V1 => expected_payload_len_v1(self.num_vertices, self.num_entries)?,
+            _ => expected_payload_len_v2(self.num_vertices, self.num_entries)?,
+        };
+        payload.checked_add(self.header_len())
     }
 }
 
@@ -198,147 +361,188 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-/// Payload size implied by the header dimensions, `None` on overflow (which
-/// can only arise from a corrupt or hostile header).
-fn expected_payload_len(n: u64, m: u64) -> Option<usize> {
+/// Rounds `len` up to the next multiple of [`SECTION_ALIGN`], `None` on
+/// overflow.
+fn pad_to_align(len: u64) -> Option<u64> {
+    len.checked_next_multiple_of(SECTION_ALIGN as u64)
+}
+
+/// v1 payload size implied by the header dimensions, `None` on overflow
+/// (which can only arise from a corrupt or hostile header).
+fn expected_payload_len_v1(n: u64, m: u64) -> Option<usize> {
     let ranking = n.checked_mul(4)?;
     let offsets = n.checked_add(1)?.checked_mul(8)?;
-    let entries = m.checked_mul(ENTRY_LEN as u64)?;
+    let entries = m.checked_mul(ENTRY_LEN_V1 as u64)?;
     let total = ranking.checked_add(offsets)?.checked_add(entries)?;
     usize::try_from(total).ok()
 }
 
-/// Serializes `index` into the `.chl` byte format.
-pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
-    let n = index.num_vertices();
-    let m = index.total_labels();
-    let payload_len =
-        expected_payload_len(n as u64, m as u64).expect("in-memory index fits in memory");
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
-
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.extend_from_slice(&(n as u64).to_le_bytes());
-    buf.extend_from_slice(&(m as u64).to_le_bytes());
-    buf.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
-
-    for &v in index.ranking().order() {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-    for &off in index.offsets() {
-        buf.extend_from_slice(&off.to_le_bytes());
-    }
-    for e in index.entries() {
-        buf.extend_from_slice(&e.hub.to_le_bytes());
-        buf.extend_from_slice(&e.dist.to_le_bytes());
-    }
-
-    let crc = crc32(&buf[HEADER_LEN..]);
-    buf[24..28].copy_from_slice(&crc.to_le_bytes());
-    buf
+/// v2 payload size (all sections padded) implied by the header dimensions.
+fn expected_payload_len_v2(n: u64, m: u64) -> Option<usize> {
+    let ranking = pad_to_align(n.checked_mul(4)?)?;
+    let offsets = n.checked_add(1)?.checked_mul(8)?;
+    let entries = m.checked_mul(ENTRY_LEN_V2 as u64)?;
+    let total = ranking.checked_add(offsets)?.checked_add(entries)?;
+    usize::try_from(total).ok()
 }
 
-/// Little-endian cursor over a byte slice. All reads are bounds-checked by
-/// the caller having verified the total length up front.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
+/// Absolute byte ranges of the three v2 sections within a file of validated
+/// length. Offsets and lengths are all multiples of [`SECTION_ALIGN`], so a
+/// section start in an 8-byte-aligned buffer is itself 8-byte aligned.
+#[derive(Debug, Clone)]
+struct LayoutV2 {
+    n: usize,
+    m: usize,
+    /// Ranking data bytes (`n * 4`), excluding tail padding.
+    ranking_data: Range<usize>,
+    /// Full ranking section including tail padding.
+    ranking_section: Range<usize>,
+    offsets: Range<usize>,
+    entries: Range<usize>,
 }
 
-impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Cursor { data, pos: 0 }
-    }
-
-    fn take(&mut self, len: usize) -> &'a [u8] {
-        let s = &self.data[self.pos..self.pos + len];
-        self.pos += len;
-        s
-    }
-
-    fn get_u32(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().expect("length checked"))
-    }
-
-    fn get_u64(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().expect("length checked"))
-    }
-}
-
-/// Parses just the fixed header, validating magic and version but not the
-/// payload. `data` must hold at least [`HEADER_LEN`] bytes.
-pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
-    if data.len() < HEADER_LEN {
-        return Err(PersistError::Truncated {
-            expected: HEADER_LEN,
-            found: data.len(),
-        });
-    }
-    let mut cur = Cursor::new(data);
-    let magic: [u8; 4] = cur.take(4).try_into().expect("length checked");
-    if &magic != MAGIC {
-        return Err(PersistError::BadMagic { found: magic });
-    }
-    let version = cur.get_u32();
-    if version != VERSION {
-        return Err(PersistError::UnsupportedVersion { found: version });
-    }
-    let num_vertices = cur.get_u64();
-    let num_entries = cur.get_u64();
-    let checksum = cur.get_u32();
-    Ok(FileHeader {
-        version,
-        num_vertices,
-        num_entries,
-        checksum,
-    })
-}
-
-/// Deserializes an index from `.chl` bytes produced by [`to_bytes`].
-pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
-    let header = parse_header(data)?;
-    let n64 = header.num_vertices;
-    let m64 = header.num_entries;
+/// Computes the v2 section layout from header dimensions and checks the
+/// buffer length matches exactly.
+fn layout_v2(n64: u64, m64: u64, data_len: usize) -> Result<LayoutV2, PersistError> {
     if n64 > VertexId::MAX as u64 {
         return Err(PersistError::Malformed(format!(
             "{n64} vertices exceeds the u32 vertex id space"
         )));
     }
-    let payload_len = expected_payload_len(n64, m64).ok_or_else(|| {
+    let payload = expected_payload_len_v2(n64, m64).ok_or_else(|| {
         PersistError::Malformed(format!(
             "declared dimensions (n = {n64}, m = {m64}) overflow the addressable size"
         ))
     })?;
-    let expected = HEADER_LEN + payload_len;
-    if data.len() < expected {
+    let expected = HEADER_LEN_V2 + payload;
+    if data_len < expected {
         return Err(PersistError::Truncated {
             expected,
-            found: data.len(),
+            found: data_len,
         });
     }
-    if data.len() > expected {
+    if data_len > expected {
         return Err(PersistError::TrailingBytes {
-            extra: data.len() - expected,
+            extra: data_len - expected,
         });
     }
-
-    let computed = crc32(&data[HEADER_LEN..]);
-    if computed != header.checksum {
-        return Err(PersistError::ChecksumMismatch {
-            stored: header.checksum,
-            computed,
-        });
-    }
-
     let n = n64 as usize;
     let m = m64 as usize;
-    let mut cur = Cursor::new(&data[HEADER_LEN..]);
+    let ranking_start = HEADER_LEN_V2;
+    let ranking_data_end = ranking_start + n * 4;
+    let ranking_end = ranking_start + pad_to_align(n as u64 * 4).expect("checked above") as usize;
+    let offsets_end = ranking_end + (n + 1) * 8;
+    let entries_end = offsets_end + m * ENTRY_LEN_V2;
+    debug_assert_eq!(entries_end, expected);
+    Ok(LayoutV2 {
+        n,
+        m,
+        ranking_data: ranking_start..ranking_data_end,
+        ranking_section: ranking_start..ranking_end,
+        offsets: ranking_end..offsets_end,
+        entries: offsets_end..entries_end,
+    })
+}
 
-    let order: Vec<VertexId> = (0..n).map(|_| cur.get_u32()).collect();
-    let ranking = Ranking::from_order(order, n)
-        .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
+/// Verifies the three per-section checksums and that every padding byte —
+/// section tail padding and the reserved word inside each entry record — is
+/// zero. This is the whole-payload integrity check of v2, done one section
+/// at a time.
+fn check_sections_v2(
+    data: &[u8],
+    header: &FileHeader,
+    layout: &LayoutV2,
+) -> Result<(), PersistError> {
+    let Checksums::PerSection {
+        ranking,
+        offsets,
+        entries,
+    } = header.checksums
+    else {
+        unreachable!("v2 headers always parse per-section checksums");
+    };
+    for (section, range, stored) in [
+        (Section::Ranking, &layout.ranking_section, ranking),
+        (Section::Offsets, &layout.offsets, offsets),
+        (Section::Entries, &layout.entries, entries),
+    ] {
+        let computed = crc32(&data[range.clone()]);
+        if computed != stored {
+            return Err(PersistError::SectionChecksumMismatch {
+                section,
+                stored,
+                computed,
+            });
+        }
+    }
+    if let Some(i) = data[layout.ranking_data.end..layout.ranking_section.end]
+        .iter()
+        .position(|&b| b != 0)
+    {
+        return Err(PersistError::NonZeroPadding {
+            offset: layout.ranking_data.end + i,
+        });
+    }
+    // Bytes 4..8 of every 16-byte entry record mirror LabelEntry's struct
+    // padding and must be zero, so serialization stays deterministic and a
+    // forged record cannot smuggle data the view cannot see.
+    let entry_bytes = &data[layout.entries.clone()];
+    for (rec, chunk) in entry_bytes.chunks_exact(ENTRY_LEN_V2).enumerate() {
+        if let Some(i) = chunk[4..8].iter().position(|&b| b != 0) {
+            return Err(PersistError::NonZeroPadding {
+                offset: layout.entries.start + rec * ENTRY_LEN_V2 + 4 + i,
+            });
+        }
+    }
+    Ok(())
+}
 
-    let offsets: Vec<u64> = (0..=n).map(|_| cur.get_u64()).collect();
+/// Checks that `order` lists every vertex in `0..order.len()` exactly once.
+fn check_permutation(order: &[VertexId]) -> Result<(), PersistError> {
+    let n = order.len();
+    let mut seen = vec![false; n];
+    for &v in order {
+        let vi = v as usize;
+        if vi >= n {
+            return Err(PersistError::Malformed(format!(
+                "ranking section: vertex {v} out of range"
+            )));
+        }
+        if seen[vi] {
+            return Err(PersistError::Malformed(format!(
+                "ranking section: vertex {v} appears twice in the ranking"
+            )));
+        }
+        seen[vi] = true;
+    }
+    Ok(())
+}
+
+/// The semantic invariants shared by every load path, checked over borrowed
+/// slices so the zero-copy view and the copying loaders validate identically:
+/// the ranking is a permutation, offsets start at 0 and rise monotonically to
+/// `m`, and every vertex's entries are strictly hub-sorted with in-range hub
+/// positions.
+fn validate_semantics(
+    order: &[VertexId],
+    offsets: &[u64],
+    entries: &[LabelEntry],
+    m64: u64,
+) -> Result<(), PersistError> {
+    check_permutation(order)?;
+    validate_csr(order.len(), offsets, entries, m64)
+}
+
+/// The CSR half of [`validate_semantics`]. The copying loaders call this
+/// directly: building the [`Ranking`] already validates the permutation, so
+/// re-running [`check_permutation`] there would scan the order twice.
+fn validate_csr(
+    n: usize,
+    offsets: &[u64],
+    entries: &[LabelEntry],
+    m64: u64,
+) -> Result<(), PersistError> {
+    debug_assert_eq!(offsets.len(), n + 1);
     if offsets[0] != 0 {
         return Err(PersistError::Malformed(format!(
             "offsets must start at 0, found {}",
@@ -357,20 +561,13 @@ pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
             offsets[n]
         )));
     }
-
-    let mut entries = Vec::with_capacity(m);
-    for _ in 0..m {
-        let hub = cur.get_u32();
-        let dist = cur.get_u64();
-        entries.push(LabelEntry::new(hub, dist));
-    }
     for v in 0..n {
         let slice = &entries[offsets[v] as usize..offsets[v + 1] as usize];
         let mut prev: Option<u32> = None;
         for e in slice {
-            if e.hub as u64 >= n64 {
+            if e.hub as usize >= n {
                 return Err(PersistError::Malformed(format!(
-                    "vertex {v} has a label with hub position {} outside 0..{n64}",
+                    "vertex {v} has a label with hub position {} outside 0..{n}",
                     e.hub
                 )));
             }
@@ -382,19 +579,464 @@ pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
             prev = Some(e.hub);
         }
     }
+    Ok(())
+}
 
+/// Serializes `index` into the current (v2) `.chl` byte format.
+pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
+    let n = index.num_vertices();
+    let m = index.total_labels();
+    let payload_len =
+        expected_payload_len_v2(n as u64, m as u64).expect("in-memory index fits in memory");
+    let mut buf = Vec::with_capacity(HEADER_LEN_V2 + payload_len);
+
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(m as u64).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // flags
+    buf.extend_from_slice(&[0u8; 12]); // three crc placeholders
+
+    let ranking_start = buf.len();
+    for &v in index.ranking().order() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    while !buf.len().is_multiple_of(SECTION_ALIGN) {
+        buf.push(0);
+    }
+    let offsets_start = buf.len();
+    for &off in index.offsets() {
+        buf.extend_from_slice(&off.to_le_bytes());
+    }
+    let entries_start = buf.len();
+    for e in index.entries() {
+        buf.extend_from_slice(&e.hub.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&e.dist.to_le_bytes());
+    }
+    debug_assert_eq!(buf.len(), HEADER_LEN_V2 + payload_len);
+
+    // Each section is checksummed independently — a writer streaming
+    // sections to disk can finalize each CRC as the section completes.
+    let crc_ranking = crc32(&buf[ranking_start..offsets_start]);
+    let crc_offsets = crc32(&buf[offsets_start..entries_start]);
+    let crc_entries = crc32(&buf[entries_start..]);
+    buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
+    buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
+    buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+    buf
+}
+
+/// Serializes `index` into the legacy v1 packed format. Kept for
+/// compatibility tests and for producing files older readers understand; new
+/// files should use [`to_bytes`].
+pub fn to_bytes_v1(index: &FlatIndex) -> Vec<u8> {
+    let n = index.num_vertices();
+    let m = index.total_labels();
+    let payload_len =
+        expected_payload_len_v1(n as u64, m as u64).expect("in-memory index fits in memory");
+    let mut buf = Vec::with_capacity(HEADER_LEN_V1 + payload_len);
+
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(m as u64).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
+
+    for &v in index.ranking().order() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for &off in index.offsets() {
+        buf.extend_from_slice(&off.to_le_bytes());
+    }
+    for e in index.entries() {
+        buf.extend_from_slice(&e.hub.to_le_bytes());
+        buf.extend_from_slice(&e.dist.to_le_bytes());
+    }
+
+    let crc = crc32(&buf[HEADER_LEN_V1..]);
+    buf[24..28].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Little-endian cursor over a byte slice. All reads are bounds-checked by
+/// the caller having verified the total length up front.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    fn take(&mut self, len: usize) -> &'a [u8] {
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        s
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("length checked"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("length checked"))
+    }
+}
+
+/// Parses just the fixed header, validating magic, version and flags but not
+/// the payload. `data` must hold the full header for its version.
+pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
+    if data.len() < 8 {
+        return Err(PersistError::Truncated {
+            expected: HEADER_LEN_V1,
+            found: data.len(),
+        });
+    }
+    let mut cur = Cursor::new(data);
+    let magic: [u8; 4] = cur.take(4).try_into().expect("length checked");
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = cur.get_u32();
+    let header_len = match version {
+        VERSION_V1 => HEADER_LEN_V1,
+        VERSION => HEADER_LEN_V2,
+        found => return Err(PersistError::UnsupportedVersion { found }),
+    };
+    if data.len() < header_len {
+        return Err(PersistError::Truncated {
+            expected: header_len,
+            found: data.len(),
+        });
+    }
+    let num_vertices = cur.get_u64();
+    let num_entries = cur.get_u64();
+    let checksums = if version == VERSION_V1 {
+        Checksums::WholePayload(cur.get_u32())
+    } else {
+        let flags = cur.get_u32();
+        if flags != 0 {
+            return Err(PersistError::UnsupportedFlags { found: flags });
+        }
+        Checksums::PerSection {
+            ranking: cur.get_u32(),
+            offsets: cur.get_u32(),
+            entries: cur.get_u32(),
+        }
+    };
+    Ok(FileHeader {
+        version,
+        num_vertices,
+        num_entries,
+        checksums,
+    })
+}
+
+/// Deserializes an index from `.chl` bytes, accepting both the current v2
+/// layout and legacy v1 files. This is the **copying** path: every section
+/// lands in a fresh allocation. For serving without the copy, see
+/// [`view_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
+    let header = parse_header(data)?;
+    match header.version {
+        VERSION_V1 => from_bytes_v1(data, &header),
+        _ => from_bytes_v2(data, &header),
+    }
+}
+
+fn from_bytes_v1(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistError> {
+    let n64 = header.num_vertices;
+    let m64 = header.num_entries;
+    if n64 > VertexId::MAX as u64 {
+        return Err(PersistError::Malformed(format!(
+            "{n64} vertices exceeds the u32 vertex id space"
+        )));
+    }
+    let payload_len = expected_payload_len_v1(n64, m64).ok_or_else(|| {
+        PersistError::Malformed(format!(
+            "declared dimensions (n = {n64}, m = {m64}) overflow the addressable size"
+        ))
+    })?;
+    let expected = HEADER_LEN_V1 + payload_len;
+    if data.len() < expected {
+        return Err(PersistError::Truncated {
+            expected,
+            found: data.len(),
+        });
+    }
+    if data.len() > expected {
+        return Err(PersistError::TrailingBytes {
+            extra: data.len() - expected,
+        });
+    }
+
+    let computed = crc32(&data[HEADER_LEN_V1..]);
+    let Checksums::WholePayload(stored) = header.checksums else {
+        unreachable!("v1 headers always parse a whole-payload checksum");
+    };
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { stored, computed });
+    }
+
+    let n = n64 as usize;
+    let m = m64 as usize;
+    let mut cur = Cursor::new(data);
+    cur.seek(HEADER_LEN_V1);
+
+    let order: Vec<VertexId> = (0..n).map(|_| cur.get_u32()).collect();
+    let offsets: Vec<u64> = (0..=n).map(|_| cur.get_u64()).collect();
+    let mut entries = Vec::with_capacity(m);
+    for _ in 0..m {
+        let hub = cur.get_u32();
+        let dist = cur.get_u64();
+        entries.push(LabelEntry::new(hub, dist));
+    }
+    let ranking = Ranking::from_order(order, n)
+        .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
+    validate_csr(n, &offsets, &entries, m64)?;
     Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
 }
 
-/// Writes `index` to `path` in the `.chl` format, overwriting any existing
-/// file. The write is not atomic; writers that must never expose a torn file
-/// should write to a sibling temp path and rename.
+fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistError> {
+    let layout = layout_v2(header.num_vertices, header.num_entries, data.len())?;
+    check_sections_v2(data, header, &layout)?;
+
+    let mut cur = Cursor::new(data);
+    cur.seek(layout.ranking_data.start);
+    let order: Vec<VertexId> = (0..layout.n).map(|_| cur.get_u32()).collect();
+    cur.seek(layout.offsets.start);
+    let offsets: Vec<u64> = (0..=layout.n).map(|_| cur.get_u64()).collect();
+    cur.seek(layout.entries.start);
+    let mut entries = Vec::with_capacity(layout.m);
+    for _ in 0..layout.m {
+        let hub = cur.get_u32();
+        cur.take(4); // reserved, checked zero above
+        let dist = cur.get_u64();
+        entries.push(LabelEntry::new(hub, dist));
+    }
+    let ranking = Ranking::from_order(order, layout.n)
+        .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
+    validate_csr(layout.n, &offsets, &entries, header.num_entries)?;
+    Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
+}
+
+// --- Zero-copy views -----------------------------------------------------
+//
+// On little-endian hosts a validated v2 buffer is reinterpreted in place:
+// the ranking section becomes `&[u32]`, the offsets section `&[u64]` and the
+// entries section `&[LabelEntry]` (whose #[repr(C)] layout matches the
+// 16-byte record exactly). Alignment holds because every section offset is a
+// multiple of 8 and the caller's buffer base is checked to be 8-byte
+// aligned; every bit pattern of the underlying integers is a valid value, so
+// the casts cannot manufacture invalid data — semantic validation happens on
+// the cast slices afterwards, exactly as for the copying path.
+
+/// `true` when `data`'s base address allows in-place reinterpretation of
+/// 8-byte-aligned sections.
+fn is_view_aligned(data: &[u8]) -> bool {
+    (data.as_ptr() as usize).is_multiple_of(SECTION_ALIGN)
+}
+
+#[cfg(target_endian = "little")]
+fn cast_u32s(bytes: &[u8]) -> &[u32] {
+    debug_assert!((bytes.as_ptr() as usize).is_multiple_of(4));
+    debug_assert!(bytes.len().is_multiple_of(4));
+    // SAFETY: the caller (layout_v2 + is_view_aligned) guarantees 4-byte
+    // alignment and a length that is a multiple of 4; any bit pattern is a
+    // valid u32, and the lifetime is inherited from `bytes`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+}
+
+#[cfg(target_endian = "little")]
+fn cast_u64s(bytes: &[u8]) -> &[u64] {
+    debug_assert!((bytes.as_ptr() as usize).is_multiple_of(8));
+    debug_assert!(bytes.len().is_multiple_of(8));
+    // SAFETY: as for cast_u32s, with 8-byte alignment.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, bytes.len() / 8) }
+}
+
+#[cfg(target_endian = "little")]
+fn cast_entries(bytes: &[u8]) -> &[LabelEntry] {
+    debug_assert!((bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<LabelEntry>()));
+    debug_assert!(bytes.len().is_multiple_of(ENTRY_LEN_V2));
+    // SAFETY: LabelEntry is #[repr(C)] with size 16 and align 8 (asserted at
+    // compile time in labels.rs); the record layout matches field-for-field,
+    // both integer fields accept any bit pattern, and the four bytes the
+    // cast lands on LabelEntry's internal padding are never read.
+    unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr() as *const LabelEntry,
+            bytes.len() / ENTRY_LEN_V2,
+        )
+    }
+}
+
+/// Validates `.chl` v2 bytes and returns a [`FlatView`] whose ranking,
+/// offsets and entries slices are **borrowed from `data` in place** — no
+/// label byte is copied. Validation is the same battery the copying loader
+/// runs (length, per-section checksums, padding, semantic invariants); the
+/// only transient allocation is the permutation-check scratch.
+///
+/// Requirements beyond [`from_bytes`]: the buffer's base address must be
+/// 8-byte aligned (use [`AlignedBytes`] or an mmap, both of which guarantee
+/// it) and the host little-endian; otherwise [`PersistError::Unviewable`] is
+/// returned. v1 files report [`PersistError::NotZeroCopy`].
+pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
+    let header = parse_header(data)?;
+    if header.version == VERSION_V1 {
+        return Err(PersistError::NotZeroCopy {
+            version: header.version,
+        });
+    }
+    if !is_view_aligned(data) {
+        return Err(PersistError::Unviewable {
+            reason: "base address is not 8-byte aligned",
+        });
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        return Err(PersistError::Unviewable {
+            reason: "host is big-endian",
+        });
+    }
+    #[cfg(target_endian = "little")]
+    {
+        let layout = layout_v2(header.num_vertices, header.num_entries, data.len())?;
+        check_sections_v2(data, &header, &layout)?;
+        let order = cast_u32s(&data[layout.ranking_data.clone()]);
+        let offsets = cast_u64s(&data[layout.offsets.clone()]);
+        let entries = cast_entries(&data[layout.entries.clone()]);
+        validate_semantics(order, offsets, entries, header.num_entries)?;
+        Ok(FlatView::from_validated_parts(order, offsets, entries))
+    }
+}
+
+/// Rebuilds the view over a buffer that [`view_bytes`] has already fully
+/// validated, skipping every check. Used by `MmapIndex` to hand out views
+/// per query without re-walking the file.
+///
+/// # Safety
+///
+/// `data` must be byte-identical to a buffer `view_bytes` previously
+/// accepted with these exact `n`/`m` dimensions, with the same 8-byte-aligned
+/// base-address guarantee still holding.
+pub(crate) unsafe fn view_assuming_valid(data: &[u8], n: usize, m: usize) -> FlatView<'_> {
+    #[cfg(target_endian = "little")]
+    {
+        let layout = layout_v2(n as u64, m as u64, data.len())
+            .expect("dimensions were validated at open time");
+        let order = cast_u32s(&data[layout.ranking_data.clone()]);
+        let offsets = cast_u64s(&data[layout.offsets.clone()]);
+        let entries = cast_entries(&data[layout.entries.clone()]);
+        FlatView::from_validated_parts(order, offsets, entries)
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let _ = (data, n, m);
+        unreachable!("view_bytes never validates a buffer on a big-endian host");
+    }
+}
+
+/// An owned byte buffer whose base address is guaranteed 8-byte aligned —
+/// the backing [`view_bytes`] needs when the bytes do not come from an mmap.
+/// `Vec<u8>` makes no alignment promise, so serialized bytes destined for a
+/// zero-copy view are staged here instead.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// An aligned buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBytes {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Copies `data` into a fresh aligned buffer.
+    pub fn from_slice(data: &[u8]) -> Self {
+        let mut buf = Self::zeroed(data.len());
+        buf.as_mut_slice().copy_from_slice(data);
+        buf
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: the u64 backing store holds at least `len` bytes
+        // (allocated in zeroed), u8 has no alignment requirement, and the
+        // lifetime is tied to &self.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    /// The buffer contents, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as for as_slice, with exclusive access through &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+
+    /// Number of bytes held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for AlignedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedBytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBytes")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Reads a whole file into an [`AlignedBytes`] buffer, the buffered
+/// stand-in for an mmap when mapping is unavailable or disabled.
+pub fn read_aligned<P: AsRef<Path>>(path: P) -> Result<AlignedBytes, PersistError> {
+    use std::io::Read;
+    let mut file = fs::File::open(path)?;
+    let len = usize::try_from(file.metadata()?.len())
+        .map_err(|_| PersistError::Malformed("file too large to address".into()))?;
+    let mut buf = AlignedBytes::zeroed(len);
+    file.read_exact(buf.as_mut_slice())?;
+    Ok(buf)
+}
+
+/// Writes `index` to `path` in the current (v2) `.chl` format, overwriting
+/// any existing file. The write is not atomic; writers that must never
+/// expose a torn file should write to a sibling temp path and rename.
 pub fn save<P: AsRef<Path>>(index: &FlatIndex, path: P) -> Result<(), PersistError> {
     fs::write(path, to_bytes(index))?;
     Ok(())
 }
 
-/// Reads an index from a `.chl` file written by [`save`].
+/// Reads an index from a `.chl` file written by [`save`] (either version),
+/// through the copying path.
 pub fn load<P: AsRef<Path>>(path: P) -> Result<FlatIndex, PersistError> {
     let data = fs::read(path)?;
     from_bytes(&data)
@@ -404,9 +1046,9 @@ pub fn load<P: AsRef<Path>>(path: P) -> Result<FlatIndex, PersistError> {
 pub fn load_header<P: AsRef<Path>>(path: P) -> Result<FileHeader, PersistError> {
     use std::io::Read;
     let mut file = fs::File::open(path)?;
-    let mut buf = [0u8; HEADER_LEN];
+    let mut buf = [0u8; HEADER_LEN_V2];
     let mut read = 0;
-    while read < HEADER_LEN {
+    while read < HEADER_LEN_V2 {
         match file.read(&mut buf[read..])? {
             0 => break,
             k => read += k,
@@ -428,6 +1070,19 @@ mod tests {
         ))
     }
 
+    /// Recomputes and patches the three v2 section checksums of a forged
+    /// buffer so corruption tests can reach the post-checksum validators.
+    fn reseal_v2(buf: &mut [u8]) {
+        let header = parse_header(buf).unwrap();
+        let layout = layout_v2(header.num_vertices, header.num_entries, buf.len()).unwrap();
+        let crc_ranking = crc32(&buf[layout.ranking_section.clone()]);
+        let crc_offsets = crc32(&buf[layout.offsets.clone()]);
+        let crc_entries = crc32(&buf[layout.entries.clone()]);
+        buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
+        buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
+        buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+    }
+
     #[test]
     fn crc32_matches_known_vectors() {
         // Standard IEEE check value.
@@ -446,6 +1101,21 @@ mod tests {
     }
 
     #[test]
+    fn v1_bytes_still_load_through_the_copying_path() {
+        let flat = tiny_flat();
+        let v1 = to_bytes_v1(&flat);
+        let back = from_bytes(&v1).unwrap();
+        assert_eq!(back, flat);
+        assert_eq!(parse_header(&v1).unwrap().version, VERSION_V1);
+        // ...but cannot back a zero-copy view.
+        let aligned = AlignedBytes::from_slice(&v1);
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::NotZeroCopy { version: 1 })
+        ));
+    }
+
+    #[test]
     fn header_describes_the_file() {
         let flat = tiny_flat();
         let bytes = to_bytes(&flat);
@@ -453,7 +1123,32 @@ mod tests {
         assert_eq!(header.version, VERSION);
         assert_eq!(header.num_vertices, 3);
         assert_eq!(header.num_entries, 5);
+        assert_eq!(header.header_len(), HEADER_LEN_V2);
         assert_eq!(header.expected_file_len(), Some(bytes.len()));
+        assert!(matches!(header.checksums, Checksums::PerSection { .. }));
+
+        let v1 = to_bytes_v1(&flat);
+        let header = parse_header(&v1).unwrap();
+        assert_eq!(header.header_len(), HEADER_LEN_V1);
+        assert_eq!(header.expected_file_len(), Some(v1.len()));
+        assert!(matches!(header.checksums, Checksums::WholePayload(_)));
+    }
+
+    #[test]
+    fn sections_are_eight_byte_aligned() {
+        // n = 3: the ranking data is 12 bytes, so the section carries 4
+        // padding bytes and the offsets section still starts aligned.
+        let bytes = to_bytes(&tiny_flat());
+        let layout = layout_v2(3, 5, bytes.len()).unwrap();
+        for start in [
+            layout.ranking_section.start,
+            layout.offsets.start,
+            layout.entries.start,
+        ] {
+            assert!(start.is_multiple_of(SECTION_ALIGN), "offset {start}");
+        }
+        assert_eq!(layout.ranking_section.len(), 16);
+        assert_eq!(layout.ranking_data.len(), 12);
     }
 
     #[test]
@@ -462,6 +1157,50 @@ mod tests {
         assert_eq!(from_bytes(&to_bytes(&empty)).unwrap(), empty);
         let zero = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(0)));
         assert_eq!(from_bytes(&to_bytes(&zero)).unwrap(), zero);
+        // The degenerate shapes also view.
+        let aligned = AlignedBytes::from_slice(&to_bytes(&zero));
+        assert_eq!(view_bytes(&aligned).unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn view_borrows_the_buffer_in_place() {
+        let flat = tiny_flat();
+        let aligned = AlignedBytes::from_slice(&to_bytes(&flat));
+        let view = view_bytes(&aligned).unwrap();
+
+        // The view's slices point INTO the serialized buffer: zero copy.
+        let base = aligned.as_slice().as_ptr() as usize;
+        let end = base + aligned.len();
+        for ptr in [
+            view.offsets().as_ptr() as usize,
+            view.entries().as_ptr() as usize,
+            view.order().as_ptr() as usize,
+        ] {
+            assert!((base..end).contains(&ptr), "slice escaped the buffer");
+        }
+
+        // And it answers exactly like the owned index.
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(view.query(u, v), flat.query(u, v), "({u}, {v})");
+                assert_eq!(view.query_with_hub(u, v), flat.query_with_hub(u, v));
+            }
+        }
+        assert_eq!(FlatIndex::from_view(view), flat);
+    }
+
+    #[test]
+    fn misaligned_buffers_are_refused_not_recast() {
+        let bytes = to_bytes(&tiny_flat());
+        let mut staging = AlignedBytes::zeroed(bytes.len() + 1);
+        staging.as_mut_slice()[1..].copy_from_slice(&bytes);
+        let misaligned = &staging.as_slice()[1..];
+        assert!(matches!(
+            view_bytes(misaligned),
+            Err(PersistError::Unviewable { .. })
+        ));
+        // The copying loader does not care about alignment.
+        assert!(from_bytes(misaligned).is_ok());
     }
 
     #[test]
@@ -482,6 +1221,13 @@ mod tests {
             Err(PersistError::UnsupportedVersion { found: 99 })
         ));
 
+        let mut bad_flags = bytes.clone();
+        bad_flags[24] = 1;
+        assert!(matches!(
+            from_bytes(&bad_flags),
+            Err(PersistError::UnsupportedFlags { found: 1 })
+        ));
+
         let truncated = &bytes[..bytes.len() - 1];
         assert!(matches!(
             from_bytes(truncated),
@@ -500,43 +1246,100 @@ mod tests {
             Err(PersistError::TrailingBytes { extra: 1 })
         ));
 
-        // Flip one payload byte: caught by the checksum.
+        // Flip one entry byte: caught by that section's checksum.
         let mut flipped = bytes.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0x01;
         assert!(matches!(
             from_bytes(&flipped),
-            Err(PersistError::ChecksumMismatch { .. })
+            Err(PersistError::SectionChecksumMismatch {
+                section: Section::Entries,
+                ..
+            })
         ));
 
-        // Flip a checksum byte itself: also a mismatch.
+        // Flip a ranking padding byte (n = 3 leaves 4 pad bytes): the
+        // ranking checksum covers its padding.
+        let mut pad_flip = bytes.clone();
+        pad_flip[HEADER_LEN_V2 + 12] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&pad_flip),
+            Err(PersistError::SectionChecksumMismatch {
+                section: Section::Ranking,
+                ..
+            })
+        ));
+
+        // Flip a stored checksum byte itself: also a mismatch.
         let mut bad_crc = bytes.clone();
-        bad_crc[24] ^= 0xFF;
+        bad_crc[29] ^= 0xFF;
         assert!(matches!(
             from_bytes(&bad_crc),
-            Err(PersistError::ChecksumMismatch { .. })
+            Err(PersistError::SectionChecksumMismatch { .. })
+        ));
+
+        // The view path reports the identical errors.
+        let aligned = AlignedBytes::from_slice(&flipped);
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::SectionChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_padding_is_rejected_even_with_valid_checksums() {
+        // Non-zero ranking tail padding, checksums recomputed to match.
+        let mut forged = to_bytes(&tiny_flat());
+        forged[HEADER_LEN_V2 + 12] = 0xAB;
+        reseal_v2(&mut forged);
+        assert!(matches!(
+            from_bytes(&forged),
+            Err(PersistError::NonZeroPadding { .. })
+        ));
+
+        // Non-zero reserved bytes inside an entry record.
+        let mut forged = to_bytes(&tiny_flat());
+        let layout = layout_v2(3, 5, forged.len()).unwrap();
+        forged[layout.entries.start + 5] = 0xCD;
+        reseal_v2(&mut forged);
+        let err = from_bytes(&forged).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::NonZeroPadding {
+                offset
+            } if offset == layout.entries.start + 5
+        ));
+        let aligned = AlignedBytes::from_slice(&forged);
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::NonZeroPadding { .. })
         ));
     }
 
     #[test]
     fn semantically_invalid_payloads_are_malformed() {
-        // Hand-craft a file whose checksum is valid but whose ranking is not
-        // a permutation (vertex 0 listed twice).
+        // Hand-craft a v2 file whose checksums are valid but whose ranking
+        // is not a permutation (vertex 0 listed twice).
         let n = 2u64;
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
         buf.extend_from_slice(&n.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
-        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // flags
+        buf.extend_from_slice(&[0u8; 12]); // crc placeholders
         buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[0] = 0
         buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[1] = 0 (dup)
         for _ in 0..3 {
             buf.extend_from_slice(&0u64.to_le_bytes()); // offsets
         }
-        let crc = crc32(&buf[HEADER_LEN..]);
-        buf[24..28].copy_from_slice(&crc.to_le_bytes());
+        reseal_v2(&mut buf);
         assert!(matches!(from_bytes(&buf), Err(PersistError::Malformed(_))));
+        let aligned = AlignedBytes::from_slice(&buf);
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -550,10 +1353,27 @@ mod tests {
         save(&flat, &path).unwrap();
         let header = load_header(&path).unwrap();
         assert_eq!(header.num_vertices, 3);
+        assert_eq!(header.version, VERSION);
         let back = load(&path).unwrap();
         assert_eq!(back, flat);
+        let aligned = read_aligned(&path).unwrap();
+        assert_eq!(view_bytes(&aligned).unwrap().query(0, 2), flat.query(0, 2));
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn aligned_bytes_guarantee_alignment() {
+        for len in [0usize, 1, 7, 8, 9, 41] {
+            let buf = AlignedBytes::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.is_empty(), len == 0);
+            assert!((buf.as_slice().as_ptr() as usize).is_multiple_of(8));
+            assert!(buf.iter().all(|&b| b == 0));
+        }
+        let mut buf = AlignedBytes::from_slice(&[1, 2, 3]);
+        buf[1] = 9;
+        assert_eq!(&buf[..], &[1, 9, 3]);
     }
 
     #[test]
@@ -562,6 +1382,8 @@ mod tests {
         assert!(e.to_string().contains("magic"));
         let e = PersistError::UnsupportedVersion { found: 7 };
         assert!(e.to_string().contains('7'));
+        let e = PersistError::UnsupportedFlags { found: 3 };
+        assert!(e.to_string().contains("flags"));
         let e = PersistError::Truncated {
             expected: 100,
             found: 10,
@@ -572,6 +1394,18 @@ mod tests {
             computed: 2,
         };
         assert!(e.to_string().contains("checksum"));
+        let e = PersistError::SectionChecksumMismatch {
+            section: Section::Offsets,
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("offsets") && e.to_string().contains("checksum"));
+        let e = PersistError::NonZeroPadding { offset: 44 };
+        assert!(e.to_string().contains("44"));
+        let e = PersistError::Unviewable { reason: "why" };
+        assert!(e.to_string().contains("why"));
+        let e = PersistError::NotZeroCopy { version: 1 };
+        assert!(e.to_string().contains("v1"));
         let e = PersistError::TrailingBytes { extra: 3 };
         assert!(e.to_string().contains("trailing"));
         let e = PersistError::Malformed("oops".into());

@@ -1,12 +1,15 @@
 //! Property-based tests for the persistence subsystem: for arbitrary graphs,
-//! the chain `HubLabelIndex -> FlatIndex -> bytes -> FlatIndex` loses nothing
-//! — the reloaded index answers every query identically to the in-memory one
-//! — and random single-byte corruption never loads successfully and never
-//! panics.
+//! every serving path over the `.chl` format — the copying loader, the
+//! zero-copy borrowed view and the mmap-backed index — answers every query
+//! byte-identically to the in-memory index it came from, and random
+//! single-byte corruption (anywhere in the file, padding included) never
+//! loads successfully and never panics, in either format version.
 
 use proptest::prelude::*;
 
 use chl_core::flat::FlatIndex;
+use chl_core::mapped::MmapIndex;
+use chl_core::persist::{self, AlignedBytes};
 use chl_core::pll::sequential_pll;
 use chl_graph::{CsrGraph, GraphBuilder};
 use chl_ranking::degree_ranking;
@@ -24,6 +27,16 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
             }
             b.build().expect("positive weights")
         })
+}
+
+fn scratch_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "chl-proptest-{}-{:?}-{tag}.chl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    path
 }
 
 proptest! {
@@ -51,6 +64,48 @@ proptest! {
     }
 
     #[test]
+    fn v1_round_trip_is_query_identical(g in arb_graph()) {
+        // Legacy files keep loading through the copying path, losslessly.
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let flat = FlatIndex::from_index(&index);
+        let reloaded = FlatIndex::from_bytes(&persist::to_bytes_v1(&flat))
+            .expect("v1 bytes load");
+        prop_assert_eq!(&reloaded, &flat);
+    }
+
+    #[test]
+    fn owned_view_and_mmap_backends_answer_byte_identically(g in arb_graph()) {
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let owned = FlatIndex::from_index(&index);
+
+        // Zero-copy view borrowed straight from the serialized bytes.
+        let aligned = AlignedBytes::from_slice(&owned.to_bytes());
+        let view = persist::view_bytes(&aligned).expect("clean v2 bytes view");
+
+        // Mmap-backed index over the same bytes written to a real file.
+        let path = scratch_file("parity", &aligned);
+        let mapped = MmapIndex::open(&path).expect("clean v2 file maps");
+
+        let n = g.num_vertices() as u32;
+        // Include out-of-range ids: every backend must answer INFINITY/None,
+        // never panic, through identical code paths.
+        for u in 0..n + 2 {
+            for v in 0..n + 2 {
+                let expect = index.query(u, v);
+                prop_assert_eq!(owned.query(u, v), expect, "owned ({}, {})", u, v);
+                prop_assert_eq!(view.query(u, v), expect, "view ({}, {})", u, v);
+                prop_assert_eq!(mapped.view().query(u, v), expect, "mmap ({}, {})", u, v);
+                let expect_hub = index.query_with_hub(u, v);
+                prop_assert_eq!(view.query_with_hub(u, v), expect_hub);
+                prop_assert_eq!(mapped.view().query_with_hub(u, v), expect_hub);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn single_byte_corruption_never_loads(g in arb_graph(), pos in 0usize..10_000, flip in 1u8..=255) {
         let ranking = degree_ranking(&g);
         let index = sequential_pll(&g, &ranking).index;
@@ -58,9 +113,24 @@ proptest! {
         let pos = pos % bytes.len();
         bytes[pos] ^= flip;
 
-        // Whatever byte was flipped, the loader must reject the file with a
-        // typed error (magic, version, length, checksum or semantic check) —
-        // reporting success would mean serving from corrupt data.
+        // Whatever byte was flipped — header, section data, alignment
+        // padding — every loader must reject the file with a typed error:
+        // the copying path, the zero-copy view and the mmap open alike.
+        prop_assert!(FlatIndex::from_bytes(&bytes).is_err(), "copy-load, flip at byte {}", pos);
+        let aligned = AlignedBytes::from_slice(&bytes);
+        prop_assert!(persist::view_bytes(&aligned).is_err(), "view, flip at byte {}", pos);
+        let path = scratch_file("corrupt", &bytes);
+        prop_assert!(MmapIndex::open(&path).is_err(), "mmap, flip at byte {}", pos);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_byte_corruption_never_loads_v1(g in arb_graph(), pos in 0usize..10_000, flip in 1u8..=255) {
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let mut bytes = persist::to_bytes_v1(&FlatIndex::from_index(&index));
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
         prop_assert!(FlatIndex::from_bytes(&bytes).is_err(), "flip at byte {}", pos);
     }
 }

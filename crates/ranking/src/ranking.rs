@@ -152,6 +152,12 @@ impl Ranking {
     pub fn matches_graph(&self, g: &CsrGraph) -> bool {
         self.len() == g.num_vertices()
     }
+
+    /// Heap bytes held by the two direction arrays (`order` and `position`),
+    /// counted by index memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        (self.order.len() + self.position.len()) * std::mem::size_of::<VertexId>()
+    }
 }
 
 /// A strategy that produces a [`Ranking`] for a graph. Implemented by the

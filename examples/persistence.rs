@@ -43,7 +43,7 @@ fn main() {
     println!("saved: {} ({file_len} bytes)", path.display());
 
     // 3. Serve phase (cheap, run anywhere): a fresh process only needs the
-    //    file. Loading validates magic, version, checksum and invariants —
+    //    file. Loading validates magic, version, checksums and invariants —
     //    corruption surfaces as a typed `PersistError`, never a bad answer.
     let served = FlatIndex::load(&path).expect("index loads");
     let oracle: &dyn DistanceOracle = &served;
@@ -53,6 +53,22 @@ fn main() {
         assert_eq!(d, reference[v as usize], "served answers stay exact");
         println!("dist(0, {v}) = {d}");
     }
+
+    // 4. Zero-copy serve: `.chl` v2 sections are 8-byte aligned, so the
+    //    file can also be mapped and queried in place — validated once at
+    //    open, no label byte deserialized. Same `DistanceOracle` surface,
+    //    same answers; `chl query --mmap` is this path from the shell.
+    let mapped = MmapIndex::open(&path).expect("v2 index maps");
+    let oracle: &dyn DistanceOracle = &mapped;
+    for v in [1u32, 300, 624] {
+        assert_eq!(oracle.distance(0, v), reference[v as usize]);
+    }
+    println!(
+        "mmap-served {} labels from a {}-byte file image (mapped: {})",
+        mapped.total_labels(),
+        mapped.file_len(),
+        mapped.is_mapped()
+    );
 
     std::fs::remove_file(&path).ok();
 }

@@ -85,7 +85,8 @@ pub mod prelude {
     pub use chl_core::plant::plant_labeling;
     pub use chl_core::pll::sequential_pll;
     pub use chl_core::{
-        FlatIndex, HubLabelIndex, LabelingConfig, LabelingError, LabelingResult, PersistError,
+        FlatIndex, FlatView, HubLabelIndex, LabelingConfig, LabelingError, LabelingResult,
+        MmapIndex, PersistError,
     };
     pub use chl_datasets::{load as load_dataset, DatasetId, Scale};
     pub use chl_distributed::{
