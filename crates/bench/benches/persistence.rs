@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 use chl_core::flat::FlatIndex;
 use chl_core::mapped::MmapIndex;
-use chl_core::persist::{self, AlignedBytes};
+use chl_core::persist::{self, AlignedBytes, SaveOptions};
 use chl_core::pll::sequential_pll;
 use chl_datasets::{load, DatasetId, Scale};
 
@@ -148,11 +148,95 @@ fn owned_vs_view_steady_state(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flat vs delta+varint-compressed entries: encoded size (printed once, with
+/// the entries-section ratio the format exists for), time-to-first-query on
+/// both the copying loader and the zero-copy/streamed view path, and
+/// steady-state query latency of the streaming decoder against the flat
+/// kernel — the size-vs-latency trade-off `chl build --compress` buys into.
+fn compression(c: &mut Criterion) {
+    let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
+    let index = sequential_pll(&ds.graph, &ds.ranking).index;
+    let flat = FlatIndex::from_index(&index);
+    let n = ds.graph.num_vertices() as u32;
+    let (u, v) = (0u32, n - 1);
+
+    let flat_bytes = flat.to_bytes();
+    let compressed_bytes = persist::to_bytes_with(&flat, &SaveOptions::compressed());
+    let flat_aligned = AlignedBytes::from_slice(&flat_bytes);
+    let compressed_aligned = AlignedBytes::from_slice(&compressed_bytes);
+
+    // Size is a property, not a timing: report it once alongside the group.
+    let flat_header = persist::parse_header(&flat_bytes).expect("clean flat header");
+    let comp_header = persist::parse_header(&compressed_bytes).expect("clean compressed header");
+    let flat_entries = flat_header.entries_section_len(flat_bytes.len() as u64);
+    let comp_entries = comp_header.entries_section_len(compressed_bytes.len() as u64);
+    eprintln!(
+        "compression/size: file {} -> {} bytes, entries section {} -> {} bytes ({:.2}x)",
+        flat_bytes.len(),
+        compressed_bytes.len(),
+        flat_entries,
+        comp_entries,
+        flat_entries as f64 / comp_entries.max(1) as f64
+    );
+
+    let mut group = c.benchmark_group("compression");
+    group.bench_function("encode_flat", |b| b.iter(|| black_box(flat.to_bytes())));
+    group.bench_function("encode_compressed", |b| {
+        b.iter(|| black_box(persist::to_bytes_with(&flat, &SaveOptions::compressed())))
+    });
+    // Cold serve: the copying loader pays the full decode on compressed
+    // files; the view path pays validation only either way (the streamed
+    // decoder defers entry decoding to query time).
+    group.bench_function("copy_load_flat_first_query", |b| {
+        b.iter(|| {
+            let idx = FlatIndex::from_bytes(&flat_bytes).expect("clean flat bytes");
+            black_box(idx.query(u, v))
+        })
+    });
+    group.bench_function("copy_load_compressed_first_query", |b| {
+        b.iter(|| {
+            let idx = FlatIndex::from_bytes(&compressed_bytes).expect("clean compressed bytes");
+            black_box(idx.query(u, v))
+        })
+    });
+    group.bench_function("view_flat_first_query", |b| {
+        b.iter(|| {
+            let view = persist::open_view(&flat_aligned).expect("clean flat bytes");
+            black_box(view.query(u, v))
+        })
+    });
+    group.bench_function("view_compressed_first_query", |b| {
+        b.iter(|| {
+            let view = persist::open_view(&compressed_aligned).expect("clean compressed bytes");
+            black_box(view.query(u, v))
+        })
+    });
+    // Steady state: what each query pays for the smaller file.
+    let flat_view = persist::open_view(&flat_aligned).expect("clean flat bytes");
+    let compressed_view = persist::open_view(&compressed_aligned).expect("clean compressed bytes");
+    group.bench_function("steady_state_flat_view", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            black_box(flat_view.query(i % n, (i >> 8) % n))
+        })
+    });
+    group.bench_function("steady_state_compressed_stream", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            black_box(compressed_view.query(i % n, (i >> 8) % n))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     flat_vs_pointer_queries,
     persistence_round_trip,
     cold_serve,
-    owned_vs_view_steady_state
+    owned_vs_view_steady_state,
+    compression
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
-use chl_core::flat::FlatIndex;
+use chl_core::persist::{self, SaveOptions};
 
 use crate::graph_files::{load_graph, GraphFormat};
 use crate::opts::Opts;
@@ -23,13 +23,15 @@ options:
   --threads N         worker threads, 0 = all cores                [0]
   --format NAME       dimacs | binary | edgelist    [inferred from extension]
   --directed          read the graph as directed
-  --one-based         edge-list vertex ids start at 1 (KONECT)";
+  --one-based         edge-list vertex ids start at 1 (KONECT)
+  --compress          delta+varint encode the entries section (smaller file,
+                      queries stream-decode under --mmap)";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(
         args,
         &["out", "algorithm", "ranking", "seed", "threads", "format"],
-        &["directed", "one-based"],
+        &["directed", "one-based", "compress"],
     )?;
     let graph_path = opts.positional(0, "graph file argument")?.to_string();
     opts.reject_extra_positionals(1)?;
@@ -73,31 +75,45 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     );
 
     let build_start = Instant::now();
-    let result = ChlBuilder::new(&graph)
+    let flat = ChlBuilder::new(&graph)
         .ranking(ranking)
         .algorithm(algorithm)
         .threads(threads)
         .validate()?
-        .build()?;
+        .build_flat()?;
     let build_time = build_start.elapsed();
     println!(
         "built {} labeling in {:.2?}: {} labels, avg {:.2} per vertex, max {}",
         algorithm,
         build_time,
-        result.index.total_labels(),
-        result.index.average_label_size(),
-        result.index.max_label_size()
+        flat.total_labels(),
+        flat.average_label_size(),
+        flat.max_label_size()
     );
 
-    // save() writes the current v2 format: 8-byte-aligned sections that can
-    // be served zero-copy (`chl query --mmap`).
-    let flat = FlatIndex::from_index(&result.index);
-    flat.save(&out)
+    // save_with() writes the current v2 format: 8-byte-aligned sections
+    // served zero-copy (`chl query --mmap`), with the entries section
+    // delta+varint encoded under --compress.
+    let options = SaveOptions {
+        compress: opts.switch("compress"),
+    };
+    flat.save_with(&out, &options)
         .map_err(|e| format!("cannot write index {out}: {e}"))?;
     let file_len = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
-    println!(
-        "wrote {out}: {file_len} bytes (.chl v{})",
-        chl_core::persist::VERSION
-    );
+    // The ratio report reads the header back from disk; the index itself is
+    // already safely written, so a hiccup here only degrades the message.
+    match (options.compress, persist::load_header(&out)) {
+        (true, Ok(header)) => {
+            let encoded = header.entries_section_len(file_len);
+            let decoded = header.decoded_entries_len();
+            let ratio = decoded as f64 / (encoded.max(1)) as f64;
+            println!(
+                "wrote {out}: {file_len} bytes (.chl v{}, compressed entries: \
+                 {encoded} bytes encoded vs {decoded} decoded, {ratio:.2}x)",
+                persist::VERSION
+            );
+        }
+        _ => println!("wrote {out}: {file_len} bytes (.chl v{})", persist::VERSION),
+    }
     Ok(())
 }

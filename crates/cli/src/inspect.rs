@@ -35,6 +35,26 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     println!("format version:   {}", header.version);
     println!("vertices:         {}", header.num_vertices);
     println!("label entries:    {}", header.num_entries);
+    // The entries encoding and its on-disk vs decoded sizes come from the
+    // header + file length alone, so this stays O(header) on multi-GB files.
+    let encoded = header.entries_section_len(file_len);
+    let decoded = header.decoded_entries_len();
+    if header.is_compressed() {
+        let ratio = decoded as f64 / encoded.max(1) as f64;
+        println!(
+            "entries encoding: delta+varint compressed (flags {:#x})",
+            header.flags
+        );
+        println!(
+            "entries on disk:  {encoded} bytes encoded ({decoded} bytes decoded, {ratio:.2}x)"
+        );
+    } else {
+        println!(
+            "entries encoding: flat ({} bytes per entry)",
+            if header.version >= 2 { 16 } else { 12 }
+        );
+        println!("entries on disk:  {encoded} bytes");
+    }
     match header.checksums {
         Checksums::WholePayload(crc) => println!("payload checksum: {crc:#010x}"),
         Checksums::PerSection {
@@ -51,8 +71,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         println!("avg label size:   {:.2} per vertex", m as f64 / n as f64);
     }
     // Footprint when served owned, derived from the header alone: offsets
-    // (n+1) * 8, entries m * 16, ranking order + position 8 per vertex.
-    // Saturating: a hostile header must not wrap the arithmetic here.
+    // (n+1) * 8, entries m * 16 (decoded, whatever the on-disk encoding),
+    // ranking order + position 8 per vertex. Saturating: a hostile header
+    // must not wrap the arithmetic here.
     let estimated = n
         .saturating_add(1)
         .saturating_mul(8)
@@ -79,9 +100,22 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let index = FlatIndex::load(&path).map_err(|e| format!("cannot load index {path}: {e}"))?;
     println!("integrity:        ok");
     println!("max label size:   {}", index.max_label_size());
+    // Two storage shapes exist for the same index: the decoded in-memory
+    // one (what serving owned costs) and the bytes actually on disk (what
+    // --mmap serves). Reporting only the flat figure used to over-report
+    // compressed files severalfold.
     println!(
         "memory footprint: {} bytes resident when served owned",
         index.memory_bytes()
+    );
+    println!(
+        "on-disk storage:  {} bytes in the entries section ({})",
+        header.entries_section_len(file_len),
+        if header.is_compressed() {
+            "delta+varint compressed; --mmap serves this"
+        } else {
+            "flat records"
+        }
     );
 
     let histogram = label_size_histogram(&index);

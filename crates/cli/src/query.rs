@@ -17,9 +17,10 @@
 //!
 //! `--mmap` swaps the copy-loading [`FlatIndex`] for a zero-copy
 //! [`MmapIndex`]: the file is validated once and served straight from the
-//! OS page cache through a borrowed `FlatView`. Both backends answer through
-//! the same [`DistanceOracle`] surface, so every mode below works
-//! identically on either.
+//! OS page cache through a borrowed view — reinterpreted in place for flat
+//! files, stream-decoded per label run for compressed ones (`chl build
+//! --compress`). Both backends answer through the same [`DistanceOracle`]
+//! surface, so every mode below works identically on either.
 
 use std::time::{Duration, Instant};
 
@@ -150,8 +151,12 @@ impl Backend {
     fn name(&self) -> &'static str {
         match self {
             Backend::Owned(_) => "owned (copy-load)",
-            Backend::Mapped(m) if m.is_mapped() => "mmap (zero-copy view)",
-            Backend::Mapped(_) => "mmap fallback (aligned buffered read)",
+            Backend::Mapped(m) => match (m.is_mapped(), m.is_compressed()) {
+                (true, false) => "mmap (zero-copy view)",
+                (true, true) => "mmap (streamed varint decode)",
+                (false, false) => "mmap fallback (aligned buffered read)",
+                (false, true) => "mmap fallback (buffered streamed decode)",
+            },
         }
     }
 }

@@ -371,6 +371,127 @@ fn v1_files_still_serve_through_the_copying_path() {
 }
 
 #[test]
+fn compressed_build_inspects_and_serves_identically_to_flat() {
+    let dir = temp_dir("compressed");
+    let (graph_path, flat_path) = gen_and_build(&dir);
+
+    // Build the same graph again with --compress: the CLI must report the
+    // encoded vs decoded entry bytes and the compression ratio.
+    let compressed_path = dir.join("g-compressed.chl");
+    let stdout = run_ok(chl().args([
+        "build",
+        graph_path.to_str().unwrap(),
+        "--out",
+        compressed_path.to_str().unwrap(),
+        "--algorithm",
+        "hybrid",
+        "--ranking",
+        "degree",
+        "--threads",
+        "2",
+        "--compress",
+    ]));
+    assert!(stdout.contains("compressed entries:"), "stdout: {stdout}");
+    assert!(stdout.contains("bytes encoded vs"), "stdout: {stdout}");
+
+    // Delta+varint entries must actually be smaller than the flat records.
+    let flat_len = std::fs::metadata(&flat_path).unwrap().len();
+    let compressed_len = std::fs::metadata(&compressed_path).unwrap().len();
+    assert!(
+        compressed_len < flat_len,
+        "compressed file ({compressed_len} bytes) not smaller than flat ({flat_len} bytes)"
+    );
+
+    // inspect names the encoding and reports the ratio from the header
+    // alone; --histogram distinguishes resident from on-disk bytes.
+    let stdout = run_ok(chl().args(["inspect", compressed_path.to_str().unwrap()]));
+    for needle in [
+        "entries encoding: delta+varint compressed",
+        "bytes decoded",
+        "x)",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+    let stdout = run_ok(chl().args(["inspect", compressed_path.to_str().unwrap(), "--histogram"]));
+    for needle in [
+        "integrity:        ok",
+        "memory footprint:",
+        "on-disk storage:",
+        "delta+varint compressed; --mmap serves this",
+        "label-size histogram",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+
+    // Explicit pairs: all four serving paths (flat/compressed × copy/mmap)
+    // must print byte-identical distances.
+    let pairs = ["0", "63", "5", "5", "17", "42"];
+    let mut outputs = Vec::new();
+    for path in [&flat_path, &compressed_path.clone()] {
+        for mmap in [false, true] {
+            let mut args = vec!["query", path.to_str().unwrap()];
+            if mmap {
+                args.push("--mmap");
+            }
+            args.extend_from_slice(&pairs);
+            outputs.push(run_ok(chl().args(&args)));
+        }
+    }
+    for output in &outputs[1..] {
+        assert_eq!(output, &outputs[0], "serving paths disagree");
+    }
+
+    // Batch mode: the aggregate fingerprint must match the flat build on
+    // both backends, and the backend line must say the decode is streamed
+    // under --mmap.
+    let workload_path = dir.join("pairs.txt");
+    let mut lines = String::from("# compressed parity workload\n");
+    for i in 0u32..300 {
+        lines.push_str(&format!("{} {}\n", (i * 11) % 64, (i * 17) % 64));
+    }
+    std::fs::write(&workload_path, lines).unwrap();
+    let fingerprint = |path: &Path, extra: &[&str]| {
+        let mut args = vec!["query", path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--workload", workload_path.to_str().unwrap()]);
+        let stdout = run_ok(chl().args(&args));
+        let grab = |prefix: &str| {
+            stdout
+                .lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} in: {stdout}"))
+                .to_string()
+        };
+        (grab("reachable:"), grab("distance sum:"), grab("backend:"))
+    };
+    let (reach_flat, sum_flat, _) = fingerprint(&flat_path, &[]);
+    let (reach_owned, sum_owned, _) = fingerprint(&compressed_path, &[]);
+    let (reach_mmap, sum_mmap, backend_mmap) = fingerprint(&compressed_path, &["--mmap"]);
+    assert_eq!(reach_owned, reach_flat);
+    assert_eq!(sum_owned, sum_flat);
+    assert_eq!(reach_mmap, reach_flat);
+    assert_eq!(sum_mmap, sum_flat);
+    assert!(backend_mmap.contains("streamed"), "{backend_mmap}");
+
+    // A flipped byte in the compressed entries section must fail the load
+    // with the typed checksum error on both backends — never a panic.
+    let mut bytes = std::fs::read(&compressed_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&compressed_path, &bytes).unwrap();
+    for extra in [&[][..], &["--mmap"][..]] {
+        let mut args = vec!["query", compressed_path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["0", "1"]);
+        let stderr = run_err(chl().args(&args));
+        assert!(stderr.contains("checksum"), "stderr: {stderr}");
+        assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn corrupt_and_missing_inputs_fail_cleanly() {
     let dir = temp_dir("corrupt");
     let (_graph, index_path) = gen_and_build(&dir);

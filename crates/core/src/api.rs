@@ -425,6 +425,15 @@ impl<'g> ChlBuilder<'g> {
             .labeler()
             .build(self.graph, &ranking, &self.config)
     }
+
+    /// Like [`Self::build`], but flattens the result into the contiguous
+    /// serving layout — the build → persist pipeline of `chl build` as one
+    /// call: follow with [`FlatIndex::save`](crate::flat::FlatIndex::save)
+    /// or [`save_with`](crate::flat::FlatIndex::save_with) (e.g.
+    /// `SaveOptions::compressed()` for the delta+varint entries section).
+    pub fn build_flat(&self) -> Result<crate::flat::FlatIndex, LabelingError> {
+        Ok(crate::flat::FlatIndex::from_index(&self.build()?.index))
+    }
 }
 
 #[cfg(test)]

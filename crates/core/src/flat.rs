@@ -6,24 +6,30 @@
 //! pointers into unrelated heap regions, and the index cannot be written to
 //! or read from disk without walking every allocation.
 //!
-//! The serving layout lives here twice, with one query kernel:
+//! The serving layout lives here in several shapes, with one query kernel:
 //!
-//! * [`FlatView`] is the **ownership-agnostic query kernel**: ranking,
-//!   offsets and entries as plain borrowed slices, with every query method
-//!   defined on it. It does not care whether the slices come from `Vec`s, a
-//!   serialized byte buffer ([`crate::persist::view_bytes`]) or an mmap
-//!   ([`crate::mapped::MmapIndex`]).
+//! * [`LabelStorage`] abstracts **how a vertex's label run is materialized**:
+//!   [`RawStore`] hands out plain `&[LabelEntry]` slices, while
+//!   [`CompressedStore`] streams entries out of a delta+varint encoded byte
+//!   blob (see the compressed `.chl` v2 section in [`crate::persist`])
+//!   through a [`DecodeCursor`] — no decompressed copy ever exists.
+//! * [`LabelView`] is the **ownership-agnostic query kernel**, generic over
+//!   the storage: ranking order, CSR offsets and a [`LabelStorage`], with
+//!   every query method defined once. [`FlatView`] and [`CompressedView`]
+//!   are its two instantiations; [`IndexView`] is the runtime-dispatched
+//!   either-of-them a `.chl` v2 file of unknown encoding serves through.
 //! * [`FlatIndex`] is the thin owning wrapper: the same three arrays in
 //!   `Vec`s plus the full [`Ranking`], delegating every query through
 //!   [`FlatIndex::as_view`]. (A literal `Deref<Target = FlatView>` is not
 //!   expressible — the view borrows from `self` — so the wrapper forwards
 //!   method by method instead.)
 //!
-//! The layout is what the `.chl` on-disk format (see [`crate::persist`])
+//! The flat layout is what the `.chl` on-disk format (see [`crate::persist`])
 //! stores byte-for-byte, so loading an index is one read plus validation —
 //! and, for v2 files, querying needs no copy at all. Conversion to and from
-//! [`HubLabelIndex`] is lossless, and all layouts answer every query
-//! identically (asserted by the persistence proptests).
+//! [`HubLabelIndex`] is lossless, and all layouts and encodings answer every
+//! query identically (asserted by the persistence proptests and the golden
+//! fixture corpus).
 
 use serde::{Deserialize, Serialize};
 
@@ -31,44 +37,199 @@ use chl_graph::types::{Distance, VertexId};
 use chl_ranking::Ranking;
 
 use crate::index::HubLabelIndex;
-use crate::labels::{join_sorted_slices, LabelEntry, LabelSet};
+use crate::labels::{join_sorted_iters, LabelEntry, LabelSet};
 use crate::oracle::DistanceOracle;
-use crate::persist::{self, PersistError};
+use crate::persist::{self, PersistError, SaveOptions};
 
-/// A borrowed hub labeling in the flat CSR serving layout: the query kernel
-/// shared by every storage backend.
+/// How one vertex's label run is materialized out of a storage encoding.
 ///
-/// `entries[offsets[v] .. offsets[v + 1]]` is the label set of vertex `v`,
-/// sorted ascending by hub rank position; `order[pos]` is the vertex at rank
-/// position `pos` (most important first). Construction is restricted to this
-/// crate — a view always comes from a validated source, either
-/// [`FlatIndex::as_view`] or the persistence layer's
-/// [`view_bytes`](crate::persist::view_bytes) — so the query methods can
+/// The query kernel ([`LabelView`]) owns the CSR *shape* — the offsets array
+/// saying how many labels each vertex has — while the storage owns the
+/// *bytes* those labels live in. A storage only has to produce a cheap
+/// cloneable cursor over one vertex's run, sorted strictly ascending by hub
+/// rank position; the merge-join never learns whether the entries came from
+/// a slice or a streaming decoder.
+///
+/// Implementations are `Copy` bundles of shared references, so views stay
+/// cheap to pass around and hand to worker threads.
+pub trait LabelStorage<'a>: Copy + Sync {
+    /// Streaming iterator over one vertex's label run.
+    type Cursor: Iterator<Item = LabelEntry> + Clone;
+
+    /// The labels of vertex `v`, whose entry-index CSR bounds are
+    /// `lo..hi` (taken from the validated offsets array).
+    fn run(&self, v: usize, lo: usize, hi: usize) -> Self::Cursor;
+
+    /// Bytes of backing storage the entries occupy in this encoding.
+    fn storage_bytes(&self) -> usize;
+
+    /// Human-readable encoding name for diagnostics.
+    fn encoding(&self) -> &'static str;
+}
+
+/// [`LabelStorage`] over plain `LabelEntry` records: the flat encoding,
+/// where a run is literally a subslice.
+#[derive(Debug, Clone, Copy)]
+pub struct RawStore<'a> {
+    entries: &'a [LabelEntry],
+}
+
+impl<'a> LabelStorage<'a> for RawStore<'a> {
+    type Cursor = std::iter::Copied<std::slice::Iter<'a, LabelEntry>>;
+
+    #[inline]
+    fn run(&self, _v: usize, lo: usize, hi: usize) -> Self::Cursor {
+        self.entries[lo..hi].iter().copied()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        std::mem::size_of_val(self.entries)
+    }
+
+    fn encoding(&self) -> &'static str {
+        "flat"
+    }
+}
+
+/// [`LabelStorage`] over the delta+varint compressed entries section of a
+/// `.chl` v2 file (`FLAG_COMPRESSED_ENTRIES`): a per-vertex skip table into
+/// a byte blob holding LEB128-encoded hub gaps and distances.
+///
+/// Queries decode the two runs they touch on the fly ([`DecodeCursor`]);
+/// nothing else of the blob is ever expanded, so a mapped compressed index
+/// serves straight from the page cache at the compressed footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressedStore<'a> {
+    /// `skip[v]` is the byte offset of vertex `v`'s run in `blob`;
+    /// `skip[n]` is the blob length. `n + 1` entries.
+    skip: &'a [u64],
+    /// Concatenated encoded runs, without tail padding.
+    blob: &'a [u8],
+}
+
+impl<'a> CompressedStore<'a> {
+    /// Assembles a compressed store from parts the persistence layer has
+    /// fully validated (skip table monotone and consistent with the CSR
+    /// offsets, every run decoding cleanly with canonical varints).
+    pub(crate) fn from_validated_parts(skip: &'a [u64], blob: &'a [u8]) -> Self {
+        debug_assert_eq!(*skip.last().unwrap_or(&0), blob.len() as u64);
+        CompressedStore { skip, blob }
+    }
+
+    /// Encoded size of the entry payload in bytes (excluding the skip
+    /// table), for compression-ratio reporting.
+    pub fn encoded_len(&self) -> usize {
+        self.blob.len()
+    }
+}
+
+impl<'a> LabelStorage<'a> for CompressedStore<'a> {
+    type Cursor = DecodeCursor<'a>;
+
+    #[inline]
+    fn run(&self, v: usize, lo: usize, hi: usize) -> Self::Cursor {
+        let bytes = &self.blob[self.skip[v] as usize..self.skip[v + 1] as usize];
+        DecodeCursor::new(bytes, hi - lo)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        std::mem::size_of_val(self.skip) + self.blob.len()
+    }
+
+    fn encoding(&self) -> &'static str {
+        "compressed (delta+varint)"
+    }
+}
+
+/// Streaming decoder over one vertex's delta+varint encoded label run.
+///
+/// The bytes it walks were fully validated at load time (canonical varints,
+/// strictly positive hub gaps, exact run length), so decoding is
+/// unconditional arithmetic; the defensive `Option` handling below only
+/// exists so that a misuse can never panic, merely end the run early.
+#[derive(Debug, Clone)]
+pub struct DecodeCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev_hub: u32,
+    first: bool,
+}
+
+impl<'a> DecodeCursor<'a> {
+    fn new(bytes: &'a [u8], count: usize) -> Self {
+        DecodeCursor {
+            bytes,
+            pos: 0,
+            remaining: count,
+            prev_hub: 0,
+            first: true,
+        }
+    }
+}
+
+impl Iterator for DecodeCursor<'_> {
+    type Item = LabelEntry;
+
+    #[inline]
+    fn next(&mut self) -> Option<LabelEntry> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = persist::read_uvarint(self.bytes, &mut self.pos)?;
+        let dist = persist::read_uvarint(self.bytes, &mut self.pos)?;
+        let hub = if self.first {
+            self.first = false;
+            gap as u32
+        } else {
+            // Strict hub sorting makes every later gap >= 1 (validated).
+            self.prev_hub.wrapping_add(gap as u32)
+        };
+        self.prev_hub = hub;
+        Some(LabelEntry::new(hub, dist))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// A borrowed hub labeling in the CSR serving layout: the query kernel
+/// shared by every storage backend and entries encoding.
+///
+/// The label run of vertex `v` spans CSR entry indexes
+/// `offsets[v] .. offsets[v + 1]`, sorted ascending by hub rank position,
+/// and is materialized by the [`LabelStorage`] `S`; `order[pos]` is the
+/// vertex at rank position `pos` (most important first). Construction is
+/// restricted to this crate — a view always comes from a validated source,
+/// either [`FlatIndex::as_view`] or the persistence layer
+/// ([`view_bytes`](crate::persist::view_bytes) /
+/// [`open_view`](crate::persist::open_view)) — so the query methods can
 /// index with the CSR invariants taken as given.
 ///
-/// Views are `Copy`: three fat pointers, cheap to pass around and to send to
-/// worker threads (`FlatView: Sync` via its shared slices).
+/// Views are `Copy`: a few fat pointers, cheap to pass around and to send
+/// to worker threads.
 #[derive(Debug, Clone, Copy)]
-pub struct FlatView<'a> {
+pub struct LabelView<'a, S: LabelStorage<'a>> {
     offsets: &'a [u64],
-    entries: &'a [LabelEntry],
+    store: S,
     order: &'a [VertexId],
 }
 
-impl<'a> FlatView<'a> {
-    /// Assembles a view from raw parts, without validating the CSR
-    /// invariants. Callers (the owning wrapper and the persistence layer)
-    /// must have established them.
-    pub(crate) fn from_validated_parts(
-        order: &'a [VertexId],
-        offsets: &'a [u64],
-        entries: &'a [LabelEntry],
-    ) -> Self {
+/// A [`LabelView`] over plain `LabelEntry` slices — the flat encoding.
+pub type FlatView<'a> = LabelView<'a, RawStore<'a>>;
+
+/// A [`LabelView`] streaming out of a delta+varint compressed entries
+/// section — same kernel, decoded on the fly.
+pub type CompressedView<'a> = LabelView<'a, CompressedStore<'a>>;
+
+impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
+    pub(crate) fn from_parts(order: &'a [VertexId], offsets: &'a [u64], store: S) -> Self {
         debug_assert_eq!(offsets.len(), order.len() + 1);
-        debug_assert_eq!(*offsets.last().unwrap_or(&0), entries.len() as u64);
-        FlatView {
+        LabelView {
             offsets,
-            entries,
+            store,
             order,
         }
     }
@@ -100,30 +261,15 @@ impl<'a> FlatView<'a> {
         self.offsets
     }
 
-    /// All label entries, concatenated in vertex order.
-    pub fn entries(&self) -> &'a [LabelEntry] {
-        self.entries
-    }
-
-    /// Label slice of vertex `v`, sorted ascending by hub rank position.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `v >= num_vertices()`; use [`Self::try_labels_of`] for
-    /// ids that may come from untrusted input.
+    /// Streaming cursor over the labels of vertex `v`, or `None` when `v`
+    /// is out of range. This is the storage-agnostic sibling of
+    /// [`FlatView::try_labels_of`]: a flat store iterates a slice, a
+    /// compressed store decodes as it goes.
     #[inline]
-    pub fn labels_of(&self, v: VertexId) -> &'a [LabelEntry] {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        &self.entries[lo..hi]
-    }
-
-    /// Label slice of vertex `v`, or `None` when `v` is out of range.
-    #[inline]
-    pub fn try_labels_of(&self, v: VertexId) -> Option<&'a [LabelEntry]> {
+    pub fn label_run(&self, v: VertexId) -> Option<S::Cursor> {
         let lo = *self.offsets.get(v as usize)? as usize;
         let hi = *self.offsets.get(v as usize + 1)? as usize;
-        Some(&self.entries[lo..hi])
+        Some(self.store.run(v as usize, lo, hi))
     }
 
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
@@ -131,13 +277,13 @@ impl<'a> FlatView<'a> {
     /// Ids outside `0..num_vertices()` are unreachable, including
     /// `query(u, u)` for a nonexistent `u`.
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
-        let (Some(lu), Some(lv)) = (self.try_labels_of(u), self.try_labels_of(v)) else {
+        let (Some(lu), Some(lv)) = (self.label_run(u), self.label_run(v)) else {
             return chl_graph::types::INFINITY;
         };
         if u == v {
             return 0;
         }
-        join_sorted_slices(lu, lv)
+        join_sorted_iters(lu, lv)
             .map(|(_, d)| d)
             .unwrap_or(chl_graph::types::INFINITY)
     }
@@ -146,16 +292,16 @@ impl<'a> FlatView<'a> {
     /// which the minimum distance is achieved. `None` for disconnected pairs
     /// and for out-of-range ids.
     pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
-        let (lu, lv) = (self.try_labels_of(u)?, self.try_labels_of(v)?);
+        let (lu, lv) = (self.label_run(u)?, self.label_run(v)?);
         if u == v {
             return Some((u, 0));
         }
-        join_sorted_slices(lu, lv).map(|(hub_pos, d)| (self.vertex_at(hub_pos), d))
+        join_sorted_iters(lu, lv).map(|(hub_pos, d)| (self.vertex_at(hub_pos), d))
     }
 
     /// Total number of labels stored.
     pub fn total_labels(&self) -> usize {
-        self.entries.len()
+        *self.offsets.last().unwrap_or(&0) as usize
     }
 
     /// Average label size per vertex (ALS).
@@ -176,28 +322,226 @@ impl<'a> FlatView<'a> {
             .unwrap_or(0)
     }
 
+    /// Human-readable name of the entries encoding backing this view.
+    pub fn encoding(&self) -> &'static str {
+        self.store.encoding()
+    }
+
     /// Bytes of backing storage the view's slices span — for a view over a
-    /// `.chl` v2 buffer, the file bytes actually touched by queries. Unlike
-    /// an owned [`FlatIndex`], a view carries no rank-position array, so this
-    /// is smaller than [`FlatIndex::memory_bytes`] by `4 * n`.
+    /// `.chl` v2 buffer, the file bytes actually touched by queries; for a
+    /// compressed view this is the *encoded* footprint, not the 16-byte-per-
+    /// entry decoded one. Unlike an owned [`FlatIndex`], a view carries no
+    /// rank-position array, so this is smaller than
+    /// [`FlatIndex::memory_bytes`] by `4 * n`.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of_val(self.offsets)
-            + std::mem::size_of_val(self.entries)
+            + self.store.storage_bytes()
             + std::mem::size_of_val(self.order)
     }
 }
 
-impl DistanceOracle for FlatView<'_> {
+impl<'a> FlatView<'a> {
+    /// Assembles a flat view from raw parts, without validating the CSR
+    /// invariants. Callers (the owning wrapper and the persistence layer)
+    /// must have established them.
+    pub(crate) fn from_validated_parts(
+        order: &'a [VertexId],
+        offsets: &'a [u64],
+        entries: &'a [LabelEntry],
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), entries.len() as u64);
+        LabelView::from_parts(order, offsets, RawStore { entries })
+    }
+
+    /// All label entries, concatenated in vertex order.
+    pub fn entries(&self) -> &'a [LabelEntry] {
+        self.store.entries
+    }
+
+    /// Label slice of vertex `v`, sorted ascending by hub rank position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= num_vertices()`; use [`Self::try_labels_of`] for
+    /// ids that may come from untrusted input.
+    #[inline]
+    pub fn labels_of(&self, v: VertexId) -> &'a [LabelEntry] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.store.entries[lo..hi]
+    }
+
+    /// Label slice of vertex `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn try_labels_of(&self, v: VertexId) -> Option<&'a [LabelEntry]> {
+        let lo = *self.offsets.get(v as usize)? as usize;
+        let hi = *self.offsets.get(v as usize + 1)? as usize;
+        Some(&self.store.entries[lo..hi])
+    }
+}
+
+impl<'a> CompressedView<'a> {
+    /// Assembles a compressed view from parts the persistence layer has
+    /// fully validated.
+    pub(crate) fn from_validated_compressed_parts(
+        order: &'a [VertexId],
+        offsets: &'a [u64],
+        skip: &'a [u64],
+        blob: &'a [u8],
+    ) -> Self {
+        debug_assert_eq!(skip.len(), offsets.len());
+        LabelView::from_parts(
+            order,
+            offsets,
+            CompressedStore::from_validated_parts(skip, blob),
+        )
+    }
+
+    /// Encoded size of the entry payload in bytes (excluding the skip
+    /// table), for compression-ratio reporting.
+    pub fn encoded_len(&self) -> usize {
+        self.store.encoded_len()
+    }
+}
+
+impl<'a, S: LabelStorage<'a>> DistanceOracle for LabelView<'a, S> {
     fn distance(&self, u: VertexId, v: VertexId) -> Distance {
         self.query(u, v)
     }
 
     fn num_vertices(&self) -> usize {
-        FlatView::num_vertices(self)
+        LabelView::num_vertices(self)
     }
 
     fn memory_bytes(&self) -> usize {
-        FlatView::memory_bytes(self)
+        LabelView::memory_bytes(self)
+    }
+}
+
+/// A borrowed view over a `.chl` v2 buffer of either entries encoding —
+/// what [`crate::persist::open_view`] returns and what
+/// [`crate::mapped::MmapIndex`] hands out per query when the encoding is
+/// only known at run time. Both arms run the identical [`LabelView`]
+/// kernel; this enum is one match deep, not a second implementation.
+#[derive(Debug, Clone, Copy)]
+pub enum IndexView<'a> {
+    /// Flat 16-byte-record entries, reinterpreted in place (zero-copy).
+    Flat(FlatView<'a>),
+    /// Delta+varint compressed entries, decoded per label run as queries
+    /// stream them.
+    Compressed(CompressedView<'a>),
+}
+
+impl<'a> IndexView<'a> {
+    /// Exact PPSD distance, [`chl_graph::types::INFINITY`] for disconnected
+    /// or out-of-range pairs — same contract as [`LabelView::query`].
+    #[inline]
+    pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
+        match self {
+            IndexView::Flat(view) => view.query(u, v),
+            IndexView::Compressed(view) => view.query(u, v),
+        }
+    }
+
+    /// Like [`Self::query`] but also reports the hub achieving the minimum.
+    #[inline]
+    pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
+        match self {
+            IndexView::Flat(view) => view.query_with_hub(u, v),
+            IndexView::Compressed(view) => view.query_with_hub(u, v),
+        }
+    }
+
+    /// Number of vertices covered by the view.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            IndexView::Flat(view) => view.num_vertices(),
+            IndexView::Compressed(view) => view.num_vertices(),
+        }
+    }
+
+    /// Total number of labels stored (decoded count).
+    pub fn total_labels(&self) -> usize {
+        match self {
+            IndexView::Flat(view) => view.total_labels(),
+            IndexView::Compressed(view) => view.total_labels(),
+        }
+    }
+
+    /// The CSR offsets array (`num_vertices + 1` entries).
+    pub fn offsets(&self) -> &'a [u64] {
+        match self {
+            IndexView::Flat(view) => view.offsets(),
+            IndexView::Compressed(view) => view.offsets(),
+        }
+    }
+
+    /// The ranking's order array.
+    pub fn order(&self) -> &'a [VertexId] {
+        match self {
+            IndexView::Flat(view) => view.order(),
+            IndexView::Compressed(view) => view.order(),
+        }
+    }
+
+    /// Maximum label-set size over all vertices.
+    pub fn max_label_size(&self) -> usize {
+        match self {
+            IndexView::Flat(view) => view.max_label_size(),
+            IndexView::Compressed(view) => view.max_label_size(),
+        }
+    }
+
+    /// `true` when the underlying entries section is delta+varint
+    /// compressed.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, IndexView::Compressed(_))
+    }
+
+    /// Human-readable name of the entries encoding.
+    pub fn encoding(&self) -> &'static str {
+        match self {
+            IndexView::Flat(view) => view.encoding(),
+            IndexView::Compressed(view) => view.encoding(),
+        }
+    }
+
+    /// Bytes of backing storage the view spans in its on-disk encoding.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            IndexView::Flat(view) => view.memory_bytes(),
+            IndexView::Compressed(view) => view.memory_bytes(),
+        }
+    }
+
+    /// Copies the view into an owned [`FlatIndex`], decoding if compressed.
+    pub fn to_owned_index(&self) -> FlatIndex {
+        match self {
+            IndexView::Flat(view) => FlatIndex::from_view(*view),
+            IndexView::Compressed(view) => {
+                let ranking = Ranking::from_order(view.order().to_vec(), view.num_vertices())
+                    .expect("views only exist over validated permutations");
+                let mut entries = Vec::with_capacity(view.total_labels());
+                for v in 0..view.num_vertices() as VertexId {
+                    entries.extend(view.label_run(v).expect("v in range"));
+                }
+                FlatIndex::from_validated_parts(view.offsets().to_vec(), entries, ranking)
+            }
+        }
+    }
+}
+
+impl DistanceOracle for IndexView<'_> {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.query(u, v)
+    }
+
+    fn num_vertices(&self) -> usize {
+        IndexView::num_vertices(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        IndexView::memory_bytes(self)
     }
 }
 
@@ -383,6 +727,13 @@ impl FlatIndex {
         persist::to_bytes(self)
     }
 
+    /// Serializes the index into `.chl` v2 bytes with explicit
+    /// [`SaveOptions`] — `compress: true` writes the entries section
+    /// delta+varint encoded (see [`crate::persist`]).
+    pub fn to_bytes_with(&self, options: &SaveOptions) -> Vec<u8> {
+        persist::to_bytes_with(self, options)
+    }
+
     /// Deserializes an index from `.chl` bytes, validating magic, version,
     /// checksum and every CSR/ranking invariant.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
@@ -416,6 +767,17 @@ impl FlatIndex {
     /// ```
     pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), PersistError> {
         persist::save(self, path)
+    }
+
+    /// Writes the index to `path` with explicit [`SaveOptions`]; with
+    /// `compress: true` the entries section is delta+varint encoded and the
+    /// file loads/serves through every path a flat file does.
+    pub fn save_with<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+        options: &SaveOptions,
+    ) -> Result<(), PersistError> {
+        persist::save_with(self, path, options)
     }
 
     /// Reads an index from a `.chl` file written by [`Self::save`].

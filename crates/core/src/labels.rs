@@ -59,24 +59,52 @@ pub struct LabelSet {
 /// This is the query kernel shared by [`LabelSet`] (pointer-per-vertex
 /// storage) and [`crate::flat::FlatIndex`] (contiguous CSR storage): both
 /// hold their entries sorted ascending by hub rank position, so the same
-/// linear scan serves either layout.
+/// linear scan serves either layout. It is a thin slice front over
+/// [`join_sorted_iters`], which additionally serves streaming label
+/// decoders that never materialize a slice.
 pub fn join_sorted_slices(a: &[LabelEntry], b: &[LabelEntry]) -> Option<(u32, Distance)> {
-    let (mut i, mut j) = (0, 0);
+    join_sorted_iters(a.iter().copied(), b.iter().copied())
+}
+
+/// PPSD merge-join over two hub-sorted label *streams*: the iterator form of
+/// [`join_sorted_slices`], and the single kernel both compile down to.
+///
+/// Generalizing over `Iterator<Item = LabelEntry>` is what lets one query
+/// kernel serve every storage encoding: plain slices iterate by copy, while
+/// the delta+varint compressed store (see [`crate::flat::CompressedStore`])
+/// decodes entries on the fly — the join itself never knows the difference.
+/// Both inputs must be sorted strictly ascending by hub rank position.
+pub fn join_sorted_iters<A, B>(mut a: A, mut b: B) -> Option<(u32, Distance)>
+where
+    A: Iterator<Item = LabelEntry>,
+    B: Iterator<Item = LabelEntry>,
+{
+    let mut x = a.next()?;
+    let mut y = b.next()?;
     let mut best: Option<(u32, Distance)> = None;
-    while i < a.len() && j < b.len() {
-        let x = a[i];
-        let y = b[j];
+    loop {
         if x.hub < y.hub {
-            i += 1;
+            x = match a.next() {
+                Some(e) => e,
+                None => break,
+            };
         } else if y.hub < x.hub {
-            j += 1;
+            y = match b.next() {
+                Some(e) => e,
+                None => break,
+            };
         } else {
             let total = x.dist.saturating_add(y.dist);
             if best.is_none_or(|(_, d)| total < d) {
                 best = Some((x.hub, total));
             }
-            i += 1;
-            j += 1;
+            match (a.next(), b.next()) {
+                (Some(nx), Some(ny)) => {
+                    x = nx;
+                    y = ny;
+                }
+                _ => break,
+            }
         }
     }
     best

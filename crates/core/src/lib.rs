@@ -86,6 +86,15 @@
 //! MmapIndex::open(path)  -> &dyn DistanceOracle   (borrowed, zero-copy)
 //! ```
 //!
+//! The entries section of a v2 file additionally supports a delta+varint
+//! **compressed encoding** (`chl build --compress` /
+//! [`persist::SaveOptions`]): labels are hub-sorted so hub gaps are small,
+//! and one label typically costs 2–4 bytes on disk instead of 16. The query
+//! kernel is generic over the storage ([`flat::LabelStorage`]), so
+//! compressed files serve through exactly the same merge-join — decoded
+//! into a [`flat::FlatIndex`] on load, or streamed straight out of the
+//! mapped bytes ([`flat::IndexView`]) under `--mmap`.
+//!
 //! Conversion between the layouts is lossless, every corruption mode
 //! (truncation, bit flips, wrong magic/version) loads as a typed
 //! [`PersistError`], and the `chl` CLI (`crates/cli`) drives the same
@@ -115,10 +124,10 @@ pub mod table;
 pub use api::{Algorithm, ChlBuilder, Labeler, RankingStrategy};
 pub use config::LabelingConfig;
 pub use error::LabelingError;
-pub use flat::{FlatIndex, FlatView};
+pub use flat::{FlatIndex, FlatView, IndexView, LabelStorage, LabelView};
 pub use index::{HubLabelIndex, LabelingResult};
 pub use labels::{LabelEntry, LabelSet};
 pub use mapped::MmapIndex;
 pub use oracle::DistanceOracle;
-pub use persist::PersistError;
+pub use persist::{PersistError, SaveOptions};
 pub use stats::ConstructionStats;

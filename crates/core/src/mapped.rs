@@ -3,9 +3,10 @@
 //!
 //! [`MmapIndex`] is the third member of the serving-layout family (after the
 //! owned [`FlatIndex`](crate::flat::FlatIndex) and the borrowed
-//! [`FlatView`]): it owns a read-only mapping of the index file, validates it
-//! **once** at open — the same battery the copying loader runs — and then
-//! hands out [`FlatView`]s borrowed directly from the mapped bytes. Nothing
+//! [`FlatView`](crate::flat::FlatView)): it owns a read-only mapping of the
+//! index file, validates it **once** at open — the same battery the copying
+//! loader runs — and then hands out [`IndexView`]s borrowed directly from
+//! the mapped bytes. Nothing
 //! is deserialized and no heap copy of the payload is ever made: the kernel
 //! pages label data in on demand, cold-serve cost is one validation scan
 //! instead of scan + allocate + rebuild, and several processes serving the
@@ -16,7 +17,10 @@
 //! runtime — the same type transparently falls back to one buffered read
 //! into an 8-byte-aligned heap buffer, preserving behavior everywhere at the
 //! cost of the copy. Either way the query path is the identical
-//! ownership-agnostic [`FlatView`] kernel.
+//! ownership-agnostic [`LabelView`](crate::flat::LabelView) kernel: flat
+//! files reinterpret their entries in place, while compressed files
+//! (`FLAG_COMPRESSED_ENTRIES`) stream-decode the two label runs each query
+//! intersects, directly from the mapped bytes at the compressed footprint.
 //!
 //! Only v2 files can be mapped: the aligned layout is what makes in-place
 //! reinterpretation possible. Opening a v1 file reports
@@ -27,7 +31,7 @@ use std::path::Path;
 
 use chl_graph::types::{Distance, VertexId};
 
-use crate::flat::FlatView;
+use crate::flat::IndexView;
 use crate::oracle::DistanceOracle;
 use crate::persist::{self, AlignedBytes, PersistError};
 
@@ -55,6 +59,7 @@ pub struct MmapIndex {
     backing: Backing,
     num_vertices: usize,
     num_entries: usize,
+    compressed: bool,
 }
 
 #[derive(Debug)]
@@ -103,22 +108,27 @@ impl MmapIndex {
     /// [`PersistError::NotZeroCopy`].
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let backing = open_backing(path.as_ref())?;
-        let view = persist::view_bytes(backing.as_slice())?;
+        let view = persist::open_view(backing.as_slice())?;
         let (num_vertices, num_entries) = (view.num_vertices(), view.total_labels());
+        let compressed = view.is_compressed();
         Ok(MmapIndex {
             backing,
             num_vertices,
             num_entries,
+            compressed,
         })
     }
 
     /// The borrowed query kernel over the mapped bytes. Cheap enough to call
-    /// per query: reconstructing the view is three pointer casts, with all
-    /// validation already paid at [`MmapIndex::open`].
+    /// per query: reconstructing the view is a few pointer casts, with all
+    /// validation already paid at [`MmapIndex::open`]. Flat files serve a
+    /// [`FlatView`](crate::flat::FlatView) arm, compressed files a
+    /// streaming [`CompressedView`](crate::flat::CompressedView) arm — the
+    /// query kernel is the same either way.
     #[inline]
-    pub fn view(&self) -> FlatView<'_> {
-        // SAFETY: open() ran view_bytes over this exact backing with these
-        // dimensions; the backing is immutable for self's lifetime (modulo
+    pub fn view(&self) -> IndexView<'_> {
+        // SAFETY: open() ran open_view over this exact backing with these
+        // parameters; the backing is immutable for self's lifetime (modulo
         // the documented external-mutation caveat) and keeps its 8-byte
         // base alignment (mmap is page-aligned, AlignedBytes by
         // construction).
@@ -127,8 +137,15 @@ impl MmapIndex {
                 self.backing.as_slice(),
                 self.num_vertices,
                 self.num_entries,
+                self.compressed,
             )
         }
+    }
+
+    /// `true` when the file's entries section is delta+varint compressed —
+    /// queries stream-decode instead of reinterpreting records in place.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
     }
 
     /// `true` when the index is backed by a real file mapping, `false` on

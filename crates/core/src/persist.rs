@@ -20,7 +20,7 @@
 //! 4       4           version      u32, 2
 //! 8       8           n            u64, number of vertices
 //! 16      8           m            u64, total number of label entries
-//! 24      4           flags        u32, must be 0 (reserved)
+//! 24      4           flags        u32, bit 0 = compressed entries, rest 0
 //! 28      4           crc_ranking  u32, CRC-32 of the ranking section (incl. padding)
 //! 32      4           crc_offsets  u32, CRC-32 of the offsets section
 //! 36      4           crc_entries  u32, CRC-32 of the entries section
@@ -32,6 +32,36 @@
 //! The 16-byte entry record mirrors `#[repr(C)] LabelEntry` exactly (hub at
 //! offset 0, distance at offset 8, four padding bytes that must be zero), so
 //! `&[u8] -> &[LabelEntry]` is a pointer cast on little-endian hosts.
+//!
+//! ## Compressed entries section (v2, flags bit 0)
+//!
+//! With [`FLAG_COMPRESSED_ENTRIES`] set in the flags word, the header,
+//! ranking and offsets sections are unchanged but the entries section stores
+//! delta+varint encoded label runs instead of 16-byte records:
+//!
+//! ```text
+//! ..      (n+1) * 8        skip   u64 byte offsets: vertex v's encoded run is
+//!                                 blob[skip[v]..skip[v+1]]; skip[n] = blob length
+//! ..      skip[n] (+pad)   blob   per vertex, per entry: LEB128 gap, LEB128 dist
+//! ```
+//!
+//! Within a run the first entry stores its hub rank position directly and
+//! every later entry stores the gap to the previous hub (>= 1, since runs
+//! are strictly hub-sorted); distances are plain LEB128 u64s. Both use
+//! canonical (minimal-length) little-endian base-128 varints — overlong
+//! encodings are rejected, which is what makes re-encoding byte-stable.
+//! Because labels are hub-sorted, gaps are small and one entry typically
+//! costs 2–4 bytes instead of 16 (the paper names the aggregate label store
+//! as the memory bottleneck at scale).
+//!
+//! The skip table is what keeps decode O(label set): a query seeks straight
+//! to the two runs it intersects and streams them through the
+//! [`CompressedView`] kernel. `crc_entries`
+//! covers the whole section (skip table, blob and tail padding), and the
+//! expected file length is self-describing via `skip[n]` — validated with
+//! the same exactness as the flat layout. Compressed files load everywhere
+//! flat files do: the copying loader decodes into a [`FlatIndex`], while
+//! [`open_view`] / `MmapIndex` serve them in place by streaming.
 //!
 //! ## Version 1 layout (legacy, read-only)
 //!
@@ -78,7 +108,7 @@ use std::path::Path;
 use chl_graph::types::VertexId;
 use chl_ranking::Ranking;
 
-use crate::flat::{FlatIndex, FlatView};
+use crate::flat::{CompressedView, FlatIndex, FlatView, IndexView};
 use crate::labels::LabelEntry;
 
 /// File magic: "Canonical Hub Label Index".
@@ -99,6 +129,31 @@ pub const ENTRY_LEN_V1: usize = 12;
 pub const ENTRY_LEN_V2: usize = 16;
 /// Alignment every v2 section start and length is padded to.
 pub const SECTION_ALIGN: usize = 8;
+/// v2 flags bit 0: the entries section is delta+varint compressed (per-set
+/// skip table + LEB128 hub gaps and distances) instead of 16-byte records.
+pub const FLAG_COMPRESSED_ENTRIES: u32 = 1 << 0;
+/// Every flag bit this reader understands; any other bit set is
+/// [`PersistError::UnsupportedFlags`].
+pub const FLAGS_KNOWN: u32 = FLAG_COMPRESSED_ENTRIES;
+
+/// Writer knobs for [`to_bytes_with`] / [`save_with`]. The default writes
+/// the flat v2 layout; `compress` switches the entries section to the
+/// delta+varint encoding behind [`FLAG_COMPRESSED_ENTRIES`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveOptions {
+    /// Delta-encode hub positions and varint-encode distances in the
+    /// entries section. Several-fold smaller files; queries through the
+    /// zero-copy paths stream-decode the two runs they touch instead of
+    /// reinterpreting them in place.
+    pub compress: bool,
+}
+
+impl SaveOptions {
+    /// Options selecting the compressed entries encoding.
+    pub fn compressed() -> Self {
+        SaveOptions { compress: true }
+    }
+}
 
 /// The three payload sections of a `.chl` file, in file order. v2 stores one
 /// checksum per section so corruption reports name the section hit.
@@ -302,8 +357,11 @@ pub struct FileHeader {
     pub version: u32,
     /// Number of vertices the index covers.
     pub num_vertices: u64,
-    /// Total number of label entries.
+    /// Total number of label entries (decoded count, whatever the
+    /// encoding).
     pub num_entries: u64,
+    /// The v2 flags word (`0` for v1 files); see [`FLAG_COMPRESSED_ENTRIES`].
+    pub flags: u32,
     /// The stored payload checksum(s).
     pub checksums: Checksums,
 }
@@ -317,13 +375,50 @@ impl FileHeader {
         }
     }
 
-    /// Total file size in bytes implied by the header's dimensions.
+    /// `true` when the entries section is delta+varint compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.flags & FLAG_COMPRESSED_ENTRIES != 0
+    }
+
+    /// Total file size in bytes implied by the header's dimensions, or
+    /// `None` when it cannot be known from the header alone — compressed
+    /// files are self-describing (the encoded length lives in the skip
+    /// table), and hostile dimensions can overflow.
     pub fn expected_file_len(&self) -> Option<usize> {
+        if self.is_compressed() {
+            return None;
+        }
         let payload = match self.version {
             VERSION_V1 => expected_payload_len_v1(self.num_vertices, self.num_entries)?,
             _ => expected_payload_len_v2(self.num_vertices, self.num_entries)?,
         };
         payload.checked_add(self.header_len())
+    }
+
+    /// On-disk size of the entries section in bytes, derived from the header
+    /// and the actual file length: the storage queries really touch. For
+    /// flat encodings this is `m` times the record size; for compressed
+    /// files it is everything after the offsets section (skip table, blob
+    /// and padding). Saturating — hostile headers must not wrap.
+    pub fn entries_section_len(&self, file_len: u64) -> u64 {
+        let n = self.num_vertices;
+        let m = self.num_entries;
+        match self.version {
+            VERSION_V1 => m.saturating_mul(ENTRY_LEN_V1 as u64),
+            _ if self.is_compressed() => {
+                let before_entries = (HEADER_LEN_V2 as u64)
+                    .saturating_add(pad_to_align(n.saturating_mul(4)).unwrap_or(u64::MAX))
+                    .saturating_add(n.saturating_add(1).saturating_mul(8));
+                file_len.saturating_sub(before_entries)
+            }
+            _ => m.saturating_mul(ENTRY_LEN_V2 as u64),
+        }
+    }
+
+    /// In-memory size of the decoded entries in bytes (`m * 16`), the
+    /// denominator of the compression ratio.
+    pub fn decoded_entries_len(&self) -> u64 {
+        self.num_entries.saturating_mul(ENTRY_LEN_V2 as u64)
     }
 }
 
@@ -367,6 +462,68 @@ fn pad_to_align(len: u64) -> Option<u64> {
     len.checked_next_multiple_of(SECTION_ALIGN as u64)
 }
 
+// --- LEB128 varints (the compressed entries encoding) --------------------
+
+/// Appends `x` to `buf` as a canonical (minimal-length) little-endian
+/// base-128 varint: 7 value bits per byte, high bit = continuation.
+pub(crate) fn write_uvarint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Fast LEB128 reader for *validated* streams: advances `pos` and returns
+/// the value, or `None` past the end. Canonicality was enforced at load
+/// time, so this reader does not re-check it.
+#[inline]
+pub(crate) fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        x |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+    }
+}
+
+/// Strict LEB128 reader for the validation pass: rejects truncation,
+/// encodings longer than a u64 can hold, and overlong (non-minimal)
+/// encodings. Canonicality is what makes decode → re-encode byte-stable.
+fn read_uvarint_canonical(bytes: &[u8], pos: &mut usize) -> Result<u64, &'static str> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err("truncated varint");
+        };
+        *pos += 1;
+        if shift > 63 || (shift == 63 && (byte & 0x7F) > 1) {
+            return Err("varint overflows u64");
+        }
+        x |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift != 0 {
+                return Err("overlong varint encoding");
+            }
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
 /// v1 payload size implied by the header dimensions, `None` on overflow
 /// (which can only arise from a corrupt or hostile header).
 fn expected_payload_len_v1(n: u64, m: u64) -> Option<usize> {
@@ -386,9 +543,19 @@ fn expected_payload_len_v2(n: u64, m: u64) -> Option<usize> {
     usize::try_from(total).ok()
 }
 
+/// Byte ranges of the compressed entries section's two halves.
+#[derive(Debug, Clone)]
+struct CompressedLayout {
+    /// The per-vertex skip table: `(n + 1)` u64 byte offsets into the blob.
+    skip: Range<usize>,
+    /// The encoded blob's data bytes, excluding tail padding.
+    blob_data: Range<usize>,
+}
+
 /// Absolute byte ranges of the three v2 sections within a file of validated
-/// length. Offsets and lengths are all multiples of [`SECTION_ALIGN`], so a
-/// section start in an 8-byte-aligned buffer is itself 8-byte aligned.
+/// length. Section starts and lengths are all multiples of
+/// [`SECTION_ALIGN`], so a section start in an 8-byte-aligned buffer is
+/// itself 8-byte aligned.
 #[derive(Debug, Clone)]
 struct LayoutV2 {
     n: usize,
@@ -398,23 +565,84 @@ struct LayoutV2 {
     /// Full ranking section including tail padding.
     ranking_section: Range<usize>,
     offsets: Range<usize>,
+    /// The whole entries section — `m * 16` records when flat, skip table +
+    /// blob + padding when compressed. `crc_entries` covers exactly this.
     entries: Range<usize>,
+    /// Sub-layout of the entries section when [`FLAG_COMPRESSED_ENTRIES`]
+    /// is set.
+    compressed: Option<CompressedLayout>,
 }
 
 /// Computes the v2 section layout from header dimensions and checks the
-/// buffer length matches exactly.
-fn layout_v2(n64: u64, m64: u64, data_len: usize) -> Result<LayoutV2, PersistError> {
+/// buffer length matches exactly. Compressed files are self-describing —
+/// the encoded blob length is read from the last skip-table slot, which is
+/// why this takes the whole buffer rather than just its length.
+fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<LayoutV2, PersistError> {
     if n64 > VertexId::MAX as u64 {
         return Err(PersistError::Malformed(format!(
             "{n64} vertices exceeds the u32 vertex id space"
         )));
     }
-    let payload = expected_payload_len_v2(n64, m64).ok_or_else(|| {
+    let overflow = || {
         PersistError::Malformed(format!(
             "declared dimensions (n = {n64}, m = {m64}) overflow the addressable size"
         ))
-    })?;
-    let expected = HEADER_LEN_V2 + payload;
+    };
+    let data_len = data.len();
+    let ranking_len =
+        pad_to_align(n64.checked_mul(4).ok_or_else(overflow)?).ok_or_else(overflow)?;
+    let offsets_len = n64
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(8))
+        .ok_or_else(overflow)?;
+    let prefix = (HEADER_LEN_V2 as u64)
+        .checked_add(ranking_len)
+        .and_then(|x| x.checked_add(offsets_len))
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(overflow)?;
+
+    let (expected, compressed_layout) = if compressed {
+        // Fixed prefix first: header, ranking, offsets, skip table. Only
+        // once those fit can the blob length be read out of the skip table.
+        let skip_len = offsets_len as usize;
+        let fixed = prefix.checked_add(skip_len).ok_or_else(overflow)?;
+        if data_len < fixed {
+            return Err(PersistError::Truncated {
+                expected: fixed,
+                found: data_len,
+            });
+        }
+        let blob_len = u64::from_le_bytes(data[fixed - 8..fixed].try_into().expect("8 bytes"));
+        let blob_padded = pad_to_align(blob_len)
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(|| {
+                PersistError::Malformed(format!(
+                    "declared encoded blob length {blob_len} overflows the addressable size"
+                ))
+            })?;
+        let expected = fixed.checked_add(blob_padded).ok_or_else(overflow)?;
+        // The flat arm bounds m against the file length via `m * 16`; the
+        // compressed equivalent is that every encoded entry costs at least
+        // two bytes (a one-byte hub-gap varint plus a one-byte distance
+        // varint). A forged header whose m cannot fit in the blob must be
+        // rejected here, before any loader allocates m-sized buffers.
+        if m64.checked_mul(2).is_none_or(|min| min > blob_len) {
+            return Err(PersistError::Malformed(format!(
+                "declared entry count {m64} cannot fit in a {blob_len}-byte encoded blob"
+            )));
+        }
+        let layout = CompressedLayout {
+            skip: prefix..fixed,
+            blob_data: fixed..fixed + blob_len as usize,
+        };
+        (expected, Some(layout))
+    } else {
+        let entries_len = m64
+            .checked_mul(ENTRY_LEN_V2 as u64)
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(overflow)?;
+        (prefix.checked_add(entries_len).ok_or_else(overflow)?, None)
+    };
     if data_len < expected {
         return Err(PersistError::Truncated {
             expected,
@@ -430,17 +658,17 @@ fn layout_v2(n64: u64, m64: u64, data_len: usize) -> Result<LayoutV2, PersistErr
     let m = m64 as usize;
     let ranking_start = HEADER_LEN_V2;
     let ranking_data_end = ranking_start + n * 4;
-    let ranking_end = ranking_start + pad_to_align(n as u64 * 4).expect("checked above") as usize;
+    let ranking_end = ranking_start + ranking_len as usize;
     let offsets_end = ranking_end + (n + 1) * 8;
-    let entries_end = offsets_end + m * ENTRY_LEN_V2;
-    debug_assert_eq!(entries_end, expected);
+    debug_assert_eq!(offsets_end, prefix);
     Ok(LayoutV2 {
         n,
         m,
         ranking_data: ranking_start..ranking_data_end,
         ranking_section: ranking_start..ranking_end,
         offsets: ranking_end..offsets_end,
-        entries: offsets_end..entries_end,
+        entries: offsets_end..expected,
+        compressed: compressed_layout,
     })
 }
 
@@ -483,15 +711,32 @@ fn check_sections_v2(
             offset: layout.ranking_data.end + i,
         });
     }
-    // Bytes 4..8 of every 16-byte entry record mirror LabelEntry's struct
-    // padding and must be zero, so serialization stays deterministic and a
-    // forged record cannot smuggle data the view cannot see.
-    let entry_bytes = &data[layout.entries.clone()];
-    for (rec, chunk) in entry_bytes.chunks_exact(ENTRY_LEN_V2).enumerate() {
-        if let Some(i) = chunk[4..8].iter().position(|&b| b != 0) {
-            return Err(PersistError::NonZeroPadding {
-                offset: layout.entries.start + rec * ENTRY_LEN_V2 + 4 + i,
-            });
+    match &layout.compressed {
+        None => {
+            // Bytes 4..8 of every 16-byte entry record mirror LabelEntry's
+            // struct padding and must be zero, so serialization stays
+            // deterministic and a forged record cannot smuggle data the
+            // view cannot see.
+            let entry_bytes = &data[layout.entries.clone()];
+            for (rec, chunk) in entry_bytes.chunks_exact(ENTRY_LEN_V2).enumerate() {
+                if let Some(i) = chunk[4..8].iter().position(|&b| b != 0) {
+                    return Err(PersistError::NonZeroPadding {
+                        offset: layout.entries.start + rec * ENTRY_LEN_V2 + 4 + i,
+                    });
+                }
+            }
+        }
+        Some(c) => {
+            // The encoded blob's tail padding must be zero (the skip table
+            // is 8-byte sized by construction and carries no padding).
+            if let Some(i) = data[c.blob_data.end..layout.entries.end]
+                .iter()
+                .position(|&b| b != 0)
+            {
+                return Err(PersistError::NonZeroPadding {
+                    offset: c.blob_data.end + i,
+                });
+            }
         }
     }
     Ok(())
@@ -518,30 +763,9 @@ fn check_permutation(order: &[VertexId]) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// The semantic invariants shared by every load path, checked over borrowed
-/// slices so the zero-copy view and the copying loaders validate identically:
-/// the ranking is a permutation, offsets start at 0 and rise monotonically to
-/// `m`, and every vertex's entries are strictly hub-sorted with in-range hub
-/// positions.
-fn validate_semantics(
-    order: &[VertexId],
-    offsets: &[u64],
-    entries: &[LabelEntry],
-    m64: u64,
-) -> Result<(), PersistError> {
-    check_permutation(order)?;
-    validate_csr(order.len(), offsets, entries, m64)
-}
-
-/// The CSR half of [`validate_semantics`]. The copying loaders call this
-/// directly: building the [`Ranking`] already validates the permutation, so
-/// re-running [`check_permutation`] there would scan the order twice.
-fn validate_csr(
-    n: usize,
-    offsets: &[u64],
-    entries: &[LabelEntry],
-    m64: u64,
-) -> Result<(), PersistError> {
+/// The offsets-array invariants shared by every load path and encoding:
+/// start at 0, rise monotonically, end at `m`.
+fn validate_offsets(n: usize, offsets: &[u64], m64: u64) -> Result<(), PersistError> {
     debug_assert_eq!(offsets.len(), n + 1);
     if offsets[0] != 0 {
         return Err(PersistError::Malformed(format!(
@@ -561,6 +785,17 @@ fn validate_csr(
             offsets[n]
         )));
     }
+    Ok(())
+}
+
+/// The per-entry invariants of the flat encoding: every vertex's entries
+/// strictly hub-sorted with in-range hub positions. (The compressed decoder
+/// enforces the same invariants inline while it decodes.)
+fn validate_hub_sort(
+    n: usize,
+    offsets: &[u64],
+    entries: &[LabelEntry],
+) -> Result<(), PersistError> {
     for v in 0..n {
         let slice = &entries[offsets[v] as usize..offsets[v + 1] as usize];
         let mut prev: Option<u32> = None;
@@ -582,19 +817,163 @@ fn validate_csr(
     Ok(())
 }
 
-/// Serializes `index` into the current (v2) `.chl` byte format.
+/// The CSR invariants of the flat encoding in one call. The copying loaders
+/// call the two halves around [`Ranking`] construction (which already
+/// validates the permutation), so the order array is only scanned once.
+fn validate_csr(
+    n: usize,
+    offsets: &[u64],
+    entries: &[LabelEntry],
+    m64: u64,
+) -> Result<(), PersistError> {
+    validate_offsets(n, offsets, m64)?;
+    validate_hub_sort(n, offsets, entries)
+}
+
+/// Validates a compressed entries section against already-validated CSR
+/// offsets: the skip table starts at 0, rises monotonically and ends at the
+/// blob length; every vertex's run decodes to exactly its declared label
+/// count with canonical varints, strictly increasing in-range hubs, and
+/// consumes exactly its skip-table byte span. When `sink` is given the
+/// decoded entries are appended to it (the copying loader); the view path
+/// validates without materializing anything.
+fn validate_compressed_entries(
+    skip: &[u64],
+    blob: &[u8],
+    offsets: &[u64],
+    mut sink: Option<&mut Vec<LabelEntry>>,
+) -> Result<(), PersistError> {
+    let n = offsets.len() - 1;
+    debug_assert_eq!(skip.len(), n + 1);
+    if skip[0] != 0 {
+        return Err(PersistError::Malformed(format!(
+            "skip table must start at 0, found {}",
+            skip[0]
+        )));
+    }
+    if let Some(w) = skip.windows(2).find(|w| w[0] > w[1]) {
+        return Err(PersistError::Malformed(format!(
+            "skip table must be monotonically non-decreasing, found {} before {}",
+            w[0], w[1]
+        )));
+    }
+    // layout_v2 sized the blob from skip[n], so this can only trip when the
+    // caller assembled the slices itself.
+    if skip[n] != blob.len() as u64 {
+        return Err(PersistError::Malformed(format!(
+            "final skip offset {} disagrees with the encoded blob length {}",
+            skip[n],
+            blob.len()
+        )));
+    }
+    for v in 0..n {
+        let run = &blob[skip[v] as usize..skip[v + 1] as usize];
+        let count = (offsets[v + 1] - offsets[v]) as usize;
+        let mut pos = 0usize;
+        let mut prev: Option<u32> = None;
+        let malformed =
+            |msg: &str| PersistError::Malformed(format!("compressed run of vertex {v}: {msg}"));
+        for _ in 0..count {
+            let gap = read_uvarint_canonical(run, &mut pos).map_err(&malformed)?;
+            let dist = read_uvarint_canonical(run, &mut pos).map_err(&malformed)?;
+            let hub64 = match prev {
+                None => gap,
+                Some(p) => {
+                    if gap == 0 {
+                        return Err(malformed("zero hub gap (labels must be strictly sorted)"));
+                    }
+                    u64::from(p)
+                        .checked_add(gap)
+                        .ok_or_else(|| malformed("hub gap overflows the u32 rank position space"))?
+                }
+            };
+            if hub64 >= n as u64 {
+                return Err(PersistError::Malformed(format!(
+                    "vertex {v} has a label with hub position {hub64} outside 0..{n}"
+                )));
+            }
+            let hub = hub64 as u32;
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.push(LabelEntry::new(hub, dist));
+            }
+            prev = Some(hub);
+        }
+        if pos != run.len() {
+            return Err(malformed("trailing bytes beyond the declared label count"));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `index` into the current (v2) `.chl` byte format with the
+/// default options (flat entries).
 pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
+    to_bytes_with(index, &SaveOptions::default())
+}
+
+/// Delta+varint encodes every label run, returning the per-vertex skip
+/// table (`skip[v]` = byte offset of vertex `v`'s run; `skip[n]` = blob
+/// length) and the encoded blob.
+fn encode_entries(offsets: &[u64], entries: &[LabelEntry]) -> (Vec<u64>, Vec<u8>) {
+    let n = offsets.len() - 1;
+    let mut skip = Vec::with_capacity(n + 1);
+    // Labels average a few bytes each once delta+varint encoded.
+    let mut blob = Vec::with_capacity(entries.len() * 4);
+    skip.push(0);
+    for v in 0..n {
+        let run = &entries[offsets[v] as usize..offsets[v + 1] as usize];
+        let mut prev: Option<u32> = None;
+        for e in run {
+            let gap = match prev {
+                None => u64::from(e.hub),
+                Some(p) => u64::from(e.hub - p),
+            };
+            write_uvarint(&mut blob, gap);
+            write_uvarint(&mut blob, e.dist);
+            prev = Some(e.hub);
+        }
+        skip.push(blob.len() as u64);
+    }
+    (skip, blob)
+}
+
+/// Serializes `index` into the v2 `.chl` byte format under `options`:
+/// flat 16-byte entry records by default, the delta+varint compressed
+/// entries section (flags bit 0) when `options.compress` is set.
+pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     let n = index.num_vertices();
     let m = index.total_labels();
-    let payload_len =
-        expected_payload_len_v2(n as u64, m as u64).expect("in-memory index fits in memory");
-    let mut buf = Vec::with_capacity(HEADER_LEN_V2 + payload_len);
+    // Encoding up front makes the exact output size computable either way,
+    // so the buffer never reallocates mid-write.
+    let encoded = options
+        .compress
+        .then(|| encode_entries(index.offsets(), index.entries()));
+    let capacity = match &encoded {
+        Some((skip, blob)) => {
+            let prefix =
+                pad_to_align((n as u64) * 4).expect("index fits in memory") as usize + (n + 1) * 8;
+            let entries_len = skip.len() * 8
+                + pad_to_align(blob.len() as u64).expect("index fits in memory") as usize;
+            HEADER_LEN_V2 + prefix + entries_len
+        }
+        None => {
+            HEADER_LEN_V2
+                + expected_payload_len_v2(n as u64, m as u64)
+                    .expect("in-memory index fits in memory")
+        }
+    };
+    let mut buf = Vec::with_capacity(capacity);
 
+    let flags = if options.compress {
+        FLAG_COMPRESSED_ENTRIES
+    } else {
+        0
+    };
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&(n as u64).to_le_bytes());
     buf.extend_from_slice(&(m as u64).to_le_bytes());
-    buf.extend_from_slice(&0u32.to_le_bytes()); // flags
+    buf.extend_from_slice(&flags.to_le_bytes());
     buf.extend_from_slice(&[0u8; 12]); // three crc placeholders
 
     let ranking_start = buf.len();
@@ -609,12 +988,21 @@ pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
         buf.extend_from_slice(&off.to_le_bytes());
     }
     let entries_start = buf.len();
-    for e in index.entries() {
-        buf.extend_from_slice(&e.hub.to_le_bytes());
-        buf.extend_from_slice(&0u32.to_le_bytes());
-        buf.extend_from_slice(&e.dist.to_le_bytes());
+    if let Some((skip, blob)) = &encoded {
+        for &s in skip {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(blob);
+        while !buf.len().is_multiple_of(SECTION_ALIGN) {
+            buf.push(0);
+        }
+    } else {
+        for e in index.entries() {
+            buf.extend_from_slice(&e.hub.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&e.dist.to_le_bytes());
+        }
     }
-    debug_assert_eq!(buf.len(), HEADER_LEN_V2 + payload_len);
 
     // Each section is checksummed independently — a writer streaming
     // sections to disk can finalize each CRC as the section completes.
@@ -718,23 +1106,25 @@ pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
     }
     let num_vertices = cur.get_u64();
     let num_entries = cur.get_u64();
-    let checksums = if version == VERSION_V1 {
-        Checksums::WholePayload(cur.get_u32())
+    let (flags, checksums) = if version == VERSION_V1 {
+        (0, Checksums::WholePayload(cur.get_u32()))
     } else {
         let flags = cur.get_u32();
-        if flags != 0 {
+        if flags & !FLAGS_KNOWN != 0 {
             return Err(PersistError::UnsupportedFlags { found: flags });
         }
-        Checksums::PerSection {
+        let checksums = Checksums::PerSection {
             ranking: cur.get_u32(),
             offsets: cur.get_u32(),
             entries: cur.get_u32(),
-        }
+        };
+        (flags, checksums)
     };
     Ok(FileHeader {
         version,
         num_vertices,
         num_entries,
+        flags,
         checksums,
     })
 }
@@ -805,7 +1195,12 @@ fn from_bytes_v1(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
 }
 
 fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistError> {
-    let layout = layout_v2(header.num_vertices, header.num_entries, data.len())?;
+    let layout = layout_v2(
+        header.num_vertices,
+        header.num_entries,
+        header.is_compressed(),
+        data,
+    )?;
     check_sections_v2(data, header, &layout)?;
 
     let mut cur = Cursor::new(data);
@@ -813,17 +1208,37 @@ fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
     let order: Vec<VertexId> = (0..layout.n).map(|_| cur.get_u32()).collect();
     cur.seek(layout.offsets.start);
     let offsets: Vec<u64> = (0..=layout.n).map(|_| cur.get_u64()).collect();
-    cur.seek(layout.entries.start);
-    let mut entries = Vec::with_capacity(layout.m);
-    for _ in 0..layout.m {
-        let hub = cur.get_u32();
-        cur.take(4); // reserved, checked zero above
-        let dist = cur.get_u64();
-        entries.push(LabelEntry::new(hub, dist));
-    }
     let ranking = Ranking::from_order(order, layout.n)
         .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
-    validate_csr(layout.n, &offsets, &entries, header.num_entries)?;
+    validate_offsets(layout.n, &offsets, header.num_entries)?;
+    let entries = match &layout.compressed {
+        None => {
+            cur.seek(layout.entries.start);
+            let mut entries = Vec::with_capacity(layout.m);
+            for _ in 0..layout.m {
+                let hub = cur.get_u32();
+                cur.take(4); // reserved, checked zero above
+                let dist = cur.get_u64();
+                entries.push(LabelEntry::new(hub, dist));
+            }
+            validate_hub_sort(layout.n, &offsets, &entries)?;
+            entries
+        }
+        Some(c) => {
+            // This is the decode-on-load path: validation and
+            // materialization into the flat in-memory layout in one pass.
+            cur.seek(c.skip.start);
+            let skip: Vec<u64> = (0..=layout.n).map(|_| cur.get_u64()).collect();
+            let mut entries = Vec::with_capacity(layout.m);
+            validate_compressed_entries(
+                &skip,
+                &data[c.blob_data.clone()],
+                &offsets,
+                Some(&mut entries),
+            )?;
+            entries
+        }
+    };
     Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
 }
 
@@ -878,17 +1293,20 @@ fn cast_entries(bytes: &[u8]) -> &[LabelEntry] {
     }
 }
 
-/// Validates `.chl` v2 bytes and returns a [`FlatView`] whose ranking,
-/// offsets and entries slices are **borrowed from `data` in place** — no
-/// label byte is copied. Validation is the same battery the copying loader
-/// runs (length, per-section checksums, padding, semantic invariants); the
-/// only transient allocation is the permutation-check scratch.
+/// Validates `.chl` v2 bytes of **either entries encoding** and returns a
+/// borrowed [`IndexView`] served straight from `data`: flat files
+/// reinterpret their sections in place exactly like [`view_bytes`], while
+/// compressed files borrow the skip table and encoded blob and stream-decode
+/// the two label runs each query touches. Validation is the same battery
+/// the copying loader runs (length, per-section checksums, padding,
+/// semantic invariants — including a full decode pass over every compressed
+/// run); the only transient allocation is the permutation-check scratch.
 ///
 /// Requirements beyond [`from_bytes`]: the buffer's base address must be
 /// 8-byte aligned (use [`AlignedBytes`] or an mmap, both of which guarantee
 /// it) and the host little-endian; otherwise [`PersistError::Unviewable`] is
 /// returned. v1 files report [`PersistError::NotZeroCopy`].
-pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
+pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
     let header = parse_header(data)?;
     if header.version == VERSION_V1 {
         return Err(PersistError::NotZeroCopy {
@@ -908,39 +1326,93 @@ pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
     }
     #[cfg(target_endian = "little")]
     {
-        let layout = layout_v2(header.num_vertices, header.num_entries, data.len())?;
+        let layout = layout_v2(
+            header.num_vertices,
+            header.num_entries,
+            header.is_compressed(),
+            data,
+        )?;
         check_sections_v2(data, &header, &layout)?;
         let order = cast_u32s(&data[layout.ranking_data.clone()]);
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
-        let entries = cast_entries(&data[layout.entries.clone()]);
-        validate_semantics(order, offsets, entries, header.num_entries)?;
-        Ok(FlatView::from_validated_parts(order, offsets, entries))
+        check_permutation(order)?;
+        validate_offsets(layout.n, offsets, header.num_entries)?;
+        match &layout.compressed {
+            None => {
+                let entries = cast_entries(&data[layout.entries.clone()]);
+                validate_hub_sort(layout.n, offsets, entries)?;
+                Ok(IndexView::Flat(FlatView::from_validated_parts(
+                    order, offsets, entries,
+                )))
+            }
+            Some(c) => {
+                let skip = cast_u64s(&data[c.skip.clone()]);
+                let blob = &data[c.blob_data.clone()];
+                validate_compressed_entries(skip, blob, offsets, None)?;
+                Ok(IndexView::Compressed(
+                    CompressedView::from_validated_compressed_parts(order, offsets, skip, blob),
+                ))
+            }
+        }
     }
 }
 
-/// Rebuilds the view over a buffer that [`view_bytes`] has already fully
+/// Validates `.chl` v2 bytes and returns a [`FlatView`] whose ranking,
+/// offsets and entries slices are **borrowed from `data` in place** — no
+/// label byte is copied. This is the flat-only strict form of
+/// [`open_view`]: a compressed file cannot back a `FlatView` (its entries
+/// are not 16-byte records) and reports [`PersistError::Unviewable`];
+/// serve it through [`open_view`] / `MmapIndex`, or decode it with
+/// [`from_bytes`].
+pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
+    match open_view(data)? {
+        IndexView::Flat(view) => Ok(view),
+        IndexView::Compressed(_) => Err(PersistError::Unviewable {
+            reason: "entries section is delta+varint compressed; serve it through \
+                     open_view / MmapIndex or load it with the copying reader",
+        }),
+    }
+}
+
+/// Rebuilds the view over a buffer that [`open_view`] has already fully
 /// validated, skipping every check. Used by `MmapIndex` to hand out views
 /// per query without re-walking the file.
 ///
 /// # Safety
 ///
-/// `data` must be byte-identical to a buffer `view_bytes` previously
-/// accepted with these exact `n`/`m` dimensions, with the same 8-byte-aligned
-/// base-address guarantee still holding.
-pub(crate) unsafe fn view_assuming_valid(data: &[u8], n: usize, m: usize) -> FlatView<'_> {
+/// `data` must be byte-identical to a buffer `open_view` previously
+/// accepted with these exact `n`/`m`/`compressed` parameters, with the same
+/// 8-byte-aligned base-address guarantee still holding.
+pub(crate) unsafe fn view_assuming_valid(
+    data: &[u8],
+    n: usize,
+    m: usize,
+    compressed: bool,
+) -> IndexView<'_> {
     #[cfg(target_endian = "little")]
     {
-        let layout = layout_v2(n as u64, m as u64, data.len())
+        let layout = layout_v2(n as u64, m as u64, compressed, data)
             .expect("dimensions were validated at open time");
         let order = cast_u32s(&data[layout.ranking_data.clone()]);
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
-        let entries = cast_entries(&data[layout.entries.clone()]);
-        FlatView::from_validated_parts(order, offsets, entries)
+        match &layout.compressed {
+            None => {
+                let entries = cast_entries(&data[layout.entries.clone()]);
+                IndexView::Flat(FlatView::from_validated_parts(order, offsets, entries))
+            }
+            Some(c) => {
+                let skip = cast_u64s(&data[c.skip.clone()]);
+                let blob = &data[c.blob_data.clone()];
+                IndexView::Compressed(CompressedView::from_validated_compressed_parts(
+                    order, offsets, skip, blob,
+                ))
+            }
+        }
     }
     #[cfg(not(target_endian = "little"))]
     {
-        let _ = (data, n, m);
-        unreachable!("view_bytes never validates a buffer on a big-endian host");
+        let _ = (data, n, m, compressed);
+        unreachable!("open_view never validates a buffer on a big-endian host");
     }
 }
 
@@ -1031,7 +1503,17 @@ pub fn read_aligned<P: AsRef<Path>>(path: P) -> Result<AlignedBytes, PersistErro
 /// any existing file. The write is not atomic; writers that must never
 /// expose a torn file should write to a sibling temp path and rename.
 pub fn save<P: AsRef<Path>>(index: &FlatIndex, path: P) -> Result<(), PersistError> {
-    fs::write(path, to_bytes(index))?;
+    save_with(index, path, &SaveOptions::default())
+}
+
+/// Writes `index` to `path` in the v2 `.chl` format under explicit
+/// [`SaveOptions`] (`compress: true` for the delta+varint entries section).
+pub fn save_with<P: AsRef<Path>>(
+    index: &FlatIndex,
+    path: P,
+    options: &SaveOptions,
+) -> Result<(), PersistError> {
+    fs::write(path, to_bytes_with(index, options))?;
     Ok(())
 }
 
@@ -1074,13 +1556,47 @@ mod tests {
     /// buffer so corruption tests can reach the post-checksum validators.
     fn reseal_v2(buf: &mut [u8]) {
         let header = parse_header(buf).unwrap();
-        let layout = layout_v2(header.num_vertices, header.num_entries, buf.len()).unwrap();
+        let layout = layout_v2(
+            header.num_vertices,
+            header.num_entries,
+            header.is_compressed(),
+            buf,
+        )
+        .unwrap();
         let crc_ranking = crc32(&buf[layout.ranking_section.clone()]);
         let crc_offsets = crc32(&buf[layout.offsets.clone()]);
         let crc_entries = crc32(&buf[layout.entries.clone()]);
         buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
         buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
         buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+    }
+
+    #[test]
+    fn forged_compressed_entry_count_is_rejected_not_allocated() {
+        let flat = tiny_flat();
+        let mut bytes = to_bytes_with(&flat, &SaveOptions::compressed());
+        // Forge the header's m to a count no blob of this size could hold
+        // (every encoded entry costs at least two bytes). Before the layout
+        // bound this reached `Vec::with_capacity(m)` in the copying loader —
+        // a capacity-overflow abort instead of a typed error. The guard runs
+        // before the checksums, so the stale section CRCs don't matter.
+        bytes[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PersistError::Malformed(msg)) if msg.contains("cannot fit")
+        ));
+        let aligned = AlignedBytes::from_slice(&bytes);
+        assert!(matches!(
+            open_view(&aligned),
+            Err(PersistError::Malformed(_))
+        ));
+        // m = u64::MAX must trip the same guard, not overflow the bound
+        // arithmetic.
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PersistError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -1139,7 +1655,7 @@ mod tests {
         // n = 3: the ranking data is 12 bytes, so the section carries 4
         // padding bytes and the offsets section still starts aligned.
         let bytes = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, bytes.len()).unwrap();
+        let layout = layout_v2(3, 5, false, &bytes).unwrap();
         for start in [
             layout.ranking_section.start,
             layout.offsets.start,
@@ -1221,12 +1737,20 @@ mod tests {
             Err(PersistError::UnsupportedVersion { found: 99 })
         ));
 
+        // Bit 0 (compressed entries) is understood; any other bit is not.
         let mut bad_flags = bytes.clone();
-        bad_flags[24] = 1;
+        bad_flags[24] = 2;
         assert!(matches!(
             from_bytes(&bad_flags),
-            Err(PersistError::UnsupportedFlags { found: 1 })
+            Err(PersistError::UnsupportedFlags { found: 2 })
         ));
+
+        // Forging the compressed bit onto a flat file changes the declared
+        // layout out from under the payload: it must fail (the exact error
+        // depends on what the reinterpreted skip table claims), never load.
+        let mut forged_compressed = bytes.clone();
+        forged_compressed[24] = 1;
+        assert!(from_bytes(&forged_compressed).is_err());
 
         let truncated = &bytes[..bytes.len() - 1];
         assert!(matches!(
@@ -1299,7 +1823,7 @@ mod tests {
 
         // Non-zero reserved bytes inside an entry record.
         let mut forged = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, forged.len()).unwrap();
+        let layout = layout_v2(3, 5, false, &forged).unwrap();
         forged[layout.entries.start + 5] = 0xCD;
         reseal_v2(&mut forged);
         let err = from_bytes(&forged).unwrap_err();
@@ -1374,6 +1898,262 @@ mod tests {
         let mut buf = AlignedBytes::from_slice(&[1, 2, 3]);
         buf[1] = 9;
         assert_eq!(&buf[..], &[1, 9, 3]);
+    }
+
+    fn tiny_compressed_bytes() -> Vec<u8> {
+        to_bytes_with(&tiny_flat(), &SaveOptions::compressed())
+    }
+
+    #[test]
+    fn uvarints_round_trip_canonically() {
+        for x in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(x));
+            assert_eq!(pos, buf.len());
+            let mut pos = 0;
+            assert_eq!(read_uvarint_canonical(&buf, &mut pos), Ok(x));
+            assert_eq!(pos, buf.len());
+        }
+        // Overlong: 1 encoded in two groups.
+        let mut pos = 0;
+        assert!(read_uvarint_canonical(&[0x81, 0x00], &mut pos).is_err());
+        // Truncated: continuation bit with nothing after it.
+        let mut pos = 0;
+        assert!(read_uvarint_canonical(&[0x80], &mut pos).is_err());
+        // Overflow: 11 continuation groups.
+        let mut pos = 0;
+        assert!(read_uvarint_canonical(&[0x80u8; 11], &mut pos).is_err());
+        // Overflow: 10th group carrying more than u64's last bit.
+        let mut pos = 0;
+        let mut wide = vec![0x80u8; 9];
+        wide.push(0x02);
+        assert!(read_uvarint_canonical(&wide, &mut pos).is_err());
+    }
+
+    #[test]
+    fn compressed_bytes_round_trip_and_are_byte_stable() {
+        let flat = tiny_flat();
+        let bytes = tiny_compressed_bytes();
+        let header = parse_header(&bytes).unwrap();
+        assert_eq!(header.flags, FLAG_COMPRESSED_ENTRIES);
+        assert!(header.is_compressed());
+        assert_eq!(header.expected_file_len(), None);
+
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, flat);
+        // Decode → re-encode reproduces the file byte for byte (canonical
+        // varints make the encoding injective).
+        assert_eq!(to_bytes_with(&back, &SaveOptions::compressed()), bytes);
+        // And the flat serialization of the decoded index matches the
+        // directly written flat file: the encodings are interchangeable.
+        assert_eq!(to_bytes(&back), to_bytes(&flat));
+    }
+
+    #[test]
+    fn compressed_views_stream_from_the_buffer_in_place() {
+        let flat = tiny_flat();
+        let aligned = AlignedBytes::from_slice(&tiny_compressed_bytes());
+        let view = open_view(&aligned).unwrap();
+        assert!(view.is_compressed());
+        assert_eq!(view.num_vertices(), 3);
+        assert_eq!(view.total_labels(), 5);
+        assert!(view.encoding().contains("compressed"));
+        // The compressed storage footprint is what the buffer holds, not
+        // the 16-byte-per-entry decoded size.
+        assert!(view.memory_bytes() < flat.memory_bytes());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(view.query(u, v), flat.query(u, v), "({u}, {v})");
+                assert_eq!(view.query_with_hub(u, v), flat.query_with_hub(u, v));
+            }
+        }
+        assert_eq!(view.to_owned_index(), flat);
+
+        // The strict flat view cannot back a compressed file...
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::Unviewable { .. })
+        ));
+        // ...while flat files also serve through open_view.
+        let flat_aligned = AlignedBytes::from_slice(&to_bytes(&flat));
+        let flat_view = open_view(&flat_aligned).unwrap();
+        assert!(!flat_view.is_compressed());
+        assert_eq!(flat_view.query(0, 2), flat.query(0, 2));
+    }
+
+    #[test]
+    fn compressed_corruption_is_detected_with_typed_errors() {
+        let bytes = tiny_compressed_bytes();
+
+        // Any blob byte flip trips the entries-section checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&flipped),
+            Err(PersistError::SectionChecksumMismatch { .. })
+        ));
+        let aligned = AlignedBytes::from_slice(&flipped);
+        assert!(matches!(
+            open_view(&aligned),
+            Err(PersistError::SectionChecksumMismatch { .. })
+        ));
+
+        // Truncation and trailing bytes are caught before checksums.
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 8]),
+            Err(PersistError::Truncated { .. })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            from_bytes(&trailing),
+            Err(PersistError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_compressed_payloads_are_rejected_after_resealing() {
+        let header = parse_header(&tiny_compressed_bytes()).unwrap();
+        let layout = |buf: &[u8]| layout_v2(header.num_vertices, header.num_entries, true, buf);
+
+        // A non-monotone skip table, checksums recomputed to match.
+        let mut forged = tiny_compressed_bytes();
+        let skip = layout(&forged).unwrap().compressed.unwrap().skip;
+        forged[skip.start + 8..skip.start + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal_v2(&mut forged);
+        let err = from_bytes(&forged).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+
+        // An overlong varint (0x81 0x00 spells 1 in two groups) in the
+        // first run, blob re-padded and resealed: canonicality is enforced,
+        // which is what keeps re-encoding byte-stable.
+        let flat = tiny_flat();
+        let (skip_table, mut blob) = encode_entries(flat.offsets(), flat.entries());
+        // Vertex 0's first gap varint is a single byte (hub position 0);
+        // rewrite it as the same value in two groups.
+        assert!(blob[0] & 0x80 == 0);
+        blob.splice(0..1, [0x80 | blob[0], 0x00]);
+        let mut skip2: Vec<u64> = skip_table
+            .iter()
+            .map(|&s| if s > 0 { s + 1 } else { 0 })
+            .collect();
+        // Rebuild the file by hand around the forged blob.
+        let n = flat.num_vertices() as u64;
+        let m = flat.total_labels() as u64;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        buf.extend_from_slice(&FLAG_COMPRESSED_ENTRIES.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        for &v in flat.ranking().order() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        while !buf.len().is_multiple_of(SECTION_ALIGN) {
+            buf.push(0);
+        }
+        for &off in flat.offsets() {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+        for s in skip2.drain(..) {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(&blob);
+        while !buf.len().is_multiple_of(SECTION_ALIGN) {
+            buf.push(0);
+        }
+        reseal_v2(&mut buf);
+        let err = from_bytes(&buf).unwrap_err();
+        assert!(
+            err.to_string().contains("overlong"),
+            "expected overlong-varint rejection, got: {err}"
+        );
+        let aligned = AlignedBytes::from_slice(&buf);
+        assert!(matches!(
+            open_view(&aligned),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // Non-zero blob tail padding, resealed: NonZeroPadding, as for flat.
+        let mut forged = tiny_compressed_bytes();
+        let l = layout(&forged).unwrap();
+        if l.compressed.as_ref().unwrap().blob_data.end < l.entries.end {
+            let pad_at = l.compressed.unwrap().blob_data.end;
+            forged[pad_at] = 0xEE;
+            reseal_v2(&mut forged);
+            assert!(matches!(
+                from_bytes(&forged),
+                Err(PersistError::NonZeroPadding { offset }) if offset == pad_at
+            ));
+        }
+    }
+
+    #[test]
+    fn compressed_entries_section_is_at_least_2x_smaller_on_a_grid() {
+        use chl_graph::generators::{grid_network, GridOptions};
+        let g = grid_network(
+            &GridOptions {
+                rows: 10,
+                cols: 10,
+                ..GridOptions::default()
+            },
+            7,
+        );
+        let ranking = chl_ranking::degree_ranking(&g);
+        let flat = FlatIndex::from_index(&crate::pll::sequential_pll(&g, &ranking).index);
+
+        let flat_bytes = to_bytes(&flat);
+        let comp_bytes = to_bytes_with(&flat, &SaveOptions::compressed());
+        let file_ratio = flat_bytes.len() as f64 / comp_bytes.len() as f64;
+
+        let header = parse_header(&comp_bytes).unwrap();
+        let encoded = header.entries_section_len(comp_bytes.len() as u64);
+        let decoded = header.decoded_entries_len();
+        assert_eq!(decoded, flat.total_labels() as u64 * 16);
+        assert!(
+            encoded * 2 <= decoded,
+            "entries section must shrink >= 2x: {encoded} encoded vs {decoded} decoded \
+             (whole file {file_ratio:.2}x)"
+        );
+
+        // And the flat header reports the flat section size.
+        let flat_header = parse_header(&flat_bytes).unwrap();
+        assert_eq!(
+            flat_header.entries_section_len(flat_bytes.len() as u64),
+            decoded
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_vertex_indexes_round_trip_compressed() {
+        let empty = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(5)));
+        let bytes = to_bytes_with(&empty, &SaveOptions::compressed());
+        assert_eq!(from_bytes(&bytes).unwrap(), empty);
+        let aligned = AlignedBytes::from_slice(&bytes);
+        let view = open_view(&aligned).unwrap();
+        assert_eq!(view.query(0, 3), chl_graph::types::INFINITY);
+        assert_eq!(view.query(2, 2), 0);
+
+        let zero = FlatIndex::from_index(&HubLabelIndex::empty(Ranking::identity(0)));
+        let bytes = to_bytes_with(&zero, &SaveOptions::compressed());
+        assert_eq!(from_bytes(&bytes).unwrap(), zero);
+        let aligned = AlignedBytes::from_slice(&bytes);
+        assert_eq!(open_view(&aligned).unwrap().num_vertices(), 0);
     }
 
     #[test]

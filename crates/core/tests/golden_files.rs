@@ -1,0 +1,184 @@
+//! Golden-file corpus for the `.chl` format: one small deterministic graph,
+//! checked in as v1, v2-flat and v2-compressed index files together with its
+//! full pinned distance table. Every fixture must keep loading through every
+//! applicable path and answering the pinned table byte-identically, and
+//! re-serializing a loaded fixture must reproduce its bytes exactly — so any
+//! accidental format drift in a future PR fails here before it ships.
+//!
+//! Regenerating (only when the format changes *on purpose*):
+//!
+//! ```text
+//! CHL_REGEN_FIXTURES=1 cargo test -p chl-core --test golden_files
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use chl_core::flat::FlatIndex;
+use chl_core::mapped::MmapIndex;
+use chl_core::persist::{self, AlignedBytes, SaveOptions};
+use chl_core::pll::sequential_pll;
+use chl_graph::generators::{grid_network, GridOptions};
+use chl_graph::types::INFINITY;
+use chl_ranking::degree_ranking;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The corpus graph: a 4x4 weighted grid, fully deterministic (seeded
+/// generator, vendored RNG, sequential constructor).
+fn build_golden() -> FlatIndex {
+    let g = grid_network(
+        &GridOptions {
+            rows: 4,
+            cols: 4,
+            ..GridOptions::default()
+        },
+        9,
+    );
+    let ranking = degree_ranking(&g);
+    FlatIndex::from_index(&sequential_pll(&g, &ranking).index)
+}
+
+fn distance_table(index: &FlatIndex) -> String {
+    let n = index.num_vertices() as u32;
+    let mut out = String::new();
+    for u in 0..n {
+        let row: Vec<String> = (0..n)
+            .map(|v| {
+                let d = index.query(u, v);
+                if d == INFINITY {
+                    "inf".to_string()
+                } else {
+                    d.to_string()
+                }
+            })
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+fn regen(dir: &Path) {
+    let golden = build_golden();
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("golden.v1.chl"), persist::to_bytes_v1(&golden)).unwrap();
+    std::fs::write(dir.join("golden.v2-flat.chl"), golden.to_bytes()).unwrap();
+    std::fs::write(
+        dir.join("golden.v2-compressed.chl"),
+        golden.to_bytes_with(&SaveOptions::compressed()),
+    )
+    .unwrap();
+    std::fs::write(dir.join("golden.distances.txt"), distance_table(&golden)).unwrap();
+}
+
+fn pinned_table(dir: &Path) -> Vec<Vec<u64>> {
+    let text = std::fs::read_to_string(dir.join("golden.distances.txt"))
+        .expect("fixture corpus present (CHL_REGEN_FIXTURES=1 to create)");
+    text.lines()
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| {
+                    if tok == "inf" {
+                        INFINITY
+                    } else {
+                        tok.parse().expect("pinned distance")
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts `query` answers exactly the pinned table, including out-of-range
+/// ids beyond it.
+fn assert_answers(table: &[Vec<u64>], tag: &str, query: impl Fn(u32, u32) -> u64) {
+    let n = table.len() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(
+                query(u, v),
+                table[u as usize][v as usize],
+                "{tag}: ({u}, {v})"
+            );
+        }
+    }
+    assert_eq!(query(n, 0), INFINITY, "{tag}: out of range");
+    assert_eq!(query(n, n), INFINITY, "{tag}: out of range self");
+}
+
+#[test]
+fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
+    let dir = fixtures_dir();
+    if std::env::var_os("CHL_REGEN_FIXTURES").is_some() {
+        regen(&dir);
+    }
+    let table = pinned_table(&dir);
+    assert_eq!(table.len(), 16, "4x4 grid corpus");
+
+    // v1: the copying path only.
+    let v1_bytes = std::fs::read(dir.join("golden.v1.chl")).unwrap();
+    let v1 = FlatIndex::from_bytes(&v1_bytes).expect("v1 fixture loads");
+    assert_answers(&table, "v1 copy-load", |u, v| v1.query(u, v));
+    assert_eq!(
+        persist::to_bytes_v1(&v1),
+        v1_bytes,
+        "re-serializing the loaded v1 fixture must be byte-identical"
+    );
+
+    // v2 flat: copy-load, zero-copy view and mmap.
+    let flat_path = dir.join("golden.v2-flat.chl");
+    let flat_bytes = std::fs::read(&flat_path).unwrap();
+    let flat = FlatIndex::from_bytes(&flat_bytes).expect("v2-flat fixture loads");
+    assert_answers(&table, "v2-flat copy-load", |u, v| flat.query(u, v));
+    let aligned = AlignedBytes::from_slice(&flat_bytes);
+    let view = persist::view_bytes(&aligned).expect("v2-flat fixture views");
+    assert_answers(&table, "v2-flat view", |u, v| view.query(u, v));
+    let mapped = MmapIndex::open(&flat_path).expect("v2-flat fixture maps");
+    assert!(!mapped.is_compressed());
+    assert_answers(&table, "v2-flat mmap", |u, v| mapped.view().query(u, v));
+    assert_eq!(
+        flat.to_bytes(),
+        flat_bytes,
+        "re-serializing the loaded v2-flat fixture must be byte-identical"
+    );
+
+    // v2 compressed: decode-on-load, streaming view and mmap.
+    let comp_path = dir.join("golden.v2-compressed.chl");
+    let comp_bytes = std::fs::read(&comp_path).unwrap();
+    let comp = FlatIndex::from_bytes(&comp_bytes).expect("v2-compressed fixture loads");
+    assert_answers(&table, "v2-compressed copy-load", |u, v| comp.query(u, v));
+    let aligned = AlignedBytes::from_slice(&comp_bytes);
+    let view = persist::open_view(&aligned).expect("v2-compressed fixture views");
+    assert!(view.is_compressed());
+    assert_answers(&table, "v2-compressed view", |u, v| view.query(u, v));
+    let mapped = MmapIndex::open(&comp_path).expect("v2-compressed fixture maps");
+    assert!(mapped.is_compressed());
+    assert_answers(&table, "v2-compressed mmap", |u, v| {
+        mapped.view().query(u, v)
+    });
+    assert_eq!(
+        comp.to_bytes_with(&SaveOptions::compressed()),
+        comp_bytes,
+        "re-serializing the loaded v2-compressed fixture must be byte-identical"
+    );
+
+    // The three fixtures are one index in three coats.
+    assert_eq!(v1, flat);
+    assert_eq!(flat, comp);
+
+    // Sanity on the corpus itself: the headers disagree only where the
+    // format does.
+    let flat_header = persist::parse_header(&flat_bytes).unwrap();
+    let comp_header = persist::parse_header(&comp_bytes).unwrap();
+    assert!(!flat_header.is_compressed());
+    assert!(comp_header.is_compressed());
+    assert_eq!(flat_header.num_entries, comp_header.num_entries);
+    assert!(
+        comp_bytes.len() < flat_bytes.len(),
+        "compressed fixture must be smaller ({} vs {} bytes)",
+        comp_bytes.len(),
+        flat_bytes.len()
+    );
+}

@@ -1,15 +1,18 @@
 //! Property-based tests for the persistence subsystem: for arbitrary graphs,
 //! every serving path over the `.chl` format — the copying loader, the
 //! zero-copy borrowed view and the mmap-backed index — answers every query
-//! byte-identically to the in-memory index it came from, and random
-//! single-byte corruption (anywhere in the file, padding included) never
-//! loads successfully and never panics, in either format version.
+//! byte-identically to the in-memory index it came from, for both entries
+//! encodings (flat records and delta+varint compressed); flat↔compressed
+//! round trips are lossless and re-encoding is byte-stable; and random
+//! single-byte corruption (anywhere in the file, skip table and padding
+//! included) never loads successfully and never panics, in either format
+//! version and either encoding.
 
 use proptest::prelude::*;
 
 use chl_core::flat::FlatIndex;
 use chl_core::mapped::MmapIndex;
-use chl_core::persist::{self, AlignedBytes};
+use chl_core::persist::{self, AlignedBytes, SaveOptions};
 use chl_core::pll::sequential_pll;
 use chl_graph::{CsrGraph, GraphBuilder};
 use chl_ranking::degree_ranking;
@@ -120,6 +123,80 @@ proptest! {
         let aligned = AlignedBytes::from_slice(&bytes);
         prop_assert!(persist::view_bytes(&aligned).is_err(), "view, flip at byte {}", pos);
         let path = scratch_file("corrupt", &bytes);
+        prop_assert!(MmapIndex::open(&path).is_err(), "mmap, flip at byte {}", pos);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_and_compressed_round_trips_are_query_identical(g in arb_graph()) {
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let flat = FlatIndex::from_index(&index);
+
+        let flat_bytes = flat.to_bytes();
+        let comp_bytes = flat.to_bytes_with(&SaveOptions::compressed());
+        // The compressed file decodes back to the identical index...
+        let from_flat = FlatIndex::from_bytes(&flat_bytes).expect("flat bytes load");
+        let from_comp = FlatIndex::from_bytes(&comp_bytes).expect("compressed bytes load");
+        prop_assert_eq!(&from_comp, &flat);
+        prop_assert_eq!(&from_comp, &from_flat);
+
+        // ...and every borrowed serving path over the compressed bytes
+        // answers byte-identically to the in-memory index, including
+        // out-of-range ids.
+        let aligned = AlignedBytes::from_slice(&comp_bytes);
+        let view = persist::open_view(&aligned).expect("clean compressed bytes view");
+        prop_assert!(view.is_compressed());
+        let path = scratch_file("comp-parity", &comp_bytes);
+        let mapped = MmapIndex::open(&path).expect("clean compressed file opens");
+        prop_assert!(mapped.is_compressed());
+        let n = g.num_vertices() as u32;
+        for u in 0..n + 2 {
+            for v in 0..n + 2 {
+                let expect = index.query(u, v);
+                prop_assert_eq!(view.query(u, v), expect, "view ({}, {})", u, v);
+                prop_assert_eq!(mapped.view().query(u, v), expect, "mmap ({}, {})", u, v);
+                let expect_hub = index.query_with_hub(u, v);
+                prop_assert_eq!(view.query_with_hub(u, v), expect_hub);
+                prop_assert_eq!(mapped.view().query_with_hub(u, v), expect_hub);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_re_encoding_is_byte_stable(g in arb_graph()) {
+        let ranking = degree_ranking(&g);
+        let flat = FlatIndex::from_index(&sequential_pll(&g, &ranking).index);
+        let comp = flat.to_bytes_with(&SaveOptions::compressed());
+        // decode → re-encode reproduces the exact bytes (canonical varints
+        // make the encoding injective), through both load paths.
+        let decoded = FlatIndex::from_bytes(&comp).expect("compressed bytes load");
+        prop_assert_eq!(&decoded.to_bytes_with(&SaveOptions::compressed()), &comp);
+        let aligned = AlignedBytes::from_slice(&comp);
+        let reowned = persist::open_view(&aligned).expect("view").to_owned_index();
+        prop_assert_eq!(&reowned.to_bytes_with(&SaveOptions::compressed()), &comp);
+        // Crossing encodings is stable too: flat bytes of the decoded
+        // index equal the directly written flat bytes.
+        prop_assert_eq!(decoded.to_bytes(), flat.to_bytes());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_loads_compressed(g in arb_graph(), pos in 0usize..10_000, flip in 1u8..=255) {
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let mut bytes = FlatIndex::from_index(&index).to_bytes_with(&SaveOptions::compressed());
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+
+        // Whatever byte was flipped — header, flags word, skip table,
+        // encoded blob, alignment padding — every loader must reject the
+        // file with a typed error, never a panic.
+        prop_assert!(FlatIndex::from_bytes(&bytes).is_err(), "copy-load, flip at byte {}", pos);
+        let aligned = AlignedBytes::from_slice(&bytes);
+        prop_assert!(persist::open_view(&aligned).is_err(), "open_view, flip at byte {}", pos);
+        prop_assert!(persist::view_bytes(&aligned).is_err(), "view_bytes, flip at byte {}", pos);
+        let path = scratch_file("comp-corrupt", &bytes);
         prop_assert!(MmapIndex::open(&path).is_err(), "mmap, flip at byte {}", pos);
         std::fs::remove_file(&path).ok();
     }
