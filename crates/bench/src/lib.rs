@@ -28,6 +28,8 @@
 //!   `CAL,SKIT`) to restrict an experiment.
 //! * `CHL_SEED` — RNG seed for dataset generation (default 42).
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -17,6 +17,8 @@
 //! processes. All failures — bad flags, missing files, corrupt indexes — are
 //! reported on stderr with exit code 1; panics are bugs.
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod gen;
 mod graph_files;

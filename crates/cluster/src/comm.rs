@@ -72,47 +72,67 @@ impl CommTracker {
 
     /// Records a broadcast of `bytes` of payload.
     pub fn record_broadcast(&self, bytes: usize) {
-        self.broadcast_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        bump(&self.broadcast_bytes, bytes as u64);
+        bump(&self.broadcasts, 1);
     }
 
     /// Records a point-to-point message of `bytes`.
     pub fn record_p2p(&self, bytes: usize) {
-        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        bump(&self.p2p_bytes, bytes as u64);
+        bump(&self.p2p_messages, 1);
     }
 
     /// Records an all-reduce of `bytes` of payload.
     pub fn record_allreduce(&self, bytes: usize) {
-        self.allreduce_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.allreduces.fetch_add(1, Ordering::Relaxed);
+        bump(&self.allreduce_bytes, bytes as u64);
+        bump(&self.allreduces, 1);
     }
 
     /// Reads the accumulated totals.
     pub fn snapshot(&self) -> CommVolume {
         CommVolume {
-            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
-            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
-            allreduce_bytes: self.allreduce_bytes.load(Ordering::Relaxed),
-            broadcasts: self.broadcasts.load(Ordering::Relaxed),
-            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
-            allreduces: self.allreduces.load(Ordering::Relaxed),
+            broadcast_bytes: read(&self.broadcast_bytes),
+            p2p_bytes: read(&self.p2p_bytes),
+            allreduce_bytes: read(&self.allreduce_bytes),
+            broadcasts: read(&self.broadcasts),
+            p2p_messages: read(&self.p2p_messages),
+            allreduces: read(&self.allreduces),
         }
     }
 
     /// Resets all counters to zero and returns what they held.
     pub fn take(&self) -> CommVolume {
         CommVolume {
-            broadcast_bytes: self.broadcast_bytes.swap(0, Ordering::Relaxed),
-            p2p_bytes: self.p2p_bytes.swap(0, Ordering::Relaxed),
-            allreduce_bytes: self.allreduce_bytes.swap(0, Ordering::Relaxed),
-            broadcasts: self.broadcasts.swap(0, Ordering::Relaxed),
-            p2p_messages: self.p2p_messages.swap(0, Ordering::Relaxed),
-            allreduces: self.allreduces.swap(0, Ordering::Relaxed),
+            broadcast_bytes: drain(&self.broadcast_bytes),
+            p2p_bytes: drain(&self.p2p_bytes),
+            allreduce_bytes: drain(&self.allreduce_bytes),
+            broadcasts: drain(&self.broadcasts),
+            p2p_messages: drain(&self.p2p_messages),
+            allreduces: drain(&self.allreduces),
         }
     }
+}
+
+// The tracker's fields are independent monotonic statistics totals with no
+// cross-field invariant, so all three accessors below use Relaxed: the
+// counters publish no other memory, and slightly stale or mutually skewed
+// snapshots are acceptable by design.
+
+fn bump(counter: &AtomicU64, delta: u64) {
+    // ORDERING: monotonic statistics counter; the RMW's atomicity alone
+    // guarantees no lost increment, and nothing orders against it.
+    counter.fetch_add(delta, Ordering::Relaxed);
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    // ORDERING: statistics snapshot; cross-counter skew is acceptable.
+    counter.load(Ordering::Relaxed)
+}
+
+fn drain(counter: &AtomicU64) -> u64 {
+    // ORDERING: statistics reset; the swap's atomicity guarantees no lost
+    // increment, and cross-counter skew is acceptable.
+    counter.swap(0, Ordering::Relaxed)
 }
 
 /// Size in bytes of one serialized hub label on the wire: vertex id (4),

@@ -23,6 +23,8 @@
 //! argument for DGLL/Hybrid and the label-explosion argument against
 //! DparaPLL are all *structural* — they survive the substitution intact.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod comm;
 pub mod metrics;

@@ -82,6 +82,8 @@ pub fn gll_from_state(
         .build()
         .expect("thread pool");
 
+    // ORDERING: read between supersteps, after the worker scope has joined —
+    // the join is the synchronization point, so Relaxed is enough here.
     while (next_root.load(Ordering::Relaxed) as usize) < n {
         stats.supersteps += 1;
         let local = ConcurrentLabelTable::new(n);
@@ -106,9 +108,16 @@ pub fn gll_from_state(
                     let mut local_records = Vec::new();
                     let mut local_queries = 0usize;
                     loop {
+                        // ORDERING: advisory superstep cutoff — a slightly
+                        // stale read only shifts where a worker stops, never
+                        // correctness; Relaxed suffices.
                         if superstep_labels.load(Ordering::Relaxed) > superstep_threshold {
                             break;
                         }
+                        // ORDERING: root claiming — the fetch_add's RMW
+                        // atomicity alone makes positions unique; label data
+                        // is published via the table's own locks and the
+                        // scope join, not through this counter.
                         let pos = next_root.fetch_add(1, Ordering::Relaxed);
                         if pos as usize >= n {
                             break;
@@ -116,6 +125,8 @@ pub fn gll_from_state(
                         let root = ranking.vertex_at(pos);
                         let (record, q) =
                             pruned_dijkstra(g, ranking, root, &tables, opts, &mut scratch);
+                        // ORDERING: advisory counter feeding the cutoff
+                        // above; no other memory is published through it.
                         superstep_labels.fetch_add(record.labels_generated, Ordering::Relaxed);
                         local_records.push(record);
                         local_queries += q;

@@ -63,9 +63,16 @@ pub(crate) fn shared_hybrid_impl(
                 let mut scratch = PlantScratch::new(n);
                 let mut local_records = Vec::new();
                 loop {
+                    // ORDERING: advisory stop flag — a missed update only
+                    // costs one extra tree before the worker re-checks;
+                    // Relaxed suffices.
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
+                    // ORDERING: root claiming — the fetch_add's RMW
+                    // atomicity alone makes positions unique; labels are
+                    // published via the common table's locks and the scope
+                    // join.
                     let pos = next_root.fetch_add(1, Ordering::Relaxed);
                     if pos as usize >= n {
                         break;
@@ -90,6 +97,7 @@ pub(crate) fn shared_hybrid_impl(
                     };
                     local_records.push(record);
                     if switch {
+                        // ORDERING: advisory stop flag, see the load above.
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }

@@ -149,18 +149,21 @@ impl LabelSet {
         match self.entries.last() {
             Some(last) if last.hub > entry.hub => {
                 let pos = self.entries.partition_point(|e| e.hub < entry.hub);
-                if self.entries.get(pos).map(|e| e.hub) == Some(entry.hub) {
+                match self.entries.get_mut(pos) {
                     // Keep the smaller distance for a duplicate hub.
-                    if entry.dist < self.entries[pos].dist {
-                        self.entries[pos] = entry;
+                    Some(slot) if slot.hub == entry.hub => {
+                        if entry.dist < slot.dist {
+                            *slot = entry;
+                        }
                     }
-                } else {
-                    self.entries.insert(pos, entry);
+                    _ => self.entries.insert(pos, entry),
                 }
             }
             Some(last) if last.hub == entry.hub => {
-                if entry.dist < self.entries.last().expect("just matched").dist {
-                    *self.entries.last_mut().expect("just matched") = entry;
+                if let Some(slot) = self.entries.last_mut() {
+                    if entry.dist < slot.dist {
+                        *slot = entry;
+                    }
                 }
             }
             _ => self.entries.push(entry),
@@ -172,7 +175,8 @@ impl LabelSet {
         self.entries
             .binary_search_by_key(&hub, |e| e.hub)
             .ok()
-            .map(|i| self.entries[i].dist)
+            .and_then(|i| self.entries.get(i))
+            .map(|e| e.dist)
     }
 
     /// `true` when `hub` appears in this set.

@@ -58,6 +58,9 @@ pub(crate) fn lcc_impl(g: &CsrGraph, ranking: &Ranking, config: &LabelingConfig)
                 let mut local_records = Vec::new();
                 let mut local_queries = 0usize;
                 loop {
+                    // ORDERING: root claiming — the fetch_add's RMW
+                    // atomicity alone makes positions unique; results are
+                    // published via the records mutex and the scope join.
                     let pos = next_root.fetch_add(1, Ordering::Relaxed);
                     if pos as usize >= n {
                         break;

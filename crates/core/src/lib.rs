@@ -100,6 +100,12 @@
 //! [`PersistError`], and the `chl` CLI (`crates/cli`) drives the same
 //! lifecycle from the shell (`chl query --mmap` for the zero-copy path).
 
+// The unsafe surface of this crate lives in persist.rs/mapped.rs only, and
+// every unsafe operation must sit in an explicit `unsafe {}` block with its
+// own `// SAFETY:` argument — even inside `unsafe fn`s (enforced by
+// `chl-lint check`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod canonical;
 pub mod cleaning;

@@ -57,6 +57,9 @@ pub(crate) fn spara_pll_impl(
                 let mut local_records = Vec::new();
                 let mut local_queries = 0usize;
                 loop {
+                    // ORDERING: root claiming — the fetch_add's RMW
+                    // atomicity alone makes positions unique; results are
+                    // published via the records mutex and the scope join.
                     let pos = next_root.fetch_add(1, Ordering::Relaxed);
                     if pos as usize >= n {
                         break;

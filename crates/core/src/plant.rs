@@ -302,6 +302,10 @@ pub(crate) fn plant_labeling_impl(
                 let mut scratch = PlantScratch::new(n);
                 let mut local_records = Vec::new();
                 loop {
+                    // ORDERING: root claiming — the fetch_add's RMW
+                    // atomicity alone makes positions unique; labels are
+                    // published via the common table's locks and the scope
+                    // join.
                     let pos = next_root.fetch_add(1, Ordering::Relaxed);
                     if pos as usize >= n {
                         break;

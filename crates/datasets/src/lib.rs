@@ -15,6 +15,8 @@
 //! [`from_dimacs_file`] / [`from_edge_list_file`] and used with the same
 //! downstream pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod synth;
 

@@ -21,6 +21,8 @@
 //! (`chl-query`) instead consumes the partitions directly, the way the
 //! paper's QFDL/QDOL modes do.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod dgll;
 pub mod dparapll;

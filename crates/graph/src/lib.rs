@@ -35,6 +35,8 @@
 //! assert_eq!(dist[2], 7); // 0 -> 1 -> 2 is shorter than the direct edge
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod components;
 pub mod csr;

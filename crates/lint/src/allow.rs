@@ -1,0 +1,140 @@
+//! The `lint.allow` exemption file.
+//!
+//! Format: one exemption per line, four `|`-separated fields —
+//!
+//! ```text
+//! rule | file | needle | reason
+//! ```
+//!
+//! A finding is suppressed when its rule and workspace-relative file match
+//! and the offending source line contains `needle` (so exemptions survive
+//! line-number churn; one entry may legitimately cover several identical
+//! sites in a file). A needle of `*` matches any line of the file for that
+//! rule — a deliberate, visible blanket exemption whose reason must carry
+//! the argument for the whole file. Blank lines and `#` comments are
+//! ignored. Entries that suppress nothing are themselves reported as
+//! findings, so the file can never silently rot.
+
+use crate::rules::Finding;
+
+/// One parsed exemption line.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule identifier the entry applies to.
+    pub rule: String,
+    /// Workspace-relative, `/`-separated file path.
+    pub file: String,
+    /// Substring of the offending line, or `*` for any line.
+    pub needle: String,
+    /// Why the exemption is sound (required, surfaced in diagnostics).
+    pub reason: String,
+    /// 1-based line number inside `lint.allow`.
+    pub line_no: u32,
+}
+
+/// Parses the allowlist text; malformed lines are hard errors.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        if parts.len() != 4 || parts.iter().take(3).any(|p| p.is_empty()) {
+            return Err(format!(
+                "lint.allow:{line_no}: expected `rule | file | needle | reason`, got: {line}"
+            ));
+        }
+        if parts[3].is_empty() {
+            return Err(format!(
+                "lint.allow:{line_no}: exemption needs a non-empty reason"
+            ));
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            file: parts[1].to_string(),
+            needle: parts[2].to_string(),
+            reason: parts[3].to_string(),
+            line_no,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits findings into (kept, suppressed-count) and returns the entries
+/// that never matched anything.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, usize, Vec<AllowEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in findings {
+        let hit = entries.iter().enumerate().find(|(_, e)| {
+            e.rule == finding.rule
+                && e.file == finding.file
+                && (e.needle == "*" || finding.line_text.contains(&e.needle))
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(finding),
+        }
+    }
+    let unused = entries
+        .iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_PANIC;
+
+    fn finding(file: &str, line_text: &str) -> Finding {
+        Finding {
+            rule: RULE_PANIC,
+            file: file.to_string(),
+            line: 1,
+            message: "m".to_string(),
+            line_text: line_text.to_string(),
+        }
+    }
+
+    #[test]
+    fn needle_matching_suppresses_and_tracks_usage() {
+        let entries = parse(
+            "# comment\n\
+             panic-surface | a.rs | .unwrap() | startup only\n\
+             panic-surface | b.rs | * | whole file argued elsewhere\n\
+             atomic-ordering | c.rs | load | never matches\n",
+        )
+        .expect("parse");
+        let findings = vec![
+            finding("a.rs", "x.unwrap();"),
+            finding("a.rs", "y[3]"),
+            finding("b.rs", "anything at all"),
+        ];
+        let (kept, suppressed, unused) = apply(findings, &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line_text, "y[3]");
+        assert_eq!(suppressed, 2);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "atomic-ordering");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("just three | fields | here\n").is_err());
+        assert!(parse("rule | file | needle |\n").is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! A small hand-written Rust lexer — just enough structure for the lint
+//! rules in this crate, with no external parser dependency.
+//!
+//! The scanner is string/char/comment-aware: `unsafe` inside a string
+//! literal or a comment never becomes an identifier token, raw strings
+//! (`r#"..."#`) and nested block comments are handled, and lifetimes
+//! (`'static`) are distinguished from char literals (`'a'`). It does **not**
+//! build an AST; rules work over the token stream plus per-line metadata
+//! (comment text, attribute spans), which is exactly the granularity the
+//! three rules need.
+//!
+//! `#[cfg(test)]`- and `#[test]`-gated items are detected with a
+//! brace-matching pass and their tokens are flagged `in_test`, so rules can
+//! exclude test code without evaluating `cfg` for real. The heuristic
+//! treats an attribute as test-gating when it mentions the identifier
+//! `test` and not `not` (so `#[cfg(not(test))]` stays live code).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text carried on the token).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+    /// String, char, byte or numeric literal (contents not preserved).
+    Literal,
+}
+
+/// One token with its source line and test-context flag.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Identifier text; empty for non-identifier tokens.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// `true` when the token is inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// Per-line metadata derived during scanning.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The line carries at least one non-comment token.
+    pub code: bool,
+    /// The line is (part of) an outer attribute like `#[inline]`.
+    pub attr: bool,
+    /// Concatenated text of comments on this line (empty when none).
+    pub comment: String,
+}
+
+/// The full scan of one source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Per-line info, 1-indexed (`lines[0]` is unused).
+    pub lines: Vec<LineInfo>,
+    /// Raw source lines, 1-indexed (`raw_lines[0]` is empty).
+    pub raw_lines: Vec<String>,
+}
+
+impl FileScan {
+    /// `true` when the line holds only comment text (no code, no attribute).
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.lines
+            .get(line)
+            .is_some_and(|l| !l.code && !l.comment.is_empty())
+    }
+
+    /// `true` when the line is attribute-only (e.g. `#[cfg(unix)]`).
+    pub fn is_attr_only(&self, line: usize) -> bool {
+        self.lines.get(line).is_some_and(|l| l.attr)
+    }
+
+    /// Raw text of a line with any trailing `//` comment stripped.
+    pub fn code_text(&self, line: usize) -> &str {
+        let raw = self.raw_lines.get(line).map(String::as_str).unwrap_or("");
+        if self.lines.get(line).is_some_and(|l| !l.comment.is_empty()) {
+            if let Some(pos) = raw.find("//") {
+                return &raw[..pos];
+            }
+        }
+        raw
+    }
+}
+
+/// Scans `src` into tokens and per-line metadata.
+pub fn scan(src: &str) -> FileScan {
+    let raw_lines: Vec<String> = std::iter::once(String::new())
+        .chain(src.lines().map(str::to_string))
+        .collect();
+    let mut lines = vec![LineInfo::default(); raw_lines.len().max(2)];
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    fn add_comment(lines: &mut [LineInfo], line: u32, text: &str) {
+        if let Some(info) = lines.get_mut(line as usize) {
+            if !info.comment.is_empty() {
+                info.comment.push(' ');
+            }
+            info.comment.push_str(text.trim());
+        }
+    }
+
+    fn mark_code(lines: &mut [LineInfo], line: u32) {
+        if let Some(info) = lines.get_mut(line as usize) {
+            info.code = true;
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                add_comment(&mut lines, line, &text);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                let mut buf = String::new();
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '\n' {
+                        add_comment(&mut lines, line, &buf);
+                        buf.clear();
+                        line += 1;
+                    } else {
+                        buf.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                add_comment(&mut lines, line, &buf);
+            }
+            '"' => {
+                let start_line = line;
+                i = skip_string(&chars, i, &mut line);
+                for l in start_line..=line {
+                    mark_code(&mut lines, l);
+                }
+                tokens.push(token(TokKind::Literal, start_line));
+            }
+            '\'' => {
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = matches!(next, Some(n) if n == '_' || n.is_alphabetic())
+                    && chars.get(i + 2) != Some(&'\'');
+                mark_code(&mut lines, line);
+                if is_lifetime {
+                    i += 2;
+                    while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(token(TokKind::Lifetime, line));
+                } else {
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                // Malformed source; tolerate and resync.
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    tokens.push(token(TokKind::Literal, line));
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                mark_code(&mut lines, line);
+                let raw_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+                if raw_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
+                    let start_line = line;
+                    if chars.get(i) == Some(&'#') {
+                        i = skip_raw_string(&chars, i, &mut line);
+                    } else {
+                        i = skip_string(&chars, i, &mut line);
+                    }
+                    for l in start_line..=line {
+                        mark_code(&mut lines, l);
+                    }
+                    tokens.push(token(TokKind::Literal, start_line));
+                } else {
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        in_test: false,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                mark_code(&mut lines, line);
+                tokens.push(token(TokKind::Literal, line));
+            }
+            _ => {
+                mark_code(&mut lines, line);
+                tokens.push(token(TokKind::Punct(c), line));
+                i += 1;
+            }
+        }
+    }
+
+    mark_attrs_and_tests(&mut tokens, &mut lines);
+
+    FileScan {
+        tokens,
+        lines,
+        raw_lines,
+    }
+}
+
+fn token(kind: TokKind, line: u32) -> Token {
+    Token {
+        kind,
+        text: String::new(),
+        line,
+        in_test: false,
+    }
+}
+
+/// Skips a `"..."` literal starting at the opening quote; returns the index
+/// just past the closing quote and updates `line` across embedded newlines.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // An escaped newline (string continuation) still advances
+                // the line counter.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string `#"..."#` (any number of hashes) starting at the first
+/// `#`; returns the index just past the closing delimiter.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        } else if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Marks attribute line spans and flags tokens of `#[cfg(test)]`/`#[test]`
+/// items as `in_test`.
+fn mark_attrs_and_tests(tokens: &mut [Token], lines: &mut [LineInfo]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = tokens.get(j).map(|t| t.kind) == Some(TokKind::Punct('!'));
+        if inner {
+            j += 1;
+        }
+        if tokens.get(j).map(|t| t.kind) != Some(TokKind::Punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` of the attribute.
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut has_test = false;
+        let mut has_not = false;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident => {
+                    if tokens[k].text == "test" {
+                        has_test = true;
+                    } else if tokens[k].text == "not" {
+                        has_not = true;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end_tok = k.min(tokens.len() - 1);
+        for l in tokens[i].line..=tokens[end_tok].line {
+            if let Some(info) = lines.get_mut(l as usize) {
+                info.attr = true;
+            }
+        }
+        if has_test && !has_not && !inner {
+            let item_end = item_end(tokens, end_tok + 1);
+            for t in tokens[i..item_end].iter_mut() {
+                t.in_test = true;
+            }
+            i = item_end;
+        } else {
+            i = end_tok + 1;
+        }
+    }
+}
+
+/// Returns the exclusive token index where the item starting at `from` ends:
+/// either at the `;` of a braceless item or at the `}` closing its body.
+/// Leading further attributes are absorbed into the item.
+fn item_end(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut in_body = false;
+    let mut k = from;
+    while k < tokens.len() {
+        match tokens[k].kind {
+            TokKind::Punct('{') => {
+                if depth == 0 {
+                    in_body = true;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth = depth.saturating_sub(1),
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if in_body && depth == 0 {
+                    return k + 1;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return k + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let scan = scan(
+            r##"
+let a = "unsafe { }"; // unsafe in comment
+let b = r#"unsafe"#;
+/* unsafe block comment */
+let c = 'u';
+"##,
+        );
+        assert!(!scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let scan = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let literals = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_flagged() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn also_live() {}\n";
+        let scan = scan(src);
+        let unwraps: Vec<bool> = scan
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let live = scan
+            .tokens
+            .iter()
+            .find(|t| t.text == "also_live")
+            .expect("token");
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn guard() { x.unwrap(); }\n";
+        let scan = scan(src);
+        let t = scan
+            .tokens
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("tok");
+        assert!(!t.in_test);
+    }
+
+    #[test]
+    fn line_info_classifies_comments_and_attrs() {
+        let src = "// SAFETY: fine\n#[inline]\nfn f() {}\n";
+        let scan = scan(src);
+        assert!(scan.is_comment_only(1));
+        assert!(scan.lines[1].comment.contains("SAFETY:"));
+        assert!(scan.is_attr_only(2));
+        assert!(scan.lines[3].code);
+    }
+}

@@ -1,0 +1,222 @@
+//! `chl-lint`: the workspace's own static-analysis pass, plus the
+//! deterministic-scheduler race harness ([`sched`]).
+//!
+//! The lint walks every `.rs` file under `crates/`, `shims/` and `src/`
+//! with a hand-written lexer ([`lexer`]) and enforces three rules
+//! ([`rules`]): `unsafe-audit`, `panic-surface` and `atomic-ordering`.
+//! Exemptions live in a checked-in `lint.allow` file ([`allow`]); unused
+//! exemptions are themselves findings. The crate has **no dependencies**,
+//! so any member of the workspace — including the shims the lint watches —
+//! can use it as a dev-dependency without cycles.
+//!
+//! See `docs/ARCHITECTURE.md` ("Safety & concurrency invariants") for the
+//! contracts these rules pin down.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod sched;
+
+use std::path::{Path, PathBuf};
+
+use allow::AllowEntry;
+use rules::{Finding, UnsafeSite};
+
+/// Files (exact) and directories (trailing `/`) where the panic-surface
+/// rule applies: the library query/serving hot paths.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/core/src/flat.rs",
+    "crates/core/src/mapped.rs",
+    "crates/core/src/labels.rs",
+    "crates/core/src/persist.rs",
+    "shims/rayon/src/",
+    "shims/memmap2/src/",
+];
+
+/// Directories under the root that are scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["crates", "shims", "src"];
+
+/// Directory names never descended into: build output and the lint's own
+/// corpus of intentionally-bad fixture files.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Everything `check` produced for one workspace.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Findings that survived the allowlist, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by `lint.allow`.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (also a failure).
+    pub unused_allow: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// `true` when the workspace is clean (no findings, no stale allows).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_allow.is_empty()
+    }
+}
+
+/// `true` when the panic-surface rule applies to this relative path.
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATHS.iter().any(|h| {
+        if let Some(dir) = h.strip_suffix('/') {
+            rel.starts_with(dir) && rel.as_bytes().get(dir.len()) == Some(&b'/')
+        } else {
+            rel == *h
+        }
+    })
+}
+
+/// `true` when the path is test-only code by location (`tests/` or
+/// `benches/` directory); in-file `#[cfg(test)]` is handled by the lexer.
+fn is_test_context(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Collects every `.rs` file under the scan roots, sorted for determinism.
+/// Paths are returned workspace-relative with `/` separators.
+pub fn collect_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three rules over one file's source, honoring hot-path and
+/// test-context classification.
+pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
+    let scan = lexer::scan(src);
+    let test_context = is_test_context(rel);
+    let mut findings = Vec::new();
+    if !test_context {
+        rules::check_unsafe_audit(&scan, rel, &mut findings);
+        rules::check_atomic_ordering(&scan, rel, &mut findings);
+        if is_hot_path(rel) {
+            rules::check_panic_surface(&scan, rel, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Runs the full check over a workspace root, applying `lint.allow` when
+/// present (or an explicit allowlist path).
+pub fn run_check(root: &Path, allow_path: Option<&Path>) -> Result<CheckReport, String> {
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = read(root, rel)?;
+        findings.extend(check_source(rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let default_allow = root.join("lint.allow");
+    let allow_file = allow_path.map(Path::to_path_buf).unwrap_or(default_allow);
+    let entries = if allow_file.is_file() {
+        let text = std::fs::read_to_string(&allow_file)
+            .map_err(|e| format!("reading {}: {e}", allow_file.display()))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+    let (kept, suppressed, unused_allow) = allow::apply(findings, &entries);
+
+    Ok(CheckReport {
+        findings: kept,
+        suppressed,
+        unused_allow,
+        files_scanned: files.len(),
+    })
+}
+
+/// Builds the workspace-wide unsafe inventory: every `unsafe` occurrence
+/// (test code included, marked as such) with its justification's first line.
+pub fn run_inventory(root: &Path) -> Result<Vec<(String, UnsafeSite)>, String> {
+    let mut out = Vec::new();
+    for rel in collect_files(root)? {
+        let src = read(root, &rel)?;
+        let scan = lexer::scan(&src);
+        for site in rules::unsafe_sites(&scan) {
+            out.push((rel.clone(), site));
+        }
+    }
+    Ok(out)
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, String> {
+    let path = root.join(rel);
+    std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` (inclusive)
+/// containing a `crates` or `shims` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("crates").is_dir() || d.join("shims").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_matching_is_exact_for_files_and_prefix_for_dirs() {
+        assert!(is_hot_path("crates/core/src/flat.rs"));
+        assert!(is_hot_path("shims/rayon/src/lib.rs"));
+        assert!(!is_hot_path("crates/core/src/gll.rs"));
+        assert!(!is_hot_path("shims/rayon/tests/interleavings.rs"));
+        assert!(!is_hot_path("shims/rayon_extra/src/lib.rs"));
+    }
+
+    #[test]
+    fn test_context_files_skip_live_rules() {
+        let src = "fn f() { unsafe { g() } }\n";
+        assert!(!check_source("crates/core/src/extra.rs", src).is_empty());
+        assert!(check_source("crates/core/tests/extra.rs", src).is_empty());
+        assert!(check_source("crates/bench/benches/extra.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_surface_only_fires_on_hot_paths() {
+        let src = "fn f(v: &[u32]) -> u32 { v.iter().next().copied().unwrap() }\n";
+        assert!(check_source("crates/core/src/gll.rs", src).is_empty());
+        assert_eq!(check_source("crates/core/src/flat.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The `chl-lint` binary: `check` (run the three rules + allowlist) and
+//! `inventory` (print the workspace unsafe inventory). See the library
+//! crate docs and `docs/ARCHITECTURE.md` for rule semantics.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chl-lint — workspace static analysis for the unsafe/parallel core
+
+USAGE:
+    chl-lint check [--root DIR] [--allow FILE]
+    chl-lint inventory [--root DIR]
+
+COMMANDS:
+    check       Run unsafe-audit, panic-surface and atomic-ordering over
+                every .rs file under crates/, shims/ and src/; apply
+                lint.allow; exit nonzero on any finding or stale exemption.
+    inventory   Print every `unsafe` occurrence (file:line, kind, first
+                SAFETY line) so reviews can diff the unsafe surface.
+
+OPTIONS:
+    --root DIR     Workspace root (default: nearest ancestor of the current
+                   directory containing crates/ or shims/).
+    --allow FILE   Allowlist path (default: <root>/lint.allow).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("chl-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n\n{USAGE}"));
+    };
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = Some(PathBuf::from(args.get(i).ok_or("--root needs a value")?));
+            }
+            "--allow" => {
+                i += 1;
+                allow = Some(PathBuf::from(args.get(i).ok_or("--allow needs a value")?));
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            chl_lint::find_root(&cwd)
+                .ok_or("no workspace root (crates/ or shims/) found above the current directory")?
+        }
+    };
+
+    match command.as_str() {
+        "check" => check(&root, allow.as_deref()),
+        "inventory" => inventory(&root),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn check(root: &std::path::Path, allow: Option<&std::path::Path>) -> Result<bool, String> {
+    let report = chl_lint::run_check(root, allow)?;
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.line_text.is_empty() {
+            println!("    {}", f.line_text);
+        }
+    }
+    for e in &report.unused_allow {
+        println!(
+            "lint.allow:{}: [allowlist] exemption matched nothing ({} | {} | {}) — remove it or \
+             fix the needle",
+            e.line_no, e.rule, e.file, e.needle
+        );
+    }
+    if report.is_clean() {
+        println!(
+            "chl-lint: OK — {} files scanned, {} finding(s) suppressed by lint.allow",
+            report.files_scanned, report.suppressed
+        );
+        Ok(true)
+    } else {
+        println!(
+            "chl-lint: FAILED — {} finding(s), {} stale exemption(s) across {} files",
+            report.findings.len(),
+            report.unused_allow.len(),
+            report.files_scanned
+        );
+        Ok(false)
+    }
+}
+
+fn inventory(root: &std::path::Path) -> Result<bool, String> {
+    let sites = chl_lint::run_inventory(root)?;
+    let live = sites.iter().filter(|(_, s)| !s.in_test).count();
+    for (file, site) in &sites {
+        let marker = if site.in_test { " (test)" } else { "" };
+        let safety = site.safety.as_deref().unwrap_or("— NO SAFETY COMMENT —");
+        println!("{file}:{}: {}{marker}  {safety}", site.line, site.kind);
+    }
+    println!(
+        "chl-lint: {} unsafe site(s), {live} in live code, {} without justification",
+        sites.len(),
+        sites.iter().filter(|(_, s)| s.safety.is_none()).count()
+    );
+    Ok(true)
+}

@@ -1,0 +1,417 @@
+//! The three lint rules, expressed over [`FileScan`] token streams.
+//!
+//! * **unsafe-audit** — every live (non-test) `unsafe` block / `unsafe fn` /
+//!   `unsafe impl` must be immediately preceded by a `// SAFETY:` comment
+//!   block (attribute lines in between are allowed, blank lines are not).
+//!   `unsafe fn` / `unsafe impl` may alternatively carry a doc comment with a
+//!   `# Safety` section, matching the public-API style already used in the
+//!   workspace.
+//! * **panic-surface** — `.unwrap()`, `.expect(`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!` and `[...]` indexing are forbidden in the
+//!   serving hot-path files outside `#[cfg(test)]`; exemptions live in
+//!   `lint.allow` with a reason each.
+//! * **atomic-ordering** — every live `Ordering::Relaxed` must carry an
+//!   `// ORDERING:` justification, either trailing on the statement or in
+//!   the comment block immediately above it. Whether a given atomic is
+//!   actually cross-thread is undecidable from source, so the rule asks for
+//!   the one-line argument unconditionally — a Relaxed access that is not
+//!   shared is exactly one sentence to justify.
+
+use crate::lexer::{FileScan, TokKind};
+
+/// Rule identifier: unsafe sites need SAFETY comments.
+pub const RULE_UNSAFE: &str = "unsafe-audit";
+/// Rule identifier: no panics/indexing on the serving hot path.
+pub const RULE_PANIC: &str = "panic-surface";
+/// Rule identifier: Relaxed atomics need ORDERING justifications.
+pub const RULE_ORDERING: &str = "atomic-ordering";
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Workspace-relative, `/`-separated file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Raw text of the offending source line (used for allowlist needles).
+    pub line_text: String,
+}
+
+/// One `unsafe` occurrence, for the inventory and the audit rule.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Site kind: `unsafe block`, `unsafe fn`, `unsafe impl`, `unsafe trait`.
+    pub kind: &'static str,
+    /// First line of the justification (`SAFETY:` text or `# Safety` doc
+    /// contract), when one is present.
+    pub safety: Option<String>,
+    /// The site sits inside `#[cfg(test)]`/`#[test]` code.
+    pub in_test: bool,
+}
+
+/// Collects every `unsafe` keyword occurrence in the file.
+pub fn unsafe_sites(scan: &FileScan) -> Vec<UnsafeSite> {
+    let toks = &scan.tokens;
+    let mut out = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let kind = match toks.get(idx + 1) {
+            Some(n) if n.kind == TokKind::Ident && n.text == "fn" => "unsafe fn",
+            Some(n) if n.kind == TokKind::Ident && n.text == "impl" => "unsafe impl",
+            Some(n) if n.kind == TokKind::Ident && n.text == "trait" => "unsafe trait",
+            Some(n) if n.kind == TokKind::Punct('{') => "unsafe block",
+            _ => "unsafe block",
+        };
+        out.push(UnsafeSite {
+            line: t.line,
+            kind,
+            safety: safety_comment(scan, t.line as usize, kind),
+            in_test: t.in_test,
+        });
+    }
+    out
+}
+
+/// Looks for the justification of an unsafe site at `line`: a contiguous
+/// comment block directly above (attribute lines may intervene, blank lines
+/// may not) containing `SAFETY:`, or — for `unsafe fn` / `unsafe impl` /
+/// `unsafe trait` — a doc comment with a `# Safety` section. When the
+/// `unsafe` keyword sits on a wrapped continuation line (e.g. `let x =` /
+/// `unsafe { ... }`), the comment is searched above the statement's first
+/// line.
+fn safety_comment(scan: &FileScan, line: usize, kind: &str) -> Option<String> {
+    let line = statement_start(scan, line);
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && scan.is_attr_only(l) && !scan.is_comment_only(l) {
+        l -= 1;
+    }
+    let mut block: Vec<&str> = Vec::new();
+    while l >= 1 && scan.is_comment_only(l) {
+        block.push(scan.lines[l].comment.as_str());
+        l -= 1;
+    }
+    block.reverse();
+    if let Some(text) = block.iter().find(|c| c.contains("SAFETY:")) {
+        let after = &text[text.find("SAFETY:").unwrap_or(0)..];
+        return Some(after.trim().to_string());
+    }
+    if kind != "unsafe block" && block.iter().any(|c| c.contains("# Safety")) {
+        return Some("# Safety (documented contract)".to_string());
+    }
+    None
+}
+
+/// unsafe-audit: every live unsafe site must carry a justification.
+pub fn check_unsafe_audit(scan: &FileScan, file: &str, out: &mut Vec<Finding>) {
+    for site in unsafe_sites(scan) {
+        if site.in_test || site.safety.is_some() {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_UNSAFE,
+            file: file.to_string(),
+            line: site.line,
+            message: format!(
+                "{} without an immediately preceding `// SAFETY:` comment",
+                site.kind
+            ),
+            line_text: line_text(scan, site.line),
+        });
+    }
+}
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (slice types, attribute openers are handled separately).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// panic-surface: `.unwrap()`, `.expect(`, panicking macros, `[...]`
+/// indexing — forbidden in hot-path files outside `#[cfg(test)]`.
+pub fn check_panic_surface(scan: &FileScan, file: &str, out: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    for idx in 0..toks.len() {
+        let t = &toks[idx];
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let prev_dot = idx
+                    .checked_sub(1)
+                    .is_some_and(|p| toks[p].kind == TokKind::Punct('.'));
+                let next_paren = toks.get(idx + 1).map(|n| n.kind) == Some(TokKind::Punct('('));
+                if prev_dot && next_paren {
+                    out.push(Finding {
+                        rule: RULE_PANIC,
+                        file: file.to_string(),
+                        line: t.line,
+                        message: format!("`.{}(...)` on the serving hot path", t.text),
+                        line_text: line_text(scan, t.line),
+                    });
+                }
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(idx + 1).map(|n| n.kind) == Some(TokKind::Punct('!')) =>
+            {
+                out.push(Finding {
+                    rule: RULE_PANIC,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!("`{}!` on the serving hot path", t.text),
+                    line_text: line_text(scan, t.line),
+                });
+            }
+            TokKind::Punct('[') => {
+                let Some(p) = idx.checked_sub(1).map(|p| &toks[p]) else {
+                    continue;
+                };
+                let indexish = match p.kind {
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                    _ => false,
+                };
+                if indexish {
+                    out.push(Finding {
+                        rule: RULE_PANIC,
+                        file: file.to_string(),
+                        line: t.line,
+                        message: "`[...]` indexing on the serving hot path (can panic on \
+                                  out-of-range)"
+                            .to_string(),
+                        line_text: line_text(scan, t.line),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// atomic-ordering: each live `Ordering::Relaxed` needs an `// ORDERING:`
+/// justification on the statement or immediately above it.
+pub fn check_atomic_ordering(scan: &FileScan, file: &str, out: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    for idx in 3..toks.len() {
+        let t = &toks[idx];
+        if t.in_test || t.kind != TokKind::Ident || t.text != "Relaxed" {
+            continue;
+        }
+        let path_like = toks[idx - 1].kind == TokKind::Punct(':')
+            && toks[idx - 2].kind == TokKind::Punct(':')
+            && toks[idx - 3].kind == TokKind::Ident
+            && toks[idx - 3].text == "Ordering";
+        if !path_like || ordering_justified(scan, t.line as usize) {
+            continue;
+        }
+        if flagged_lines.contains(&t.line) {
+            continue;
+        }
+        flagged_lines.push(t.line);
+        out.push(Finding {
+            rule: RULE_ORDERING,
+            file: file.to_string(),
+            line: t.line,
+            message: "`Ordering::Relaxed` without an `// ORDERING:` justification".to_string(),
+            line_text: line_text(scan, t.line),
+        });
+    }
+}
+
+/// A Relaxed use at `line` is justified when an `ORDERING:` comment trails
+/// any line of the enclosing statement or sits in the comment block directly
+/// above the statement's first line.
+fn ordering_justified(scan: &FileScan, line: usize) -> bool {
+    let start = statement_start(scan, line);
+    for l in start..=line {
+        if scan
+            .lines
+            .get(l)
+            .is_some_and(|i| i.comment.contains("ORDERING:"))
+        {
+            return true;
+        }
+    }
+    let mut l = start.saturating_sub(1);
+    while l >= 1 && scan.is_attr_only(l) && !scan.is_comment_only(l) {
+        l -= 1;
+    }
+    while l >= 1 && scan.is_comment_only(l) {
+        if scan.lines[l].comment.contains("ORDERING:") {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// Walks up from `line` to the first line of the enclosing statement:
+/// predecessors that are code and do not end a statement or block belong to
+/// the same (rustfmt-wrapped) statement.
+fn statement_start(scan: &FileScan, line: usize) -> usize {
+    let mut start = line;
+    while start > 1 {
+        let p = start - 1;
+        let info = match scan.lines.get(p) {
+            Some(info) => info,
+            None => break,
+        };
+        if !info.code || info.attr {
+            break;
+        }
+        let text = scan.code_text(p).trim_end();
+        if text.is_empty() || text.ends_with(';') || text.ends_with('{') || text.ends_with('}') {
+            break;
+        }
+        start = p;
+    }
+    start
+}
+
+fn line_text(scan: &FileScan, line: u32) -> String {
+    scan.raw_lines
+        .get(line as usize)
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run_all(src: &str) -> Vec<Finding> {
+        let scan = scan(src);
+        let mut out = Vec::new();
+        check_unsafe_audit(&scan, "f.rs", &mut out);
+        check_panic_surface(&scan, "f.rs", &mut out);
+        check_atomic_ordering(&scan, "f.rs", &mut out);
+        out
+    }
+
+    #[test]
+    fn commented_unsafe_block_passes() {
+        let src = "fn f() {\n    // SAFETY: bounds were checked above.\n    unsafe { g() }\n}\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_UNSAFE));
+    }
+
+    #[test]
+    fn uncommented_unsafe_block_fails() {
+        let src = "fn f() {\n    unsafe { g() }\n}\n";
+        let findings = run_all(src);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RULE_UNSAFE && f.line == 2));
+    }
+
+    #[test]
+    fn blank_line_breaks_the_safety_block() {
+        let src = "fn f() {\n    // SAFETY: stale.\n\n    unsafe { g() }\n}\n";
+        let findings = run_all(src);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RULE_UNSAFE && f.line == 4));
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let src = "/// Does things.\n///\n/// # Safety\n///\n/// Caller checks x.\npub unsafe fn f() {}\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_UNSAFE));
+    }
+
+    #[test]
+    fn attribute_between_comment_and_unsafe_is_fine() {
+        let src = "// SAFETY: immutable mapping.\n#[cfg(unix)]\nunsafe impl Send for M {}\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_UNSAFE));
+    }
+
+    #[test]
+    fn panic_surface_catches_the_panicking_family() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n\
+                   let a = v.get(i).unwrap();\n\
+                   let b: u32 = \"7\".parse().expect(\"num\");\n\
+                   if i > 9 { panic!(\"big\"); }\n\
+                   if i > 8 { unreachable!(); }\n\
+                   a + b + v[i]\n}\n";
+        let findings = run_all(src);
+        let panics: Vec<u32> = findings
+            .iter()
+            .filter(|f| f.rule == RULE_PANIC)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(panics, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn non_index_bracket_positions_do_not_fire() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n\
+                   fn f(x: &[u8], s: &S) -> Vec<u8> { let _ = &s.a; vec![0, x.len() as u8] }\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_PANIC));
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).min(x.unwrap_or_else(|| 1)) }\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_PANIC));
+    }
+
+    #[test]
+    fn relaxed_needs_ordering_comment() {
+        let src = "fn f(a: &A) {\n    a.x.store(1, Ordering::Relaxed);\n}\n";
+        let findings = run_all(src);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RULE_ORDERING && f.line == 2));
+    }
+
+    #[test]
+    fn trailing_and_preceding_ordering_comments_both_work() {
+        let src = "fn f(a: &A) {\n\
+                   a.x.store(1, Ordering::Relaxed); // ORDERING: advisory flag.\n\
+                   // ORDERING: monotonic counter, no ordering needed.\n\
+                   a.y.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_ORDERING));
+    }
+
+    #[test]
+    fn ordering_comment_covers_wrapped_method_chains() {
+        let src = "fn f(a: &A) {\n\
+                   // ORDERING: counter only.\n\
+                   a.broadcast_bytes\n\
+                       .fetch_add(n, Ordering::Relaxed);\n}\n";
+        assert!(run_all(src).iter().all(|f| f.rule != RULE_ORDERING));
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn t(v: &[u32]) { let _ = unsafe { g() }; v.iter().next().unwrap();\n\
+                   x.store(1, Ordering::Relaxed); }\n}\n";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_inside_strings_and_comments_is_invisible() {
+        let src = "fn f() -> &'static str {\n\
+                   // this mentions unsafe { } in prose\n\
+                   \"unsafe { code }\"\n}\n";
+        assert!(run_all(src).is_empty());
+        let sites = unsafe_sites(&scan(src));
+        assert!(sites.is_empty());
+    }
+}

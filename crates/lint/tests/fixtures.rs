@@ -1,0 +1,145 @@
+//! Drives the `chl-lint` binary over the fixture corpus in
+//! `tests/fixtures/` — each fixture is a miniature workspace root — and
+//! over the real workspace, asserting exit codes and `file:line`
+//! diagnostics.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_check(root: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chl-lint"))
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn chl-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_check(&fixture("clean"));
+    let text = stdout(&out);
+    assert!(out.status.success(), "expected success, got:\n{text}");
+    assert!(text.contains("chl-lint: OK"), "{text}");
+}
+
+#[test]
+fn missing_safety_fails_with_file_and_line() {
+    let out = run_check(&fixture("missing_safety"));
+    let text = stdout(&out);
+    assert!(!out.status.success(), "expected failure, got:\n{text}");
+    assert!(
+        text.contains("crates/core/src/flat.rs:4: [unsafe-audit]"),
+        "diagnostic should carry file:line, got:\n{text}"
+    );
+}
+
+#[test]
+fn safety_comment_before_blank_line_does_not_count() {
+    let out = run_check(&fixture("blank_line_safety"));
+    let text = stdout(&out);
+    assert!(!out.status.success(), "expected failure, got:\n{text}");
+    assert!(
+        text.contains("crates/core/src/flat.rs:7: [unsafe-audit]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn unwrap_and_indexing_on_hot_path_fail() {
+    let out = run_check(&fixture("unwrap_hot_path"));
+    let text = stdout(&out);
+    assert!(!out.status.success(), "expected failure, got:\n{text}");
+    assert!(
+        text.contains("crates/core/src/flat.rs:4: [panic-surface]"),
+        "unwrap should be flagged, got:\n{text}"
+    );
+    assert!(
+        text.contains("crates/core/src/flat.rs:8: [panic-surface]"),
+        "indexing should be flagged, got:\n{text}"
+    );
+}
+
+#[test]
+fn unjustified_relaxed_fails() {
+    let out = run_check(&fixture("unjustified_relaxed"));
+    let text = stdout(&out);
+    assert!(!out.status.success(), "expected failure, got:\n{text}");
+    assert!(
+        text.contains("crates/core/src/flat.rs:8: [atomic-ordering]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn strings_comments_and_cfg_test_do_not_trip_the_rules() {
+    let out = run_check(&fixture("false_positive_guard"));
+    let text = stdout(&out);
+    assert!(
+        out.status.success(),
+        "unsafe/unwrap in strings, comments or #[cfg(test)] must not be findings:\n{text}"
+    );
+}
+
+#[test]
+fn allowlisted_finding_is_suppressed() {
+    let out = run_check(&fixture("allowlisted"));
+    let text = stdout(&out);
+    assert!(out.status.success(), "expected success, got:\n{text}");
+    assert!(
+        text.contains("1 finding(s) suppressed"),
+        "suppression should be counted, got:\n{text}"
+    );
+}
+
+#[test]
+fn stale_allow_entry_is_a_finding() {
+    let out = run_check(&fixture("stale_allow"));
+    let text = stdout(&out);
+    assert!(!out.status.success(), "expected failure, got:\n{text}");
+    assert!(
+        text.contains("exemption matched nothing"),
+        "stale entries must be reported, got:\n{text}"
+    );
+}
+
+/// The real workspace must stay green — the same invocation CI runs.
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = run_check(&root);
+    let text = stdout(&out);
+    assert!(out.status.success(), "workspace lint failed:\n{text}");
+}
+
+/// `inventory` lists every unsafe site and none is unjustified.
+#[test]
+fn inventory_reports_fully_justified_unsafe_surface() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_chl-lint"))
+        .args(["inventory", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn chl-lint");
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}");
+    assert!(
+        text.contains("0 without justification"),
+        "every live unsafe site must carry a SAFETY argument:\n{text}"
+    );
+}

@@ -1,0 +1,5 @@
+//! Fixture: a hot-path unwrap that the sibling lint.allow exempts.
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

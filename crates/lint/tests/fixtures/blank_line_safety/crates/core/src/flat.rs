@@ -1,0 +1,8 @@
+//! Bad fixture: a SAFETY comment separated from its unsafe block by a
+//! blank line does not count — the justification must be contiguous.
+
+pub fn first_byte(data: &[u8]) -> u8 {
+    // SAFETY: the caller promises data is non-empty.
+
+    unsafe { *data.as_ptr() }
+}

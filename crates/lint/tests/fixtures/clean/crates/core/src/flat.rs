@@ -1,0 +1,20 @@
+//! Clean fixture: justified unsafe, justified Relaxed, no panics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reads the first byte of a non-empty buffer.
+pub fn first_byte(data: &[u8]) -> Option<u8> {
+    if data.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees index 0 is in bounds.
+    let b = unsafe { *data.get_unchecked(0) };
+    Some(b)
+}
+
+pub fn bump() {
+    // ORDERING: advisory counter with no ordering dependencies.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

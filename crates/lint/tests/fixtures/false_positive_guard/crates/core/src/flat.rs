@@ -1,0 +1,27 @@
+//! False-positive guard: the word unsafe in this doc comment is not code.
+
+/// Mentions `unsafe { ... }` in a doc comment — still not code.
+pub fn describe() -> &'static str {
+    "strings may say unsafe { } and .unwrap() and Ordering::Relaxed freely"
+}
+
+// unsafe in a line comment is not code either.
+/* nor is unsafe (or panic!(".."))
+   inside a block comment */
+
+pub fn raw() -> &'static str {
+    r#"raw string with v[0].unwrap() and unreachable!()"#
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_constructs_are_fine_under_cfg_test() {
+        let v = vec![1u32];
+        assert_eq!(v[0], 1);
+        let _ = v.first().unwrap();
+        if v.len() > 1 {
+            panic!("impossible");
+        }
+    }
+}

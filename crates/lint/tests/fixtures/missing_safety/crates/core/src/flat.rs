@@ -1,0 +1,5 @@
+//! Bad fixture: an unsafe block with no SAFETY comment.
+
+pub fn first_byte(data: &[u8]) -> u8 {
+    unsafe { *data.as_ptr() }
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean code, but the sibling lint.allow has a stale entry.
+
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,9 @@
+//! Bad fixture: `Ordering::Relaxed` without an `// ORDERING:` argument.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! Bad fixture: panicking constructs on a hot-path file.
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    v[1]
+}

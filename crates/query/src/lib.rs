@@ -37,6 +37,8 @@
 //! assert_eq!(read_workload(file.as_slice()).unwrap(), workload);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod qdol;
 pub mod qfdl;
 pub mod qlsn;

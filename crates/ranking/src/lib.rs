@@ -14,6 +14,8 @@
 //! that becomes `pos(u) < pos(v)`. Use [`Ranking::is_more_important`] to stay
 //! out of off-by-one territory.
 
+#![forbid(unsafe_code)]
+
 pub mod betweenness;
 pub mod degree;
 pub mod ranking;

@@ -14,6 +14,8 @@
 //! constructor used here, `unsafe Mmap::map(&File)`, and the `Deref<Target =
 //! [u8]>` view match its API.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::fs::File;
 use std::io;
 use std::ops::Deref;
@@ -39,7 +41,10 @@ impl Mmap {
     /// the mapping observes such changes (truncation can raise `SIGBUS` on
     /// access), which is the same contract the real `memmap2` documents.
     pub unsafe fn map(file: &File) -> io::Result<Mmap> {
-        sys::Map::new(file).map(|inner| Mmap { inner })
+        // SAFETY: the caller upholds the no-concurrent-modification
+        // contract documented above, which is exactly what the backend
+        // requires.
+        unsafe { sys::Map::new(file) }.map(|inner| Mmap { inner })
     }
 
     /// Number of mapped bytes.
@@ -96,12 +101,20 @@ mod sys {
     }
 
     // SAFETY: the mapping is immutable for its lifetime (PROT_READ) and the
-    // pointer is owned solely by this value, so sharing references across
-    // threads and moving the owner between threads are both sound.
+    // pointer is owned solely by this value, so moving the owner between
+    // threads is sound.
     unsafe impl Send for Map {}
+    // SAFETY: all access through a shared `Map` is read-only (PROT_READ
+    // pages, `&[u8]` views only), so concurrent readers cannot race.
     unsafe impl Sync for Map {}
 
     impl Map {
+        /// Maps `file` read-only.
+        ///
+        /// # Safety
+        ///
+        /// Same contract as [`crate::Mmap::map`]: the file must not be
+        /// truncated or modified while the mapping is alive.
         pub unsafe fn new(file: &File) -> io::Result<Map> {
             let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidInput, "file too large to map")
@@ -114,14 +127,19 @@ mod sys {
                     len: 0,
                 });
             }
-            let ptr = mmap(
-                std::ptr::null_mut(),
-                len,
-                PROT_READ,
-                MAP_PRIVATE,
-                file.as_raw_fd(),
-                0,
-            );
+            // SAFETY: plain FFI call with a live fd, a null address hint and
+            // a length validated against the file's metadata; the kernel
+            // checks all arguments and reports failure via MAP_FAILED.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
             if ptr as usize == usize::MAX {
                 return Err(io::Error::last_os_error());
             }
@@ -165,6 +183,12 @@ mod sys {
     }
 
     impl Map {
+        /// Reads `file` into an aligned buffer.
+        ///
+        /// # Safety
+        ///
+        /// Trivially safe (the buffered fallback never aliases the file);
+        /// `unsafe` only to mirror the Unix backend's signature.
         pub unsafe fn new(file: &File) -> io::Result<Map> {
             let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidInput, "file too large to map")
@@ -172,7 +196,8 @@ mod sys {
             let mut words = vec![0u64; len.div_ceil(8)];
             // SAFETY: the u64 buffer holds at least `len` bytes and u8 has
             // no alignment requirement.
-            let bytes = std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len);
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
             let mut file = file;
             file.read_exact(bytes)?;
             Ok(Map { words, len })
@@ -200,6 +225,8 @@ mod tests {
     fn maps_a_file_read_only() {
         let path = temp_file("basic", b"hello mapped world");
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is created, never truncated, and removed
+        // only after the map is dropped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(&map[..], b"hello mapped world");
         assert_eq!(map.len(), 18);
@@ -214,6 +241,8 @@ mod tests {
     fn empty_files_map_to_empty_slices() {
         let path = temp_file("empty", b"");
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is created, never truncated, and removed
+        // only after the map is dropped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert!(map.is_empty());
         assert_eq!(&map[..], b"");
@@ -224,6 +253,8 @@ mod tests {
     fn maps_are_shareable_across_threads() {
         let path = temp_file("threads", &[7u8; 4096]);
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is created, never truncated, and removed
+        // only after the map is dropped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         std::thread::scope(|s| {
             for _ in 0..4 {

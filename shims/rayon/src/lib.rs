@@ -33,17 +33,27 @@
 //! already-running pool).
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Thread-count configuration
 // ---------------------------------------------------------------------------
 
-/// Resolved global thread count (0 = not resolved yet).
-static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
-/// Whether an explicit `build_global` already happened.
-static GLOBAL_BUILT: AtomicBool = AtomicBool::new(false);
+/// Packed global pool state: the low bits hold the resolved thread count
+/// (0 = not resolved yet), [`BUILT_BIT`] records that an explicit
+/// `build_global` happened. Packing both into **one** atomic word makes the
+/// historical "built flag visible before the thread count" race
+/// unrepresentable: any load observes flag and count together. The old
+/// two-atomic protocol (`GLOBAL_BUILT.swap` then `GLOBAL_THREADS.store`)
+/// had an observable built-but-zero window, reproduced by the model in
+/// `tests/interleavings.rs`.
+static GLOBAL_STATE: AtomicUsize = AtomicUsize::new(0);
+
+/// High bit of [`GLOBAL_STATE`]: set once `build_global` succeeded.
+const BUILT_BIT: usize = 1 << (usize::BITS - 1);
+/// Low bits of [`GLOBAL_STATE`]: the resolved thread count.
+const COUNT_MASK: usize = BUILT_BIT - 1;
 
 thread_local! {
     /// Thread count forced by an enclosing `ThreadPool::install` (0 = none).
@@ -68,16 +78,23 @@ pub fn current_num_threads() -> usize {
     if installed != 0 {
         return installed;
     }
-    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
-    if global != 0 {
-        return global;
+    // ORDERING: Relaxed is sufficient for every access to GLOBAL_STATE —
+    // the count and the built flag travel together in the single packed
+    // word, so there is no second location whose visibility would need an
+    // acquire/release edge. Proven race-free over all ≤3-thread
+    // interleavings in tests/interleavings.rs.
+    let state = GLOBAL_STATE.load(Ordering::Relaxed);
+    if state & COUNT_MASK != 0 {
+        return state & COUNT_MASK;
     }
     // Cache the environment default, but never clobber a concurrent
-    // `build_global`: whoever stores first wins, everyone reads that value.
-    let resolved = default_threads();
-    match GLOBAL_THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed) {
+    // `build_global`: whoever installs a nonzero count first wins, everyone
+    // reads that value.
+    let resolved = default_threads().min(COUNT_MASK);
+    // ORDERING: single-word protocol, see above.
+    match GLOBAL_STATE.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed) {
         Ok(_) => resolved,
-        Err(stored) => stored,
+        Err(stored) => stored & COUNT_MASK,
     }
 }
 
@@ -132,14 +149,34 @@ impl ThreadPoolBuilder {
 
     /// Sets the process-wide default thread count. Errors if the global pool
     /// was already built, like the real rayon.
+    ///
+    /// Publishing count-plus-built-flag as one CAS means a concurrent
+    /// [`current_num_threads`] can never observe "built but count still 0";
+    /// an env-default cached earlier by a reader is overridden, exactly as
+    /// the previous (racy) two-atomic protocol intended.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        if GLOBAL_BUILT.swap(true, Ordering::SeqCst) {
-            return Err(ThreadPoolBuildError {
-                message: "the global thread pool has already been initialized",
-            });
+        let resolved = self.resolve().clamp(1, COUNT_MASK);
+        // ORDERING: single-word protocol — flag and count are published by
+        // the same atomic CAS, so Relaxed cannot reorder them apart. See
+        // tests/interleavings.rs.
+        let mut observed = GLOBAL_STATE.load(Ordering::Relaxed);
+        loop {
+            if observed & BUILT_BIT != 0 {
+                return Err(ThreadPoolBuildError {
+                    message: "the global thread pool has already been initialized",
+                });
+            }
+            // ORDERING: single-word protocol, see above.
+            match GLOBAL_STATE.compare_exchange(
+                observed,
+                resolved | BUILT_BIT,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => observed = now,
+            }
         }
-        GLOBAL_THREADS.store(self.resolve(), Ordering::Relaxed);
-        Ok(())
     }
 }
 
@@ -262,17 +299,23 @@ where
                 // Nested parallel calls therefore run inline on the worker.
                 INSTALLED_THREADS.with(|c| c.set(1));
                 loop {
+                    // ORDERING: the fetch_add's read-modify-write atomicity
+                    // alone makes claimed indices unique; the chunk payloads
+                    // themselves are handed over through the Mutex slots,
+                    // whose lock/unlock pairs provide the acquire/release
+                    // edges. Exactly-once claiming is proven over all
+                    // ≤3-thread interleavings in tests/interleavings.rs.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
+                    let Some(slot) = tasks.get(i) else { break };
+                    // A poisoned slot means another worker panicked; stop
+                    // quietly — the scope join propagates that panic.
+                    let Some(chunk) = slot.lock().ok().and_then(|mut s| s.take()) else {
                         break;
-                    }
-                    let chunk = tasks[i]
-                        .lock()
-                        .expect("chunk slot poisoned")
-                        .take()
-                        .expect("chunk claimed twice");
+                    };
                     let r = work(chunk.into_iter());
-                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                    if let Some(Ok(mut out)) = results.get(i).map(Mutex::lock) {
+                        *out = Some(r);
+                    }
                 }
             });
         }

@@ -62,6 +62,8 @@
 //! assert_eq!(flat.query(0, 143), reference[143]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use chl_cluster as cluster;
 pub use chl_core as labeling;
 pub use chl_datasets as datasets;
