@@ -1,0 +1,82 @@
+//! `chl bench-serve`: a closed-loop load generator for a running
+//! `chl serve` process.
+//!
+//! Opens N concurrent connections, keeps a pipelined window of QUERY frames
+//! in flight on each for a fixed duration, and prints throughput plus
+//! per-frame latency percentiles (p50 / p99 / p999) over the merged
+//! measurements — the serving-tier scoreboard. `--shutdown` sends the
+//! server a SHUTDOWN frame after the run, so one script line can bench and
+//! tear down an ephemeral server.
+
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+use chl_serve::{run_bench, BenchOptions, Client};
+
+use crate::opts::Opts;
+use crate::CliError;
+
+pub const USAGE: &str = "\
+usage: chl bench-serve <host:port> [--connections N] [--duration-ms MS]
+
+Measures a running `chl serve` endpoint: N closed-loop connections, each
+keeping a window of pipelined QUERY frames in flight, for a fixed
+duration. Prints total throughput and per-frame latency percentiles
+over every connection's measurements.
+
+options:
+  --connections N     concurrent client connections                  [4]
+  --duration-ms MS    measurement window in milliseconds          [2000]
+  --pipeline N        QUERY frames kept in flight per connection     [8]
+  --batch N           query pairs per frame                          [1]
+  --seed N            workload seed (connection i uses seed+i)      [42]
+  --shutdown          send a SHUTDOWN frame to the server afterwards";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(
+        args,
+        &["connections", "duration-ms", "pipeline", "batch", "seed"],
+        &["shutdown"],
+    )?;
+    let target = opts.positional(0, "server address argument")?.to_string();
+    opts.reject_extra_positionals(1)?;
+    let addr = target
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {target}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{target} resolves to no address"))?;
+
+    let defaults = BenchOptions::default();
+    let options = BenchOptions {
+        connections: opts.parsed_or("connections", defaults.connections)?,
+        duration: Duration::from_millis(
+            opts.parsed_or("duration-ms", defaults.duration.as_millis() as u64)?,
+        ),
+        pipeline: opts.parsed_or("pipeline", defaults.pipeline)?,
+        batch: opts.parsed_or("batch", defaults.batch)?,
+        seed: opts.parsed_or("seed", defaults.seed)?,
+    };
+    for (flag, value) in [
+        ("connections", options.connections),
+        ("pipeline", options.pipeline),
+        ("batch", options.batch),
+    ] {
+        if opts.value(flag).is_some() && value == 0 {
+            return Err(format!("--{flag} must be at least 1").into());
+        }
+    }
+
+    let summary =
+        run_bench(addr, &options).map_err(|e| format!("bench against {target} failed: {e}"))?;
+    println!("{}", summary.render());
+
+    if opts.switch("shutdown") {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot reconnect to {target}: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown of {target} failed: {e}"))?;
+        println!("server shut down");
+    }
+    Ok(())
+}

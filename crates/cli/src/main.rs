@@ -9,6 +9,8 @@
 //! chl query g.chl --mmap --random 100000           # zero-copy serving
 //! chl inspect g.chl                                # header, O(1) in file size
 //! chl inspect g.chl --histogram                    # + full integrity check
+//! chl serve g.chl --addr 127.0.0.1:0               # long-running TCP server
+//! chl bench-serve 127.0.0.1:7557 --connections 8   # load-test that server
 //! ```
 //!
 //! Construction is the expensive phase and querying the latency-critical one
@@ -19,12 +21,14 @@
 
 #![forbid(unsafe_code)]
 
+mod bench_serve;
 mod build;
 mod gen;
 mod graph_files;
 mod inspect;
 mod opts;
 mod query;
+mod serve;
 
 /// Boxed error: every subcommand reports failures as displayable values
 /// (library errors stay typed; the CLI only prints them).
@@ -41,6 +45,8 @@ commands:
   build    build a hub labeling from a graph file and save it as .chl
   query    answer PPSD queries from a saved .chl index (--mmap: zero-copy)
   inspect  show a .chl file's header and footprint (--histogram: full check)
+  serve    keep an index loaded and answer queries over TCP (hot reload)
+  bench-serve  load-test a running serve endpoint (throughput, p50/p99/p999)
 
 Run 'chl <command> --help' for per-command options.";
 
@@ -79,6 +85,8 @@ fn run(args: &[String]) -> Result<(), Exit> {
         "build" => (build::USAGE, build::run),
         "query" => (query::USAGE, query::run),
         "inspect" => (inspect::USAGE, inspect::run),
+        "serve" => (serve::USAGE, serve::run),
+        "bench-serve" => (bench_serve::USAGE, bench_serve::run),
         "--help" | "-h" | "help" => return Err(Exit::Usage(USAGE)),
         other => {
             return Err(Exit::Error(

@@ -492,6 +492,98 @@ fn compressed_build_inspects_and_serves_identically_to_flat() {
 }
 
 #[test]
+fn serve_and_bench_serve_run_the_full_lifecycle_through_the_binary() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("serve");
+    let (_graph, index_path) = gen_and_build(&dir);
+
+    // Spawn `chl serve` on an ephemeral port with piped stdout and scrape
+    // the address from the flushed "listening on ADDR" line.
+    let mut serve = chl()
+        .args([
+            "serve",
+            index_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn chl serve");
+    let mut serve_stdout = std::io::BufReader::new(serve.stdout.take().expect("piped stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            serve_stdout
+                .read_line(&mut line)
+                .expect("read serve stdout"),
+            0,
+            "chl serve exited before printing its address"
+        );
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    // Bench it: 4 concurrent connections, then shut the server down from
+    // the same invocation.
+    let stdout = run_ok(chl().args([
+        "bench-serve",
+        &addr,
+        "--connections",
+        "4",
+        "--duration-ms",
+        "300",
+        "--shutdown",
+    ]));
+
+    // The summary parses: nonzero throughput, zero errors, p50 <= p999.
+    let field = |prefix: &str| -> String {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(prefix))
+            .unwrap_or_else(|| panic!("missing {prefix} in: {stdout}"))
+            .trim()
+            .to_string()
+    };
+    assert_eq!(field("connections:"), "4");
+    assert_eq!(field("errors:"), "0");
+    let throughput: f64 = field("throughput:")
+        .split_whitespace()
+        .next()
+        .expect("throughput value")
+        .parse()
+        .expect("numeric throughput");
+    assert!(throughput > 0.0, "stdout: {stdout}");
+    let micros = |prefix: &str| -> f64 {
+        field(prefix)
+            .split_whitespace()
+            .next()
+            .expect("latency value")
+            .parse()
+            .expect("numeric latency")
+    };
+    assert!(
+        micros("latency p50:") <= micros("latency p999:"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("server shut down"), "stdout: {stdout}");
+
+    // The SHUTDOWN frame lands: the serve child exits cleanly on its own
+    // and reports what it served.
+    let status = serve.wait().expect("wait for chl serve");
+    assert!(status.success(), "chl serve exited with {status}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut serve_stdout, &mut rest).expect("drain serve stdout");
+    assert!(rest.contains("served "), "serve stdout: {rest}");
+    assert!(rest.contains("queries"), "serve stdout: {rest}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn corrupt_and_missing_inputs_fail_cleanly() {
     let dir = temp_dir("corrupt");
     let (_graph, index_path) = gen_and_build(&dir);

@@ -31,6 +31,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/mapped.rs",
     "crates/core/src/labels.rs",
     "crates/core/src/persist.rs",
+    "crates/serve/src/",
     "shims/rayon/src/",
     "shims/memmap2/src/",
 ];
@@ -200,7 +201,9 @@ mod tests {
     fn hot_path_matching_is_exact_for_files_and_prefix_for_dirs() {
         assert!(is_hot_path("crates/core/src/flat.rs"));
         assert!(is_hot_path("shims/rayon/src/lib.rs"));
+        assert!(is_hot_path("crates/serve/src/server.rs"));
         assert!(!is_hot_path("crates/core/src/gll.rs"));
+        assert!(!is_hot_path("crates/serve/tests/protocol.rs"));
         assert!(!is_hot_path("shims/rayon/tests/interleavings.rs"));
         assert!(!is_hot_path("shims/rayon_extra/src/lib.rs"));
     }

@@ -1,0 +1,50 @@
+//! `chl-serve`: the long-running serving tier for `.chl` indexes.
+//!
+//! The rest of the workspace builds and persists hub labelings; this crate
+//! keeps one loaded and answers queries over TCP until told to stop —
+//! turning the one-shot `chl query` process launch into a measurable
+//! service. Four pieces:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (typed error
+//!   frames, pipelining-friendly in-order responses) plus the preamble that
+//!   routes non-protocol connections to a minimal HTTP `GET` adapter
+//!   ([`http`], curl-ability only).
+//! * [`index`] — [`SharedIndex`]: the loaded [`FlatIndex`] / [`MmapIndex`]
+//!   behind `RwLock<Arc<..>>`, with validate-then-swap reloads that never
+//!   drop in-flight requests and never replace a serving index with a
+//!   corrupt file.
+//! * [`server`] — acceptor + worker pool; each worker coalesces the QUERY
+//!   frames a connection pipelined into one batched
+//!   [`DistanceOracle::distances`] call over the current snapshot.
+//! * [`client`] / [`loadgen`] — a blocking protocol client and the
+//!   `chl bench-serve` engine reporting throughput and p50/p99/p999.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use chl_serve::{SharedIndex, ServeOptions, Server};
+//!
+//! let shared = Arc::new(SharedIndex::open("graph.chl", /* mmap */ true)?);
+//! let server = Server::bind("127.0.0.1:0", shared, ServeOptions::default())?;
+//! println!("listening on {}", server.local_addr());
+//! server.run()?; // blocks until a SHUTDOWN frame (or handle signal)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`FlatIndex`]: chl_core::flat::FlatIndex
+//! [`MmapIndex`]: chl_core::mapped::MmapIndex
+//! [`DistanceOracle::distances`]: chl_core::oracle::DistanceOracle::distances
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod index;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use index::{LoadedIndex, SharedIndex};
+pub use loadgen::{run_bench, BenchOptions, BenchSummary};
+pub use protocol::{ErrorCode, Request, Response, ServerInfo};
+pub use server::{ServeOptions, Server, ServerHandle, SpawnedServer, StatsSnapshot};

@@ -1,0 +1,164 @@
+//! Property-based tests for the serving tier: for arbitrary graphs and
+//! arbitrary query workloads, a live socket conversation with the server
+//! answers exactly what the sequential in-memory index answers — over every
+//! persisted backend (flat file copy-loaded, compressed file copy-loaded,
+//! flat file mmapped, compressed file mmapped) — including self-queries,
+//! and with out-of-range ids answering a typed error frame that names the
+//! first offending id (where the in-memory oracle answers `INFINITY`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use chl_core::flat::FlatIndex;
+use chl_core::persist::SaveOptions;
+use chl_core::pll::sequential_pll;
+use chl_graph::types::INFINITY;
+use chl_graph::{CsrGraph, GraphBuilder};
+use chl_ranking::degree_ranking;
+use chl_serve::protocol::ErrorCode;
+use chl_serve::{Client, ServeOptions, Server, SharedIndex};
+
+/// Vertex-count ceiling for generated graphs; workload ids draw from a
+/// slightly larger range so every case can exercise out-of-range frames.
+const MAX_N: u32 = 20;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (
+        2usize..MAX_N as usize,
+        proptest::collection::vec((0u32..MAX_N, 0u32..MAX_N, 1u32..50), 1..60),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new_undirected();
+            b.ensure_vertices(n);
+            for (u, v, w) in edges {
+                b.add_edge(u % n as u32, v % n as u32, w);
+            }
+            b.build().expect("positive weights")
+        })
+}
+
+/// Random query pairs, deliberately over-ranged: ids in `0..MAX_N + 3` while
+/// graphs have at most `MAX_N - 1` vertices, so workloads mix valid pairs,
+/// self-queries and stale ids in one stream.
+fn arb_workload() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..MAX_N + 3, 0u32..MAX_N + 3), 1..40)
+}
+
+fn scratch_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "chl-serve-proptest-{}-{:?}-{tag}.chl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, bytes).expect("write scratch index");
+    path
+}
+
+/// Every persisted serving backend: (compressed entries?, mmap loader?).
+const BACKENDS: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn served_answers_equal_the_sequential_map_on_every_backend(
+        g in arb_graph(),
+        pairs in arb_workload(),
+    ) {
+        let ranking = degree_ranking(&g);
+        let index = sequential_pll(&g, &ranking).index;
+        let flat = FlatIndex::from_index(&index);
+        let n = flat.num_vertices() as u32;
+
+        // Force the interesting degenerate shapes into every workload:
+        // in-range self-queries (distance 0) and an out-of-range self-query
+        // (INFINITY in memory, a typed error over the wire).
+        let mut pairs = pairs;
+        pairs.push((0, 0));
+        pairs.push((n - 1, n - 1));
+        pairs.push((n + 1, n + 1));
+
+        for (compressed, mmap) in BACKENDS {
+            let options = if compressed {
+                SaveOptions::compressed()
+            } else {
+                SaveOptions::default()
+            };
+            let tag = format!("backend-c{}-m{}", compressed as u8, mmap as u8);
+            let path = scratch_file(&tag, &flat.to_bytes_with(&options));
+
+            let shared = Arc::new(
+                SharedIndex::open(&path, mmap).expect("open served index"),
+            );
+            let server = Server::bind("127.0.0.1:0", shared, ServeOptions::default())
+                .expect("bind ephemeral port")
+                .spawn()
+                .expect("spawn server");
+
+            let mut client = Client::connect(server.handle().addr()).expect("connect");
+            client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+            // One frame per pair, all pipelined in a single write: each
+            // frame independently answers its distance or its typed error.
+            let frames: Vec<Vec<(u32, u32)>> =
+                pairs.iter().map(|&p| vec![p]).collect();
+            let responses = client.pipeline(&frames).expect("pipeline");
+            prop_assert_eq!(responses.len(), pairs.len());
+            for (&(u, v), response) in pairs.iter().zip(&responses) {
+                if u < n && v < n {
+                    let expect = index.query(u, v);
+                    match response {
+                        Ok(ds) => prop_assert_eq!(
+                            ds.as_slice(),
+                            &[expect][..],
+                            "({}, {}) over compressed={} mmap={}",
+                            u, v, compressed, mmap
+                        ),
+                        Err(e) => prop_assert!(
+                            false,
+                            "in-range ({u}, {v}) answered error {e:?} over \
+                             compressed={compressed} mmap={mmap}"
+                        ),
+                    }
+                } else {
+                    // The sequential map answers INFINITY; the protocol is
+                    // stricter and names the first offending id.
+                    prop_assert_eq!(flat.query(u, v), INFINITY);
+                    let offending = if u < n { v } else { u };
+                    match response {
+                        Err((code, detail)) => {
+                            prop_assert_eq!(*code, ErrorCode::VertexOutOfRange);
+                            prop_assert_eq!(*detail, offending as u64);
+                        }
+                        Ok(ds) => prop_assert!(
+                            false,
+                            "out-of-range ({u}, {v}) answered data {ds:?} over \
+                             compressed={compressed} mmap={mmap}"
+                        ),
+                    }
+                }
+            }
+
+            // The in-range subset again as ONE multi-pair frame: the batched
+            // path answers the same bytes as the frame-per-pair path.
+            let valid: Vec<(u32, u32)> = pairs
+                .iter()
+                .copied()
+                .filter(|&(u, v)| u < n && v < n)
+                .collect();
+            if !valid.is_empty() {
+                let served = client.query_batch(&valid).expect("batch");
+                let expected: Vec<u64> =
+                    valid.iter().map(|&(u, v)| index.query(u, v)).collect();
+                prop_assert_eq!(served, expected);
+            }
+
+            drop(client);
+            let stats = server.shutdown().expect("shutdown");
+            prop_assert_eq!(stats.connections, 1);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

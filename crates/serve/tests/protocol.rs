@@ -1,0 +1,341 @@
+//! Deterministic protocol test harness: an in-process server on an
+//! ephemeral `127.0.0.1:0` port, driven by the minimal [`Client`], asserting
+//! that everything served over the socket is byte-identical to what the
+//! in-memory [`FlatIndex`] answers — and that every way a client can
+//! misbehave (malformed frames, oversized frames, stale vertex ids, abrupt
+//! disconnects) gets a typed answer or a clean connection close, never a
+//! wedged or crashed server.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use chl_core::flat::FlatIndex;
+use chl_core::pll::sequential_pll;
+use chl_graph::generators::{grid_network, GridOptions};
+use chl_graph::types::INFINITY;
+use chl_ranking::degree_ranking;
+use chl_serve::protocol::{encode_request, ErrorCode, Request, Response, OP_QUERY};
+use chl_serve::{Client, ClientError, ServeOptions, Server, SharedIndex, SpawnedServer};
+
+/// Builds a small real labeling (6x6 road-like grid, 36 vertices).
+fn build_index(seed: u64) -> FlatIndex {
+    let opts = GridOptions {
+        rows: 6,
+        cols: 6,
+        ..GridOptions::default()
+    };
+    let graph = grid_network(&opts, seed);
+    let ranking = degree_ranking(&graph);
+    FlatIndex::from_index(&sequential_pll(&graph, &ranking).index)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "chl-serve-protocol-{}-{:?}-{tag}.chl",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Starts an in-process server over a fresh index file; returns the spawned
+/// server, the in-memory reference index and the file path.
+fn start_server(tag: &str, opts: ServeOptions) -> (SpawnedServer, FlatIndex, std::path::PathBuf) {
+    let flat = build_index(7);
+    let path = temp_path(tag);
+    flat.save(&path).expect("save index");
+    let shared = Arc::new(SharedIndex::open(&path, false).expect("open index"));
+    let server = Server::bind("127.0.0.1:0", shared, opts).expect("bind ephemeral port");
+    let spawned = server.spawn().expect("spawn server");
+    (spawned, flat, path)
+}
+
+fn connect(server: &SpawnedServer) -> Client {
+    let mut client = Client::connect(server.handle().addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn single_query_matches_the_in_memory_index() {
+    let (server, flat, path) = start_server("single", ServeOptions::default());
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+    for (u, v) in [(0, n - 1), (3, 17), (5, 5), (n - 1, 0)] {
+        assert_eq!(client.query(u, v).expect("query"), flat.query(u, v));
+    }
+    // Self-query and a disconnected-style pair still flow as data.
+    assert_eq!(client.query(0, 0).expect("query"), 0);
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.error_frames, 0);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pipelined_frames_are_coalesced_into_one_batch_and_stay_byte_identical() {
+    let (server, flat, path) = start_server("pipeline", ServeOptions::default());
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+
+    // Six frames of varying size, sent in ONE write.
+    let frames: Vec<Vec<(u32, u32)>> = (0..6u32)
+        .map(|f| {
+            (0..=f)
+                .map(|i| ((f * 5 + i) % n, (i * 11 + 3) % n))
+                .collect()
+        })
+        .collect();
+    let responses = client.pipeline(&frames).expect("pipeline");
+    assert_eq!(responses.len(), frames.len());
+    for (frame, response) in frames.iter().zip(&responses) {
+        let expected: Vec<u64> = frame.iter().map(|&(u, v)| flat.query(u, v)).collect();
+        assert_eq!(response.as_ref().expect("distances"), &expected);
+    }
+
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    // The headline property of the serving tier: pipelined QUERY frames
+    // were answered by fewer oracle batches than frames (coalescing), and
+    // at least one batch covered several frames.
+    assert_eq!(
+        stats.queries,
+        frames.iter().map(Vec::len).sum::<usize>() as u64
+    );
+    assert!(
+        stats.max_coalesced >= 2,
+        "no coalescing observed: {stats:?}"
+    );
+    assert!(
+        stats.batch_calls < frames.len() as u64 + 1,
+        "one oracle call per frame means batching never engaged: {stats:?}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn malformed_frames_answer_typed_errors_and_the_connection_survives() {
+    let (server, flat, path) = start_server("malformed", ServeOptions::default());
+    let mut client = connect(&server);
+
+    // Unknown opcode.
+    client.send_raw(&[1, 0, 0, 0, 0x7f]).expect("send");
+    match client.read_response().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // QUERY whose count disagrees with its payload length.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&13u32.to_le_bytes()); // 1 opcode + 4 count + 8 = one pair
+    bad.push(OP_QUERY);
+    bad.extend_from_slice(&2u32.to_le_bytes()); // ...but claims two pairs
+    bad.extend_from_slice(&[0u8; 8]);
+    client.send_raw(&bad).expect("send");
+    match client.read_response().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Empty payload (no opcode byte).
+    client.send_raw(&0u32.to_le_bytes()).expect("send");
+    match client.read_response().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // The same connection still serves correct answers afterwards.
+    assert_eq!(client.query(0, 5).expect("query"), flat.query(0, 5));
+
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.error_frames, 3);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn oversized_frames_answer_a_typed_error_then_close() {
+    let opts = ServeOptions {
+        max_frame: 64,
+        ..ServeOptions::default()
+    };
+    let (server, _flat, path) = start_server("oversized", opts);
+    let mut client = connect(&server);
+
+    // Declare a payload far over the cap; the body need not even arrive.
+    client.send_raw(&1_000_000u32.to_le_bytes()).expect("send");
+    match client.read_response().expect("error frame before close") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The server closed the stream: the next read reports EOF.
+    match client.read_response() {
+        Err(ClientError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+        }
+        other => panic!("expected EOF after oversized frame, got {other:?}"),
+    }
+
+    // A fresh connection is unaffected.
+    let mut fresh = connect(&server);
+    assert!(fresh.query(0, 1).is_ok());
+
+    drop(fresh);
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn out_of_range_ids_fail_their_frame_only_and_never_drop_the_connection() {
+    let (server, flat, path) = start_server("range", ServeOptions::default());
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+
+    // Three pipelined frames: valid, out-of-range, valid. The middle one
+    // answers a typed error naming the offending id; its neighbors answer
+    // exact distances.
+    let frames = vec![vec![(0, 1), (2, 3)], vec![(1, 2), (n + 7, 0)], vec![(4, 5)]];
+    let responses = client.pipeline(&frames).expect("pipeline");
+    assert_eq!(
+        responses
+            .first()
+            .expect("frame 0")
+            .as_ref()
+            .expect("distances"),
+        &vec![flat.query(0, 1), flat.query(2, 3)]
+    );
+    match responses.get(1).expect("frame 1") {
+        Err((code, detail)) => {
+            assert_eq!(*code, ErrorCode::VertexOutOfRange);
+            assert_eq!(*detail, (n + 7) as u64);
+        }
+        other => panic!("expected out-of-range error, got {other:?}"),
+    }
+    assert_eq!(
+        responses
+            .get(2)
+            .expect("frame 2")
+            .as_ref()
+            .expect("distances"),
+        &vec![flat.query(4, 5)]
+    );
+
+    // Self-query on an out-of-range id is equally an error frame (the
+    // oracle would answer INFINITY; the protocol is stricter and names it).
+    match client.query(n + 1, n + 1) {
+        Err(ClientError::Server { code, detail, .. }) => {
+            assert_eq!(code, ErrorCode::VertexOutOfRange);
+            assert_eq!(detail, (n + 1) as u64);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // In-memory reference for the same stale id: INFINITY, not a panic.
+    assert_eq!(flat.query(n + 1, n + 1), INFINITY);
+
+    // Connection still alive.
+    assert_eq!(client.query(0, 2).expect("query"), flat.query(0, 2));
+
+    drop(client);
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn abrupt_client_disconnects_leave_the_server_serving() {
+    let (server, flat, path) = start_server("abrupt", ServeOptions::default());
+
+    // Client 1: connects, sends half a frame, vanishes.
+    let mut half = connect(&server);
+    let mut wire = Vec::new();
+    encode_request(&Request::Query(vec![(0, 1), (2, 3)]), &mut wire);
+    half.send_raw(&wire[..wire.len() / 2]).expect("send half");
+    drop(half); // TCP close with a dangling partial frame
+
+    // Client 2: connects, sends magic + nothing, half-closes.
+    let mut silent = connect(&server);
+    silent.shutdown_write().expect("half-close");
+    drop(silent);
+
+    // Client 3 still gets exact answers from the same server.
+    let mut fresh = connect(&server);
+    for (u, v) in [(0, 9), (17, 2), (35, 0)] {
+        assert_eq!(fresh.query(u, v).expect("query"), flat.query(u, v));
+    }
+
+    drop(fresh);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.connections, 3);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn info_reports_the_served_index_and_http_answers_curl() {
+    let (server, flat, path) = start_server("http", ServeOptions::default());
+
+    let mut client = connect(&server);
+    let info = client.info().expect("info");
+    assert_eq!(info.num_vertices, flat.num_vertices() as u64);
+    assert_eq!(info.total_labels, flat.total_labels() as u64);
+    assert_eq!(info.generation, 0);
+    drop(client);
+
+    // Plain HTTP/1.1 on the same port (what curl would send).
+    use std::io::{Read, Write};
+    let addr = server.handle().addr();
+    let http_get = |target: &str| -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("response");
+        let (head, body) = text.split_once("\r\n\r\n").expect("header block");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = http_get("/distance?s=0&t=9");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(
+        body.trim().parse::<u64>().expect("distance"),
+        flat.query(0, 9)
+    );
+
+    let (head, body) = http_get("/info");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        body.contains(&format!("vertices {}", flat.num_vertices())),
+        "{body}"
+    );
+
+    let (head, body) = http_get("/distance?s=0&t=99999");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    assert!(body.contains("out of range"), "{body}");
+
+    let (head, _) = http_get("/distance?s=0");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+
+    let (head, _) = http_get("/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    let (head, body) = http_get("/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.http_requests, 6);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn protocol_shutdown_frame_stops_the_server_gracefully() {
+    let (server, flat, path) = start_server("shutdown", ServeOptions::default());
+    let mut client = connect(&server);
+    assert_eq!(client.query(1, 2).expect("query"), flat.query(1, 2));
+    client.shutdown_server().expect("shutdown ack");
+    // run() exits on its own — no handle signal involved.
+    let stats = server.join().expect("server exits");
+    assert!(stats.queries >= 1);
+    std::fs::remove_file(path).ok();
+}

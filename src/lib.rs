@@ -19,6 +19,7 @@
 //! | [`cluster`] | `chl-cluster` | simulated multi-node cluster substrate |
 //! | [`distributed`] | `chl-distributed` | DGLL, DparaPLL, distributed PLaNT and Hybrid |
 //! | [`query`] | `chl-query` | QLSN / QFDL / QDOL query modes behind [`DistanceOracle`](labeling::DistanceOracle) |
+//! | [`serve`] | `chl-serve` | long-running TCP serving tier: batching server, hot reload, load generator |
 //! | [`datasets`] | `chl-datasets` | synthetic stand-ins for the paper's 12 datasets |
 //!
 //! # Quick start
@@ -71,6 +72,7 @@ pub use chl_distributed as distributed;
 pub use chl_graph as graph;
 pub use chl_query as query;
 pub use chl_ranking as ranking;
+pub use chl_serve as serve;
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
@@ -99,4 +101,5 @@ pub mod prelude {
     pub use chl_graph::{CsrGraph, GraphBuilder};
     pub use chl_query::{QdolEngine, QfdlEngine, QlsnEngine, QueryEngine};
     pub use chl_ranking::{default_ranking, degree_ranking, Ranking};
+    pub use chl_serve::{run_bench, BenchOptions, Client, ServeOptions, Server, SharedIndex};
 }

@@ -1,7 +1,8 @@
 //! Workspace-level integration tests exercising the facade crate end-to-end:
 //! dataset generation → ranking → construction through the unified
 //! `ChlBuilder` (shared-memory and distributed) → query serving behind the
-//! `DistanceOracle` trait, all cross-checked against ground truth.
+//! `DistanceOracle` trait — one-shot and through the long-running TCP
+//! serving tier — all cross-checked against ground truth.
 
 use planted_hub_labeling::graph::sssp::dijkstra;
 use planted_hub_labeling::prelude::*;
@@ -154,6 +155,72 @@ fn para_pll_label_size_exceeds_canonical_on_scale_free_graphs() {
         .unwrap()
         .index;
     assert!(para.total_labels() >= canonical.total_labels());
+}
+
+#[test]
+fn end_to_end_serving_tier_gen_build_serve_bench_shutdown() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // gen → build: a road-like grid through the same builder path as the CLI.
+    let graph = grid_network(
+        &GridOptions {
+            rows: 10,
+            cols: 10,
+            ..GridOptions::default()
+        },
+        21,
+    );
+    let result = ChlBuilder::new(&graph)
+        .ranking(RankingStrategy::Auto { seed: 21 })
+        .algorithm(Algorithm::Hybrid)
+        .build()
+        .expect("construction succeeds");
+    let flat = FlatIndex::from_index(&result.index);
+
+    // save → serve: persist, load through the shared handle, bind ephemeral.
+    let path = std::env::temp_dir().join(format!("chl-workspace-serve-{}.chl", std::process::id()));
+    flat.save(&path).expect("save index");
+    let shared = Arc::new(SharedIndex::open(&path, false).expect("open served index"));
+    let server = Server::bind("127.0.0.1:0", shared, ServeOptions::default())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+    let addr = server.handle().addr();
+
+    // A served answer is the in-memory answer.
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.query(0, 99).expect("query"), flat.query(0, 99));
+    drop(client);
+
+    // bench-serve: 4 concurrent closed-loop connections, then assert on the
+    // parsed summary the CLI would print.
+    let summary = run_bench(
+        addr,
+        &BenchOptions {
+            connections: 4,
+            duration: Duration::from_millis(300),
+            ..BenchOptions::default()
+        },
+    )
+    .expect("bench run");
+    assert_eq!(summary.connections, 4);
+    assert_eq!(summary.errors, 0);
+    assert!(summary.requests > 0, "no frames answered: {summary:?}");
+    assert!(summary.throughput_qps() > 0.0);
+    assert!(summary.latency_percentile(0.50) <= summary.latency_percentile(0.999));
+    let rendered = summary.render();
+    for key in ["throughput:", "latency p50:", "latency p999:"] {
+        assert!(rendered.contains(key), "missing {key} in:\n{rendered}");
+    }
+
+    // shutdown: the protocol frame stops the server; stats reflect the run.
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown_server().expect("shutdown ack");
+    let stats = server.join().expect("server exits cleanly");
+    assert!(stats.queries >= summary.queries);
+    assert_eq!(stats.error_frames, 0);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
