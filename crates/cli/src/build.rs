@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use chl_core::api::{Algorithm, ChlBuilder, RankingStrategy};
 use chl_core::persist::{self, SaveOptions};
+use chl_query::QdolShardMap;
 
 use crate::graph_files::{load_graph, GraphFormat};
 use crate::opts::Opts;
@@ -25,12 +26,24 @@ options:
   --directed          read the graph as directed
   --one-based         edge-list vertex ids start at 1 (KONECT)
   --compress          delta+varint encode the entries section (smaller file,
-                      queries stream-decode under --mmap)";
+                      queries stream-decode under --mmap)
+  --shards Q          additionally write Q QDOL shard files
+                      (<out-stem>.shard-I-of-Q.chl) whose union is exactly
+                      the unsharded index; serve each with
+                      'chl serve --shard' behind 'chl route'";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(
         args,
-        &["out", "algorithm", "ranking", "seed", "threads", "format"],
+        &[
+            "out",
+            "algorithm",
+            "ranking",
+            "seed",
+            "threads",
+            "format",
+            "shards",
+        ],
         &["directed", "one-based", "compress"],
     )?;
     let graph_path = opts.positional(0, "graph file argument")?.to_string();
@@ -91,11 +104,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         flat.max_label_size()
     );
 
-    // save_with() writes the current v2 format: 8-byte-aligned sections
-    // served zero-copy (`chl query --mmap`), with the entries section
-    // delta+varint encoded under --compress.
+    // save_with() writes the current v3 format: 8-byte-aligned sections
+    // served zero-copy (`chl query --mmap`), a header CRC, and the entries
+    // section delta+varint encoded under --compress.
     let options = SaveOptions {
         compress: opts.switch("compress"),
+        ..SaveOptions::default()
     };
     flat.save_with(&out, &options)
         .map_err(|e| format!("cannot write index {out}: {e}"))?;
@@ -115,5 +129,55 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
         _ => println!("wrote {out}: {file_len} bytes (.chl v{})", persist::VERSION),
     }
+
+    let shards: usize = opts.parsed_or("shards", 0)?;
+    if shards > 0 {
+        write_shards(&flat, &out, shards, &options)?;
+    }
     Ok(())
+}
+
+/// Writes the `--shards Q` QDOL shard files next to the unsharded index.
+/// The layout is derived from `(Q, n)` alone — the same derivation
+/// `chl route` repeats at startup — so builder and router always agree on
+/// which shard owns a query.
+fn write_shards(
+    flat: &chl_core::flat::FlatIndex,
+    out: &str,
+    shards: usize,
+    options: &SaveOptions,
+) -> Result<(), CliError> {
+    let map = QdolShardMap::new(shards, flat.num_vertices());
+    println!(
+        "sharding: {} shards over {} vertices (zeta {})",
+        map.shard_count(),
+        map.num_vertices(),
+        map.zeta()
+    );
+    for shard_id in 0..map.shard_count() {
+        let spec = map.spec(shard_id);
+        let owned = spec.owned_count();
+        let path = shard_path(out, shard_id, map.shard_count());
+        let shard = flat
+            .restrict_to_shard(spec)
+            .map_err(|e| format!("cannot derive shard {shard_id}: {e}"))?;
+        shard
+            .save_with(&path, options)
+            .map_err(|e| format!("cannot write shard {path}: {e}"))?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wrote {path}: {bytes} bytes (shard {shard_id} of {}, owns {owned} vertices, \
+             {} labels)",
+            map.shard_count(),
+            shard.total_labels()
+        );
+    }
+    Ok(())
+}
+
+/// `g.chl` + shard 1 of 3 → `g.shard-1-of-3.chl` (the `.chl` suffix moves
+/// to the end; a stem without one just gains the shard suffix).
+fn shard_path(out: &str, shard_id: usize, shard_count: usize) -> String {
+    let stem = out.strip_suffix(".chl").unwrap_or(out);
+    format!("{stem}.shard-{shard_id}-of-{shard_count}.chl")
 }

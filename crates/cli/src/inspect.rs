@@ -5,6 +5,7 @@
 use chl_core::flat::FlatIndex;
 use chl_core::persist::{self, Checksums};
 use chl_graph::types::VertexId;
+use chl_query::QdolShardMap;
 
 use crate::opts::Opts;
 use crate::CliError;
@@ -13,9 +14,11 @@ pub const USAGE: &str = "\
 usage: chl inspect <index.chl> [--histogram]
 
 Prints the on-disk header and footprint statistics of a saved index. The
-default reads only the fixed header, so inspecting a multi-GB file is
-instant; --histogram additionally loads and fully validates the payload to
-print the label-size histogram.
+default reads only the fixed header (plus, for shard files, the small
+CRC-verified shard section), so inspecting a multi-GB file is instant;
+--histogram additionally loads and fully validates the payload to print
+the label-size histogram. On a shard file the histogram covers only the
+vertices the shard owns.
 
 options:
   --histogram         load the payload: verify integrity, print max label
@@ -64,6 +67,32 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         } => println!(
             "section checksums: ranking {ranking:#010x}, offsets {offsets:#010x}, entries {entries:#010x}"
         ),
+    }
+    // A shard file identifies itself: one extra small read verifies the
+    // shard section CRC and recovers which slice of the cluster this is,
+    // without touching the (potentially huge) label payload.
+    if header.is_sharded() {
+        let spec = persist::load_shard_spec(&path)
+            .map_err(|e| format!("cannot read shard section of {path}: {e}"))?
+            .ok_or_else(|| format!("{path}: flags claim a shard section but none is present"))?;
+        let map = QdolShardMap::new(spec.shard_count as usize, header.num_vertices as usize);
+        if map.zeta() == spec.zeta as usize {
+            let (pi, pj) = map.pair_of_shard(spec.shard_id as usize);
+            println!(
+                "shard:            {} of {} (QDOL zeta {}, partition pair ({pi}, {pj}))",
+                spec.shard_id, spec.shard_count, spec.zeta
+            );
+        } else {
+            println!(
+                "shard:            {} of {} (QDOL zeta {})",
+                spec.shard_id, spec.shard_count, spec.zeta
+            );
+        }
+        println!(
+            "owned positions:  {} of {} vertices",
+            spec.owned_count(),
+            header.num_vertices
+        );
     }
     let n = header.num_vertices;
     let m = header.num_entries;
@@ -119,7 +148,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     );
 
     let histogram = label_size_histogram(&index);
-    println!("label-size histogram (vertices per bucket):");
+    if index.shard().is_some() {
+        println!("label-size histogram (owned vertices per bucket):");
+    } else {
+        println!("label-size histogram (vertices per bucket):");
+    }
     for (label, count) in &histogram {
         if *count > 0 {
             println!("  {label:>12}  {count}");
@@ -129,6 +162,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Buckets vertices by label-set size: 0, 1, 2, then doubling ranges.
+/// A shard file counts only the vertices it owns — foreign positions have
+/// structurally empty runs and would otherwise drown the `0` bucket.
 fn label_size_histogram(index: &FlatIndex) -> Vec<(String, usize)> {
     // 0 -> 0, 1 -> 1, 2 -> 2, 3..=4 -> 3, 5..=8 -> 4, 9..=16 -> 5, ...
     fn bucket_of(size: usize) -> usize {
@@ -139,9 +174,13 @@ fn label_size_histogram(index: &FlatIndex) -> Vec<(String, usize)> {
             s => 3 + (usize::BITS - (s - 1).leading_zeros()) as usize - 2,
         }
     }
+    let vertices: Vec<VertexId> = match index.shard() {
+        Some(spec) => spec.owned.clone(),
+        None => (0..index.num_vertices() as VertexId).collect(),
+    };
     let mut buckets: Vec<(String, usize)> = Vec::new();
     let mut counts: Vec<usize> = Vec::new();
-    for v in 0..index.num_vertices() as VertexId {
+    for v in vertices {
         let b = bucket_of(index.labels_of(v).len());
         if counts.len() <= b {
             counts.resize(b + 1, 0);

@@ -1,15 +1,18 @@
 //! The `chl` command line: the build → save → load → serve lifecycle of a
-//! hub-label index as four subcommands.
+//! hub-label index as subcommands.
 //!
 //! ```text
 //! chl gen grid --rows 40 --cols 40 --out g.bin     # synthetic graph file
 //! chl build g.bin --out g.chl --algorithm hybrid   # construct + persist
+//! chl build g.bin --out g.chl --shards 3           # + QDOL shard files
 //! chl query g.chl 0 1599                           # serve from the file
 //! chl query g.chl --random 100000                  # latency statistics
 //! chl query g.chl --mmap --random 100000           # zero-copy serving
 //! chl inspect g.chl                                # header, O(1) in file size
 //! chl inspect g.chl --histogram                    # + full integrity check
 //! chl serve g.chl --addr 127.0.0.1:0               # long-running TCP server
+//! chl serve g.shard-0-of-3.chl --shard ...         # one shard of a cluster
+//! chl route ADDR0 ADDR1 ADDR2 --addr 127.0.0.1:0   # scatter-gather front door
 //! chl bench-serve 127.0.0.1:7557 --connections 8   # load-test that server
 //! ```
 //!
@@ -28,6 +31,7 @@ mod graph_files;
 mod inspect;
 mod opts;
 mod query;
+mod route;
 mod serve;
 
 /// Boxed error: every subcommand reports failures as displayable values
@@ -46,6 +50,7 @@ commands:
   query    answer PPSD queries from a saved .chl index (--mmap: zero-copy)
   inspect  show a .chl file's header and footprint (--histogram: full check)
   serve    keep an index loaded and answer queries over TCP (hot reload)
+  route    front a cluster of shard servers with one scatter-gather endpoint
   bench-serve  load-test a running serve endpoint (throughput, p50/p99/p999)
 
 Run 'chl <command> --help' for per-command options.";
@@ -86,6 +91,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
         "query" => (query::USAGE, query::run),
         "inspect" => (inspect::USAGE, inspect::run),
         "serve" => (serve::USAGE, serve::run),
+        "route" => (route::USAGE, route::run),
         "bench-serve" => (bench_serve::USAGE, bench_serve::run),
         "--help" | "-h" | "help" => return Err(Exit::Usage(USAGE)),
         other => {

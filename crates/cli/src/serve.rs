@@ -19,7 +19,7 @@ use crate::opts::Opts;
 use crate::CliError;
 
 pub const USAGE: &str = "\
-usage: chl serve <index.chl> [--addr HOST:PORT] [--threads N] [--mmap]
+usage: chl serve <index.chl> [--addr HOST:PORT] [--threads N] [--mmap] [--shard]
 
 Serves point-to-point shortest-distance queries from a saved index over
 TCP until a client sends a SHUTDOWN frame. Connections speaking the
@@ -32,10 +32,13 @@ options:
   --addr HOST:PORT    listen address (port 0 picks one) [127.0.0.1:7557]
   --threads N         connection worker threads                      [4]
   --max-frame BYTES   largest accepted request frame            [1 MiB]
-  --mmap              serve zero-copy from the OS page cache (v2 files)";
+  --mmap              serve zero-copy from the OS page cache (v2 files)
+  --shard             required to serve a .chl v3 shard file; the server
+                      answers NOT_THIS_SHARD for unowned vertices and is
+                      meant to sit behind 'chl route'";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let opts = Opts::parse(args, &["addr", "threads", "max-frame"], &["mmap"])?;
+    let opts = Opts::parse(args, &["addr", "threads", "max-frame"], &["mmap", "shard"])?;
     let index_path = opts.positional(0, "index file argument")?.to_string();
     opts.reject_extra_positionals(1)?;
     let addr = opts.value("addr").unwrap_or("127.0.0.1:7557").to_string();
@@ -54,6 +57,33 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| format!("cannot load index {index_path}: {e}"))?,
     );
     let snapshot = shared.snapshot();
+    // Serving a shard is an explicit decision: a shard answers foreign
+    // vertices with NOT_THIS_SHARD, which only makes sense behind
+    // 'chl route'. Refuse the mismatched combinations up front instead of
+    // surprising clients at query time.
+    match (opts.switch("shard"), snapshot.shard()) {
+        (true, None) => {
+            return Err(format!(
+                "--shard given but {index_path} is not a shard file (no shard section)"
+            )
+            .into())
+        }
+        (false, Some(spec)) => {
+            return Err(format!(
+                "{index_path} is shard {} of {}; pass --shard to serve it behind 'chl route'",
+                spec.shard_id, spec.shard_count
+            )
+            .into())
+        }
+        (true, Some(spec)) => println!(
+            "shard {} of {}: owns {} of {} vertex positions",
+            spec.shard_id,
+            spec.shard_count,
+            spec.owned_count(),
+            snapshot.num_vertices()
+        ),
+        (false, None) => {}
+    }
     println!(
         "serving {index_path}: {} vertices, {} labels, backend {}",
         snapshot.num_vertices(),

@@ -238,7 +238,7 @@ fn inspect_reports_header_and_histogram() {
     // neither claim full integrity nor walk the payload for a histogram.
     let stdout = run_ok(chl().args(["inspect", index_path.to_str().unwrap()]));
     for needle in [
-        "format version:   2",
+        "format version:   3",
         "vertices:         64",
         "section checksums:",
         "serving footprint:",
@@ -254,7 +254,7 @@ fn inspect_reports_header_and_histogram() {
     // --histogram opts into the full load: integrity check + histogram.
     let stdout = run_ok(chl().args(["inspect", index_path.to_str().unwrap(), "--histogram"]));
     for needle in [
-        "format version:   2",
+        "format version:   3",
         "integrity:        ok",
         "max label size:",
         "label-size histogram",
@@ -579,6 +579,220 @@ fn serve_and_bench_serve_run_the_full_lifecycle_through_the_binary() {
     std::io::Read::read_to_string(&mut serve_stdout, &mut rest).expect("drain serve stdout");
     assert!(rest.contains("served "), "serve stdout: {rest}");
     assert!(rest.contains("queries"), "serve stdout: {rest}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Spawns a `chl` subcommand with piped stdout and scrapes the flushed
+/// `listening on ADDR` line, returning the child + its reader + the address.
+fn spawn_listener(
+    args: &[&str],
+) -> (
+    std::process::Child,
+    std::io::BufReader<std::process::ChildStdout>,
+    String,
+) {
+    use std::io::BufRead;
+    let mut child = chl()
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn chl listener");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stdout.read_line(&mut line).expect("read listener stdout"),
+            0,
+            "chl {args:?} exited before printing its address"
+        );
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    (child, stdout, addr)
+}
+
+#[test]
+fn sharded_build_serves_through_real_processes_behind_the_router() {
+    use chl_serve::{Client, ClientError, ErrorCode};
+    use std::time::Duration;
+
+    let dir = temp_dir("sharded");
+    let (graph_path, index_path) = gen_and_build(&dir); // 8x8 grid: 64 vertices
+
+    // Rebuild with --shards 3: the unsharded index plus three QDOL shard
+    // files appear, and the report names the layout.
+    let stdout = run_ok(chl().args([
+        "build",
+        graph_path.to_str().unwrap(),
+        "--out",
+        index_path.to_str().unwrap(),
+        "--algorithm",
+        "hybrid",
+        "--ranking",
+        "degree",
+        "--threads",
+        "2",
+        "--shards",
+        "3",
+    ]));
+    assert!(stdout.contains("sharding: 3 shards"), "stdout: {stdout}");
+    let shard_paths: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("g.shard-{i}-of-3.chl")))
+        .collect();
+    for path in &shard_paths {
+        assert!(path.exists(), "missing shard file {}", path.display());
+    }
+
+    // inspect knows what a shard file is, without loading the payload.
+    let stdout = run_ok(chl().args(["inspect", shard_paths[0].to_str().unwrap()]));
+    for needle in [
+        "format version:   3",
+        "shard:            0 of 3",
+        "owned positions:",
+        "vertices:         64",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+    // --histogram on a shard counts owned vertices only.
+    let stdout = run_ok(chl().args(["inspect", shard_paths[0].to_str().unwrap(), "--histogram"]));
+    assert!(
+        stdout.contains("label-size histogram (owned vertices per bucket)"),
+        "stdout: {stdout}"
+    );
+
+    // Serving a shard file without --shard (or vice versa) is a typed
+    // refusal: a shard behind no router answers NOT_THIS_SHARD errors, so
+    // the operator must opt in explicitly.
+    let stderr = run_err(chl().args([
+        "serve",
+        shard_paths[0].to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+    ]));
+    assert!(stderr.contains("pass --shard"), "stderr: {stderr}");
+    let stderr = run_err(chl().args([
+        "serve",
+        index_path.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--shard",
+    ]));
+    assert!(stderr.contains("not a shard"), "stderr: {stderr}");
+
+    // Three real shard processes...
+    let mut backends = Vec::new();
+    for path in &shard_paths {
+        backends.push(spawn_listener(&[
+            "serve",
+            path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--shard",
+        ]));
+    }
+    // ...behind one real router process...
+    let backend_addrs: Vec<String> = backends.iter().map(|(_, _, addr)| addr.clone()).collect();
+    let mut route_args = vec!["route"];
+    route_args.extend(backend_addrs.iter().map(String::as_str));
+    route_args.extend_from_slice(&["--addr", "127.0.0.1:0", "--threads", "2"]);
+    let (mut route_child, mut route_stdout, route_addr) = spawn_listener(&route_args);
+    // ...and the unsharded index served as the oracle.
+    let (mut oracle_child, mut oracle_stdout, oracle_addr) = spawn_listener(&[
+        "serve",
+        index_path.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+    ]);
+
+    let connect = |addr: &str| -> Client {
+        let mut client =
+            Client::connect(addr.parse::<std::net::SocketAddr>().expect("addr")).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        client
+    };
+    let mut routed = connect(&route_addr);
+    let mut oracle = connect(&oracle_addr);
+
+    // Every ordered pair, batched per source: the routed cluster answers
+    // byte-identically to the unsharded oracle.
+    for u in 0..64u32 {
+        let pairs: Vec<(u32, u32)> = (0..64u32).map(|v| (u, v)).collect();
+        assert_eq!(
+            routed.query_batch(&pairs).expect("routed batch"),
+            oracle.query_batch(&pairs).expect("oracle batch"),
+            "batch for source {u} diverged"
+        );
+    }
+    // Out-of-range and self queries degrade identically, message included.
+    for &(u, v) in &[(64u32, 0u32), (0, 99), (64, 64), (5, 5)] {
+        match (routed.query(u, v), oracle.query(u, v)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "({u}, {v})"),
+            (
+                Err(ClientError::Server {
+                    code: rc,
+                    detail: rd,
+                    message: rm,
+                }),
+                Err(ClientError::Server {
+                    code: oc,
+                    detail: od,
+                    message: om,
+                }),
+            ) => {
+                assert_eq!(rc, oc, "({u}, {v})");
+                assert_eq!(rc, ErrorCode::VertexOutOfRange);
+                assert_eq!(rd, od, "({u}, {v})");
+                assert_eq!(rm, om, "({u}, {v})");
+            }
+            other => panic!("router and oracle disagree for ({u}, {v}): {other:?}"),
+        }
+    }
+    drop(routed);
+    drop(oracle);
+
+    // bench-serve cannot tell the router from a single server: a clean run
+    // with zero error frames, then its --shutdown stops the router process.
+    let stdout = run_ok(chl().args([
+        "bench-serve",
+        &route_addr,
+        "--connections",
+        "2",
+        "--duration-ms",
+        "200",
+        "--shutdown",
+    ]));
+    let errors_line = stdout
+        .lines()
+        .find(|l| l.starts_with("errors:"))
+        .unwrap_or_else(|| panic!("missing errors line in: {stdout}"));
+    assert_eq!(errors_line.split_whitespace().nth(1), Some("0"));
+
+    let status = route_child.wait().expect("wait for chl route");
+    assert!(status.success(), "chl route exited with {status}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut route_stdout, &mut rest).expect("drain route stdout");
+    assert!(rest.contains("routed "), "route stdout: {rest}");
+
+    // The backends outlive their router; stop each over its own socket.
+    for (mut child, _stdout, addr) in backends {
+        connect(&addr).shutdown_server().expect("backend shutdown");
+        let status = child.wait().expect("wait for shard server");
+        assert!(status.success(), "shard server exited with {status}");
+    }
+    connect(&oracle_addr)
+        .shutdown_server()
+        .expect("oracle shutdown");
+    assert!(oracle_child.wait().expect("wait oracle").success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut oracle_stdout, &mut rest).expect("drain oracle stdout");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

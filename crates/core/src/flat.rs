@@ -39,7 +39,7 @@ use chl_ranking::Ranking;
 use crate::index::HubLabelIndex;
 use crate::labels::{join_sorted_iters, LabelEntry, LabelSet};
 use crate::oracle::DistanceOracle;
-use crate::persist::{self, PersistError, SaveOptions};
+use crate::persist::{self, PersistError, SaveOptions, ShardSpec};
 
 /// How one vertex's label run is materialized out of a storage encoding.
 ///
@@ -418,13 +418,61 @@ impl<'a, S: LabelStorage<'a>> DistanceOracle for LabelView<'a, S> {
     }
 }
 
-/// A borrowed view over a `.chl` v2 buffer of either entries encoding —
-/// what [`crate::persist::open_view`] returns and what
-/// [`crate::mapped::MmapIndex`] hands out per query when the encoding is
-/// only known at run time. Both arms run the identical [`LabelView`]
-/// kernel; this enum is one match deep, not a second implementation.
+/// A query endpoint that is in range but whose labels live on a different
+/// shard of a sharded index — the typed refusal a shard answers instead of
+/// a silently wrong `INFINITY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotThisShard {
+    /// The in-range endpoint this shard does not own.
+    pub vertex: VertexId,
+}
+
+impl std::fmt::Display for NotThisShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vertex {} is not owned by this shard", self.vertex)
+    }
+}
+
+impl std::error::Error for NotThisShard {}
+
+/// Borrowed shard identity of a `.chl` v3 shard file: which shard this is,
+/// how the QDOL layout was derived, and the sorted vertex set whose label
+/// runs the file actually carries.
 #[derive(Debug, Clone, Copy)]
-pub enum IndexView<'a> {
+pub struct ShardView<'a> {
+    /// This file's shard number, `0 .. shard_count`.
+    pub shard_id: u32,
+    /// Shards the index was split into.
+    pub shard_count: u32,
+    /// QDOL partition count the owned set was derived from.
+    pub zeta: u32,
+    /// Owned vertex ids, sorted strictly ascending.
+    pub owned: &'a [VertexId],
+}
+
+impl ShardView<'_> {
+    /// `true` when this shard carries the labels of vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        self.owned.binary_search(&v).is_ok()
+    }
+
+    /// Copies the borrowed identity into an owned [`ShardSpec`].
+    pub fn to_spec(&self) -> ShardSpec {
+        ShardSpec {
+            shard_id: self.shard_id,
+            shard_count: self.shard_count,
+            zeta: self.zeta,
+            owned: self.owned.to_vec(),
+        }
+    }
+}
+
+/// The two entries encodings an [`IndexView`] can be backed by. Both arms
+/// run the identical [`LabelView`] kernel; the enum is one match deep, not
+/// a second implementation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StorageView<'a> {
     /// Flat 16-byte-record entries, reinterpreted in place (zero-copy).
     Flat(FlatView<'a>),
     /// Delta+varint compressed entries, decoded per label run as queries
@@ -432,93 +480,163 @@ pub enum IndexView<'a> {
     Compressed(CompressedView<'a>),
 }
 
+/// A borrowed view over a `.chl` v2/v3 buffer of either entries encoding —
+/// what [`crate::persist::open_view`] returns and what
+/// [`crate::mapped::MmapIndex`] hands out per query when the encoding is
+/// only known at run time. A v3 shard file additionally carries its
+/// [`ShardView`]; [`Self::try_query`] is the shard-honest query surface,
+/// refusing foreign endpoints with a typed [`NotThisShard`] instead of the
+/// silently wrong `INFINITY` the shard-blind [`Self::query`] would produce.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexView<'a> {
+    pub(crate) storage: StorageView<'a>,
+    pub(crate) shard: Option<ShardView<'a>>,
+}
+
 impl<'a> IndexView<'a> {
+    /// Wraps a flat view (no shard identity).
+    pub(crate) fn flat(view: FlatView<'a>) -> Self {
+        IndexView {
+            storage: StorageView::Flat(view),
+            shard: None,
+        }
+    }
+
+    /// Wraps a compressed view (no shard identity).
+    pub(crate) fn compressed(view: CompressedView<'a>) -> Self {
+        IndexView {
+            storage: StorageView::Compressed(view),
+            shard: None,
+        }
+    }
+
+    /// Attaches a validated shard identity.
+    pub(crate) fn with_shard(mut self, shard: ShardView<'a>) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard identity of a v3 shard file; `None` for a whole index.
+    pub fn shard(&self) -> Option<&ShardView<'a>> {
+        self.shard.as_ref()
+    }
+
+    /// `true` when the view serves one shard of a sharded index.
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
+    }
+
     /// Exact PPSD distance, [`chl_graph::types::INFINITY`] for disconnected
     /// or out-of-range pairs — same contract as [`LabelView::query`].
+    ///
+    /// This surface is shard-blind: on a shard file a foreign endpoint
+    /// produces `INFINITY` because its label run is stored empty. Callers
+    /// serving a shard must use [`Self::try_query`].
     #[inline]
     pub fn query(&self, u: VertexId, v: VertexId) -> Distance {
-        match self {
-            IndexView::Flat(view) => view.query(u, v),
-            IndexView::Compressed(view) => view.query(u, v),
+        match &self.storage {
+            StorageView::Flat(view) => view.query(u, v),
+            StorageView::Compressed(view) => view.query(u, v),
         }
+    }
+
+    /// Shard-honest query: `Ok` with the exact distance (out-of-range ids
+    /// stay `INFINITY`, exactly like [`Self::query`]), `Err(NotThisShard)`
+    /// when either endpoint is in range but owned by a different shard.
+    /// On an unsharded view this never errs.
+    #[inline]
+    pub fn try_query(&self, u: VertexId, v: VertexId) -> Result<Distance, NotThisShard> {
+        if let Some(shard) = &self.shard {
+            let n = self.num_vertices() as u64;
+            for id in [u, v] {
+                if (id as u64) < n && !shard.owns(id) {
+                    return Err(NotThisShard { vertex: id });
+                }
+            }
+        }
+        Ok(self.query(u, v))
     }
 
     /// Like [`Self::query`] but also reports the hub achieving the minimum.
     #[inline]
     pub fn query_with_hub(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Distance)> {
-        match self {
-            IndexView::Flat(view) => view.query_with_hub(u, v),
-            IndexView::Compressed(view) => view.query_with_hub(u, v),
+        match &self.storage {
+            StorageView::Flat(view) => view.query_with_hub(u, v),
+            StorageView::Compressed(view) => view.query_with_hub(u, v),
         }
     }
 
-    /// Number of vertices covered by the view.
+    /// Number of vertices covered by the view. For a shard file this is the
+    /// **global** vertex count of the unsharded index, not the owned count.
     pub fn num_vertices(&self) -> usize {
-        match self {
-            IndexView::Flat(view) => view.num_vertices(),
-            IndexView::Compressed(view) => view.num_vertices(),
+        match &self.storage {
+            StorageView::Flat(view) => view.num_vertices(),
+            StorageView::Compressed(view) => view.num_vertices(),
         }
     }
 
-    /// Total number of labels stored (decoded count).
+    /// Total number of labels stored (decoded count). For a shard file,
+    /// only this shard's labels.
     pub fn total_labels(&self) -> usize {
-        match self {
-            IndexView::Flat(view) => view.total_labels(),
-            IndexView::Compressed(view) => view.total_labels(),
+        match &self.storage {
+            StorageView::Flat(view) => view.total_labels(),
+            StorageView::Compressed(view) => view.total_labels(),
         }
     }
 
     /// The CSR offsets array (`num_vertices + 1` entries).
     pub fn offsets(&self) -> &'a [u64] {
-        match self {
-            IndexView::Flat(view) => view.offsets(),
-            IndexView::Compressed(view) => view.offsets(),
+        match &self.storage {
+            StorageView::Flat(view) => view.offsets(),
+            StorageView::Compressed(view) => view.offsets(),
         }
     }
 
     /// The ranking's order array.
     pub fn order(&self) -> &'a [VertexId] {
-        match self {
-            IndexView::Flat(view) => view.order(),
-            IndexView::Compressed(view) => view.order(),
+        match &self.storage {
+            StorageView::Flat(view) => view.order(),
+            StorageView::Compressed(view) => view.order(),
         }
     }
 
     /// Maximum label-set size over all vertices.
     pub fn max_label_size(&self) -> usize {
-        match self {
-            IndexView::Flat(view) => view.max_label_size(),
-            IndexView::Compressed(view) => view.max_label_size(),
+        match &self.storage {
+            StorageView::Flat(view) => view.max_label_size(),
+            StorageView::Compressed(view) => view.max_label_size(),
         }
     }
 
     /// `true` when the underlying entries section is delta+varint
     /// compressed.
     pub fn is_compressed(&self) -> bool {
-        matches!(self, IndexView::Compressed(_))
+        matches!(self.storage, StorageView::Compressed(_))
     }
 
     /// Human-readable name of the entries encoding.
     pub fn encoding(&self) -> &'static str {
-        match self {
-            IndexView::Flat(view) => view.encoding(),
-            IndexView::Compressed(view) => view.encoding(),
+        match &self.storage {
+            StorageView::Flat(view) => view.encoding(),
+            StorageView::Compressed(view) => view.encoding(),
         }
     }
 
     /// Bytes of backing storage the view spans in its on-disk encoding.
     pub fn memory_bytes(&self) -> usize {
-        match self {
-            IndexView::Flat(view) => view.memory_bytes(),
-            IndexView::Compressed(view) => view.memory_bytes(),
-        }
+        let storage = match &self.storage {
+            StorageView::Flat(view) => view.memory_bytes(),
+            StorageView::Compressed(view) => view.memory_bytes(),
+        };
+        storage + self.shard.map_or(0, |s| std::mem::size_of_val(s.owned))
     }
 
-    /// Copies the view into an owned [`FlatIndex`], decoding if compressed.
+    /// Copies the view into an owned [`FlatIndex`], decoding if compressed
+    /// and preserving the shard identity if present.
     pub fn to_owned_index(&self) -> FlatIndex {
-        match self {
-            IndexView::Flat(view) => FlatIndex::from_view(*view),
-            IndexView::Compressed(view) => {
+        let index = match &self.storage {
+            StorageView::Flat(view) => FlatIndex::from_view(*view),
+            StorageView::Compressed(view) => {
                 let ranking = Ranking::from_order(view.order().to_vec(), view.num_vertices())
                     .expect("views only exist over validated permutations");
                 let mut entries = Vec::with_capacity(view.total_labels());
@@ -527,7 +645,14 @@ impl<'a> IndexView<'a> {
                 }
                 FlatIndex::from_validated_parts(view.offsets().to_vec(), entries, ranking)
             }
-        }
+        };
+        let mut index = index;
+        // The shard section was validated when this view was built and the
+        // index above is a copy of the same storage, so the cross-section
+        // invariant already holds — re-attach the identity directly instead
+        // of routing through the fallible `with_shard`.
+        index.shard = self.shard.as_ref().map(|s| s.to_spec());
+        index
     }
 }
 
@@ -576,6 +701,10 @@ pub struct FlatIndex {
     offsets: Vec<u64>,
     entries: Vec<LabelEntry>,
     ranking: Ranking,
+    /// Shard identity when this index is one QDOL shard of a larger index
+    /// (labels present only for the owned vertex set, empty runs
+    /// elsewhere); `None` for a whole index.
+    shard: Option<ShardSpec>,
 }
 
 impl FlatIndex {
@@ -593,6 +722,7 @@ impl FlatIndex {
             offsets,
             entries,
             ranking: index.ranking().clone(),
+            shard: None,
         }
     }
 
@@ -606,6 +736,7 @@ impl FlatIndex {
             offsets: view.offsets().to_vec(),
             entries: view.entries().to_vec(),
             ranking,
+            shard: None,
         }
     }
 
@@ -640,6 +771,72 @@ impl FlatIndex {
             offsets,
             entries,
             ranking,
+            shard: None,
+        }
+    }
+
+    /// Attaches a shard identity, making this index one QDOL shard of a
+    /// larger index. Validates the spec against this index's dimensions and
+    /// the cross-section invariant that every vertex **not** in the owned
+    /// set has an empty label run — the property that makes the union of
+    /// all shards the unsharded index.
+    pub fn with_shard(mut self, shard: ShardSpec) -> Result<Self, PersistError> {
+        shard.validate(self.num_vertices() as u64)?;
+        persist::check_shard_consistency(&shard.owned, &self.offsets)?;
+        self.shard = Some(shard);
+        Ok(self)
+    }
+
+    /// The shard identity, when this index is one shard of a sharded index.
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        self.shard.as_ref()
+    }
+
+    /// Carves the shard described by `spec` out of this (whole) index:
+    /// label runs are kept verbatim for owned vertices and emptied for all
+    /// others, then the spec is attached via [`FlatIndex::with_shard`].
+    /// Dimensions (`num_vertices`, ranking) are preserved, so the union of
+    /// the shards produced for a covering partition reproduces this index
+    /// exactly — the invariant `chl build --shards` relies on.
+    pub fn restrict_to_shard(&self, spec: ShardSpec) -> Result<FlatIndex, PersistError> {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u64);
+        for v in 0..n as VertexId {
+            if spec.owns(v) {
+                entries.extend_from_slice(self.labels_of(v));
+            }
+            offsets.push(entries.len() as u64);
+        }
+        FlatIndex {
+            offsets,
+            entries,
+            ranking: self.ranking.clone(),
+            shard: None,
+        }
+        .with_shard(spec)
+    }
+
+    /// Shard-honest query — same contract as [`IndexView::try_query`]: on
+    /// a shard, an in-range endpoint owned by another shard is a typed
+    /// [`NotThisShard`] instead of a silently wrong `INFINITY`.
+    pub fn try_query(&self, u: VertexId, v: VertexId) -> Result<Distance, NotThisShard> {
+        self.as_index_view().try_query(u, v)
+    }
+
+    /// Borrows the index as the runtime-dispatched [`IndexView`], shard
+    /// identity included — the same shape the zero-copy load paths serve.
+    pub fn as_index_view(&self) -> IndexView<'_> {
+        let view = IndexView::flat(self.as_view());
+        match &self.shard {
+            Some(s) => view.with_shard(ShardView {
+                shard_id: s.shard_id,
+                shard_count: s.shard_count,
+                zeta: s.zeta,
+                owned: &s.owned,
+            }),
+            None => view,
         }
     }
 

@@ -1,4 +1,4 @@
-//! Memory-mapped serving: a `.chl` v2 file queried straight from the OS
+//! Memory-mapped serving: a `.chl` v2/v3 file queried straight from the OS
 //! page cache.
 //!
 //! [`MmapIndex`] is the third member of the serving-layout family (after the
@@ -22,10 +22,13 @@
 //! (`FLAG_COMPRESSED_ENTRIES`) stream-decode the two label runs each query
 //! intersects, directly from the mapped bytes at the compressed footprint.
 //!
-//! Only v2 files can be mapped: the aligned layout is what makes in-place
-//! reinterpretation possible. Opening a v1 file reports
+//! Only v2/v3 files can be mapped: the aligned layout is what makes
+//! in-place reinterpretation possible. Opening a v1 file reports
 //! [`PersistError::NotZeroCopy`]; load it through
-//! [`FlatIndex::load`](crate::flat::FlatIndex::load) instead.
+//! [`FlatIndex::load`](crate::flat::FlatIndex::load) instead. A v3 shard
+//! file maps like any other; its identity is cached at open
+//! ([`MmapIndex::shard`]) and its views answer
+//! [`IndexView::try_query`] shard-honestly.
 
 use std::path::Path;
 
@@ -33,9 +36,9 @@ use chl_graph::types::{Distance, VertexId};
 
 use crate::flat::IndexView;
 use crate::oracle::DistanceOracle;
-use crate::persist::{self, AlignedBytes, PersistError};
+use crate::persist::{self, AlignedBytes, PersistError, ShardSpec};
 
-/// A `.chl` v2 index served zero-copy from a file mapping (or, as a
+/// A `.chl` v2/v3 index served zero-copy from a file mapping (or, as a
 /// fallback, from one aligned buffered read of the file).
 ///
 /// ```no_run
@@ -59,7 +62,11 @@ pub struct MmapIndex {
     backing: Backing,
     num_vertices: usize,
     num_entries: usize,
+    version: u32,
     compressed: bool,
+    /// Owned copy of the shard section, cached at open so per-query shard
+    /// membership checks never re-walk the mapped bytes' layout.
+    shard: Option<ShardSpec>,
 }
 
 #[derive(Debug)]
@@ -108,14 +115,18 @@ impl MmapIndex {
     /// [`PersistError::NotZeroCopy`].
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let backing = open_backing(path.as_ref())?;
+        let version = persist::parse_header(backing.as_slice())?.version;
         let view = persist::open_view(backing.as_slice())?;
         let (num_vertices, num_entries) = (view.num_vertices(), view.total_labels());
         let compressed = view.is_compressed();
+        let shard = view.shard().map(|s| s.to_spec());
         Ok(MmapIndex {
             backing,
             num_vertices,
             num_entries,
+            version,
             compressed,
+            shard,
         })
     }
 
@@ -137,7 +148,9 @@ impl MmapIndex {
                 self.backing.as_slice(),
                 self.num_vertices,
                 self.num_entries,
+                self.version,
                 self.compressed,
+                self.shard.is_some(),
             )
         }
     }
@@ -146,6 +159,17 @@ impl MmapIndex {
     /// queries stream-decode instead of reinterpreting records in place.
     pub fn is_compressed(&self) -> bool {
         self.compressed
+    }
+
+    /// The shard identity cached at open, when the file is one QDOL shard
+    /// of a sharded index; `None` for a whole index.
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        self.shard.as_ref()
+    }
+
+    /// `true` when the file is one shard of a sharded index.
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
     }
 
     /// `true` when the index is backed by a real file mapping, `false` on

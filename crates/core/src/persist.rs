@@ -9,7 +9,7 @@
 //! ([`view_bytes`]). Version 1 files (the original packed layout) keep
 //! loading through the copying path ([`from_bytes`] / [`load`]).
 //!
-//! ## Version 2 layout (current)
+//! ## Version 3 layout (current)
 //!
 //! All integers little-endian; every section 8-byte aligned and zero-padded
 //! to a multiple of 8 bytes:
@@ -17,23 +17,65 @@
 //! ```text
 //! offset  size        field
 //! 0       4           magic        "CHLI"
-//! 4       4           version      u32, 2
-//! 8       8           n            u64, number of vertices
-//! 16      8           m            u64, total number of label entries
-//! 24      4           flags        u32, bit 0 = compressed entries, rest 0
+//! 4       4           version      u32, 3
+//! 8       8           n            u64, number of vertices (global, even in a shard file)
+//! 16      8           m            u64, number of label entries stored in this file
+//! 24      4           flags        u32, bit 0 = compressed entries, bit 1 = sharded
 //! 28      4           crc_ranking  u32, CRC-32 of the ranking section (incl. padding)
 //! 32      4           crc_offsets  u32, CRC-32 of the offsets section
 //! 36      4           crc_entries  u32, CRC-32 of the entries section
-//! 40      n * 4 (+pad) ranking     vertex ids, most important first, zero-padded to 8
+//! 40      4           crc_shard    u32, CRC-32 of the shard section (0 when not sharded)
+//! 44      4           crc_header   u32, CRC-32 of header bytes 0..44
+//! 48      n * 4 (+pad) ranking     vertex ids, most important first, zero-padded to 8
 //! ..      (n+1) * 8   offsets      entries[offsets[v]..offsets[v+1]] labels vertex v
 //! ..      m * 16      entries      (u32 hub rank position, u32 zero, u64 distance)
+//! ..      see below   shard        optional shard section (flags bit 1)
 //! ```
+//!
+//! `crc_header` closes the corruption-detection gap v2 left open: the first
+//! 40 bytes of a v2 file sit outside all three section checksums, so a
+//! flipped header field surfaced as a confusing downstream section error. A
+//! v3 header is self-checking — any header flip is a precise
+//! [`PersistError::HeaderChecksumMismatch`] before a single payload byte is
+//! interpreted.
 //!
 //! The 16-byte entry record mirrors `#[repr(C)] LabelEntry` exactly (hub at
 //! offset 0, distance at offset 8, four padding bytes that must be zero), so
 //! `&[u8] -> &[LabelEntry]` is a pointer cast on little-endian hosts.
 //!
-//! ## Compressed entries section (v2, flags bit 0)
+//! ## Shard section (v3, flags bit 1)
+//!
+//! A sharded file holds one QDOL shard of an index: the **full** ranking and
+//! the **full** `(n+1)`-slot offsets array (foreign vertices simply have
+//! empty runs), but only the owned vertices' label entries — `m` counts the
+//! entries actually present in this file. The trailing shard section records
+//! which shard this is:
+//!
+//! ```text
+//! offset  size             field
+//! +0      4                shard_id     u32, < shard_count
+//! +4      4                shard_count  u32, >= 1
+//! +8      4                zeta         u32, QDOL partition count, >= 2
+//! +12     4                owned_count  u32
+//! +16     owned_count * 4  owned        strictly increasing vertex ids (+pad to 8)
+//! ```
+//!
+//! Keeping `n` global means a shard file answers over the same vertex-id
+//! space as the unsharded index; a query naming an in-range vertex the shard
+//! does not own is a typed `NotThisShard` at the view layer (see
+//! [`IndexView::try_query`](crate::flat::IndexView::try_query)), never a
+//! silently wrong `INFINITY`. Validation enforces that every vertex outside
+//! the owned set has an empty run, so the union of all shards' entries is
+//! exactly the unsharded index.
+//!
+//! ## Version 2 layout (legacy, readable and writable)
+//!
+//! Identical to v3 without the `crc_shard`/`crc_header` words (40-byte
+//! header) and without the shard section; the flags word knows only bit 0.
+//! v2 files keep loading byte-identically through every path, and
+//! [`SaveOptions::v2`] still writes them for old readers.
+//!
+//! ## Compressed entries section (flags bit 0)
 //!
 //! With [`FLAG_COMPRESSED_ENTRIES`] set in the flags word, the header,
 //! ranking and offsets sections are unchanged but the entries section stores
@@ -81,11 +123,15 @@
 //!
 //! `version` is bumped on **any** layout change; readers reject versions they
 //! do not know ([`PersistError::UnsupportedVersion`]) rather than guessing.
-//! v1 files load (copying) but cannot back a zero-copy view
+//! The flags word is validated per version: bit 1 (sharded) is only legal in
+//! v3, so a v2 reader keeps rejecting files it cannot represent. v1 files
+//! load (copying) but cannot back a zero-copy view
 //! ([`PersistError::NotZeroCopy`]); there is no in-place migration — an
 //! index is cheap to rebuild from its graph, so old files are regenerated,
-//! not converted. Writers emit v2 only ([`to_bytes`] / [`save`]);
-//! [`to_bytes_v1`] remains for compatibility tests and old tooling.
+//! not converted. Writers emit v3 by default ([`to_bytes`] / [`save`]);
+//! [`SaveOptions::v2`] selects the v2 layout for old readers (refused for
+//! sharded indexes, which v2 cannot express) and [`to_bytes_v1`] remains for
+//! compatibility tests and old tooling.
 //!
 //! ## Corruption detection
 //!
@@ -107,14 +153,18 @@ use std::path::Path;
 
 use chl_graph::types::VertexId;
 use chl_ranking::Ranking;
+use serde::{Deserialize, Serialize};
 
-use crate::flat::{CompressedView, FlatIndex, FlatView, IndexView};
+use crate::flat::{CompressedView, FlatIndex, FlatView, IndexView, ShardView, StorageView};
 use crate::labels::LabelEntry;
 
 /// File magic: "Canonical Hub Label Index".
 pub const MAGIC: &[u8; 4] = b"CHLI";
 /// Current format version. Bumped on any layout change.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
+/// The previous aligned format version (no header CRC, no shard section),
+/// still both readable and writable ([`SaveOptions::v2`]).
+pub const VERSION_V2: u32 = 2;
 /// The legacy packed format version, still readable via the copying path.
 pub const VERSION_V1: u32 = 1;
 /// Size of the v1 fixed header in bytes (`magic | version | n | m | crc32`).
@@ -122,40 +172,94 @@ pub const HEADER_LEN_V1: usize = 28;
 /// Size of the v2 fixed header in bytes
 /// (`magic | version | n | m | flags | crc_ranking | crc_offsets | crc_entries`).
 pub const HEADER_LEN_V2: usize = 40;
+/// Size of the v3 fixed header in bytes: the v2 header plus `crc_shard` and
+/// `crc_header`. A multiple of [`SECTION_ALIGN`], so the ranking section
+/// still starts aligned with no pad between header and payload.
+pub const HEADER_LEN_V3: usize = 48;
 /// Size of one serialized v1 label entry in bytes (`u32 hub | u64 dist`).
 pub const ENTRY_LEN_V1: usize = 12;
-/// Size of one serialized v2 label entry in bytes
+/// Size of one serialized v2/v3 label entry in bytes
 /// (`u32 hub | u32 zero | u64 dist`), identical to `size_of::<LabelEntry>()`.
 pub const ENTRY_LEN_V2: usize = 16;
-/// Alignment every v2 section start and length is padded to.
+/// Alignment every v2/v3 section start and length is padded to.
 pub const SECTION_ALIGN: usize = 8;
-/// v2 flags bit 0: the entries section is delta+varint compressed (per-set
+/// Flags bit 0: the entries section is delta+varint compressed (per-set
 /// skip table + LEB128 hub gaps and distances) instead of 16-byte records.
 pub const FLAG_COMPRESSED_ENTRIES: u32 = 1 << 0;
-/// Every flag bit this reader understands; any other bit set is
-/// [`PersistError::UnsupportedFlags`].
-pub const FLAGS_KNOWN: u32 = FLAG_COMPRESSED_ENTRIES;
+/// Flags bit 1 (v3 only): the file holds one QDOL shard — labels for the
+/// owned vertex set recorded in the trailing shard section, empty runs for
+/// every other vertex.
+pub const FLAG_SHARDED: u32 = 1 << 1;
+/// Every flag bit a v2 file may carry; bit 1 needs the v3 shard section.
+pub const FLAGS_KNOWN_V2: u32 = FLAG_COMPRESSED_ENTRIES;
+/// Every flag bit this reader understands (in a v3 file); any other bit set
+/// is [`PersistError::UnsupportedFlags`].
+pub const FLAGS_KNOWN: u32 = FLAG_COMPRESSED_ENTRIES | FLAG_SHARDED;
+
+/// The flag bits legal for a given format version.
+fn flags_known(version: u32) -> u32 {
+    if version == VERSION_V2 {
+        FLAGS_KNOWN_V2
+    } else {
+        FLAGS_KNOWN
+    }
+}
 
 /// Writer knobs for [`to_bytes_with`] / [`save_with`]. The default writes
-/// the flat v2 layout; `compress` switches the entries section to the
-/// delta+varint encoding behind [`FLAG_COMPRESSED_ENTRIES`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// the flat v3 layout; `compress` switches the entries section to the
+/// delta+varint encoding behind [`FLAG_COMPRESSED_ENTRIES`], and `version`
+/// selects the v2 layout for compatibility with older readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SaveOptions {
     /// Delta-encode hub positions and varint-encode distances in the
     /// entries section. Several-fold smaller files; queries through the
     /// zero-copy paths stream-decode the two runs they touch instead of
     /// reinterpreting them in place.
     pub compress: bool,
+    /// Format version to emit: [`VERSION`] (the default) or [`VERSION_V2`].
+    /// Any other value falls back to [`VERSION`]. A sharded index always
+    /// serializes as v3 — v2 cannot express the shard section.
+    pub version: u32,
+}
+
+impl Default for SaveOptions {
+    fn default() -> Self {
+        SaveOptions {
+            compress: false,
+            version: VERSION,
+        }
+    }
 }
 
 impl SaveOptions {
     /// Options selecting the compressed entries encoding.
     pub fn compressed() -> Self {
-        SaveOptions { compress: true }
+        SaveOptions {
+            compress: true,
+            ..SaveOptions::default()
+        }
+    }
+
+    /// Options selecting the legacy v2 layout (flat entries).
+    pub fn v2() -> Self {
+        SaveOptions {
+            compress: false,
+            version: VERSION_V2,
+        }
+    }
+
+    /// The version this writer will actually emit for `index`: sharded
+    /// indexes force v3, anything but an explicit [`VERSION_V2`] is v3.
+    fn effective_version(&self, sharded: bool) -> u32 {
+        if sharded || self.version != VERSION_V2 {
+            VERSION
+        } else {
+            VERSION_V2
+        }
     }
 }
 
-/// The three payload sections of a `.chl` file, in file order. v2 stores one
+/// The payload sections of a `.chl` file, in file order. v2/v3 store one
 /// checksum per section so corruption reports name the section hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Section {
@@ -165,6 +269,8 @@ pub enum Section {
     Offsets,
     /// The concatenated label entries.
     Entries,
+    /// The trailing v3 shard section (shard identity + owned vertex set).
+    Shard,
 }
 
 impl fmt::Display for Section {
@@ -173,8 +279,107 @@ impl fmt::Display for Section {
             Section::Ranking => "ranking",
             Section::Offsets => "offsets",
             Section::Entries => "entries",
+            Section::Shard => "shard",
         })
     }
+}
+
+/// Which QDOL shard a `.chl` v3 shard file holds: its identity within the
+/// cluster and the sorted set of vertex ids whose labels it carries.
+///
+/// `zeta` is the QDOL partition count the layout was derived from
+/// (`C(zeta, 2) <= shard_count`): a shard owning partition pair `(i, j)`
+/// holds the complete labels of every vertex in partitions `i` and `j`, so
+/// it can answer any query whose two endpoints both land in its owned set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index in `0..shard_count`.
+    pub shard_id: u32,
+    /// Total number of shards in the layout.
+    pub shard_count: u32,
+    /// The QDOL partition count the pair layout was derived from.
+    pub zeta: u32,
+    /// Strictly increasing vertex ids whose labels this shard holds.
+    pub owned: Vec<VertexId>,
+}
+
+impl ShardSpec {
+    /// `true` when this shard holds vertex `v`'s labels.
+    pub fn owns(&self, v: VertexId) -> bool {
+        self.owned.binary_search(&v).is_ok()
+    }
+
+    /// Number of vertices this shard owns.
+    pub fn owned_count(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// The structural invariants every load path enforces: a sane identity
+    /// and a strictly increasing owned set within `0..n`.
+    pub fn validate(&self, n: u64) -> Result<(), PersistError> {
+        validate_shard_meta(self.shard_id, self.shard_count, self.zeta, &self.owned, n)
+    }
+}
+
+/// The shard section's structural invariants, shared by the copying and
+/// zero-copy load paths: a sane identity and a strictly increasing owned
+/// set within `0..n`.
+fn validate_shard_meta(
+    shard_id: u32,
+    shard_count: u32,
+    zeta: u32,
+    owned: &[VertexId],
+    n: u64,
+) -> Result<(), PersistError> {
+    if shard_count == 0 || shard_id >= shard_count {
+        return Err(PersistError::Malformed(format!(
+            "shard section: shard id {shard_id} out of range for {shard_count} shards"
+        )));
+    }
+    if zeta < 2 {
+        return Err(PersistError::Malformed(format!(
+            "shard section: QDOL partition count {zeta} must be at least 2"
+        )));
+    }
+    let mut prev: Option<VertexId> = None;
+    for &v in owned {
+        if u64::from(v) >= n {
+            return Err(PersistError::Malformed(format!(
+                "shard section: owned vertex {v} out of range for {n} vertices"
+            )));
+        }
+        if prev.is_some_and(|p| p >= v) {
+            return Err(PersistError::Malformed(
+                "shard section: owned vertex ids must be strictly increasing".into(),
+            ));
+        }
+        prev = Some(v);
+    }
+    Ok(())
+}
+
+/// The cross-section shard invariant: a vertex the shard does not own must
+/// have an empty label run, so the union of all shards' entries is exactly
+/// the unsharded index (no double counting, no smuggled labels).
+pub(crate) fn check_shard_consistency(
+    owned: &[VertexId],
+    offsets: &[u64],
+) -> Result<(), PersistError> {
+    let n = offsets.len() - 1;
+    let mut owned = owned.iter().copied().peekable();
+    for v in 0..n {
+        if owned.peek().is_some_and(|&o| o as usize == v) {
+            owned.next();
+            continue;
+        }
+        if offsets[v + 1] != offsets[v] {
+            return Err(PersistError::Malformed(format!(
+                "shard section: vertex {v} has {} label entries but is not in the owned set",
+                offsets[v + 1] - offsets[v]
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Errors produced while reading or writing `.chl` index files.
@@ -192,11 +397,26 @@ pub enum PersistError {
         /// Version stamped in the file.
         found: u32,
     },
-    /// The v2 flags word carries bits this reader does not understand.
+    /// The flags word carries bits this reader does not understand (or, for
+    /// a v2 file, bits only v3 defines — like the sharded bit).
     UnsupportedFlags {
         /// Flags word stamped in the file.
         found: u32,
     },
+    /// The v3 header CRC does not match the header bytes: one of the first
+    /// 48 bytes was corrupted, so none of the header's dimensions or section
+    /// checksums can be trusted. (v2 headers carry no such check — see
+    /// [`PersistError::Malformed`] diagnostics on the v2 path.)
+    HeaderChecksumMismatch {
+        /// `crc_header` stored in the file.
+        stored: u32,
+        /// CRC-32 computed over header bytes 0..44 as read.
+        computed: u32,
+    },
+    /// A v3 header passed its CRC but declares something no writer produces
+    /// (impossible dimensions, a non-zero shard checksum on an unsharded
+    /// file): the file was written wrong, not corrupted in transit.
+    HeaderMalformed(String),
     /// The file is shorter than its header claims — an interrupted write or
     /// a truncated copy.
     Truncated {
@@ -273,8 +493,16 @@ impl fmt::Display for PersistError {
             ),
             PersistError::UnsupportedFlags { found } => write!(
                 f,
-                "unsupported .chl flags {found:#010x} (this reader understands no flags)"
+                "unsupported .chl flags {found:#010x} for this format version"
             ),
+            PersistError::HeaderChecksumMismatch { stored, computed } => write!(
+                f,
+                "corrupt .chl header: stored header checksum {stored:#010x}, computed {computed:#010x} \
+                 — the header itself was damaged, none of its fields can be trusted"
+            ),
+            PersistError::HeaderMalformed(msg) => {
+                write!(f, "malformed .chl header: {msg}")
+            }
             PersistError::Truncated { expected, found } => write!(
                 f,
                 "truncated .chl file: expected {expected} bytes, found {found}"
@@ -360,10 +588,15 @@ pub struct FileHeader {
     /// Total number of label entries (decoded count, whatever the
     /// encoding).
     pub num_entries: u64,
-    /// The v2 flags word (`0` for v1 files); see [`FLAG_COMPRESSED_ENTRIES`].
+    /// The flags word (`0` for v1 files); see [`FLAG_COMPRESSED_ENTRIES`]
+    /// and [`FLAG_SHARDED`].
     pub flags: u32,
     /// The stored payload checksum(s).
     pub checksums: Checksums,
+    /// v3: CRC-32 of the shard section (`0` when unsharded or pre-v3).
+    pub crc_shard: u32,
+    /// v3: CRC-32 of header bytes 0..44 (`0` for pre-v3 versions).
+    pub crc_header: u32,
 }
 
 impl FileHeader {
@@ -371,7 +604,8 @@ impl FileHeader {
     pub fn header_len(&self) -> usize {
         match self.version {
             VERSION_V1 => HEADER_LEN_V1,
-            _ => HEADER_LEN_V2,
+            VERSION_V2 => HEADER_LEN_V2,
+            _ => HEADER_LEN_V3,
         }
     }
 
@@ -380,12 +614,18 @@ impl FileHeader {
         self.flags & FLAG_COMPRESSED_ENTRIES != 0
     }
 
+    /// `true` when the file holds one shard of a QDOL layout (v3 only).
+    pub fn is_sharded(&self) -> bool {
+        self.flags & FLAG_SHARDED != 0
+    }
+
     /// Total file size in bytes implied by the header's dimensions, or
     /// `None` when it cannot be known from the header alone — compressed
     /// files are self-describing (the encoded length lives in the skip
-    /// table), and hostile dimensions can overflow.
+    /// table), sharded files carry a self-describing owned set, and hostile
+    /// dimensions can overflow.
     pub fn expected_file_len(&self) -> Option<usize> {
-        if self.is_compressed() {
+        if self.is_compressed() || self.is_sharded() {
             return None;
         }
         let payload = match self.version {
@@ -398,17 +638,22 @@ impl FileHeader {
     /// On-disk size of the entries section in bytes, derived from the header
     /// and the actual file length: the storage queries really touch. For
     /// flat encodings this is `m` times the record size; for compressed
-    /// files it is everything after the offsets section (skip table, blob
-    /// and padding). Saturating — hostile headers must not wrap.
+    /// files it is everything between the offsets section and the optional
+    /// shard section (skip table, blob and padding). Saturating — hostile
+    /// headers must not wrap.
     pub fn entries_section_len(&self, file_len: u64) -> u64 {
         let n = self.num_vertices;
         let m = self.num_entries;
         match self.version {
             VERSION_V1 => m.saturating_mul(ENTRY_LEN_V1 as u64),
             _ if self.is_compressed() => {
-                let before_entries = (HEADER_LEN_V2 as u64)
+                let before_entries = (self.header_len() as u64)
                     .saturating_add(pad_to_align(n.saturating_mul(4)).unwrap_or(u64::MAX))
                     .saturating_add(n.saturating_add(1).saturating_mul(8));
+                // A sharded file's entries section ends where the shard
+                // section begins; without loading the owned count the best
+                // header-only answer is the span up to end of file, which is
+                // exact for unsharded files.
                 file_len.saturating_sub(before_entries)
             }
             _ => m.saturating_mul(ENTRY_LEN_V2 as u64),
@@ -552,7 +797,16 @@ struct CompressedLayout {
     blob_data: Range<usize>,
 }
 
-/// Absolute byte ranges of the three v2 sections within a file of validated
+/// Byte ranges of the trailing v3 shard section.
+#[derive(Debug, Clone)]
+struct ShardLayout {
+    /// The 16-byte prelude plus the owned array, excluding tail padding.
+    data: Range<usize>,
+    /// Whole shard section including tail padding; `crc_shard` covers this.
+    section: Range<usize>,
+}
+
+/// Absolute byte ranges of the sections within a v2/v3 file of validated
 /// length. Section starts and lengths are all multiples of
 /// [`SECTION_ALIGN`], so a section start in an 8-byte-aligned buffer is
 /// itself 8-byte aligned.
@@ -571,20 +825,46 @@ struct LayoutV2 {
     /// Sub-layout of the entries section when [`FLAG_COMPRESSED_ENTRIES`]
     /// is set.
     compressed: Option<CompressedLayout>,
+    /// The trailing shard section when [`FLAG_SHARDED`] is set (v3 only).
+    shard: Option<ShardLayout>,
 }
 
-/// Computes the v2 section layout from header dimensions and checks the
+/// Computes the v2/v3 section layout from header dimensions and checks the
 /// buffer length matches exactly. Compressed files are self-describing —
-/// the encoded blob length is read from the last skip-table slot, which is
-/// why this takes the whole buffer rather than just its length.
-fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<LayoutV2, PersistError> {
+/// the encoded blob length is read from the last skip-table slot — and so
+/// is the shard section via its owned count, which is why this takes the
+/// whole buffer rather than just its length.
+fn layout_v2(
+    n64: u64,
+    m64: u64,
+    version: u32,
+    compressed: bool,
+    sharded: bool,
+    data: &[u8],
+) -> Result<LayoutV2, PersistError> {
+    // In v3 the header passed its CRC before we got here, so impossible
+    // dimensions are provably the writer's doing; in v2 they could just as
+    // well be header corruption (no CRC covers them), which the v2 load
+    // paths fold into the message.
+    let header_len = if version == VERSION_V2 {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN_V3
+    };
+    let dims_err = move |msg: String| {
+        if version == VERSION_V2 {
+            PersistError::Malformed(msg)
+        } else {
+            PersistError::HeaderMalformed(msg)
+        }
+    };
     if n64 > VertexId::MAX as u64 {
-        return Err(PersistError::Malformed(format!(
+        return Err(dims_err(format!(
             "{n64} vertices exceeds the u32 vertex id space"
         )));
     }
-    let overflow = || {
-        PersistError::Malformed(format!(
+    let overflow = move || {
+        dims_err(format!(
             "declared dimensions (n = {n64}, m = {m64}) overflow the addressable size"
         ))
     };
@@ -595,13 +875,13 @@ fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<Layout
         .checked_add(1)
         .and_then(|x| x.checked_mul(8))
         .ok_or_else(overflow)?;
-    let prefix = (HEADER_LEN_V2 as u64)
+    let prefix = (header_len as u64)
         .checked_add(ranking_len)
         .and_then(|x| x.checked_add(offsets_len))
         .and_then(|x| usize::try_from(x).ok())
         .ok_or_else(overflow)?;
 
-    let (expected, compressed_layout) = if compressed {
+    let (entries_end, compressed_layout) = if compressed {
         // Fixed prefix first: header, ranking, offsets, skip table. Only
         // once those fit can the blob length be read out of the skip table.
         let skip_len = offsets_len as usize;
@@ -620,14 +900,14 @@ fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<Layout
                     "declared encoded blob length {blob_len} overflows the addressable size"
                 ))
             })?;
-        let expected = fixed.checked_add(blob_padded).ok_or_else(overflow)?;
+        let entries_end = fixed.checked_add(blob_padded).ok_or_else(overflow)?;
         // The flat arm bounds m against the file length via `m * 16`; the
         // compressed equivalent is that every encoded entry costs at least
         // two bytes (a one-byte hub-gap varint plus a one-byte distance
         // varint). A forged header whose m cannot fit in the blob must be
         // rejected here, before any loader allocates m-sized buffers.
         if m64.checked_mul(2).is_none_or(|min| min > blob_len) {
-            return Err(PersistError::Malformed(format!(
+            return Err(dims_err(format!(
                 "declared entry count {m64} cannot fit in a {blob_len}-byte encoded blob"
             )));
         }
@@ -635,13 +915,44 @@ fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<Layout
             skip: prefix..fixed,
             blob_data: fixed..fixed + blob_len as usize,
         };
-        (expected, Some(layout))
+        (entries_end, Some(layout))
     } else {
         let entries_len = m64
             .checked_mul(ENTRY_LEN_V2 as u64)
             .and_then(|x| usize::try_from(x).ok())
             .ok_or_else(overflow)?;
         (prefix.checked_add(entries_len).ok_or_else(overflow)?, None)
+    };
+
+    // The shard section trails the entries and is self-describing via its
+    // owned count, read once the fixed 16-byte prelude is known to fit.
+    let (expected, shard_layout) = if sharded {
+        let fixed = entries_end.checked_add(16).ok_or_else(overflow)?;
+        if data_len < fixed {
+            return Err(PersistError::Truncated {
+                expected: fixed,
+                found: data_len,
+            });
+        }
+        let owned_count = match data.get(fixed - 4..fixed) {
+            Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]) as usize,
+            // Unreachable: `data_len >= fixed` was just checked.
+            _ => return Err(overflow()),
+        };
+        let data_end = owned_count
+            .checked_mul(4)
+            .and_then(|x| fixed.checked_add(x))
+            .ok_or_else(overflow)?;
+        let section_end = pad_to_align(data_end as u64)
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(overflow)?;
+        let layout = ShardLayout {
+            data: entries_end..data_end,
+            section: entries_end..section_end,
+        };
+        (section_end, Some(layout))
+    } else {
+        (entries_end, None)
     };
     if data_len < expected {
         return Err(PersistError::Truncated {
@@ -656,7 +967,7 @@ fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<Layout
     }
     let n = n64 as usize;
     let m = m64 as usize;
-    let ranking_start = HEADER_LEN_V2;
+    let ranking_start = header_len;
     let ranking_data_end = ranking_start + n * 4;
     let ranking_end = ranking_start + ranking_len as usize;
     let offsets_end = ranking_end + (n + 1) * 8;
@@ -667,15 +978,16 @@ fn layout_v2(n64: u64, m64: u64, compressed: bool, data: &[u8]) -> Result<Layout
         ranking_data: ranking_start..ranking_data_end,
         ranking_section: ranking_start..ranking_end,
         offsets: ranking_end..offsets_end,
-        entries: offsets_end..expected,
+        entries: offsets_end..entries_end,
         compressed: compressed_layout,
+        shard: shard_layout,
     })
 }
 
-/// Verifies the three per-section checksums and that every padding byte —
+/// Verifies the per-section checksums and that every padding byte —
 /// section tail padding and the reserved word inside each entry record — is
-/// zero. This is the whole-payload integrity check of v2, done one section
-/// at a time.
+/// zero. This is the whole-payload integrity check of v2/v3, done one
+/// section at a time.
 fn check_sections_v2(
     data: &[u8],
     header: &FileHeader,
@@ -687,8 +999,24 @@ fn check_sections_v2(
         entries,
     } = header.checksums
     else {
-        unreachable!("v2 headers always parse per-section checksums");
+        unreachable!("v2/v3 headers always parse per-section checksums");
     };
+    if let Some(s) = &layout.shard {
+        let computed = crc32(&data[s.section.clone()]);
+        if computed != header.crc_shard {
+            return Err(PersistError::SectionChecksumMismatch {
+                section: Section::Shard,
+                stored: header.crc_shard,
+                computed,
+            });
+        }
+        let padding = data.get(s.data.end..s.section.end).unwrap_or(&[]);
+        if let Some(i) = padding.iter().position(|&b| b != 0) {
+            return Err(PersistError::NonZeroPadding {
+                offset: s.data.end + i,
+            });
+        }
+    }
     for (section, range, stored) in [
         (Section::Ranking, &layout.ranking_section, ranking),
         (Section::Offsets, &layout.offsets, offsets),
@@ -905,7 +1233,7 @@ fn validate_compressed_entries(
     Ok(())
 }
 
-/// Serializes `index` into the current (v2) `.chl` byte format with the
+/// Serializes `index` into the current (v3) `.chl` byte format with the
 /// default options (flat entries).
 pub fn to_bytes(index: &FlatIndex) -> Vec<u8> {
     to_bytes_with(index, &SaveOptions::default())
@@ -937,44 +1265,62 @@ fn encode_entries(offsets: &[u64], entries: &[LabelEntry]) -> (Vec<u64>, Vec<u8>
     (skip, blob)
 }
 
-/// Serializes `index` into the v2 `.chl` byte format under `options`:
+/// Serializes `index` into the `.chl` byte format under `options`:
 /// flat 16-byte entry records by default, the delta+varint compressed
-/// entries section (flags bit 0) when `options.compress` is set.
+/// entries section (flags bit 0) when `options.compress` is set, the v3
+/// layout (header CRC, optional shard section) unless `options.version`
+/// selects v2. An index carrying a [`ShardSpec`] always serializes as v3.
 pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     let n = index.num_vertices();
     let m = index.total_labels();
+    let shard = index.shard();
+    let version = options.effective_version(shard.is_some());
+    let header_len = if version == VERSION_V2 {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN_V3
+    };
     // Encoding up front makes the exact output size computable either way,
     // so the buffer never reallocates mid-write.
     let encoded = options
         .compress
         .then(|| encode_entries(index.offsets(), index.entries()));
+    let shard_len = shard.map_or(0, |s| {
+        pad_to_align(16 + s.owned.len() as u64 * 4).expect("index fits in memory") as usize
+    });
     let capacity = match &encoded {
         Some((skip, blob)) => {
             let prefix =
                 pad_to_align((n as u64) * 4).expect("index fits in memory") as usize + (n + 1) * 8;
             let entries_len = skip.len() * 8
                 + pad_to_align(blob.len() as u64).expect("index fits in memory") as usize;
-            HEADER_LEN_V2 + prefix + entries_len
+            header_len + prefix + entries_len + shard_len
         }
         None => {
-            HEADER_LEN_V2
+            header_len
                 + expected_payload_len_v2(n as u64, m as u64)
                     .expect("in-memory index fits in memory")
+                + shard_len
         }
     };
     let mut buf = Vec::with_capacity(capacity);
 
-    let flags = if options.compress {
+    let mut flags = if options.compress {
         FLAG_COMPRESSED_ENTRIES
     } else {
         0
     };
+    if shard.is_some() {
+        flags |= FLAG_SHARDED;
+    }
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     buf.extend_from_slice(&(n as u64).to_le_bytes());
     buf.extend_from_slice(&(m as u64).to_le_bytes());
     buf.extend_from_slice(&flags.to_le_bytes());
-    buf.extend_from_slice(&[0u8; 12]); // three crc placeholders
+    // CRC placeholders: three section CRCs (v2), plus crc_shard and
+    // crc_header in v3.
+    buf.resize(header_len, 0);
 
     let ranking_start = buf.len();
     for &v in index.ranking().order() {
@@ -1003,15 +1349,39 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
             buf.extend_from_slice(&e.dist.to_le_bytes());
         }
     }
+    let shard_start = buf.len();
+    if let Some(s) = shard {
+        buf.extend_from_slice(&s.shard_id.to_le_bytes());
+        buf.extend_from_slice(&s.shard_count.to_le_bytes());
+        buf.extend_from_slice(&s.zeta.to_le_bytes());
+        buf.extend_from_slice(&(s.owned.len() as u32).to_le_bytes());
+        for &v in &s.owned {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        while !buf.len().is_multiple_of(SECTION_ALIGN) {
+            buf.push(0);
+        }
+    }
 
     // Each section is checksummed independently — a writer streaming
-    // sections to disk can finalize each CRC as the section completes.
+    // sections to disk can finalize each CRC as the section completes. The
+    // v3 header CRC goes last: it covers the section CRCs themselves.
     let crc_ranking = crc32(&buf[ranking_start..offsets_start]);
     let crc_offsets = crc32(&buf[offsets_start..entries_start]);
-    let crc_entries = crc32(&buf[entries_start..]);
+    let crc_entries = crc32(&buf[entries_start..shard_start]);
     buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
     buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
     buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+    if version != VERSION_V2 {
+        let crc_shard = if shard.is_some() {
+            crc32(&buf[shard_start..])
+        } else {
+            0
+        };
+        buf[40..44].copy_from_slice(&crc_shard.to_le_bytes());
+        let crc_header = crc32(&buf[..HEADER_LEN_V3 - 4]);
+        buf[44..48].copy_from_slice(&crc_header.to_le_bytes());
+    }
     buf
 }
 
@@ -1078,8 +1448,9 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses just the fixed header, validating magic, version and flags but not
-/// the payload. `data` must hold the full header for its version.
+/// Parses just the fixed header, validating magic, version, flags and (on
+/// v3) the header CRC, but not the payload. `data` must hold the full
+/// header for its version.
 pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
     if data.len() < 8 {
         return Err(PersistError::Truncated {
@@ -1095,7 +1466,8 @@ pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
     let version = cur.get_u32();
     let header_len = match version {
         VERSION_V1 => HEADER_LEN_V1,
-        VERSION => HEADER_LEN_V2,
+        VERSION_V2 => HEADER_LEN_V2,
+        VERSION => HEADER_LEN_V3,
         found => return Err(PersistError::UnsupportedVersion { found }),
     };
     if data.len() < header_len {
@@ -1106,19 +1478,44 @@ pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
     }
     let num_vertices = cur.get_u64();
     let num_entries = cur.get_u64();
-    let (flags, checksums) = if version == VERSION_V1 {
-        (0, Checksums::WholePayload(cur.get_u32()))
+    let (flags, checksums, crc_shard, crc_header) = if version == VERSION_V1 {
+        (0, Checksums::WholePayload(cur.get_u32()), 0, 0)
     } else {
         let flags = cur.get_u32();
-        if flags & !FLAGS_KNOWN != 0 {
-            return Err(PersistError::UnsupportedFlags { found: flags });
-        }
         let checksums = Checksums::PerSection {
             ranking: cur.get_u32(),
             offsets: cur.get_u32(),
             entries: cur.get_u32(),
         };
-        (flags, checksums)
+        let (crc_shard, crc_header) = if version == VERSION_V2 {
+            (0, 0)
+        } else {
+            (cur.get_u32(), cur.get_u32())
+        };
+        // The v3 header CRC is verified before any other field is
+        // interpreted, so a damaged flags or dimensions byte reports as
+        // header corruption instead of whatever downstream error the
+        // garbage value happens to trip.
+        if version != VERSION_V2 {
+            let computed = crc32(&data[..HEADER_LEN_V3 - 4]);
+            if computed != crc_header {
+                return Err(PersistError::HeaderChecksumMismatch {
+                    stored: crc_header,
+                    computed,
+                });
+            }
+        }
+        if flags & !flags_known(version) != 0 {
+            return Err(PersistError::UnsupportedFlags { found: flags });
+        }
+        // From here on the header is CRC-proven (v3), so inconsistencies
+        // between its fields are writer bugs, not corruption.
+        if version != VERSION_V2 && flags & FLAG_SHARDED == 0 && crc_shard != 0 {
+            return Err(PersistError::HeaderMalformed(format!(
+                "crc_shard is {crc_shard:#010x} but the sharded flag is clear"
+            )));
+        }
+        (flags, checksums, crc_shard, crc_header)
     };
     Ok(FileHeader {
         version,
@@ -1126,18 +1523,41 @@ pub fn parse_header(data: &[u8]) -> Result<FileHeader, PersistError> {
         num_entries,
         flags,
         checksums,
+        crc_shard,
+        crc_header,
     })
 }
 
-/// Deserializes an index from `.chl` bytes, accepting both the current v2
-/// layout and legacy v1 files. This is the **copying** path: every section
-/// lands in a fresh allocation. For serving without the copy, see
+/// Deserializes an index from `.chl` bytes, accepting the current v3
+/// layout and legacy v1/v2 files. This is the **copying** path: every
+/// section lands in a fresh allocation. For serving without the copy, see
 /// [`view_bytes`].
 pub fn from_bytes(data: &[u8]) -> Result<FlatIndex, PersistError> {
     let header = parse_header(data)?;
     match header.version {
         VERSION_V1 => from_bytes_v1(data, &header),
+        VERSION_V2 => from_bytes_v2(data, &header).map_err(add_v2_header_caveat),
         _ => from_bytes_v2(data, &header),
+    }
+}
+
+/// Folds the v2 header-trust gap into payload-shaped errors: a v2 header
+/// is not covered by any checksum, so a corrupted `n`/`m`/`flags` field
+/// surfaces as exactly the length / section-checksum / semantic errors a
+/// damaged payload would produce. Spelling that out in the message saves
+/// the reader from debugging the payload when the header is the culprit.
+/// v3 closes the gap with a real header CRC.
+fn add_v2_header_caveat(e: PersistError) -> PersistError {
+    match e {
+        PersistError::Truncated { .. }
+        | PersistError::TrailingBytes { .. }
+        | PersistError::SectionChecksumMismatch { .. }
+        | PersistError::Malformed(_) => PersistError::Malformed(format!(
+            "{e} (note: v2 headers carry no checksum of their own, so a corrupted \
+             header field such as n, m or flags produces exactly this class of \
+             error; re-save the index as v3 to get a header CRC)"
+        )),
+        other => other,
     }
 }
 
@@ -1194,11 +1614,31 @@ fn from_bytes_v1(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
     Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
 }
 
+/// Reads the shard section into an owned, validated [`ShardSpec`].
+fn read_shard_spec(data: &[u8], s: &ShardLayout, n: u64) -> Result<ShardSpec, PersistError> {
+    let mut cur = Cursor::new(data);
+    cur.seek(s.data.start);
+    let shard_id = cur.get_u32();
+    let shard_count = cur.get_u32();
+    let zeta = cur.get_u32();
+    let owned_count = cur.get_u32() as usize;
+    let owned: Vec<VertexId> = (0..owned_count).map(|_| cur.get_u32()).collect();
+    validate_shard_meta(shard_id, shard_count, zeta, &owned, n)?;
+    Ok(ShardSpec {
+        shard_id,
+        shard_count,
+        zeta,
+        owned,
+    })
+}
+
 fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistError> {
     let layout = layout_v2(
         header.num_vertices,
         header.num_entries,
+        header.version,
         header.is_compressed(),
+        header.is_sharded(),
         data,
     )?;
     check_sections_v2(data, header, &layout)?;
@@ -1211,6 +1651,14 @@ fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
     let ranking = Ranking::from_order(order, layout.n)
         .map_err(|e| PersistError::Malformed(format!("ranking section: {e}")))?;
     validate_offsets(layout.n, &offsets, header.num_entries)?;
+    let shard = match &layout.shard {
+        None => None,
+        Some(s) => {
+            let spec = read_shard_spec(data, s, header.num_vertices)?;
+            check_shard_consistency(&spec.owned, &offsets)?;
+            Some(spec)
+        }
+    };
     let entries = match &layout.compressed {
         None => {
             cur.seek(layout.entries.start);
@@ -1239,7 +1687,11 @@ fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
             entries
         }
     };
-    Ok(FlatIndex::from_validated_parts(offsets, entries, ranking))
+    let index = FlatIndex::from_validated_parts(offsets, entries, ranking);
+    Ok(match shard {
+        Some(spec) => index.with_shard(spec)?,
+        None => index,
+    })
 }
 
 // --- Zero-copy views -----------------------------------------------------
@@ -1293,14 +1745,16 @@ fn cast_entries(bytes: &[u8]) -> &[LabelEntry] {
     }
 }
 
-/// Validates `.chl` v2 bytes of **either entries encoding** and returns a
-/// borrowed [`IndexView`] served straight from `data`: flat files
+/// Validates `.chl` v2/v3 bytes of **either entries encoding** and returns
+/// a borrowed [`IndexView`] served straight from `data`: flat files
 /// reinterpret their sections in place exactly like [`view_bytes`], while
 /// compressed files borrow the skip table and encoded blob and stream-decode
-/// the two label runs each query touches. Validation is the same battery
-/// the copying loader runs (length, per-section checksums, padding,
-/// semantic invariants — including a full decode pass over every compressed
-/// run); the only transient allocation is the permutation-check scratch.
+/// the two label runs each query touches. A v3 shard file's identity and
+/// owned set are exposed through [`IndexView::shard`]. Validation is the
+/// same battery the copying loader runs (length, per-section checksums,
+/// padding, semantic invariants — including a full decode pass over every
+/// compressed run); the only transient allocation is the permutation-check
+/// scratch.
 ///
 /// Requirements beyond [`from_bytes`]: the buffer's base address must be
 /// 8-byte aligned (use [`AlignedBytes`] or an mmap, both of which guarantee
@@ -1329,7 +1783,9 @@ pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
         let layout = layout_v2(
             header.num_vertices,
             header.num_entries,
+            header.version,
             header.is_compressed(),
+            header.is_sharded(),
             data,
         )?;
         check_sections_v2(data, &header, &layout)?;
@@ -1337,37 +1793,67 @@ pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
         check_permutation(order)?;
         validate_offsets(layout.n, offsets, header.num_entries)?;
-        match &layout.compressed {
+        let shard = match &layout.shard {
+            None => None,
+            Some(s) => {
+                let mut cur = Cursor::new(data);
+                cur.seek(s.data.start);
+                let shard_id = cur.get_u32();
+                let shard_count = cur.get_u32();
+                let zeta = cur.get_u32();
+                cur.take(4); // owned_count, implied by the array length
+                let owned = cast_u32s(&data[s.data.start + 16..s.data.end]);
+                validate_shard_meta(shard_id, shard_count, zeta, owned, header.num_vertices)?;
+                check_shard_consistency(owned, offsets)?;
+                Some(ShardView {
+                    shard_id,
+                    shard_count,
+                    zeta,
+                    owned,
+                })
+            }
+        };
+        let view = match &layout.compressed {
             None => {
                 let entries = cast_entries(&data[layout.entries.clone()]);
                 validate_hub_sort(layout.n, offsets, entries)?;
-                Ok(IndexView::Flat(FlatView::from_validated_parts(
-                    order, offsets, entries,
-                )))
+                IndexView::flat(FlatView::from_validated_parts(order, offsets, entries))
             }
             Some(c) => {
                 let skip = cast_u64s(&data[c.skip.clone()]);
                 let blob = &data[c.blob_data.clone()];
                 validate_compressed_entries(skip, blob, offsets, None)?;
-                Ok(IndexView::Compressed(
-                    CompressedView::from_validated_compressed_parts(order, offsets, skip, blob),
+                IndexView::compressed(CompressedView::from_validated_compressed_parts(
+                    order, offsets, skip, blob,
                 ))
             }
-        }
+        };
+        Ok(match shard {
+            Some(s) => view.with_shard(s),
+            None => view,
+        })
     }
 }
 
-/// Validates `.chl` v2 bytes and returns a [`FlatView`] whose ranking,
+/// Validates `.chl` v2/v3 bytes and returns a [`FlatView`] whose ranking,
 /// offsets and entries slices are **borrowed from `data` in place** — no
-/// label byte is copied. This is the flat-only strict form of
+/// label byte is copied. This is the flat-only, unsharded strict form of
 /// [`open_view`]: a compressed file cannot back a `FlatView` (its entries
-/// are not 16-byte records) and reports [`PersistError::Unviewable`];
-/// serve it through [`open_view`] / `MmapIndex`, or decode it with
-/// [`from_bytes`].
+/// are not 16-byte records), and a shard file would silently answer
+/// `INFINITY` for foreign vertices through the shard-blind `FlatView` API —
+/// both report [`PersistError::Unviewable`]; serve them through
+/// [`open_view`] / `MmapIndex`, or decode with [`from_bytes`].
 pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
-    match open_view(data)? {
-        IndexView::Flat(view) => Ok(view),
-        IndexView::Compressed(_) => Err(PersistError::Unviewable {
+    let view = open_view(data)?;
+    if view.shard().is_some() {
+        return Err(PersistError::Unviewable {
+            reason: "file is one shard of a sharded index; serve it through \
+                     open_view / MmapIndex so foreign vertices stay typed",
+        });
+    }
+    match view.storage {
+        StorageView::Flat(flat) => Ok(flat),
+        StorageView::Compressed(_) => Err(PersistError::Unviewable {
             reason: "entries section is delta+varint compressed; serve it through \
                      open_view / MmapIndex or load it with the copying reader",
         }),
@@ -1381,37 +1867,58 @@ pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
 /// # Safety
 ///
 /// `data` must be byte-identical to a buffer `open_view` previously
-/// accepted with these exact `n`/`m`/`compressed` parameters, with the same
-/// 8-byte-aligned base-address guarantee still holding.
+/// accepted with these exact `n`/`m`/`version`/`compressed`/`sharded`
+/// parameters, with the same 8-byte-aligned base-address guarantee still
+/// holding.
 pub(crate) unsafe fn view_assuming_valid(
     data: &[u8],
     n: usize,
     m: usize,
+    version: u32,
     compressed: bool,
+    sharded: bool,
 ) -> IndexView<'_> {
     #[cfg(target_endian = "little")]
     {
-        let layout = layout_v2(n as u64, m as u64, compressed, data)
+        let layout = layout_v2(n as u64, m as u64, version, compressed, sharded, data)
             .expect("dimensions were validated at open time");
         let order = cast_u32s(&data[layout.ranking_data.clone()]);
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
-        match &layout.compressed {
+        let shard = layout.shard.as_ref().map(|s| {
+            let mut cur = Cursor::new(data);
+            cur.seek(s.data.start);
+            let shard_id = cur.get_u32();
+            let shard_count = cur.get_u32();
+            let zeta = cur.get_u32();
+            cur.take(4); // owned_count, implied by the array length
+            ShardView {
+                shard_id,
+                shard_count,
+                zeta,
+                owned: cast_u32s(&data[s.data.start + 16..s.data.end]),
+            }
+        });
+        let view = match &layout.compressed {
             None => {
                 let entries = cast_entries(&data[layout.entries.clone()]);
-                IndexView::Flat(FlatView::from_validated_parts(order, offsets, entries))
+                IndexView::flat(FlatView::from_validated_parts(order, offsets, entries))
             }
             Some(c) => {
                 let skip = cast_u64s(&data[c.skip.clone()]);
                 let blob = &data[c.blob_data.clone()];
-                IndexView::Compressed(CompressedView::from_validated_compressed_parts(
+                IndexView::compressed(CompressedView::from_validated_compressed_parts(
                     order, offsets, skip, blob,
                 ))
             }
+        };
+        match shard {
+            Some(s) => view.with_shard(s),
+            None => view,
         }
     }
     #[cfg(not(target_endian = "little"))]
     {
-        let _ = (data, n, m, compressed);
+        let _ = (data, n, m, version, compressed, sharded);
         unreachable!("open_view never validates a buffer on a big-endian host");
     }
 }
@@ -1499,15 +2006,16 @@ pub fn read_aligned<P: AsRef<Path>>(path: P) -> Result<AlignedBytes, PersistErro
     Ok(buf)
 }
 
-/// Writes `index` to `path` in the current (v2) `.chl` format, overwriting
+/// Writes `index` to `path` in the current (v3) `.chl` format, overwriting
 /// any existing file. The write is not atomic; writers that must never
 /// expose a torn file should write to a sibling temp path and rename.
 pub fn save<P: AsRef<Path>>(index: &FlatIndex, path: P) -> Result<(), PersistError> {
     save_with(index, path, &SaveOptions::default())
 }
 
-/// Writes `index` to `path` in the v2 `.chl` format under explicit
-/// [`SaveOptions`] (`compress: true` for the delta+varint entries section).
+/// Writes `index` to `path` in the `.chl` format under explicit
+/// [`SaveOptions`] (`compress: true` for the delta+varint entries section,
+/// `version` for the legacy v2 layout).
 pub fn save_with<P: AsRef<Path>>(
     index: &FlatIndex,
     path: P,
@@ -1524,13 +2032,49 @@ pub fn load<P: AsRef<Path>>(path: P) -> Result<FlatIndex, PersistError> {
     from_bytes(&data)
 }
 
+/// Reads a `.chl` file's shard identity without decoding its labels:
+/// `Ok(None)` for a whole-index file, the CRC-verified [`ShardSpec`] for a
+/// v3 shard file. Reads (but does not decode or checksum) the label
+/// payload — the shard section trails it and compressed files are only
+/// self-describing with the skip table in hand — so this costs one file
+/// read, not a full validation pass.
+pub fn load_shard_spec<P: AsRef<Path>>(path: P) -> Result<Option<ShardSpec>, PersistError> {
+    let data = fs::read(path)?;
+    let header = parse_header(&data)?;
+    if !header.is_sharded() {
+        return Ok(None);
+    }
+    let layout = layout_v2(
+        header.num_vertices,
+        header.num_entries,
+        header.version,
+        header.is_compressed(),
+        true,
+        &data,
+    )?;
+    let Some(s) = &layout.shard else {
+        return Ok(None);
+    };
+    // Verify the shard section's own CRC so a forged identity cannot pass,
+    // without paying for the (much larger) label-section checksums.
+    let computed = crc32(&data[s.section.clone()]);
+    if computed != header.crc_shard {
+        return Err(PersistError::SectionChecksumMismatch {
+            section: Section::Shard,
+            stored: header.crc_shard,
+            computed,
+        });
+    }
+    read_shard_spec(&data, s, header.num_vertices).map(Some)
+}
+
 /// Reads and validates just the header of a `.chl` file.
 pub fn load_header<P: AsRef<Path>>(path: P) -> Result<FileHeader, PersistError> {
     use std::io::Read;
     let mut file = fs::File::open(path)?;
-    let mut buf = [0u8; HEADER_LEN_V2];
+    let mut buf = [0u8; HEADER_LEN_V3];
     let mut read = 0;
-    while read < HEADER_LEN_V2 {
+    while read < HEADER_LEN_V3 {
         match file.read(&mut buf[read..])? {
             0 => break,
             k => read += k,
@@ -1552,14 +2096,28 @@ mod tests {
         ))
     }
 
-    /// Recomputes and patches the three v2 section checksums of a forged
-    /// buffer so corruption tests can reach the post-checksum validators.
-    fn reseal_v2(buf: &mut [u8]) {
+    /// Recomputes and patches a forged v3 buffer's header CRC so a test can
+    /// prove a deeper guard fires after the header checks pass. No-op for
+    /// pre-v3 buffers.
+    fn reseal_header(buf: &mut [u8]) {
+        if u32::from_le_bytes(buf[4..8].try_into().unwrap()) == VERSION {
+            let crc = crc32(&buf[..HEADER_LEN_V3 - 4]);
+            buf[HEADER_LEN_V3 - 4..HEADER_LEN_V3].copy_from_slice(&crc.to_le_bytes());
+        }
+    }
+
+    /// Recomputes and patches every checksum of a forged v2/v3 buffer —
+    /// section CRCs, and on v3 the shard and header CRCs — so corruption
+    /// tests can reach the post-checksum validators.
+    fn reseal(buf: &mut [u8]) {
+        reseal_header(buf);
         let header = parse_header(buf).unwrap();
         let layout = layout_v2(
             header.num_vertices,
             header.num_entries,
+            header.version,
             header.is_compressed(),
+            header.is_sharded(),
             buf,
         )
         .unwrap();
@@ -1569,6 +2127,16 @@ mod tests {
         buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
         buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
         buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+        if header.version == VERSION {
+            let crc_shard = layout
+                .shard
+                .as_ref()
+                .map_or(0, |s| crc32(&buf[s.section.clone()]));
+            buf[40..44].copy_from_slice(&crc_shard.to_le_bytes());
+            // The header CRC covers the section CRCs patched above, so it
+            // goes last.
+            reseal_header(buf);
+        }
     }
 
     #[test]
@@ -1578,24 +2146,32 @@ mod tests {
         // Forge the header's m to a count no blob of this size could hold
         // (every encoded entry costs at least two bytes). Before the layout
         // bound this reached `Vec::with_capacity(m)` in the copying loader —
-        // a capacity-overflow abort instead of a typed error. The guard runs
-        // before the checksums, so the stale section CRCs don't matter.
+        // a capacity-overflow abort instead of a typed error.
         bytes[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        // On v3 the header CRC catches the tampering first...
         assert!(matches!(
             from_bytes(&bytes),
-            Err(PersistError::Malformed(msg)) if msg.contains("cannot fit")
+            Err(PersistError::HeaderChecksumMismatch { .. })
+        ));
+        // ...and once resealed, the CRC-proven header's impossible m is a
+        // HeaderMalformed from the layout bound, before any allocation.
+        reseal_header(&mut bytes);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PersistError::HeaderMalformed(msg)) if msg.contains("cannot fit")
         ));
         let aligned = AlignedBytes::from_slice(&bytes);
         assert!(matches!(
             open_view(&aligned),
-            Err(PersistError::Malformed(_))
+            Err(PersistError::HeaderMalformed(_))
         ));
         // m = u64::MAX must trip the same guard, not overflow the bound
         // arithmetic.
         bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal_header(&mut bytes);
         assert!(matches!(
             from_bytes(&bytes),
-            Err(PersistError::Malformed(_))
+            Err(PersistError::HeaderMalformed(_))
         ));
     }
 
@@ -1639,9 +2215,19 @@ mod tests {
         assert_eq!(header.version, VERSION);
         assert_eq!(header.num_vertices, 3);
         assert_eq!(header.num_entries, 5);
-        assert_eq!(header.header_len(), HEADER_LEN_V2);
+        assert_eq!(header.header_len(), HEADER_LEN_V3);
         assert_eq!(header.expected_file_len(), Some(bytes.len()));
         assert!(matches!(header.checksums, Checksums::PerSection { .. }));
+        assert_eq!(header.crc_shard, 0);
+        assert_eq!(header.crc_header, crc32(&bytes[..HEADER_LEN_V3 - 4]));
+        assert!(!header.is_sharded());
+
+        let v2 = to_bytes_with(&flat, &SaveOptions::v2());
+        let header = parse_header(&v2).unwrap();
+        assert_eq!(header.version, VERSION_V2);
+        assert_eq!(header.header_len(), HEADER_LEN_V2);
+        assert_eq!(header.expected_file_len(), Some(v2.len()));
+        assert_eq!(header.crc_header, 0);
 
         let v1 = to_bytes_v1(&flat);
         let header = parse_header(&v1).unwrap();
@@ -1655,7 +2241,7 @@ mod tests {
         // n = 3: the ranking data is 12 bytes, so the section carries 4
         // padding bytes and the offsets section still starts aligned.
         let bytes = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, false, &bytes).unwrap();
+        let layout = layout_v2(3, 5, VERSION, false, false, &bytes).unwrap();
         for start in [
             layout.ranking_section.start,
             layout.offsets.start,
@@ -1737,12 +2323,20 @@ mod tests {
             Err(PersistError::UnsupportedVersion { found: 99 })
         ));
 
-        // Bit 0 (compressed entries) is understood; any other bit is not.
+        // Any header byte flip — here the flags word — is caught by the v3
+        // header CRC before the flag is even interpreted.
         let mut bad_flags = bytes.clone();
-        bad_flags[24] = 2;
+        bad_flags[24] = 4;
         assert!(matches!(
             from_bytes(&bad_flags),
-            Err(PersistError::UnsupportedFlags { found: 2 })
+            Err(PersistError::HeaderChecksumMismatch { .. })
+        ));
+        // Resealed (a CRC-valid header from a hypothetical future writer),
+        // the unknown bit is a typed UnsupportedFlags.
+        reseal_header(&mut bad_flags);
+        assert!(matches!(
+            from_bytes(&bad_flags),
+            Err(PersistError::UnsupportedFlags { found: 4 })
         ));
 
         // Forging the compressed bit onto a flat file changes the declared
@@ -1750,6 +2344,7 @@ mod tests {
         // depends on what the reinterpreted skip table claims), never load.
         let mut forged_compressed = bytes.clone();
         forged_compressed[24] = 1;
+        reseal_header(&mut forged_compressed);
         assert!(from_bytes(&forged_compressed).is_err());
 
         let truncated = &bytes[..bytes.len() - 1];
@@ -1785,7 +2380,7 @@ mod tests {
         // Flip a ranking padding byte (n = 3 leaves 4 pad bytes): the
         // ranking checksum covers its padding.
         let mut pad_flip = bytes.clone();
-        pad_flip[HEADER_LEN_V2 + 12] ^= 0xFF;
+        pad_flip[HEADER_LEN_V3 + 12] ^= 0xFF;
         assert!(matches!(
             from_bytes(&pad_flip),
             Err(PersistError::SectionChecksumMismatch {
@@ -1794,12 +2389,32 @@ mod tests {
             })
         ));
 
-        // Flip a stored checksum byte itself: also a mismatch.
+        // Flip a stored section-checksum byte: the header CRC covers the
+        // section CRCs, so the header reports first; resealed, the stale
+        // section CRC is a section mismatch.
         let mut bad_crc = bytes.clone();
         bad_crc[29] ^= 0xFF;
         assert!(matches!(
             from_bytes(&bad_crc),
+            Err(PersistError::HeaderChecksumMismatch { .. })
+        ));
+        reseal_header(&mut bad_crc);
+        assert!(matches!(
+            from_bytes(&bad_crc),
             Err(PersistError::SectionChecksumMismatch { .. })
+        ));
+
+        // Flip a dimension byte (n's low byte): header CRC again.
+        let mut bad_n = bytes.clone();
+        bad_n[8] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&bad_n),
+            Err(PersistError::HeaderChecksumMismatch { .. })
+        ));
+        let aligned = AlignedBytes::from_slice(&bad_n);
+        assert!(matches!(
+            open_view(&aligned),
+            Err(PersistError::HeaderChecksumMismatch { .. })
         ));
 
         // The view path reports the identical errors.
@@ -1814,8 +2429,8 @@ mod tests {
     fn forged_padding_is_rejected_even_with_valid_checksums() {
         // Non-zero ranking tail padding, checksums recomputed to match.
         let mut forged = to_bytes(&tiny_flat());
-        forged[HEADER_LEN_V2 + 12] = 0xAB;
-        reseal_v2(&mut forged);
+        forged[HEADER_LEN_V3 + 12] = 0xAB;
+        reseal(&mut forged);
         assert!(matches!(
             from_bytes(&forged),
             Err(PersistError::NonZeroPadding { .. })
@@ -1823,9 +2438,9 @@ mod tests {
 
         // Non-zero reserved bytes inside an entry record.
         let mut forged = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, false, &forged).unwrap();
+        let layout = layout_v2(3, 5, VERSION, false, false, &forged).unwrap();
         forged[layout.entries.start + 5] = 0xCD;
-        reseal_v2(&mut forged);
+        reseal(&mut forged);
         let err = from_bytes(&forged).unwrap_err();
         assert!(matches!(
             err,
@@ -1851,13 +2466,13 @@ mod tests {
         buf.extend_from_slice(&n.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes()); // flags
-        buf.extend_from_slice(&[0u8; 12]); // crc placeholders
+        buf.extend_from_slice(&[0u8; 20]); // crc placeholders
         buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[0] = 0
         buf.extend_from_slice(&0u32.to_le_bytes()); // ranking[1] = 0 (dup)
         for _ in 0..3 {
             buf.extend_from_slice(&0u64.to_le_bytes()); // offsets
         }
-        reseal_v2(&mut buf);
+        reseal(&mut buf);
         assert!(matches!(from_bytes(&buf), Err(PersistError::Malformed(_))));
         let aligned = AlignedBytes::from_slice(&buf);
         assert!(matches!(
@@ -1884,6 +2499,39 @@ mod tests {
         assert_eq!(view_bytes(&aligned).unwrap().query(0, 2), flat.query(0, 2));
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn load_shard_spec_reads_identity_without_full_validation() {
+        let path = std::env::temp_dir().join(format!(
+            "chl-persist-shardspec-test-{}-{:?}.chl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Whole-index files answer None.
+        save(&tiny_flat(), &path).unwrap();
+        assert_eq!(load_shard_spec(&path).unwrap(), None);
+        // Shard files answer their spec, flat and compressed alike.
+        let sharded = tiny_shardable().with_shard(tiny_shard_spec()).unwrap();
+        for options in [SaveOptions::default(), SaveOptions::compressed()] {
+            save_with(&sharded, &path, &options).unwrap();
+            assert_eq!(load_shard_spec(&path).unwrap(), Some(tiny_shard_spec()));
+        }
+        // A flipped shard-section byte is caught by the section CRC even
+        // though the label sections are never checksummed on this path.
+        let mut bytes = to_bytes(&sharded);
+        let shard_byte = bytes.len() - 1; // high byte of the last owned id
+        bytes[shard_byte] ^= 1;
+        reseal_header(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_shard_spec(&path),
+            Err(PersistError::SectionChecksumMismatch {
+                section: Section::Shard,
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -2028,13 +2676,22 @@ mod tests {
     #[test]
     fn forged_compressed_payloads_are_rejected_after_resealing() {
         let header = parse_header(&tiny_compressed_bytes()).unwrap();
-        let layout = |buf: &[u8]| layout_v2(header.num_vertices, header.num_entries, true, buf);
+        let layout = |buf: &[u8]| {
+            layout_v2(
+                header.num_vertices,
+                header.num_entries,
+                VERSION,
+                true,
+                false,
+                buf,
+            )
+        };
 
         // A non-monotone skip table, checksums recomputed to match.
         let mut forged = tiny_compressed_bytes();
         let skip = layout(&forged).unwrap().compressed.unwrap().skip;
         forged[skip.start + 8..skip.start + 16].copy_from_slice(&u64::MAX.to_le_bytes());
-        reseal_v2(&mut forged);
+        reseal(&mut forged);
         let err = from_bytes(&forged).unwrap_err();
         assert!(matches!(err, PersistError::Malformed(_)), "{err}");
 
@@ -2060,7 +2717,7 @@ mod tests {
         buf.extend_from_slice(&n.to_le_bytes());
         buf.extend_from_slice(&m.to_le_bytes());
         buf.extend_from_slice(&FLAG_COMPRESSED_ENTRIES.to_le_bytes());
-        buf.extend_from_slice(&[0u8; 12]);
+        buf.extend_from_slice(&[0u8; 20]);
         for &v in flat.ranking().order() {
             buf.extend_from_slice(&v.to_le_bytes());
         }
@@ -2077,7 +2734,7 @@ mod tests {
         while !buf.len().is_multiple_of(SECTION_ALIGN) {
             buf.push(0);
         }
-        reseal_v2(&mut buf);
+        reseal(&mut buf);
         let err = from_bytes(&buf).unwrap_err();
         assert!(
             err.to_string().contains("overlong"),
@@ -2095,7 +2752,7 @@ mod tests {
         if l.compressed.as_ref().unwrap().blob_data.end < l.entries.end {
             let pad_at = l.compressed.unwrap().blob_data.end;
             forged[pad_at] = 0xEE;
-            reseal_v2(&mut forged);
+            reseal(&mut forged);
             assert!(matches!(
                 from_bytes(&forged),
                 Err(PersistError::NonZeroPadding { offset }) if offset == pad_at
@@ -2190,5 +2847,220 @@ mod tests {
         assert!(e.to_string().contains("trailing"));
         let e = PersistError::Malformed("oops".into());
         assert!(e.to_string().contains("oops"));
+        let e = PersistError::HeaderChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("header") && e.to_string().contains("checksum"));
+        let e = PersistError::HeaderMalformed("bad shard word".into());
+        assert!(e.to_string().contains("bad shard word"));
+    }
+
+    // ---- v3 shard section -------------------------------------------------
+
+    /// A 3-vertex index where vertex 1 carries no labels: the shape of shard
+    /// 0-of-2 owning positions {0, 2} (foreign vertices have empty runs).
+    fn tiny_shardable() -> FlatIndex {
+        let ranking = Ranking::from_order(vec![1, 0, 2], 3).unwrap();
+        FlatIndex::from_index(&HubLabelIndex::from_triples(
+            vec![(0, 0, 0), (0, 1, 1), (2, 1, 1), (2, 2, 0)],
+            ranking,
+        ))
+    }
+
+    fn tiny_shard_spec() -> ShardSpec {
+        ShardSpec {
+            shard_id: 0,
+            shard_count: 2,
+            zeta: 2,
+            owned: vec![0, 2],
+        }
+    }
+
+    #[test]
+    fn sharded_files_round_trip_with_typed_foreign_answers() {
+        let flat = tiny_shardable()
+            .with_shard(tiny_shard_spec())
+            .expect("spec is consistent with the labels");
+        let bytes = to_bytes(&flat);
+
+        let header = parse_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert!(header.is_sharded());
+        assert_ne!(header.flags & FLAG_SHARDED, 0);
+        assert_ne!(header.crc_shard, 0);
+        assert_eq!(header.expected_file_len(), None);
+
+        // Copying loader preserves the shard identity.
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, flat);
+        let spec = back.shard().expect("shard section round-trips");
+        assert_eq!(spec, &tiny_shard_spec());
+
+        // Borrowed view: shard-honest queries.
+        let aligned = AlignedBytes::from_slice(&bytes);
+        let view = open_view(&aligned).unwrap();
+        let shard = view.shard().expect("view exposes the shard");
+        assert_eq!((shard.shard_id, shard.shard_count, shard.zeta), (0, 2, 2));
+        assert!(shard.owns(0) && !shard.owns(1) && shard.owns(2));
+        assert_eq!(view.try_query(0, 2), Ok(2));
+        assert_eq!(view.try_query(0, 0), Ok(0));
+        assert_eq!(
+            view.try_query(0, 1),
+            Err(crate::flat::NotThisShard { vertex: 1 })
+        );
+        assert_eq!(
+            view.try_query(1, 2),
+            Err(crate::flat::NotThisShard { vertex: 1 })
+        );
+        // Out-of-range endpoints stay data, exactly as unsharded.
+        assert_eq!(view.try_query(99, 0), Ok(chl_graph::types::INFINITY));
+        // The untyped path still answers (callers who opt out of typing).
+        assert_eq!(view.query(0, 2), 2);
+
+        // to_owned_index keeps the shard attached.
+        let owned = view.to_owned_index();
+        assert_eq!(owned.shard(), Some(&tiny_shard_spec()));
+        assert_eq!(
+            owned.try_query(0, 1),
+            Err(crate::flat::NotThisShard { vertex: 1 })
+        );
+
+        // view_bytes refuses shard files: FlatView has no shard channel, so
+        // foreign vertices would silently read as unreachable.
+        assert!(matches!(
+            view_bytes(&aligned),
+            Err(PersistError::Unviewable { .. })
+        ));
+
+        // A sharded index cannot be written as v2 — the writer upgrades.
+        let forced_v2 = to_bytes_with(&flat, &SaveOptions::v2());
+        assert_eq!(parse_header(&forced_v2).unwrap().version, VERSION);
+
+        // Compressed + sharded composes.
+        let comp = to_bytes_with(&flat, &SaveOptions::compressed());
+        let h = parse_header(&comp).unwrap();
+        assert!(h.is_compressed() && h.is_sharded());
+        assert_eq!(from_bytes(&comp).unwrap(), flat);
+        let aligned = AlignedBytes::from_slice(&comp);
+        let view = open_view(&aligned).unwrap();
+        assert_eq!(
+            view.try_query(0, 1),
+            Err(crate::flat::NotThisShard { vertex: 1 })
+        );
+        assert_eq!(view.try_query(0, 2), Ok(2));
+    }
+
+    #[test]
+    fn with_shard_rejects_inconsistent_specs() {
+        // Vertex 1 carries labels in tiny_flat, so a spec that disowns it is
+        // inconsistent with the payload.
+        let err = tiny_flat().with_shard(tiny_shard_spec()).unwrap_err();
+        assert!(
+            err.to_string().contains("not in the owned set"),
+            "unexpected: {err}"
+        );
+
+        // Owned ids must be strictly increasing and in range.
+        let mut dup = tiny_shard_spec();
+        dup.owned = vec![0, 0];
+        assert!(tiny_shardable().with_shard(dup).is_err());
+        let mut oob = tiny_shard_spec();
+        oob.owned = vec![0, 9];
+        assert!(tiny_shardable().with_shard(oob).is_err());
+        let mut bad_id = tiny_shard_spec();
+        bad_id.shard_id = 5;
+        assert!(tiny_shardable().with_shard(bad_id).is_err());
+    }
+
+    #[test]
+    fn shard_section_forgeries_are_rejected() {
+        let flat = tiny_shardable().with_shard(tiny_shard_spec()).unwrap();
+        let bytes = to_bytes(&flat);
+        let header = parse_header(&bytes).unwrap();
+        let layout = layout_v2(
+            header.num_vertices,
+            header.num_entries,
+            header.version,
+            header.is_compressed(),
+            true,
+            &bytes,
+        )
+        .unwrap();
+        let shard = layout.shard.as_ref().expect("file is sharded");
+
+        // Flip a shard-section byte, reseal only the header: the shard CRC
+        // catches it with a typed section error.
+        let mut forged = bytes.clone();
+        forged[shard.data.start] ^= 0xFF;
+        reseal_header(&mut forged);
+        assert!(matches!(
+            from_bytes(&forged),
+            Err(PersistError::SectionChecksumMismatch {
+                section: Section::Shard,
+                ..
+            })
+        ));
+
+        // Non-increasing owned ids, fully resealed: Malformed.
+        let mut forged = bytes.clone();
+        let owned_at = shard.data.start + 16;
+        forged[owned_at..owned_at + 4].copy_from_slice(&2u32.to_le_bytes());
+        forged[owned_at + 4..owned_at + 8].copy_from_slice(&2u32.to_le_bytes());
+        reseal(&mut forged);
+        assert!(matches!(
+            from_bytes(&forged),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // Disown a labeled vertex (claim {1, 2} instead of {0, 2}), fully
+        // resealed: the cross-section consistency check fires.
+        let mut forged = bytes.clone();
+        forged[owned_at..owned_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        reseal(&mut forged);
+        let err = from_bytes(&forged).unwrap_err();
+        assert!(
+            err.to_string().contains("not in the owned set"),
+            "unexpected: {err}"
+        );
+        let aligned = AlignedBytes::from_slice(&forged);
+        assert!(open_view(&aligned).is_err());
+
+        // Shard tail padding is covered by the shard CRC.
+        if shard.data.end < shard.section.end {
+            let mut forged = bytes.clone();
+            forged[shard.data.end] = 0xAA;
+            reseal(&mut forged);
+            assert!(matches!(
+                from_bytes(&forged),
+                Err(PersistError::NonZeroPadding { offset }) if offset == shard.data.end
+            ));
+        }
+
+        // A nonzero crc_shard on an unsharded header is HeaderMalformed.
+        let mut unsharded = to_bytes(&tiny_flat());
+        unsharded[40..44].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        reseal_header(&mut unsharded);
+        assert!(matches!(
+            from_bytes(&unsharded),
+            Err(PersistError::HeaderMalformed(_))
+        ));
+    }
+
+    #[test]
+    fn v2_header_corruption_reports_the_caveat() {
+        // Write a genuine v2 file (no header CRC), corrupt a header byte:
+        // the error is still typed, and its message points at the v2 gap.
+        let bytes = to_bytes_with(&tiny_flat(), &SaveOptions::v2());
+        assert_eq!(parse_header(&bytes).unwrap().version, VERSION_V2);
+        let mut bad = bytes.clone();
+        bad[8] ^= 0x01; // n's low byte
+        let err = from_bytes(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("v2 headers carry no checksum"),
+            "unexpected: {err}"
+        );
+        // Uncorrupted v2 still loads cleanly.
+        assert_eq!(from_bytes(&bytes).unwrap(), tiny_flat());
     }
 }

@@ -1,9 +1,22 @@
 //! Golden-file corpus for the `.chl` format: one small deterministic graph,
-//! checked in as v1, v2-flat and v2-compressed index files together with its
-//! full pinned distance table. Every fixture must keep loading through every
-//! applicable path and answering the pinned table byte-identically, and
-//! re-serializing a loaded fixture must reproduce its bytes exactly — so any
-//! accidental format drift in a future PR fails here before it ships.
+//! checked in as v1, v2-flat, v2-compressed, v3-flat, v3-compressed and
+//! three v3 shard files together with its full pinned distance table. Every
+//! fixture must keep loading through every applicable path and answering
+//! the pinned table byte-identically, and re-serializing a loaded fixture
+//! must reproduce its bytes exactly — so any accidental format drift in a
+//! future PR fails here before it ships.
+//!
+//! Compat policy: v1 and v2 are frozen. The checked-in v1/v2 byte streams
+//! never change, keep loading forever, and `SaveOptions::v2` keeps
+//! reproducing them bit-for-bit; new capabilities (header CRC, shard
+//! section) exist only in v3.
+//!
+//! The shard fixtures pin the QDOL layout for 3 shards over 16 vertices
+//! (ζ = 3, contiguous chunks of 6). The owned sets hard-coded here are
+//! asserted equal to the real derivation in
+//! `chl-query::qdol::shard_map_covers_every_query_and_pins_the_q3_layout`,
+//! which keeps this crate free of a dev-dependency cycle while tying the
+//! fixtures to the code that produces real shard files.
 //!
 //! Regenerating (only when the format changes *on purpose*):
 //!
@@ -13,12 +26,12 @@
 
 use std::path::{Path, PathBuf};
 
-use chl_core::flat::FlatIndex;
+use chl_core::flat::{FlatIndex, NotThisShard};
 use chl_core::mapped::MmapIndex;
-use chl_core::persist::{self, AlignedBytes, SaveOptions};
+use chl_core::persist::{self, AlignedBytes, SaveOptions, ShardSpec};
 use chl_core::pll::sequential_pll;
 use chl_graph::generators::{grid_network, GridOptions};
-use chl_graph::types::INFINITY;
+use chl_graph::types::{VertexId, INFINITY};
 use chl_ranking::degree_ranking;
 
 fn fixtures_dir() -> PathBuf {
@@ -38,6 +51,39 @@ fn build_golden() -> FlatIndex {
     );
     let ranking = degree_ranking(&g);
     FlatIndex::from_index(&sequential_pll(&g, &ranking).index)
+}
+
+/// The pinned QDOL shard layout for 3 shards over the 16-vertex corpus:
+/// shard pairs (0,1), (0,2), (1,2) over partitions {0..6}, {6..12},
+/// {12..16}. Must match `QdolShardMap::new(3, 16)` — see the module docs.
+fn shard_specs() -> Vec<ShardSpec> {
+    let owned = |ranges: &[std::ops::Range<VertexId>]| -> Vec<VertexId> {
+        ranges.iter().flat_map(|r| r.clone()).collect()
+    };
+    vec![
+        ShardSpec {
+            shard_id: 0,
+            shard_count: 3,
+            zeta: 3,
+            owned: owned(&[0..6, 6..12]),
+        },
+        ShardSpec {
+            shard_id: 1,
+            shard_count: 3,
+            zeta: 3,
+            owned: owned(&[0..6, 12..16]),
+        },
+        ShardSpec {
+            shard_id: 2,
+            shard_count: 3,
+            zeta: 3,
+            owned: owned(&[6..12, 12..16]),
+        },
+    ]
+}
+
+fn shard_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("golden.v3-shard-{i}-of-3.chl"))
 }
 
 fn distance_table(index: &FlatIndex) -> String {
@@ -64,12 +110,31 @@ fn regen(dir: &Path) {
     let golden = build_golden();
     std::fs::create_dir_all(dir).unwrap();
     std::fs::write(dir.join("golden.v1.chl"), persist::to_bytes_v1(&golden)).unwrap();
-    std::fs::write(dir.join("golden.v2-flat.chl"), golden.to_bytes()).unwrap();
+    std::fs::write(
+        dir.join("golden.v2-flat.chl"),
+        golden.to_bytes_with(&SaveOptions::v2()),
+    )
+    .unwrap();
     std::fs::write(
         dir.join("golden.v2-compressed.chl"),
+        golden.to_bytes_with(&SaveOptions {
+            compress: true,
+            version: persist::VERSION_V2,
+        }),
+    )
+    .unwrap();
+    std::fs::write(dir.join("golden.v3-flat.chl"), golden.to_bytes()).unwrap();
+    std::fs::write(
+        dir.join("golden.v3-compressed.chl"),
         golden.to_bytes_with(&SaveOptions::compressed()),
     )
     .unwrap();
+    for (i, spec) in shard_specs().into_iter().enumerate() {
+        let shard = golden
+            .restrict_to_shard(spec)
+            .expect("pinned specs are consistent with the corpus");
+        std::fs::write(shard_path(dir, i), shard.to_bytes()).unwrap();
+    }
     std::fs::write(dir.join("golden.distances.txt"), distance_table(&golden)).unwrap();
 }
 
@@ -127,7 +192,8 @@ fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
         "re-serializing the loaded v1 fixture must be byte-identical"
     );
 
-    // v2 flat: copy-load, zero-copy view and mmap.
+    // v2 flat: copy-load, zero-copy view and mmap. The frozen v2 stream
+    // keeps loading and `SaveOptions::v2` keeps reproducing it.
     let flat_path = dir.join("golden.v2-flat.chl");
     let flat_bytes = std::fs::read(&flat_path).unwrap();
     let flat = FlatIndex::from_bytes(&flat_bytes).expect("v2-flat fixture loads");
@@ -139,7 +205,7 @@ fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
     assert!(!mapped.is_compressed());
     assert_answers(&table, "v2-flat mmap", |u, v| mapped.view().query(u, v));
     assert_eq!(
-        flat.to_bytes(),
+        flat.to_bytes_with(&SaveOptions::v2()),
         flat_bytes,
         "re-serializing the loaded v2-flat fixture must be byte-identical"
     );
@@ -159,19 +225,65 @@ fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
         mapped.view().query(u, v)
     });
     assert_eq!(
-        comp.to_bytes_with(&SaveOptions::compressed()),
+        comp.to_bytes_with(&SaveOptions {
+            compress: true,
+            version: persist::VERSION_V2,
+        }),
         comp_bytes,
         "re-serializing the loaded v2-compressed fixture must be byte-identical"
     );
 
-    // The three fixtures are one index in three coats.
+    // v3 flat: the default writer's output, with the header CRC.
+    let v3_path = dir.join("golden.v3-flat.chl");
+    let v3_bytes = std::fs::read(&v3_path).unwrap();
+    let v3_header = persist::parse_header(&v3_bytes).unwrap();
+    assert_eq!(v3_header.version, persist::VERSION);
+    assert!(!v3_header.is_sharded());
+    let v3 = FlatIndex::from_bytes(&v3_bytes).expect("v3-flat fixture loads");
+    assert_answers(&table, "v3-flat copy-load", |u, v| v3.query(u, v));
+    let aligned = AlignedBytes::from_slice(&v3_bytes);
+    let view = persist::view_bytes(&aligned).expect("v3-flat fixture views");
+    assert_answers(&table, "v3-flat view", |u, v| view.query(u, v));
+    let mapped = MmapIndex::open(&v3_path).expect("v3-flat fixture maps");
+    assert!(!mapped.is_sharded());
+    assert_answers(&table, "v3-flat mmap", |u, v| mapped.view().query(u, v));
+    assert_eq!(
+        v3.to_bytes(),
+        v3_bytes,
+        "re-serializing the loaded v3-flat fixture must be byte-identical"
+    );
+
+    // v3 compressed.
+    let v3c_path = dir.join("golden.v3-compressed.chl");
+    let v3c_bytes = std::fs::read(&v3c_path).unwrap();
+    let v3c = FlatIndex::from_bytes(&v3c_bytes).expect("v3-compressed fixture loads");
+    assert_answers(&table, "v3-compressed copy-load", |u, v| v3c.query(u, v));
+    let aligned = AlignedBytes::from_slice(&v3c_bytes);
+    let view = persist::open_view(&aligned).expect("v3-compressed fixture views");
+    assert!(view.is_compressed());
+    assert_answers(&table, "v3-compressed view", |u, v| view.query(u, v));
+    let mapped = MmapIndex::open(&v3c_path).expect("v3-compressed fixture maps");
+    assert!(mapped.is_compressed());
+    assert_answers(&table, "v3-compressed mmap", |u, v| {
+        mapped.view().query(u, v)
+    });
+    assert_eq!(
+        v3c.to_bytes_with(&SaveOptions::compressed()),
+        v3c_bytes,
+        "re-serializing the loaded v3-compressed fixture must be byte-identical"
+    );
+
+    // The whole-index fixtures are one index in five coats.
     assert_eq!(v1, flat);
     assert_eq!(flat, comp);
+    assert_eq!(comp, v3);
+    assert_eq!(v3, v3c);
 
     // Sanity on the corpus itself: the headers disagree only where the
     // format does.
     let flat_header = persist::parse_header(&flat_bytes).unwrap();
     let comp_header = persist::parse_header(&comp_bytes).unwrap();
+    assert_eq!(flat_header.version, persist::VERSION_V2);
     assert!(!flat_header.is_compressed());
     assert!(comp_header.is_compressed());
     assert_eq!(flat_header.num_entries, comp_header.num_entries);
@@ -181,4 +293,107 @@ fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
         comp_bytes.len(),
         flat_bytes.len()
     );
+}
+
+#[test]
+fn shard_fixtures_union_to_the_unsharded_index() {
+    let dir = fixtures_dir();
+    if std::env::var_os("CHL_REGEN_FIXTURES").is_some() {
+        regen(&dir);
+    }
+    let table = pinned_table(&dir);
+    let full = FlatIndex::from_bytes(&std::fs::read(dir.join("golden.v3-flat.chl")).unwrap())
+        .expect("v3-flat fixture loads");
+    let specs = shard_specs();
+
+    let mut shards = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let path = shard_path(&dir, i);
+        let bytes = std::fs::read(&path).unwrap();
+        let header = persist::parse_header(&bytes).unwrap();
+        assert_eq!(header.version, persist::VERSION);
+        assert!(header.is_sharded(), "shard fixture {i} carries the flag");
+
+        // Copy-load: the shard identity round-trips and matches the pin.
+        let shard = FlatIndex::from_bytes(&bytes).expect("shard fixture loads");
+        assert_eq!(shard.shard(), Some(spec), "shard {i} spec");
+        assert_eq!(shard.num_vertices(), full.num_vertices(), "global n");
+        assert_eq!(
+            shard.to_bytes(),
+            bytes,
+            "re-serializing shard fixture {i} must be byte-identical"
+        );
+
+        // Owned labels are verbatim slices of the full index; foreign
+        // vertices hold nothing. This is the union-of-shards invariant.
+        for v in 0..full.num_vertices() as u32 {
+            if spec.owns(v) {
+                assert_eq!(
+                    shard.labels_of(v),
+                    full.labels_of(v),
+                    "shard {i} vertex {v}"
+                );
+            } else {
+                assert!(shard.labels_of(v).is_empty(), "shard {i} vertex {v}");
+            }
+        }
+
+        // Zero-copy paths: mmap serves the shard with typed foreign answers;
+        // the shard-blind borrowed view is refused outright.
+        let mapped = MmapIndex::open(&path).expect("shard fixture maps");
+        assert!(mapped.is_sharded());
+        assert_eq!(mapped.shard(), Some(spec));
+        let aligned = AlignedBytes::from_slice(&bytes);
+        assert!(matches!(
+            persist::view_bytes(&aligned),
+            Err(persist::PersistError::Unviewable { .. })
+        ));
+        let view = persist::open_view(&aligned).expect("shard fixture views");
+        for u in 0..full.num_vertices() as u32 {
+            for v in 0..full.num_vertices() as u32 {
+                let expect = if spec.owns(u) && spec.owns(v) {
+                    Ok(table[u as usize][v as usize])
+                } else {
+                    Err(NotThisShard {
+                        vertex: if spec.owns(u) { v } else { u },
+                    })
+                };
+                assert_eq!(view.try_query(u, v), expect, "shard {i} view ({u}, {v})");
+                assert_eq!(
+                    mapped.view().try_query(u, v),
+                    expect,
+                    "shard {i} mmap ({u}, {v})"
+                );
+            }
+        }
+        // Out-of-range endpoints are data on a shard too, exactly as on the
+        // whole index.
+        let n = full.num_vertices() as u32;
+        assert_eq!(view.try_query(n, n), Ok(INFINITY));
+
+        shards.push(shard);
+    }
+
+    // Placement proof over the pinned layout: every pair (u, v) — in range
+    // or not — has a shard owning both endpoints, and that shard answers
+    // the pinned table exactly. The union of the shards IS the index.
+    let n = full.num_vertices() as u32;
+    for u in 0..n {
+        assert!(
+            specs.iter().any(|s| s.owns(u)),
+            "vertex {u} owned by no shard"
+        );
+        for v in 0..n {
+            let (i, _) = specs
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.owns(u) && s.owns(v))
+                .expect("every partition pair is covered by some shard");
+            assert_eq!(
+                shards[i].try_query(u, v),
+                Ok(table[u as usize][v as usize]),
+                "shard {i} ({u}, {v})"
+            );
+        }
+    }
 }

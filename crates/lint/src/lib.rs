@@ -32,6 +32,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/labels.rs",
     "crates/core/src/persist.rs",
     "crates/serve/src/",
+    "crates/cli/src/route.rs",
     "shims/rayon/src/",
     "shims/memmap2/src/",
 ];

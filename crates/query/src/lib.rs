@@ -46,7 +46,7 @@ pub mod report;
 pub mod workload;
 
 pub use chl_core::oracle::DistanceOracle;
-pub use qdol::QdolEngine;
+pub use qdol::{QdolEngine, QdolShardMap};
 pub use qfdl::QfdlEngine;
 pub use qlsn::QlsnEngine;
 pub use report::QueryModeReport;

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use chl_cluster::ClusterSpec;
 use chl_core::labels::LabelSet;
 use chl_core::oracle::DistanceOracle;
+use chl_core::persist::ShardSpec;
 use chl_core::HubLabelIndex;
 use chl_distributed::DistributedLabeling;
 use chl_graph::types::{Distance, VertexId};
@@ -32,12 +33,8 @@ pub struct QdolEngine {
     /// simulation; the per-node accounting below reflects what each node
     /// would actually hold.
     full: Vec<LabelSet>,
-    /// Number of vertex partitions ζ.
-    zeta: usize,
-    /// `pair_of_node[node] = (i, j)` partition pair stored by `node`.
-    pair_of_node: Vec<(usize, usize)>,
-    /// Number of vertices.
-    num_vertices: usize,
+    /// Partition geometry and the node ↔ partition-pair assignment.
+    map: QdolShardMap,
     spec: ClusterSpec,
 }
 
@@ -46,6 +43,121 @@ pub struct QdolEngine {
 pub fn zeta_for_nodes(q: usize) -> usize {
     let z = ((1.0 + (1.0 + 8.0 * q as f64).sqrt()) / 2.0).floor() as usize;
     z.max(2)
+}
+
+/// The static QDOL layout for `shard_count` shards over `num_vertices`
+/// vertices: ζ contiguous vertex partitions, one unordered partition pair
+/// per shard, and the query → shard placement rule.
+///
+/// This is the process-cluster counterpart of [`QdolEngine`]'s in-process
+/// simulation, and the single source of truth both sides of a real sharded
+/// deployment derive from: `chl build --shards q` calls [`Self::spec`] to
+/// decide which label runs each `.chl` shard file keeps, and `chl route`
+/// rebuilds the same map (it is fully determined by `(shard_count,
+/// num_vertices)`) to send each query to a shard that owns both endpoints.
+/// [`QdolEngine`] routes through the same map, so the simulation, the
+/// builder, and the router can never disagree on placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QdolShardMap {
+    num_vertices: usize,
+    zeta: usize,
+    /// `pair_of_shard[shard] = (i, j)` partition pair owned by `shard`.
+    pair_of_shard: Vec<(usize, usize)>,
+}
+
+impl QdolShardMap {
+    /// Derives the layout for a cluster of `shard_count` shards (clamped to
+    /// at least 1) over `num_vertices` vertices.
+    pub fn new(shard_count: usize, num_vertices: usize) -> Self {
+        let q = shard_count.max(1);
+        let zeta = zeta_for_nodes(q);
+        // Enumerate unordered pairs (i, j), i < j, assigning them to shards
+        // round-robin; with C(ζ,2) <= q every pair gets a dedicated shard.
+        let mut pairs = Vec::new();
+        for i in 0..zeta {
+            for j in (i + 1)..zeta {
+                pairs.push((i, j));
+            }
+        }
+        let pair_of_shard: Vec<(usize, usize)> =
+            (0..q).map(|shard| pairs[shard % pairs.len()]).collect();
+        QdolShardMap {
+            num_vertices,
+            zeta,
+            pair_of_shard,
+        }
+    }
+
+    /// Number of shards in the layout.
+    pub fn shard_count(&self) -> usize {
+        self.pair_of_shard.len()
+    }
+
+    /// Number of vertices the layout covers.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of vertex partitions ζ.
+    pub fn zeta(&self) -> usize {
+        self.zeta
+    }
+
+    /// The partition pair shard `shard` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shard_count()`.
+    pub fn pair_of_shard(&self, shard: usize) -> (usize, usize) {
+        self.pair_of_shard[shard]
+    }
+
+    /// Partition of a vertex: contiguous chunks of the id space.
+    /// Out-of-range ids clamp into the last partition, so placement is
+    /// total — the chosen shard answers them unreachable like any server.
+    pub fn partition_of(&self, v: VertexId) -> usize {
+        if self.num_vertices == 0 {
+            return 0;
+        }
+        let chunk = self.num_vertices.div_ceil(self.zeta);
+        (v as usize / chunk).min(self.zeta - 1)
+    }
+
+    /// The shard a query is routed to: some shard whose pair covers both
+    /// endpoint partitions (for a same-partition query, any shard containing
+    /// that partition).
+    pub fn shard_for_query(&self, u: VertexId, v: VertexId) -> usize {
+        let pu = self.partition_of(u);
+        let pv = self.partition_of(v);
+        let (a, b) = if pu <= pv { (pu, pv) } else { (pv, pu) };
+        self.pair_of_shard
+            .iter()
+            .position(|&(i, j)| (i == a && j == b) || (a == b && (i == a || j == a)))
+            .unwrap_or(0)
+    }
+
+    /// The persistent [`ShardSpec`] for shard `shard_id`: its pair, ζ, and
+    /// the sorted set of vertex positions whose labels it keeps (every
+    /// vertex in either of its two partitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_id >= shard_count()`.
+    pub fn spec(&self, shard_id: usize) -> ShardSpec {
+        let (i, j) = self.pair_of_shard[shard_id];
+        let owned: Vec<VertexId> = (0..self.num_vertices as VertexId)
+            .filter(|&v| {
+                let p = self.partition_of(v);
+                p == i || p == j
+            })
+            .collect();
+        ShardSpec {
+            shard_id: shard_id as u32,
+            shard_count: self.shard_count() as u32,
+            zeta: self.zeta as u32,
+            owned,
+        }
+    }
 }
 
 impl QdolEngine {
@@ -57,52 +169,29 @@ impl QdolEngine {
     /// Builds the engine from an assembled index.
     pub fn from_index(index: HubLabelIndex, spec: ClusterSpec) -> Self {
         let num_vertices = index.num_vertices();
-        let q = spec.nodes.max(1);
-        let zeta = zeta_for_nodes(q);
-        // Enumerate unordered pairs (i, j), i < j, assigning them to nodes
-        // round-robin; with C(ζ,2) <= q every pair gets a dedicated node.
-        let mut pairs = Vec::new();
-        for i in 0..zeta {
-            for j in (i + 1)..zeta {
-                pairs.push((i, j));
-            }
-        }
-        let pair_of_node: Vec<(usize, usize)> =
-            (0..q).map(|node| pairs[node % pairs.len()]).collect();
+        let map = QdolShardMap::new(spec.nodes.max(1), num_vertices);
         QdolEngine {
             full: index.into_label_sets(),
-            zeta,
-            pair_of_node,
-            num_vertices,
+            map,
             spec,
         }
     }
 
     /// Partition of a vertex: contiguous chunks of the id space.
     fn partition_of(&self, v: VertexId) -> usize {
-        if self.num_vertices == 0 {
-            return 0;
-        }
-        let chunk = self.num_vertices.div_ceil(self.zeta);
-        (v as usize / chunk).min(self.zeta - 1)
+        self.map.partition_of(v)
     }
 
     /// The node a query is routed to: some node whose pair covers both
     /// endpoint partitions (for a same-partition query, any node containing
     /// that partition).
     pub fn node_for_query(&self, u: VertexId, v: VertexId) -> usize {
-        let pu = self.partition_of(u);
-        let pv = self.partition_of(v);
-        let (a, b) = if pu <= pv { (pu, pv) } else { (pv, pu) };
-        self.pair_of_node
-            .iter()
-            .position(|&(i, j)| (i == a && j == b) || (a == b && (i == a || j == a)))
-            .unwrap_or(0)
+        self.map.shard_for_query(u, v)
     }
 
     /// Number of vertex partitions ζ.
     pub fn zeta(&self) -> usize {
-        self.zeta
+        self.map.zeta()
     }
 
     fn local_answer(&self, u: VertexId, v: VertexId) -> Distance {
@@ -128,7 +217,7 @@ impl DistanceOracle for QdolEngine {
     }
 
     fn num_vertices(&self) -> usize {
-        self.num_vertices
+        self.map.num_vertices()
     }
 
     /// Each partition pair's labels are held once per owning node.
@@ -151,13 +240,15 @@ impl QueryEngine for QdolEngine {
 
     fn memory_per_node(&self) -> Vec<usize> {
         // Node {i,j} stores the full label sets of partitions i and j.
-        let mut per_partition = vec![0usize; self.zeta];
-        for v in 0..self.num_vertices {
+        let mut per_partition = vec![0usize; self.map.zeta()];
+        for v in 0..self.map.num_vertices() {
             per_partition[self.partition_of(v as VertexId)] += self.full[v].memory_bytes();
         }
-        self.pair_of_node
-            .iter()
-            .map(|&(i, j)| per_partition[i] + per_partition[j])
+        (0..self.map.shard_count())
+            .map(|node| {
+                let (i, j) = self.map.pair_of_shard(node);
+                per_partition[i] + per_partition[j]
+            })
             .collect()
     }
 
@@ -259,7 +350,7 @@ mod tests {
                 let node = engine.node_for_query(u, v);
                 assert!(node < 16);
                 // The chosen node's pair must cover both endpoint partitions.
-                let (i, j) = engine.pair_of_node[node];
+                let (i, j) = engine.map.pair_of_shard(node);
                 let pu = engine.partition_of(u);
                 let pv = engine.partition_of(v);
                 assert!([i, j].contains(&pu));
@@ -301,6 +392,79 @@ mod tests {
         assert!(r.throughput_qps > 0.0);
         assert_eq!(r.memory_per_node_bytes.len(), 6);
         assert_eq!(r.mode, "QDOL");
+    }
+
+    #[test]
+    fn shard_map_covers_every_query_and_pins_the_q3_layout() {
+        // The exact layout the golden v3 shard fixtures in chl-core pin:
+        // 3 shards over 16 vertices → ζ = 3, chunk = 6.
+        let map = QdolShardMap::new(3, 16);
+        assert_eq!(map.zeta(), 3);
+        assert_eq!(map.shard_count(), 3);
+        let specs: Vec<ShardSpec> = (0..3).map(|s| map.spec(s)).collect();
+        assert_eq!(specs[0].owned, (0..12).collect::<Vec<_>>());
+        assert_eq!(
+            specs[1].owned,
+            (0..6).chain(12..16).collect::<Vec<VertexId>>()
+        );
+        assert_eq!(specs[2].owned, (6..16).collect::<Vec<_>>());
+        for (s, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.shard_id, s as u32);
+            assert_eq!(spec.shard_count, 3);
+            assert_eq!(spec.zeta, 3);
+        }
+
+        // Placement totality: the chosen shard owns both endpoints of every
+        // in-range query, and every vertex is owned somewhere.
+        for u in 0..16u32 {
+            assert!(specs.iter().any(|spec| spec.owns(u)));
+            for v in 0..16u32 {
+                let shard = map.shard_for_query(u, v);
+                assert!(
+                    specs[shard].owns(u) && specs[shard].owns(v),
+                    "({u}, {v}) routed to shard {shard} which does not own both"
+                );
+            }
+        }
+
+        // Out-of-range ids clamp to a valid shard instead of panicking.
+        assert!(map.shard_for_query(999, 0) < 3);
+        assert!(map.shard_for_query(999, 999) < 3);
+
+        // The map is what the engine routes through, so the simulation and a
+        // real cluster built from the same (q, n) agree on placement.
+        let g = erdos_renyi(16, 0.3, 5, 77);
+        let ranking = degree_ranking(&g);
+        let engine = QdolEngine::from_index(
+            sequential_pll(&g, &ranking).index,
+            ClusterSpec::with_nodes(3),
+        );
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                assert_eq!(engine.node_for_query(u, v), map.shard_for_query(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_specs_validate_and_degenerate_sizes_hold() {
+        for (q, n) in [(1usize, 5usize), (2, 5), (3, 1), (6, 100), (10, 7)] {
+            let map = QdolShardMap::new(q, n);
+            for s in 0..map.shard_count() {
+                let spec = map.spec(s);
+                spec.validate(n as u64).expect("derived specs are valid");
+                // With at least ζ vertices no partition is empty, so every
+                // shard owns something (tiny n can leave trailing partitions
+                // — and shards of only those — empty, which is still valid).
+                if n >= map.zeta() {
+                    assert!(!spec.owned.is_empty(), "q={q} n={n} shard {s} owns nothing");
+                }
+            }
+        }
+        // Zero vertices: still a valid (empty) layout.
+        let map = QdolShardMap::new(2, 0);
+        assert!(map.spec(0).owned.is_empty());
+        assert_eq!(map.shard_for_query(0, 0), 0);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use chl_core::flat::FlatIndex;
 use chl_core::mapped::MmapIndex;
 use chl_core::oracle::DistanceOracle;
-use chl_core::persist::PersistError;
+use chl_core::persist::{PersistError, ShardSpec};
+use chl_graph::types::VertexId;
 
 use crate::protocol::ServerInfo;
 
@@ -97,6 +98,33 @@ impl LoadedIndex {
         match self {
             LoadedIndex::Owned(_) => false,
             LoadedIndex::Mapped(m) => m.is_mapped(),
+        }
+    }
+
+    /// The shard identity when the loaded file is one QDOL shard of a
+    /// sharded index; `None` for a whole index. Both backends cache the
+    /// spec at load, so this never re-walks the file.
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        match self {
+            LoadedIndex::Owned(index) => index.shard(),
+            LoadedIndex::Mapped(index) => index.shard(),
+        }
+    }
+
+    /// Shard-honesty check for one query: the first **in-range** endpoint
+    /// this shard does not own, or `None` when the query is answerable here
+    /// (including on a whole index, and including out-of-range ids, which
+    /// are data — unreachable — on every server).
+    pub fn foreign_endpoint(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
+        let shard = self.shard()?;
+        let n = self.num_vertices();
+        let foreign = |id: VertexId| (id as usize) < n && !shard.owns(id);
+        if foreign(u) {
+            Some(u)
+        } else if foreign(v) {
+            Some(v)
+        } else {
+            None
         }
     }
 }
@@ -185,6 +213,7 @@ impl SharedIndex {
             generation: self.generation(),
             compressed: snapshot.is_compressed(),
             mapped: snapshot.is_mapped(),
+            shard: snapshot.shard().map(|s| (s.shard_id, s.shard_count)),
         }
     }
 }

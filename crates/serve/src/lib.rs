@@ -16,6 +16,10 @@
 //! * [`server`] — acceptor + worker pool; each worker coalesces the QUERY
 //!   frames a connection pipelined into one batched
 //!   [`DistanceOracle::distances`] call over the current snapshot.
+//! * [`router`] — the `chl route` scatter-gather tier in front of a cluster
+//!   of shard servers (one `.chl` v3 shard file each): same client protocol
+//!   on both sides, per-query QDOL placement, typed per-frame degradation
+//!   when a backend dies.
 //! * [`client`] / [`loadgen`] — a blocking protocol client and the
 //!   `chl bench-serve` engine reporting throughput and p50/p99/p999.
 //!
@@ -41,10 +45,15 @@ pub mod http;
 pub mod index;
 pub mod loadgen;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use client::{Client, ClientError};
 pub use index::{LoadedIndex, SharedIndex};
 pub use loadgen::{run_bench, BenchOptions, BenchSummary};
 pub use protocol::{ErrorCode, Request, Response, ServerInfo};
+pub use router::{
+    ClusterView, Router, RouterError, RouterHandle, RouterOptions, RouterStatsSnapshot,
+    SpawnedRouter,
+};
 pub use server::{ServeOptions, Server, ServerHandle, SpawnedServer, StatsSnapshot};

@@ -13,9 +13,15 @@
 //!   0x01 QUERY  count:u32le (u:u32le v:u32le)*   0x81 DISTANCES count:u32le (d:u64le)*
 //!   0x02 INFO   (empty)                          0x82 INFO   vertices:u64le labels:u64le
 //!   0x03 RELOAD (empty)                                      generation:u64le flags:u8
-//!   0x04 SHUTDOWN (empty)                        0x83 OK     generation:u64le
+//!   0x04 SHUTDOWN (empty)                                    [shard_id:u32le shard_count:u32le]
+//!                                                0x83 OK     generation:u64le
 //!                                                0xEE ERROR  code:u16le detail:u64le msg:utf8
 //! ```
+//!
+//! The INFO shard tail is present exactly when the `flags` byte has
+//! [`INFO_FLAG_SHARDED`] set — a server loading one `.chl` v3 shard file
+//! announces which shard it is; whole-index servers (and pre-shard peers)
+//! emit the original 25-byte body unchanged.
 //!
 //! Requests are answered **in order**, one response frame per request frame,
 //! so clients may pipeline freely — the server coalesces every QUERY frame
@@ -64,6 +70,9 @@ pub const INFO_FLAG_COMPRESSED: u8 = 0b01;
 /// Bit set in the INFO response `flags` byte when the index is served from a
 /// real file mapping (not the buffered fallback).
 pub const INFO_FLAG_MAPPED: u8 = 0b10;
+/// Bit set in the INFO response `flags` byte when the served index is one
+/// QDOL shard of a sharded index; the body then carries the shard tail.
+pub const INFO_FLAG_SHARDED: u8 = 0b100;
 
 /// Typed failure reported in an [`OP_ERROR`] frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +91,15 @@ pub enum ErrorCode {
     ReloadFailed,
     /// The request opcode is not one this server understands.
     UnknownOpcode,
+    /// This server holds one shard of a sharded index and a queried vertex
+    /// is owned by another shard; `detail` carries the first foreign id.
+    /// Clients talking to `chl route` never see this — the router places
+    /// each query on an owning shard.
+    NotThisShard,
+    /// The shard that owns a query is not reachable right now (its backend
+    /// connection failed); `detail` carries the shard id. Only the frames
+    /// placed on the dead shard fail — the rest of a batch keeps answering.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -93,6 +111,8 @@ impl ErrorCode {
             ErrorCode::VertexOutOfRange => 3,
             ErrorCode::ReloadFailed => 4,
             ErrorCode::UnknownOpcode => 5,
+            ErrorCode::NotThisShard => 6,
+            ErrorCode::ShardUnavailable => 7,
         }
     }
 
@@ -104,6 +124,8 @@ impl ErrorCode {
             3 => Some(ErrorCode::VertexOutOfRange),
             4 => Some(ErrorCode::ReloadFailed),
             5 => Some(ErrorCode::UnknownOpcode),
+            6 => Some(ErrorCode::NotThisShard),
+            7 => Some(ErrorCode::ShardUnavailable),
             _ => None,
         }
     }
@@ -117,6 +139,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::VertexOutOfRange => "vertex id out of range",
             ErrorCode::ReloadFailed => "index reload failed",
             ErrorCode::UnknownOpcode => "unknown opcode",
+            ErrorCode::NotThisShard => "vertex owned by another shard",
+            ErrorCode::ShardUnavailable => "owning shard unavailable",
         };
         f.write_str(name)
     }
@@ -149,6 +173,9 @@ pub struct ServerInfo {
     pub compressed: bool,
     /// `true` when served from a real file mapping.
     pub mapped: bool,
+    /// `(shard_id, shard_count)` when the served index is one QDOL shard of
+    /// a sharded index; `None` for a whole index.
+    pub shard: Option<(u32, u32)>,
 }
 
 /// One decoded response frame.
@@ -291,7 +318,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             }
         }
         Response::Info(info) => {
-            let len = 1 + 8 + 8 + 8 + 1;
+            let len = 1 + 8 + 8 + 8 + 1 + if info.shard.is_some() { 8 } else { 0 };
             out.extend_from_slice(&(len as u32).to_le_bytes());
             out.push(OP_INFO_RESP);
             out.extend_from_slice(&info.num_vertices.to_le_bytes());
@@ -304,7 +331,14 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             if info.mapped {
                 flags |= INFO_FLAG_MAPPED;
             }
+            if info.shard.is_some() {
+                flags |= INFO_FLAG_SHARDED;
+            }
             out.push(flags);
+            if let Some((shard_id, shard_count)) = info.shard {
+                out.extend_from_slice(&shard_id.to_le_bytes());
+                out.extend_from_slice(&shard_count.to_le_bytes());
+            }
         }
         Response::Ok { generation } => {
             out.extend_from_slice(&9u32.to_le_bytes());
@@ -384,6 +418,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let (total_labels, rest) = take_u64(rest)?;
             let (generation, rest) = take_u64(rest)?;
             let (flags, rest) = take_u8(rest)?;
+            let (shard, rest) = if flags & INFO_FLAG_SHARDED != 0 {
+                let (shard_id, rest) = take_u32(rest)?;
+                let (shard_count, rest) = take_u32(rest)?;
+                (Some((shard_id, shard_count)), rest)
+            } else {
+                (None, rest)
+            };
             expect_empty(rest)?;
             Ok(Response::Info(ServerInfo {
                 num_vertices,
@@ -391,6 +432,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 generation,
                 compressed: flags & INFO_FLAG_COMPRESSED != 0,
                 mapped: flags & INFO_FLAG_MAPPED != 0,
+                shard,
             }))
         }
         OP_OK => {
@@ -514,6 +556,15 @@ mod tests {
                 generation: 3,
                 compressed: true,
                 mapped: false,
+                shard: None,
+            }),
+            Response::Info(ServerInfo {
+                num_vertices: 9,
+                total_labels: 13,
+                generation: 0,
+                compressed: false,
+                mapped: true,
+                shard: Some((1, 3)),
             }),
             Response::Ok { generation: 2 },
             Response::Error {
@@ -529,6 +580,29 @@ mod tests {
             let payload = fb.next_payload().unwrap().expect("one whole frame");
             assert_eq!(decode_response(&payload).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn info_payload_lengths_are_pinned_for_compat() {
+        // Pre-shard peers rely on the unsharded body staying exactly its
+        // original 25 bytes; the shard tail adds exactly 8.
+        let info = |shard| ServerInfo {
+            num_vertices: 1,
+            total_labels: 2,
+            generation: 3,
+            compressed: false,
+            mapped: false,
+            shard,
+        };
+        let mut wire = Vec::new();
+        encode_response(&Response::Info(info(None)), &mut wire);
+        assert_eq!(u32::from_le_bytes(wire[..4].try_into().unwrap()), 1 + 25);
+        let mut wire = Vec::new();
+        encode_response(&Response::Info(info(Some((0, 2)))), &mut wire);
+        assert_eq!(u32::from_le_bytes(wire[..4].try_into().unwrap()), 1 + 33);
+        // A sharded flag with a truncated tail is a typed wire error.
+        let payload = &wire[4..4 + 30];
+        assert_eq!(decode_response(payload), Err(WireError::Truncated));
     }
 
     #[test]
@@ -589,6 +663,8 @@ mod tests {
             ErrorCode::VertexOutOfRange,
             ErrorCode::ReloadFailed,
             ErrorCode::UnknownOpcode,
+            ErrorCode::NotThisShard,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
             assert!(!code.to_string().is_empty());

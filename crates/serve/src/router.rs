@@ -1,0 +1,1165 @@
+//! The scatter-gather routing tier: one `chl route` process in front of a
+//! cluster of `chl serve --shard` processes, speaking the same client
+//! protocol on both sides.
+//!
+//! ```text
+//!                       ┌──────────────┐  CHL1   ┌─────────────────────┐
+//!  clients ── CHL1 ────►│  chl route    ├────────►│ chl serve --shard 0 │
+//!  (unchanged protocol) │  QdolShardMap ├────────►│ chl serve --shard 1 │
+//!                       │  placement    ├────────►│ chl serve --shard 2 │
+//!                       └──────────────┘         └─────────────────────┘
+//! ```
+//!
+//! Startup ([`ClusterView::discover`]) sends INFO to every backend, checks
+//! the answers describe one coherent sharded index — same global vertex
+//! count, same shard count, every shard id present exactly once — and
+//! rebuilds the QDOL placement from nothing but `(shard_count,
+//! num_vertices)`: [`QdolShardMap`] is fully determined by those two
+//! numbers, so the router and `chl build --shards` can never disagree about
+//! who owns a query.
+//!
+//! Per QUERY frame the router places every pair on an owning shard. A frame
+//! whose pairs all land on one shard is forwarded verbatim; only a frame
+//! that genuinely spans shards fans out, and the partial answers are merged
+//! back into request order. Within one flush, all sub-frames bound for the
+//! same backend are pipelined in a single write, so the backend's own
+//! coalescing still batches them. Out-of-range ids are rejected by the
+//! router itself with the exact error frame a whole-index server sends, and
+//! a dead backend degrades **per frame** into a typed
+//! [`ErrorCode::ShardUnavailable`] error (detail = shard id) after one
+//! reconnect attempt — never a hang, never a dropped client connection.
+//!
+//! Control frames: INFO aggregates the cluster into an unsharded-looking
+//! answer (global vertex count, summed label bytes — labels on partition
+//! overlaps are counted once per owning shard — and the minimum backend
+//! generation); RELOAD fans out to every shard in shard order and reports
+//! the first failure (reloads are not atomic across shards); SHUTDOWN stops
+//! the router only, never the backends.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use chl_graph::types::{Distance, VertexId};
+use chl_query::QdolShardMap;
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{
+    decode_request, encode_response, ErrorCode, FrameBuffer, Request, Response, ServerInfo,
+    WireError, DEFAULT_MAX_FRAME, MAGIC,
+};
+
+/// How often the nonblocking acceptor polls for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Read timeout on client connections; each expiry re-checks shutdown.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// Upper bound on one blocked client write before the connection is dead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Per-read chunk size, matching the shard servers.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Tunables for one router instance.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Worker threads handling client connections; each worker keeps its own
+    /// pool of backend connections. At least 1.
+    pub threads: usize,
+    /// Cap on one client frame's payload length in bytes.
+    pub max_frame: u32,
+    /// Read timeout on backend conversations: a backend that stops answering
+    /// within this window counts as unavailable for the frames placed on it.
+    pub backend_timeout: Duration,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            threads: 4,
+            max_frame: DEFAULT_MAX_FRAME,
+            backend_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why the router could not stand up in front of the given backends.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A backend could not be reached or did not answer INFO.
+    Backend {
+        /// The backend address as given.
+        addr: String,
+        /// The client-side failure.
+        error: ClientError,
+    },
+    /// A backend serves a whole index, not a shard.
+    NotSharded {
+        /// The backend address as given.
+        addr: String,
+    },
+    /// The backends do not describe one coherent sharded index.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Backend { addr, error } => {
+                write!(f, "backend {addr}: {error}")
+            }
+            RouterError::NotSharded { addr } => {
+                write!(
+                    f,
+                    "backend {addr} serves a whole index, not a shard \
+                     (chl route expects every backend to be `chl serve` over \
+                     one `.chl` v3 shard file)"
+                )
+            }
+            RouterError::Inconsistent(msg) => write!(f, "inconsistent cluster: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// The validated cluster the router fronts: one backend address per shard id
+/// plus the placement map rebuilt from `(shard_count, num_vertices)`.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// `addr_of_shard[shard_id]` — the backend serving that shard.
+    addr_of_shard: Vec<String>,
+    map: QdolShardMap,
+}
+
+impl ClusterView {
+    /// Connects to every backend, asks INFO, and validates the answers into
+    /// a coherent cluster view. The discovery connections are dropped —
+    /// serving uses per-worker pools with their own reconnect handling.
+    pub fn discover(
+        addrs: &[String],
+        backend_timeout: Duration,
+    ) -> Result<ClusterView, RouterError> {
+        let mut infos = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let info = (|| {
+                let mut client = Client::connect(addr)?;
+                client.set_timeout(Some(backend_timeout))?;
+                client.info()
+            })()
+            .map_err(|error| RouterError::Backend {
+                addr: addr.clone(),
+                error,
+            })?;
+            infos.push(info);
+        }
+        ClusterView::from_infos(addrs, &infos)
+    }
+
+    /// Pure validation half of [`ClusterView::discover`]: checks the INFO
+    /// answers describe one sharded index and builds the placement map.
+    pub fn from_infos(addrs: &[String], infos: &[ServerInfo]) -> Result<ClusterView, RouterError> {
+        if addrs.is_empty() {
+            return Err(RouterError::Inconsistent(
+                "no backend addresses given".to_string(),
+            ));
+        }
+        if addrs.len() != infos.len() {
+            return Err(RouterError::Inconsistent(format!(
+                "{} addresses but {} INFO answers",
+                addrs.len(),
+                infos.len()
+            )));
+        }
+        let expected_count = addrs.len() as u32;
+        let mut slots: Vec<Option<String>> = vec![None; addrs.len()];
+        let mut num_vertices: Option<u64> = None;
+        for (addr, info) in addrs.iter().zip(infos) {
+            let (shard_id, shard_count) = info
+                .shard
+                .ok_or_else(|| RouterError::NotSharded { addr: addr.clone() })?;
+            if shard_count != expected_count {
+                return Err(RouterError::Inconsistent(format!(
+                    "backend {addr} announces shard {shard_id} of {shard_count}, \
+                     but {expected_count} backends were given"
+                )));
+            }
+            if shard_id >= expected_count {
+                return Err(RouterError::Inconsistent(format!(
+                    "backend {addr} announces shard id {shard_id} >= shard count {expected_count}"
+                )));
+            }
+            match num_vertices {
+                None => num_vertices = Some(info.num_vertices),
+                Some(n) if n != info.num_vertices => {
+                    return Err(RouterError::Inconsistent(format!(
+                        "backend {addr} covers {} vertices but an earlier backend covers {n} \
+                         (shard files record the global vertex count, so these are different indexes)",
+                        info.num_vertices
+                    )));
+                }
+                Some(_) => {}
+            }
+            // `shard_id < expected_count == slots.len()` was checked above.
+            let Some(slot) = slots.get_mut(shard_id as usize) else {
+                continue;
+            };
+            if let Some(other) = slot {
+                return Err(RouterError::Inconsistent(format!(
+                    "shard {shard_id} is served by both {other} and {addr}"
+                )));
+            }
+            *slot = Some(addr.clone());
+        }
+        // Pigeonhole: len(addrs) distinct ids < len(addrs) fill every slot.
+        let addr_of_shard: Vec<String> = slots.into_iter().flatten().collect();
+        if addr_of_shard.len() != addrs.len() {
+            return Err(RouterError::Inconsistent(
+                "not every shard id is served".to_string(),
+            ));
+        }
+        let n = num_vertices.unwrap_or(0) as usize;
+        Ok(ClusterView {
+            map: QdolShardMap::new(addr_of_shard.len(), n),
+            addr_of_shard,
+        })
+    }
+
+    /// Number of shards (= backends) fronted.
+    pub fn shard_count(&self) -> usize {
+        self.addr_of_shard.len()
+    }
+
+    /// Global vertex count of the sharded index.
+    pub fn num_vertices(&self) -> usize {
+        self.map.num_vertices()
+    }
+
+    /// The backend address serving `shard`, or `None` out of range.
+    pub fn addr_of_shard(&self, shard: usize) -> Option<&str> {
+        self.addr_of_shard.get(shard).map(String::as_str)
+    }
+
+    /// The placement map (identical to what `chl build --shards` used).
+    pub fn map(&self) -> &QdolShardMap {
+        &self.map
+    }
+}
+
+/// Monotonic routing counters; same relaxed-statistics discipline as
+/// [`crate::server::ServeStats`].
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    connections: AtomicU64,
+    http_requests: AtomicU64,
+    frames: AtomicU64,
+    queries: AtomicU64,
+    forwarded_frames: AtomicU64,
+    fanout_frames: AtomicU64,
+    shard_errors: AtomicU64,
+    error_frames: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// One coherent-enough copy of the router counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStatsSnapshot {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Non-protocol (HTTP) connections answered with the status page.
+    pub http_requests: u64,
+    /// Client request frames decoded.
+    pub frames: u64,
+    /// Individual distance queries placed on backends.
+    pub queries: u64,
+    /// QUERY frames forwarded (whether or not they fanned out).
+    pub forwarded_frames: u64,
+    /// QUERY frames that spanned shards and genuinely fanned out.
+    pub fanout_frames: u64,
+    /// Frames that failed because a backend was unavailable or answered a
+    /// typed error.
+    pub shard_errors: u64,
+    /// Typed error frames sent to clients (all causes).
+    pub error_frames: u64,
+    /// Successful cluster-wide reload fan-outs.
+    pub reloads: u64,
+}
+
+impl RouterStats {
+    fn add(counter: &AtomicU64, n: u64) {
+        // ORDERING: independent monotonic statistics counter; nothing
+        // synchronizes through it.
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies every counter. Individually exact; mutually unordered.
+    pub fn snapshot(&self) -> RouterStatsSnapshot {
+        // ORDERING: statistics reads; see `add`.
+        let get = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        RouterStatsSnapshot {
+            connections: get(&self.connections),
+            http_requests: get(&self.http_requests),
+            frames: get(&self.frames),
+            queries: get(&self.queries),
+            forwarded_frames: get(&self.forwarded_frames),
+            fanout_frames: get(&self.fanout_frames),
+            shard_errors: get(&self.shard_errors),
+            error_frames: get(&self.error_frames),
+            reloads: get(&self.reloads),
+        }
+    }
+}
+
+/// State shared by the acceptor, workers, and external handles.
+#[derive(Debug)]
+pub struct RouterState {
+    shutdown: AtomicBool,
+    stats: RouterStats,
+}
+
+impl RouterState {
+    /// `true` once shutdown was requested (protocol frame or handle).
+    pub fn is_shutdown(&self) -> bool {
+        // ORDERING: latch flag; a stale read costs one poll interval.
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn request_shutdown(&self) {
+        // ORDERING: see is_shutdown — monotonic latch, no data published.
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A cloneable remote control for a bound router: shutdown + stats.
+#[derive(Debug, Clone)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+}
+
+impl RouterHandle {
+    /// The address the router actually listens on (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop of the router (backends keep running).
+    pub fn signal_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// `true` once shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.is_shutdown()
+    }
+
+    /// Current routing counters.
+    pub fn stats(&self) -> RouterStatsSnapshot {
+        self.state.stats.snapshot()
+    }
+}
+
+/// A bound-but-not-yet-running router.
+#[derive(Debug)]
+pub struct Router {
+    listener: TcpListener,
+    cluster: Arc<ClusterView>,
+    opts: RouterOptions,
+    state: Arc<RouterState>,
+    addr: SocketAddr,
+}
+
+/// A router running on its own thread, as spawned by [`Router::spawn`].
+#[derive(Debug)]
+pub struct SpawnedRouter {
+    handle: RouterHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedRouter {
+    /// The remote control (addr, shutdown, stats).
+    pub fn handle(&self) -> &RouterHandle {
+        &self.handle
+    }
+
+    /// Signals shutdown and waits for the routing thread to exit, returning
+    /// the final counters.
+    pub fn shutdown(self) -> std::io::Result<RouterStatsSnapshot> {
+        self.handle.signal_shutdown();
+        self.join()
+    }
+
+    /// Waits for the router to exit on its own (e.g. a protocol SHUTDOWN
+    /// frame), returning the final counters.
+    pub fn join(self) -> std::io::Result<RouterStatsSnapshot> {
+        match self.join.join() {
+            Ok(result) => result.map(|()| self.handle.stats()),
+            Err(_) => Err(std::io::Error::other("router thread panicked")),
+        }
+    }
+}
+
+impl Router {
+    /// Binds `addr` (use port 0 for an ephemeral port) in front of a
+    /// validated cluster.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        cluster: ClusterView,
+        opts: RouterOptions,
+    ) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Router {
+            listener,
+            cluster: Arc::new(cluster),
+            opts: RouterOptions {
+                threads: opts.threads.max(1),
+                max_frame: opts.max_frame,
+                backend_timeout: opts.backend_timeout,
+            },
+            state: Arc::new(RouterState {
+                shutdown: AtomicBool::new(false),
+                stats: RouterStats::default(),
+            }),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port picked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control usable from other threads while [`Router::run`]
+    /// blocks this one.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            addr: self.addr,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs acceptor + workers on the calling thread until shutdown is
+    /// requested, then drains and joins the workers.
+    pub fn run(self) -> std::io::Result<()> {
+        let Router {
+            listener,
+            cluster,
+            opts,
+            state,
+            addr: _,
+        } = self;
+        listener.set_nonblocking(true)?;
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(opts.threads);
+        for i in 0..opts.threads {
+            let rx = Arc::clone(&rx);
+            let cluster = Arc::clone(&cluster);
+            let state = Arc::clone(&state);
+            let opts = opts.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("chl-route-{i}"))
+                .spawn(move || worker_loop(&rx, &cluster, &opts, &state))?;
+            workers.push(worker);
+        }
+
+        while !state.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    RouterStats::add(&state.stats.connections, 1);
+                    if tx.send(stream).is_err() {
+                        break; // all workers gone (cannot happen before shutdown)
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure: back off instead of dying.
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+
+        drop(tx);
+        for worker in workers {
+            if worker.join().is_err() {
+                return Err(std::io::Error::other("route worker panicked"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves the router onto a background thread; the returned handle
+    /// controls and observes it.
+    pub fn spawn(self) -> std::io::Result<SpawnedRouter> {
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("chl-route-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(SpawnedRouter { handle, join })
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    cluster: &ClusterView,
+    opts: &RouterOptions,
+    state: &RouterState,
+) {
+    // Each worker owns its backend connections: no cross-worker locking on
+    // the hot path, and a backend failure on one worker never poisons the
+    // others' connections.
+    let mut pool = BackendPool::new(cluster, opts.backend_timeout);
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv_timeout(READ_POLL)
+        };
+        match next {
+            Ok(stream) => {
+                let _ = route_connection(stream, &mut pool, cluster, opts, state);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if state.is_shutdown() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One worker's lazily connected backend clients, indexed by shard id.
+struct BackendPool<'a> {
+    cluster: &'a ClusterView,
+    conns: Vec<Option<Client>>,
+    timeout: Duration,
+}
+
+/// How one backend conversation failed, from the router's point of view.
+enum BackendFailure {
+    /// Could not connect, or the conversation broke mid-way (twice).
+    Unavailable,
+    /// The backend answered a typed error frame.
+    Server {
+        code: ErrorCode,
+        detail: u64,
+        message: String,
+    },
+}
+
+impl<'a> BackendPool<'a> {
+    fn new(cluster: &'a ClusterView, timeout: Duration) -> Self {
+        BackendPool {
+            conns: (0..cluster.shard_count()).map(|_| None).collect(),
+            cluster,
+            timeout,
+        }
+    }
+
+    fn take_or_connect(&mut self, shard: usize) -> Option<Client> {
+        if let Some(Some(conn)) = self.conns.get_mut(shard).map(Option::take) {
+            return Some(conn);
+        }
+        let addr = self.cluster.addr_of_shard(shard)?;
+        let mut conn = Client::connect(addr).ok()?;
+        conn.set_timeout(Some(self.timeout)).ok()?;
+        Some(conn)
+    }
+
+    /// Runs one conversation against `shard`, reconnecting and retrying once
+    /// on connection-level failure (requests here are idempotent). A typed
+    /// server error ends the attempt — the backend is alive and said no.
+    fn call<T>(
+        &mut self,
+        shard: usize,
+        f: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, BackendFailure> {
+        for _attempt in 0..2 {
+            let Some(mut conn) = self.take_or_connect(shard) else {
+                continue;
+            };
+            match f(&mut conn) {
+                Ok(value) => {
+                    if let Some(slot) = self.conns.get_mut(shard) {
+                        *slot = Some(conn);
+                    }
+                    return Ok(value);
+                }
+                Err(ClientError::Server {
+                    code,
+                    detail,
+                    message,
+                }) => {
+                    if let Some(slot) = self.conns.get_mut(shard) {
+                        *slot = Some(conn);
+                    }
+                    return Err(BackendFailure::Server {
+                        code,
+                        detail,
+                        message,
+                    });
+                }
+                // Io / Wire / UnexpectedResponse: the connection can no
+                // longer be trusted — drop it and retry on a fresh one.
+                Err(_) => {}
+            }
+        }
+        Err(BackendFailure::Unavailable)
+    }
+}
+
+fn shard_unavailable_response(shard: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::ShardUnavailable,
+        detail: shard as u64,
+        message: format!("shard {shard} is unreachable"),
+    }
+}
+
+fn backend_failure_response(shard: usize, failure: &BackendFailure) -> Response {
+    match failure {
+        BackendFailure::Unavailable => shard_unavailable_response(shard),
+        BackendFailure::Server {
+            code,
+            detail,
+            message,
+        } => Response::Error {
+            code: *code,
+            detail: *detail,
+            message: format!("shard {shard}: {message}"),
+        },
+    }
+}
+
+/// Outcome of processing one flush of client frames.
+enum Disposition {
+    /// Keep reading from this connection.
+    Continue,
+    /// Close and stop the router (SHUTDOWN frame acknowledged). Backends
+    /// keep running — stopping them is their operator's call.
+    ShutdownRouter,
+}
+
+fn route_connection(
+    mut stream: TcpStream,
+    pool: &mut BackendPool<'_>,
+    cluster: &ClusterView,
+    opts: &RouterOptions,
+    state: &RouterState,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+
+    // Preamble: 4 bytes decide binary protocol vs the status page.
+    let mut head = Vec::with_capacity(4);
+    let mut chunk = vec![0u8; READ_CHUNK];
+    while head.len() < 4 {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // silent connect-and-close
+            Ok(n) => head.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if would_block(&e) => {
+                if state.is_shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if head.get(..4) != Some(MAGIC.as_slice()) {
+        RouterStats::add(&state.stats.http_requests, 1);
+        return route_status_page(stream, cluster);
+    }
+
+    let mut fb = FrameBuffer::new(opts.max_frame);
+    fb.extend(head.get(4..).unwrap_or_default());
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    loop {
+        loop {
+            match fb.next_payload() {
+                Ok(Some(payload)) => payloads.push(payload),
+                Ok(None) => break,
+                Err(wire) => {
+                    // Oversized declared length: answer typed, then close.
+                    let mut out = Vec::new();
+                    if !payloads.is_empty() {
+                        route_frames(&payloads, pool, cluster, state, &mut out);
+                        payloads.clear();
+                    }
+                    encode_response(&wire_error_response(&wire), &mut out);
+                    RouterStats::add(&state.stats.error_frames, 1);
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            }
+        }
+        if !payloads.is_empty() {
+            let mut out = Vec::new();
+            let disposition = route_frames(&payloads, pool, cluster, state, &mut out);
+            payloads.clear();
+            stream.write_all(&out)?;
+            match disposition {
+                Disposition::Continue => {}
+                Disposition::ShutdownRouter => {
+                    state.request_shutdown();
+                    return Ok(());
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => fb.extend(chunk.get(..n).unwrap_or_default()),
+            Err(e) if would_block(&e) => {
+                if state.is_shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn wire_error_response(wire: &WireError) -> Response {
+    let code = match wire {
+        WireError::Oversized { .. } => ErrorCode::Oversized,
+        WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+        WireError::Truncated | WireError::TrailingBytes => ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        detail: 0,
+        message: wire.to_string(),
+    }
+}
+
+/// Minimal plain-text status for non-protocol (curl) connections; the real
+/// HTTP query adapter lives on the shard servers.
+fn route_status_page(mut stream: TcpStream, cluster: &ClusterView) -> std::io::Result<()> {
+    let body = format!(
+        "chl route: {} shards over {} vertices (zeta {})\n",
+        cluster.shard_count(),
+        cluster.num_vertices(),
+        cluster.map().zeta()
+    );
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Answers every frame of one flush in order, coalescing contiguous QUERY
+/// runs so each backend sees one pipelined write per run.
+fn route_frames(
+    payloads: &[Vec<u8>],
+    pool: &mut BackendPool<'_>,
+    cluster: &ClusterView,
+    state: &RouterState,
+    out: &mut Vec<u8>,
+) -> Disposition {
+    RouterStats::add(&state.stats.frames, payloads.len() as u64);
+    let mut iter = payloads.iter().peekable();
+    while let Some(payload) = iter.next() {
+        match decode_request(payload) {
+            Ok(Request::Query(first)) => {
+                let mut run: Vec<Vec<(VertexId, VertexId)>> = vec![first];
+                while let Some(next) = iter.peek() {
+                    match decode_request(next) {
+                        Ok(Request::Query(pairs)) => {
+                            run.push(pairs);
+                            iter.next();
+                        }
+                        _ => break,
+                    }
+                }
+                route_query_run(&run, pool, cluster, state, out);
+            }
+            Ok(Request::Info) => {
+                let resp = aggregate_info(pool, cluster);
+                if matches!(resp, Response::Error { .. }) {
+                    RouterStats::add(&state.stats.error_frames, 1);
+                }
+                encode_response(&resp, out);
+            }
+            Ok(Request::Reload) => {
+                let resp = fan_out_reload(pool, cluster);
+                match resp {
+                    Response::Ok { .. } => RouterStats::add(&state.stats.reloads, 1),
+                    _ => RouterStats::add(&state.stats.error_frames, 1),
+                }
+                encode_response(&resp, out);
+            }
+            Ok(Request::Shutdown) => {
+                // The router has no reload generation of its own; 0 here.
+                encode_response(&Response::Ok { generation: 0 }, out);
+                return Disposition::ShutdownRouter;
+            }
+            Err(wire) => {
+                RouterStats::add(&state.stats.error_frames, 1);
+                encode_response(&wire_error_response(&wire), out);
+            }
+        }
+    }
+    Disposition::Continue
+}
+
+/// What one [`ShardGroup`] came back as: distances, or an error frame to
+/// surface for the whole client frame.
+type GroupOutcome = Result<Vec<Distance>, Response>;
+
+/// One frame's pairs bound for one shard, with their original positions.
+struct ShardGroup {
+    shard: usize,
+    positions: Vec<usize>,
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+/// Disposition of one QUERY frame in a run.
+enum FrameDisp {
+    /// Decided by the router itself (out-of-range, or an empty frame).
+    Local(Response),
+    /// Placed on backends; groups are ordered by first pair appearance.
+    Placed {
+        groups: Vec<ShardGroup>,
+        num_pairs: usize,
+    },
+}
+
+/// Places a run of QUERY frames on owning shards, pipelines each shard's
+/// sub-frames in one conversation, and merges every frame's answers back
+/// into request order. Error semantics per frame:
+///
+/// * out-of-range id → the exact `VertexOutOfRange` frame a whole-index
+///   server sends (router-local, never forwarded);
+/// * owning backend unreachable after a reconnect attempt →
+///   [`ErrorCode::ShardUnavailable`] with the shard id in `detail`; only the
+///   frames placed on that shard fail;
+/// * backend answered a typed error → forwarded with the shard prefixed to
+///   the message.
+fn route_query_run(
+    run: &[Vec<(VertexId, VertexId)>],
+    pool: &mut BackendPool<'_>,
+    cluster: &ClusterView,
+    state: &RouterState,
+    out: &mut Vec<u8>,
+) {
+    let map = cluster.map();
+    let n = map.num_vertices();
+
+    let mut disps: Vec<FrameDisp> = Vec::with_capacity(run.len());
+    // Per-shard worklist of (frame index, group index), in pipeline order.
+    let mut per_shard: Vec<Vec<(usize, usize)>> = vec![Vec::new(); map.shard_count()];
+    for (fi, pairs) in run.iter().enumerate() {
+        // Same scan order and message as a whole-index server, so clients
+        // cannot tell the router from a single process on bad input.
+        let bad = pairs
+            .iter()
+            .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+            .map(|&(u, v)| if (u as usize) < n { v } else { u });
+        if let Some(id) = bad {
+            disps.push(FrameDisp::Local(Response::Error {
+                code: ErrorCode::VertexOutOfRange,
+                detail: id as u64,
+                message: format!("vertex id {id} out of range for {n} vertices"),
+            }));
+            continue;
+        }
+        if pairs.is_empty() {
+            disps.push(FrameDisp::Local(Response::Distances(Vec::new())));
+            continue;
+        }
+        let mut groups: Vec<ShardGroup> = Vec::new();
+        for (pi, &(u, v)) in pairs.iter().enumerate() {
+            let shard = map.shard_for_query(u, v);
+            match groups.iter_mut().find(|g| g.shard == shard) {
+                Some(group) => {
+                    group.positions.push(pi);
+                    group.pairs.push((u, v));
+                }
+                None => groups.push(ShardGroup {
+                    shard,
+                    positions: vec![pi],
+                    pairs: vec![(u, v)],
+                }),
+            }
+        }
+        RouterStats::add(&state.stats.forwarded_frames, 1);
+        RouterStats::add(&state.stats.queries, pairs.len() as u64);
+        if groups.len() > 1 {
+            RouterStats::add(&state.stats.fanout_frames, 1);
+        }
+        for (gi, group) in groups.iter().enumerate() {
+            if let Some(work) = per_shard.get_mut(group.shard) {
+                work.push((fi, gi));
+            }
+        }
+        disps.push(FrameDisp::Placed {
+            groups,
+            num_pairs: pairs.len(),
+        });
+    }
+
+    // Scatter: one pipelined conversation per shard with work.
+    let mut outcomes: Vec<Vec<Option<GroupOutcome>>> = disps
+        .iter()
+        .map(|d| match d {
+            FrameDisp::Local(_) => Vec::new(),
+            FrameDisp::Placed { groups, .. } => (0..groups.len()).map(|_| None).collect(),
+        })
+        .collect();
+    for (shard, work) in per_shard.iter().enumerate() {
+        if work.is_empty() {
+            continue;
+        }
+        let frames: Vec<Vec<(VertexId, VertexId)>> = work
+            .iter()
+            .filter_map(|&(fi, gi)| match disps.get(fi) {
+                Some(FrameDisp::Placed { groups, .. }) => groups.get(gi).map(|g| g.pairs.clone()),
+                _ => None,
+            })
+            .collect();
+        let result = pool.call(shard, |client| client.pipeline(&frames));
+        match result {
+            Ok(answers) if answers.len() == frames.len() => {
+                for (&(fi, gi), answer) in work.iter().zip(answers) {
+                    let entry = match answer {
+                        Ok(ds) => Ok(ds),
+                        Err((code, detail)) => {
+                            RouterStats::add(&state.stats.shard_errors, 1);
+                            Err(Response::Error {
+                                code,
+                                detail,
+                                message: format!("shard {shard}: {code}"),
+                            })
+                        }
+                    };
+                    if let Some(slot) = outcomes.get_mut(fi).and_then(|o| o.get_mut(gi)) {
+                        *slot = Some(entry);
+                    }
+                }
+            }
+            // A response-count mismatch means the conversation desynced;
+            // treat it like a dead backend for these frames.
+            Ok(_) => {
+                RouterStats::add(&state.stats.shard_errors, work.len() as u64);
+                for &(fi, gi) in work {
+                    if let Some(slot) = outcomes.get_mut(fi).and_then(|o| o.get_mut(gi)) {
+                        *slot = Some(Err(shard_unavailable_response(shard)));
+                    }
+                }
+            }
+            Err(failure) => {
+                RouterStats::add(&state.stats.shard_errors, work.len() as u64);
+                let resp = backend_failure_response(shard, &failure);
+                for &(fi, gi) in work {
+                    if let Some(slot) = outcomes.get_mut(fi).and_then(|o| o.get_mut(gi)) {
+                        *slot = Some(Err(resp.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    // Gather: emit one response per frame, in request order.
+    for (disp, frame_outcomes) in disps.into_iter().zip(outcomes) {
+        match disp {
+            FrameDisp::Local(resp) => {
+                if matches!(resp, Response::Error { .. }) {
+                    RouterStats::add(&state.stats.error_frames, 1);
+                }
+                encode_response(&resp, out);
+            }
+            FrameDisp::Placed { groups, num_pairs } => {
+                let mut distances = vec![0u64; num_pairs];
+                let mut failure: Option<Response> = None;
+                for (group, outcome) in groups.iter().zip(frame_outcomes) {
+                    match outcome {
+                        Some(Ok(ds)) if ds.len() == group.positions.len() => {
+                            for (&pos, &d) in group.positions.iter().zip(&ds) {
+                                if let Some(slot) = distances.get_mut(pos) {
+                                    *slot = d;
+                                }
+                            }
+                        }
+                        Some(Err(resp)) => {
+                            failure.get_or_insert(resp);
+                        }
+                        // Wrong count or an unfilled slot: desynced backend.
+                        _ => {
+                            failure.get_or_insert(shard_unavailable_response(group.shard));
+                        }
+                    }
+                }
+                match failure {
+                    Some(resp) => {
+                        RouterStats::add(&state.stats.error_frames, 1);
+                        encode_response(&resp, out);
+                    }
+                    None => encode_response(&Response::Distances(distances), out),
+                }
+            }
+        }
+    }
+}
+
+/// Aggregates the cluster into one unsharded-looking INFO answer: global
+/// vertex count, label bytes summed across shards (partition overlaps are
+/// counted once per owning shard — this is real cluster memory, not the
+/// deduplicated index size), and the minimum backend generation (the most
+/// conservative view of how reloaded the cluster is). Flags report what
+/// holds on **every** shard.
+fn aggregate_info(pool: &mut BackendPool<'_>, cluster: &ClusterView) -> Response {
+    let mut total_labels = 0u64;
+    let mut generation = u64::MAX;
+    let mut compressed = true;
+    let mut mapped = true;
+    for shard in 0..cluster.shard_count() {
+        match pool.call(shard, |client| client.info()) {
+            Ok(info) => {
+                total_labels = total_labels.saturating_add(info.total_labels);
+                generation = generation.min(info.generation);
+                compressed &= info.compressed;
+                mapped &= info.mapped;
+            }
+            Err(failure) => return backend_failure_response(shard, &failure),
+        }
+    }
+    Response::Info(ServerInfo {
+        num_vertices: cluster.num_vertices() as u64,
+        total_labels,
+        generation: if generation == u64::MAX {
+            0
+        } else {
+            generation
+        },
+        compressed,
+        mapped,
+        shard: None,
+    })
+}
+
+/// Fans RELOAD out to every shard in shard order and reports the minimum
+/// resulting generation. Not atomic: a mid-sequence failure leaves earlier
+/// shards reloaded, and the error frame names the first shard that failed.
+fn fan_out_reload(pool: &mut BackendPool<'_>, cluster: &ClusterView) -> Response {
+    let mut generation = u64::MAX;
+    for shard in 0..cluster.shard_count() {
+        match pool.call(shard, |client| client.reload()) {
+            Ok(g) => generation = generation.min(g),
+            Err(failure) => return backend_failure_response(shard, &failure),
+        }
+    }
+    Response::Ok {
+        generation: if generation == u64::MAX {
+            0
+        } else {
+            generation
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(shard: Option<(u32, u32)>, n: u64) -> ServerInfo {
+        ServerInfo {
+            num_vertices: n,
+            total_labels: 10,
+            generation: 0,
+            compressed: false,
+            mapped: false,
+            shard,
+        }
+    }
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn from_infos_accepts_a_coherent_cluster_in_any_order() {
+        // Backends listed out of shard order still map correctly.
+        let a = addrs(3);
+        let infos = [
+            info(Some((2, 3)), 16),
+            info(Some((0, 3)), 16),
+            info(Some((1, 3)), 16),
+        ];
+        let cluster = ClusterView::from_infos(&a, &infos).expect("coherent cluster");
+        assert_eq!(cluster.shard_count(), 3);
+        assert_eq!(cluster.num_vertices(), 16);
+        assert_eq!(cluster.addr_of_shard(0), Some(a[1].as_str()));
+        assert_eq!(cluster.addr_of_shard(1), Some(a[2].as_str()));
+        assert_eq!(cluster.addr_of_shard(2), Some(a[0].as_str()));
+        assert_eq!(cluster.addr_of_shard(3), None);
+        assert_eq!(cluster.map().shard_count(), 3);
+        assert_eq!(cluster.map().num_vertices(), 16);
+    }
+
+    #[test]
+    fn from_infos_rejects_incoherent_clusters() {
+        let a = addrs(2);
+        // A whole-index backend.
+        let err = ClusterView::from_infos(&a, &[info(None, 16), info(Some((1, 2)), 16)])
+            .expect_err("whole index rejected");
+        assert!(matches!(err, RouterError::NotSharded { .. }));
+        // Duplicate shard id.
+        let err = ClusterView::from_infos(&a, &[info(Some((0, 2)), 16), info(Some((0, 2)), 16)])
+            .expect_err("duplicate shard rejected");
+        assert!(err.to_string().contains("served by both"));
+        // Mismatched global vertex count (different indexes).
+        let err = ClusterView::from_infos(&a, &[info(Some((0, 2)), 16), info(Some((1, 2)), 17)])
+            .expect_err("mixed indexes rejected");
+        assert!(err.to_string().contains("vertices"));
+        // Shard count disagreeing with the address list.
+        let err = ClusterView::from_infos(&a, &[info(Some((0, 3)), 16), info(Some((1, 3)), 16)])
+            .expect_err("wrong count rejected");
+        assert!(err.to_string().contains("backends were given"));
+        // Shard id out of range.
+        let err = ClusterView::from_infos(&a, &[info(Some((0, 2)), 16), info(Some((9, 2)), 16)])
+            .expect_err("id out of range rejected");
+        assert!(err.to_string().contains(">="));
+        // No backends at all.
+        let err = ClusterView::from_infos(&[], &[]).expect_err("empty rejected");
+        assert!(matches!(err, RouterError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn router_options_default_and_error_display() {
+        let opts = RouterOptions::default();
+        assert!(opts.threads >= 1);
+        assert_eq!(opts.max_frame, DEFAULT_MAX_FRAME);
+        let err = RouterError::NotSharded {
+            addr: "10.0.0.1:4040".into(),
+        };
+        assert!(err.to_string().contains("10.0.0.1:4040"));
+        let unavailable = shard_unavailable_response(2);
+        match unavailable {
+            Response::Error { code, detail, .. } => {
+                assert_eq!(code, ErrorCode::ShardUnavailable);
+                assert_eq!(detail, 2);
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+}

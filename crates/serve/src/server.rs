@@ -556,10 +556,20 @@ fn process_frames(
     Disposition::Continue
 }
 
-/// Answers one coalesced run of QUERY frames: every in-range frame's pairs
+/// Why one frame of a run fails instead of contributing to the batch.
+enum FrameError {
+    /// An endpoint is outside `0..n`.
+    OutOfRange(VertexId),
+    /// An in-range endpoint is owned by another shard (shard files only).
+    Foreign(VertexId),
+}
+
+/// Answers one coalesced run of QUERY frames: every answerable frame's pairs
 /// go into one batched `distances` call (chunked at `max_batch`); frames
-/// naming an out-of-range id answer a typed error frame instead, without
-/// failing their neighbors.
+/// naming an out-of-range id — or, on a shard file, an id owned by another
+/// shard — answer a typed error frame instead, without failing their
+/// neighbors. Range is checked before ownership, so out-of-range frames get
+/// byte-identical answers from a shard and from a whole-index server.
 fn answer_query_run(
     run: &[Vec<(VertexId, VertexId)>],
     shared: &SharedIndex,
@@ -573,23 +583,39 @@ fn answer_query_run(
     let snapshot = shared.snapshot();
     let oracle = snapshot.oracle();
     let n = oracle.num_vertices();
+    let shard = snapshot.shard();
 
-    // Frame dispositions: Ok(range into the batch) or Err(offending id).
+    // Frame dispositions: Ok(range into the batch) or the typed failure.
     let mut batch: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut frames: Vec<Result<std::ops::Range<usize>, VertexId>> = Vec::with_capacity(run.len());
+    let mut frames: Vec<Result<std::ops::Range<usize>, FrameError>> = Vec::with_capacity(run.len());
     for pairs in run {
         let bad = pairs
             .iter()
             .find(|&&(u, v)| u as usize >= n || v as usize >= n)
             .map(|&(u, v)| if (u as usize) < n { v } else { u });
-        match bad {
-            Some(id) => frames.push(Err(id)),
-            None => {
-                let start = batch.len();
-                batch.extend_from_slice(pairs);
-                frames.push(Ok(start..batch.len()));
+        if let Some(id) = bad {
+            frames.push(Err(FrameError::OutOfRange(id)));
+            continue;
+        }
+        if let Some(spec) = shard {
+            // Every id is in range here, so ownership is the only question.
+            let foreign = pairs.iter().find_map(|&(u, v)| {
+                if !spec.owns(u) {
+                    Some(u)
+                } else if !spec.owns(v) {
+                    Some(v)
+                } else {
+                    None
+                }
+            });
+            if let Some(id) = foreign {
+                frames.push(Err(FrameError::Foreign(id)));
+                continue;
             }
         }
+        let start = batch.len();
+        batch.extend_from_slice(pairs);
+        frames.push(Ok(start..batch.len()));
     }
 
     let answers = batched_distances(oracle, &batch, opts.max_batch, state);
@@ -602,13 +628,27 @@ fn answer_query_run(
                 let ds = answers.get(range).unwrap_or_default();
                 encode_response(&Response::Distances(ds.to_vec()), out);
             }
-            Err(id) => {
+            Err(FrameError::OutOfRange(id)) => {
                 ServeStats::add(&state.stats.error_frames, 1);
                 encode_response(
                     &Response::Error {
                         code: ErrorCode::VertexOutOfRange,
                         detail: id as u64,
                         message: format!("vertex id {id} out of range for {n} vertices"),
+                    },
+                    out,
+                );
+            }
+            Err(FrameError::Foreign(id)) => {
+                ServeStats::add(&state.stats.error_frames, 1);
+                let (sid, cnt) = shard.map(|s| (s.shard_id, s.shard_count)).unwrap_or((0, 0));
+                encode_response(
+                    &Response::Error {
+                        code: ErrorCode::NotThisShard,
+                        detail: id as u64,
+                        message: format!(
+                            "vertex id {id} is owned by another shard (this is shard {sid} of {cnt})"
+                        ),
                     },
                     out,
                 );

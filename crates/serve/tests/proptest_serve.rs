@@ -18,7 +18,7 @@ use chl_graph::types::INFINITY;
 use chl_graph::{CsrGraph, GraphBuilder};
 use chl_ranking::degree_ranking;
 use chl_serve::protocol::ErrorCode;
-use chl_serve::{Client, ServeOptions, Server, SharedIndex};
+use chl_serve::{BenchSummary, Client, ServeOptions, Server, SharedIndex};
 
 /// Vertex-count ceiling for generated graphs; workload ids draw from a
 /// slightly larger range so every case can exercise out-of-range frames.
@@ -160,5 +160,79 @@ proptest! {
             prop_assert_eq!(stats.connections, 1);
             std::fs::remove_file(&path).ok();
         }
+    }
+}
+
+/// Nearest-rank selection computed by a histogram walk instead of indexing
+/// into a sorted vector: the smallest sample value whose cumulative count
+/// reaches `ceil(q * len)`. An independent oracle for
+/// [`BenchSummary::latency_percentile`].
+fn nearest_rank_by_histogram(samples: &[u64], q: f64) -> u64 {
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    let mut histogram = std::collections::BTreeMap::<u64, usize>::new();
+    for &s in samples {
+        *histogram.entry(s).or_insert(0) += 1;
+    }
+    let mut seen = 0usize;
+    for (value, count) in histogram {
+        seen += count;
+        if seen >= rank {
+            return value;
+        }
+    }
+    0 // unreachable for non-empty samples: the loop covers every rank
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `run_bench` merges each connection's latency samples into one sorted
+    /// vector and reports nearest-rank percentiles over the merge. Merging
+    /// must lose nothing: for every quantile, the merged report equals the
+    /// nearest-rank percentile over the plain concatenation of all
+    /// per-connection samples (computed here by an independent histogram
+    /// walk), regardless of how the samples were split across connections.
+    #[test]
+    fn merged_percentiles_equal_nearest_rank_over_concatenated_samples(
+        per_connection in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..40),
+            1..6,
+        ),
+        extra_q_millis in 1u64..=1000,
+    ) {
+        let extra_q = extra_q_millis as f64 / 1000.0;
+        // The same merge `run_bench` performs: extend, then one sort.
+        let mut merged: Vec<u64> = Vec::new();
+        for conn in &per_connection {
+            merged.extend_from_slice(conn);
+        }
+        let concatenated = merged.clone();
+        merged.sort_unstable();
+        let summary = BenchSummary {
+            connections: per_connection.len(),
+            pipeline: 1,
+            batch: 1,
+            elapsed: Duration::from_secs(1),
+            requests: merged.len() as u64,
+            queries: merged.len() as u64,
+            errors: 0,
+            latencies_sorted_ns: merged,
+        };
+
+        for q in [0.50, 0.99, 0.999, extra_q] {
+            let reported = summary.latency_percentile(q).as_nanos() as u64;
+            let expected = nearest_rank_by_histogram(&concatenated, q);
+            prop_assert_eq!(
+                reported, expected,
+                "q={} over {} samples in {} connections",
+                q, concatenated.len(), per_connection.len()
+            );
+        }
+        // The max is the p100 and the p50 can never exceed the p999.
+        prop_assert_eq!(
+            summary.latency_max(),
+            summary.latency_percentile(1.0)
+        );
+        prop_assert!(summary.latency_percentile(0.5) <= summary.latency_percentile(0.999));
     }
 }
