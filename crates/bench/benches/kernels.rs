@@ -1,43 +1,205 @@
 //! Criterion micro-benchmarks for the hot kernels of hub labeling:
-//! PPSD distance queries (merge vs. hash join), the pruned-Dijkstra SPT
-//! kernel, the PLaNT Dijkstra kernel and the label cleaning pass.
+//! PPSD distance queries (the tiered merge-join kernels against the
+//! streaming seed join, across the flat / compressed / hot-hub-cached
+//! backends), the pruned-Dijkstra SPT kernel, the PLaNT Dijkstra kernel
+//! and the label cleaning pass.
+//!
+//! Query pairs come from a splitmix64 stream: the previous LCG derived
+//! `v` from `i >> 8`, which correlates the two endpoints (low-entropy
+//! high bits) and made every pair hit the same few label runs. Pairs are
+//! precomputed so the generator is outside the timed region.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use chl_core::cleaning::clean_labels;
-use chl_core::labels::RootLabelHash;
+use chl_core::flat::FlatIndex;
+use chl_core::kernel::{self, HotHubCached};
+use chl_core::labels::{join_sorted_iters, LabelEntry, RootLabelHash};
+use chl_core::mapped::MmapIndex;
+use chl_core::oracle::DistanceOracle;
+use chl_core::persist::{save_with, SaveOptions};
 use chl_core::plant::{plant_dijkstra, CommonLabelTable, PlantScratch};
 use chl_core::pll::{pll_with_restricted_pruning, sequential_pll};
 use chl_core::pruned_dijkstra::{pruned_dijkstra, DijkstraScratch, PruneOptions};
 use chl_core::table::ConcurrentLabelTable;
 use chl_datasets::{load, DatasetId, Scale};
 
+/// Number of precomputed query pairs (power of two so `i & MASK` cycles).
+const PAIRS: usize = 4096;
+
+/// splitmix64: every output bit depends on every state bit, so `u` and `v`
+/// drawn from the two halves of one output are decorrelated.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn query_pairs(n: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed;
+    (0..PAIRS)
+        .map(|_| {
+            let r = splitmix64(&mut state);
+            (((r >> 32) as u32) % n, (r as u32) % n)
+        })
+        .collect()
+}
+
 fn query_kernels(c: &mut Criterion) {
     let ds = load(DatasetId::SKIT, Scale::Tiny, 42);
     let index = sequential_pll(&ds.graph, &ds.ranking).index;
     let n = ds.graph.num_vertices() as u32;
+    let flat = FlatIndex::from_index(&index);
+    let runs: Vec<&[LabelEntry]> = (0..n).map(|v| flat.labels_of(v)).collect();
+    let pairs = query_pairs(n, 42);
+
+    // The compressed backend streams varint-decoded runs from a saved file;
+    // the cached backend answers top-k hubs from the HotHubCache first.
+    let compressed_path = std::env::temp_dir().join("chl_bench_kernels_compressed.chl");
+    save_with(&flat, &compressed_path, &SaveOptions::compressed())
+        .expect("saving the compressed bench index");
+    let compressed = MmapIndex::open(&compressed_path).expect("mapping the compressed bench index");
+    let cached = HotHubCached::new(FlatIndex::from_index(&index), 16);
 
     let mut group = c.benchmark_group("query");
-    group.bench_function("merge_join_ppsd", |b| {
-        let mut i = 0u32;
+    // Raw slice kernels: same runs, different join tier.
+    group.bench_function("seed_scalar_iter_join", |b| {
+        let mut i = 0usize;
         b.iter(|| {
-            i = i.wrapping_add(2654435761);
-            let u = i % n;
-            let v = (i >> 8) % n;
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(join_sorted_iters(
+                runs[u as usize].iter().copied(),
+                runs[v as usize].iter().copied(),
+            ))
+        })
+    });
+    group.bench_function("scalar_join", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(kernel::join_scalar(runs[u as usize], runs[v as usize]))
+        })
+    });
+    group.bench_function("branchless_join", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(kernel::join_branchless(runs[u as usize], runs[v as usize]))
+        })
+    });
+    group.bench_function("gallop_join", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(kernel::join_gallop(runs[u as usize], runs[v as usize]))
+        })
+    });
+    group.bench_function(format!("simd_join_{}", kernel::simd_backend()), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(kernel::join_simd(runs[u as usize], runs[v as usize]))
+        })
+    });
+    group.bench_function("adaptive_join", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(kernel::join_adaptive(runs[u as usize], runs[v as usize]))
+        })
+    });
+    // Full oracle paths: bounds checks, storage dispatch, tie-break result.
+    group.bench_function("pointer_index_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
             black_box(index.query(u, v))
+        })
+    });
+    group.bench_function("flat_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(flat.query(u, v))
+        })
+    });
+    group.bench_function("compressed_stream_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(compressed.distance(u, v))
+        })
+    });
+    group.bench_function("cached_flat_query_k16", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[i & (PAIRS - 1)];
+            i += 1;
+            black_box(cached.distance(u, v))
         })
     });
     group.bench_function("hash_join_coverage", |b| {
         let root_hash = RootLabelHash::from_entries(index.labels_of(0).entries().iter().copied());
-        let mut i = 0u32;
+        let mut state = 42u64;
         b.iter(|| {
-            i = i.wrapping_add(40503);
-            let v = i % n;
+            let v = (splitmix64(&mut state) as u32) % n;
             black_box(root_hash.covers(index.labels_of(v).entries(), 1_000))
         })
     });
     group.finish();
+    drop(compressed);
+    let _ = std::fs::remove_file(&compressed_path);
+
+    // Length-skewed joins: a hub-heavy run against a tiny one — the shape
+    // galloping exists for (O(small * log large) searches instead of a
+    // scan of the large side). Tiny-scale dataset labels top out at ~14
+    // entries, so the skewed runs are synthesized: 4096 even hubs on the
+    // large side, 4 probes on the small side (two hits, two misses).
+    let long: Vec<LabelEntry> = (0..4096u32)
+        .map(|i| LabelEntry {
+            hub: i * 2,
+            dist: u64::from(i) + 1,
+        })
+        .collect();
+    let short: Vec<LabelEntry> = [40u32, 1_001, 4_000, 8_190]
+        .into_iter()
+        .map(|hub| LabelEntry { hub, dist: 7 })
+        .collect();
+
+    let mut skew = c.benchmark_group(format!("query_skew_{}x{}", long.len(), short.len()));
+    skew.bench_function("seed_scalar_iter_join", |b| {
+        b.iter(|| {
+            black_box(join_sorted_iters(
+                long.iter().copied(),
+                short.iter().copied(),
+            ))
+        })
+    });
+    skew.bench_function("scalar_join", |b| {
+        b.iter(|| black_box(kernel::join_scalar(&long, &short)))
+    });
+    skew.bench_function("branchless_join", |b| {
+        b.iter(|| black_box(kernel::join_branchless(&long, &short)))
+    });
+    skew.bench_function("gallop_join", |b| {
+        b.iter(|| black_box(kernel::join_gallop(&long, &short)))
+    });
+    skew.bench_function("adaptive_join", |b| {
+        b.iter(|| black_box(kernel::join_adaptive(&long, &short)))
+    });
+    skew.finish();
 }
 
 fn spt_kernels(c: &mut Criterion) {

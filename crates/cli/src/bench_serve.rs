@@ -30,13 +30,14 @@ options:
   --pipeline N        QUERY frames kept in flight per connection     [8]
   --batch N           query pairs per frame                          [1]
   --seed N            workload seed (connection i uses seed+i)      [42]
+  --json              print the summary as one JSON object instead
   --shutdown          send a SHUTDOWN frame to the server afterwards";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(
         args,
         &["connections", "duration-ms", "pipeline", "batch", "seed"],
-        &["shutdown"],
+        &["shutdown", "json"],
     )?;
     let target = opts.positional(0, "server address argument")?.to_string();
     opts.reject_extra_positionals(1)?;
@@ -68,7 +69,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     let summary =
         run_bench(addr, &options).map_err(|e| format!("bench against {target} failed: {e}"))?;
-    println!("{}", summary.render());
+    let json = opts.switch("json");
+    if json {
+        println!("{}", summary.render_json());
+    } else {
+        println!("{}", summary.render());
+    }
 
     if opts.switch("shutdown") {
         let mut client =
@@ -76,7 +82,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         client
             .shutdown_server()
             .map_err(|e| format!("shutdown of {target} failed: {e}"))?;
-        println!("server shut down");
+        if json {
+            // Keep stdout machine-parseable: exactly one JSON object.
+            eprintln!("server shut down");
+        } else {
+            println!("server shut down");
+        }
     }
     Ok(())
 }

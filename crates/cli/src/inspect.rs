@@ -22,7 +22,8 @@ vertices the shard owns.
 
 options:
   --histogram         load the payload: verify integrity, print max label
-                      size and the label-size histogram";
+                      size, run-length percentiles (p50/p99/max) and the
+                      label-size histogram";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], &["histogram"])?;
@@ -147,6 +148,23 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
     );
 
+    // Run-length percentiles tell you which join tier the query kernel will
+    // spend its time in (short similar runs -> scalar/branchless, heavy skew
+    // -> galloping) and how much a --hot-hubs prefix can cover.
+    let sizes: Vec<usize> = match index.shard() {
+        Some(spec) => spec
+            .owned
+            .iter()
+            .map(|&v| index.labels_of(v).len())
+            .collect(),
+        None => (0..index.num_vertices() as VertexId)
+            .map(|v| index.labels_of(v).len())
+            .collect(),
+    };
+    if let Some((min, p50, p99, max)) = run_length_percentiles(sizes) {
+        println!("run lengths:      min {min}, p50 {p50}, p99 {p99}, max {max}");
+    }
+
     let histogram = label_size_histogram(&index);
     if index.shard().is_some() {
         println!("label-size histogram (owned vertices per bucket):");
@@ -159,6 +177,18 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Sorts the per-vertex run lengths and reads off (min, p50, p99, max)
+/// by nearest-rank on the sorted order; `None` when there are no vertices.
+fn run_length_percentiles(mut sizes: Vec<usize>) -> Option<(usize, usize, usize, usize)> {
+    sizes.sort_unstable();
+    let (&min, &max) = (sizes.first()?, sizes.last()?);
+    let pct = |p: f64| {
+        let rank = ((sizes.len() - 1) as f64 * p).round() as usize;
+        sizes.get(rank).copied().unwrap_or(max)
+    };
+    Some((min, pct(0.50), pct(0.99), max))
 }
 
 /// Buckets vertices by label-set size: 0, 1, 2, then doubling ranges.
@@ -230,5 +260,16 @@ mod tests {
         assert_eq!(get("3-4"), 1);
         assert_eq!(get("5-8"), 1);
         assert_eq!(get("9-16"), 1);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_lengths() {
+        assert_eq!(run_length_percentiles(vec![]), None);
+        assert_eq!(run_length_percentiles(vec![7]), Some((7, 7, 7, 7)));
+        // 1..=100 shuffled: p50 lands on rank 50 (value 51 at 0-based index
+        // round(99 * 0.5) = 50), p99 on index round(99 * 0.99) = 98.
+        let mut lengths: Vec<usize> = (1..=100).rev().collect();
+        lengths.swap(3, 77);
+        assert_eq!(run_length_percentiles(lengths), Some((1, 51, 99, 100)));
     }
 }

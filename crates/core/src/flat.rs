@@ -37,6 +37,7 @@ use chl_graph::types::{Distance, VertexId};
 use chl_ranking::Ranking;
 
 use crate::index::HubLabelIndex;
+use crate::kernel::{self, HotHubCache};
 use crate::labels::{join_sorted_iters, LabelEntry, LabelSet};
 use crate::oracle::DistanceOracle;
 use crate::persist::{self, PersistError, SaveOptions, ShardSpec};
@@ -60,6 +61,16 @@ pub trait LabelStorage<'a>: Copy + Sync {
     /// `lo..hi` (taken from the validated offsets array).
     fn run(&self, v: usize, lo: usize, hi: usize) -> Self::Cursor;
 
+    /// The same run as a plain contiguous slice, when this storage keeps
+    /// entries decoded in memory; `None` for streaming encodings. This is
+    /// what routes slice-backed storages into the tiered
+    /// branchless/gallop/SIMD join ([`crate::kernel::join_adaptive`]) while
+    /// streaming decoders keep the iterator kernel.
+    #[inline]
+    fn raw_run(&self, _v: usize, _lo: usize, _hi: usize) -> Option<&'a [LabelEntry]> {
+        None
+    }
+
     /// Bytes of backing storage the entries occupy in this encoding.
     fn storage_bytes(&self) -> usize;
 
@@ -80,6 +91,11 @@ impl<'a> LabelStorage<'a> for RawStore<'a> {
     #[inline]
     fn run(&self, _v: usize, lo: usize, hi: usize) -> Self::Cursor {
         self.entries[lo..hi].iter().copied()
+    }
+
+    #[inline]
+    fn raw_run(&self, _v: usize, lo: usize, hi: usize) -> Option<&'a [LabelEntry]> {
+        self.entries.get(lo..hi)
     }
 
     fn storage_bytes(&self) -> usize {
@@ -272,6 +288,34 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
         Some(self.store.run(v as usize, lo, hi))
     }
 
+    /// The run of vertex `v` as a plain slice, when the storage keeps
+    /// entries decoded ([`LabelStorage::raw_run`]); `None` for streaming
+    /// encodings or an out-of-range `v`.
+    #[inline]
+    fn raw_run_of(&self, v: VertexId) -> Option<&'a [LabelEntry]> {
+        let lo = *self.offsets.get(v as usize)? as usize;
+        let hi = *self.offsets.get(v as usize + 1)? as usize;
+        self.store.raw_run(v as usize, lo, hi)
+    }
+
+    /// The merge join behind [`Self::query`] / [`Self::query_with_hub`]:
+    /// slice-backed storages take the tiered branchless/gallop/SIMD kernel,
+    /// streaming storages keep the iterator join. Both runs must be in
+    /// range.
+    #[inline]
+    fn join_runs(
+        &self,
+        lu: S::Cursor,
+        lv: S::Cursor,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<(u32, Distance)> {
+        match (self.raw_run_of(u), self.raw_run_of(v)) {
+            (Some(ra), Some(rb)) => kernel::join_adaptive(ra, rb),
+            _ => join_sorted_iters(lu, lv),
+        }
+    }
+
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
     /// `v`, or [`chl_graph::types::INFINITY`] when they are not connected.
     /// Ids outside `0..num_vertices()` are unreachable, including
@@ -283,7 +327,7 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
         if u == v {
             return 0;
         }
-        join_sorted_iters(lu, lv)
+        self.join_runs(lu, lv, u, v)
             .map(|(_, d)| d)
             .unwrap_or(chl_graph::types::INFINITY)
     }
@@ -296,7 +340,34 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
         if u == v {
             return Some((u, 0));
         }
-        join_sorted_iters(lu, lv).map(|(hub_pos, d)| (self.vertex_at(hub_pos), d))
+        self.join_runs(lu, lv, u, v)
+            .map(|(hub_pos, d)| (self.vertex_at(hub_pos), d))
+    }
+
+    /// [`Self::query`] with a [`HotHubCache`] answering the head of the
+    /// join: the cached hub positions (`hub < k`) are folded in via two
+    /// array loads per hub, and only the run tails (`hub >= k`) go through
+    /// the merge join. Returns exactly what [`Self::query`] returns — the
+    /// cache rows store absent labels as `INFINITY`, which the saturating
+    /// min-reduction absorbs — and falls back to the plain query when the
+    /// cache was built for a different vertex count.
+    pub fn query_cached(&self, cache: &HotHubCache, u: VertexId, v: VertexId) -> Distance {
+        let (Some(lu), Some(lv)) = (self.label_run(u), self.label_run(v)) else {
+            return chl_graph::types::INFINITY;
+        };
+        if u == v {
+            return 0;
+        }
+        if cache.num_vertices() != self.num_vertices() {
+            return self.query(u, v);
+        }
+        let head = cache.min_over_hot(u, v);
+        let k = cache.top_k();
+        let tail = match (self.raw_run_of(u), self.raw_run_of(v)) {
+            (Some(ra), Some(rb)) => kernel::join_adaptive(tail_from(ra, k), tail_from(rb, k)),
+            _ => join_sorted_iters(lu.skip_while(|e| e.hub < k), lv.skip_while(|e| e.hub < k)),
+        };
+        head.min(tail.map(|(_, d)| d).unwrap_or(chl_graph::types::INFINITY))
     }
 
     /// Total number of labels stored.
@@ -338,6 +409,14 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
             + self.store.storage_bytes()
             + std::mem::size_of_val(self.order)
     }
+}
+
+/// The `hub >= k` suffix of a hub-sorted run — the part a top-`k`
+/// [`HotHubCache`] does not cover.
+#[inline]
+fn tail_from(run: &[LabelEntry], k: u32) -> &[LabelEntry] {
+    run.get(run.partition_point(|e| e.hub < k)..)
+        .unwrap_or_default()
 }
 
 impl<'a> FlatView<'a> {
@@ -537,6 +616,17 @@ impl<'a> IndexView<'a> {
         match &self.storage {
             StorageView::Flat(view) => view.query(u, v),
             StorageView::Compressed(view) => view.query(u, v),
+        }
+    }
+
+    /// [`LabelView::query_cached`] behind the runtime encoding dispatch:
+    /// the cache answers hub positions `< k`, the merge join only the run
+    /// tails. Answers match [`Self::query`] exactly.
+    #[inline]
+    pub fn query_cached(&self, cache: &HotHubCache, u: VertexId, v: VertexId) -> Distance {
+        match &self.storage {
+            StorageView::Flat(view) => view.query_cached(cache, u, v),
+            StorageView::Compressed(view) => view.query_cached(cache, u, v),
         }
     }
 

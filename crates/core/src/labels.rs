@@ -59,11 +59,13 @@ pub struct LabelSet {
 /// This is the query kernel shared by [`LabelSet`] (pointer-per-vertex
 /// storage) and [`crate::flat::FlatIndex`] (contiguous CSR storage): both
 /// hold their entries sorted ascending by hub rank position, so the same
-/// linear scan serves either layout. It is a thin slice front over
-/// [`join_sorted_iters`], which additionally serves streaming label
-/// decoders that never materialize a slice.
+/// join serves either layout. Slice inputs route through the tiered
+/// branchless/gallop/SIMD kernels of [`crate::kernel`] (selected by run
+/// length); [`join_sorted_iters`] remains the streaming reference the tiers
+/// are differentially tested against, and the kernel streaming label
+/// decoders still use.
 pub fn join_sorted_slices(a: &[LabelEntry], b: &[LabelEntry]) -> Option<(u32, Distance)> {
-    join_sorted_iters(a.iter().copied(), b.iter().copied())
+    crate::kernel::join_adaptive(a, b)
 }
 
 /// PPSD merge-join over two hub-sorted label *streams*: the iterator form of

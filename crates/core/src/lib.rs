@@ -100,10 +100,11 @@
 //! [`PersistError`], and the `chl` CLI (`crates/cli`) drives the same
 //! lifecycle from the shell (`chl query --mmap` for the zero-copy path).
 
-// The unsafe surface of this crate lives in persist.rs/mapped.rs only, and
-// every unsafe operation must sit in an explicit `unsafe {}` block with its
-// own `// SAFETY:` argument — even inside `unsafe fn`s (enforced by
-// `chl-lint check`).
+// The unsafe surface of this crate lives in persist.rs/mapped.rs (byte
+// reinterpretation and mmap) and kernel.rs (SIMD intrinsics and
+// bounds-elided loads), and every unsafe operation must sit in an explicit
+// `unsafe {}` block with its own `// SAFETY:` argument — even inside
+// `unsafe fn`s (enforced by `chl-lint check`).
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
@@ -115,6 +116,7 @@ pub mod flat;
 pub mod gll;
 pub mod hybrid;
 pub mod index;
+pub mod kernel;
 pub mod labels;
 pub mod lcc;
 pub mod mapped;
@@ -132,6 +134,7 @@ pub use config::LabelingConfig;
 pub use error::LabelingError;
 pub use flat::{FlatIndex, FlatView, IndexView, LabelStorage, LabelView};
 pub use index::{HubLabelIndex, LabelingResult};
+pub use kernel::{HotHubCache, HotHubCached};
 pub use labels::{LabelEntry, LabelSet};
 pub use mapped::MmapIndex;
 pub use oracle::DistanceOracle;

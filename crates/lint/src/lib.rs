@@ -28,6 +28,7 @@ use rules::{Finding, UnsafeSite};
 /// rule applies: the library query/serving hot paths.
 pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/flat.rs",
+    "crates/core/src/kernel.rs",
     "crates/core/src/mapped.rs",
     "crates/core/src/labels.rs",
     "crates/core/src/persist.rs",

@@ -17,20 +17,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use chl_core::flat::FlatIndex;
+use chl_core::kernel::HotHubCache;
 use chl_core::mapped::MmapIndex;
 use chl_core::oracle::DistanceOracle;
 use chl_core::persist::{PersistError, ShardSpec};
-use chl_graph::types::VertexId;
+use chl_graph::types::{Distance, VertexId};
 
 use crate::protocol::ServerInfo;
 
-/// One fully validated, immutable index serving generation.
-///
-/// Both backends answer through the same [`DistanceOracle`] surface; the
-/// enum only exists so the server can name its backend and report accurate
-/// INFO flags.
+/// The two load backends a generation can serve from.
 #[derive(Debug)]
-pub enum LoadedIndex {
+enum Backend {
     /// Copy-loaded, heap-owned index (works for v1 and v2 files).
     Owned(FlatIndex),
     /// Zero-copy mapped index (v2 files; buffered fallback off-Unix or with
@@ -38,45 +35,85 @@ pub enum LoadedIndex {
     Mapped(MmapIndex),
 }
 
+/// One fully validated, immutable index serving generation: a load backend
+/// plus an optional top-`k` [`HotHubCache`] built from the same snapshot.
+///
+/// Both backends answer through the same [`DistanceOracle`] surface — the
+/// generation itself implements the trait, consulting the cache first when
+/// one is configured. Because the cache is part of the generation, a
+/// `RELOAD` swap atomically replaces index *and* cache together: a stale
+/// cache can never outlive the snapshot it was built from.
+#[derive(Debug)]
+pub struct LoadedIndex {
+    backend: Backend,
+    cache: Option<HotHubCache>,
+}
+
 impl LoadedIndex {
-    /// Opens and fully validates `path` with the requested backend.
+    /// Opens and fully validates `path` with the requested backend, no
+    /// hot-hub cache.
     pub fn open(path: &Path, mmap: bool) -> Result<Self, PersistError> {
-        if mmap {
-            MmapIndex::open(path).map(LoadedIndex::Mapped)
+        LoadedIndex::open_with(path, mmap, 0)
+    }
+
+    /// Opens `path` and, when `hot_hubs > 0`, builds the top-`hot_hubs`
+    /// distance-row cache from the freshly validated index.
+    pub fn open_with(path: &Path, mmap: bool, hot_hubs: u32) -> Result<Self, PersistError> {
+        let backend = if mmap {
+            MmapIndex::open(path).map(Backend::Mapped)?
         } else {
-            FlatIndex::load(path).map(LoadedIndex::Owned)
+            FlatIndex::load(path).map(Backend::Owned)?
+        };
+        let cache = (hot_hubs > 0).then(|| HotHubCache::build(&backend.view(), hot_hubs));
+        Ok(LoadedIndex { backend, cache })
+    }
+
+    /// Wraps an owned index built in-process (tests, embedded serving).
+    pub fn from_owned(index: FlatIndex, hot_hubs: u32) -> Self {
+        let cache = (hot_hubs > 0).then(|| HotHubCache::build(&index.as_index_view(), hot_hubs));
+        LoadedIndex {
+            backend: Backend::Owned(index),
+            cache,
         }
     }
 
-    /// The query surface of this generation.
+    /// The query surface of this generation (the generation itself: the
+    /// cache-aware [`DistanceOracle`] impl below).
     pub fn oracle(&self) -> &dyn DistanceOracle {
-        match self {
-            LoadedIndex::Owned(index) => index,
-            LoadedIndex::Mapped(index) => index,
-        }
+        self
+    }
+
+    /// The hot-hub cache `k` this generation serves with (0 = no cache).
+    pub fn hot_hubs(&self) -> u32 {
+        self.cache.as_ref().map_or(0, HotHubCache::top_k)
+    }
+
+    /// Heap bytes held by the hot-hub cache rows (0 = no cache).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, HotHubCache::memory_bytes)
     }
 
     /// Vertices covered (valid ids are `0..n`).
     pub fn num_vertices(&self) -> usize {
-        match self {
-            LoadedIndex::Owned(index) => index.num_vertices(),
-            LoadedIndex::Mapped(index) => index.num_vertices(),
+        match &self.backend {
+            Backend::Owned(index) => index.num_vertices(),
+            Backend::Mapped(index) => index.num_vertices(),
         }
     }
 
     /// Total label entries stored.
     pub fn total_labels(&self) -> usize {
-        match self {
-            LoadedIndex::Owned(index) => index.total_labels(),
-            LoadedIndex::Mapped(index) => index.total_labels(),
+        match &self.backend {
+            Backend::Owned(index) => index.total_labels(),
+            Backend::Mapped(index) => index.total_labels(),
         }
     }
 
     /// Human-readable backend name for logs and stats.
     pub fn backend_name(&self) -> &'static str {
-        match self {
-            LoadedIndex::Owned(_) => "owned (copy-load)",
-            LoadedIndex::Mapped(m) => match (m.is_mapped(), m.is_compressed()) {
+        match &self.backend {
+            Backend::Owned(_) => "owned (copy-load)",
+            Backend::Mapped(m) => match (m.is_mapped(), m.is_compressed()) {
                 (true, false) => "mmap (zero-copy view)",
                 (true, true) => "mmap (streamed varint decode)",
                 (false, false) => "mmap fallback (aligned buffered read)",
@@ -86,18 +123,18 @@ impl LoadedIndex {
     }
 
     fn is_compressed(&self) -> bool {
-        match self {
+        match &self.backend {
             // A copy-loaded index is decoded at load time; it serves raw
             // entries regardless of the file's encoding.
-            LoadedIndex::Owned(_) => false,
-            LoadedIndex::Mapped(m) => m.is_compressed(),
+            Backend::Owned(_) => false,
+            Backend::Mapped(m) => m.is_compressed(),
         }
     }
 
     fn is_mapped(&self) -> bool {
-        match self {
-            LoadedIndex::Owned(_) => false,
-            LoadedIndex::Mapped(m) => m.is_mapped(),
+        match &self.backend {
+            Backend::Owned(_) => false,
+            Backend::Mapped(m) => m.is_mapped(),
         }
     }
 
@@ -105,9 +142,9 @@ impl LoadedIndex {
     /// sharded index; `None` for a whole index. Both backends cache the
     /// spec at load, so this never re-walks the file.
     pub fn shard(&self) -> Option<&ShardSpec> {
-        match self {
-            LoadedIndex::Owned(index) => index.shard(),
-            LoadedIndex::Mapped(index) => index.shard(),
+        match &self.backend {
+            Backend::Owned(index) => index.shard(),
+            Backend::Mapped(index) => index.shard(),
         }
     }
 
@@ -129,11 +166,43 @@ impl LoadedIndex {
     }
 }
 
+impl Backend {
+    /// Borrowed runtime-dispatched view of the loaded index.
+    fn view(&self) -> chl_core::flat::IndexView<'_> {
+        match self {
+            Backend::Owned(index) => index.as_index_view(),
+            Backend::Mapped(index) => index.view(),
+        }
+    }
+}
+
+impl DistanceOracle for LoadedIndex {
+    fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        match &self.cache {
+            Some(cache) => self.backend.view().query_cached(cache, u, v),
+            None => self.backend.view().query(u, v),
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        LoadedIndex::num_vertices(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let backend = match &self.backend {
+            Backend::Owned(index) => index.memory_bytes(),
+            Backend::Mapped(index) => index.memory_bytes(),
+        };
+        backend + self.cache_bytes()
+    }
+}
+
 /// The hot-swappable index handle shared by every connection handler.
 #[derive(Debug)]
 pub struct SharedIndex {
     path: PathBuf,
     mmap: bool,
+    hot_hubs: u32,
     current: parking_lot::RwLock<Arc<LoadedIndex>>,
     generation: AtomicU64,
 }
@@ -141,22 +210,35 @@ pub struct SharedIndex {
 impl SharedIndex {
     /// Opens `path` with the requested backend as generation 0.
     pub fn open<P: AsRef<Path>>(path: P, mmap: bool) -> Result<Self, PersistError> {
+        SharedIndex::open_with(path, mmap, 0)
+    }
+
+    /// Opens `path` with the requested backend and hot-hub cache size as
+    /// generation 0; every reload rebuilds the cache from the fresh file.
+    pub fn open_with<P: AsRef<Path>>(
+        path: P,
+        mmap: bool,
+        hot_hubs: u32,
+    ) -> Result<Self, PersistError> {
         let path = path.as_ref().to_path_buf();
-        let loaded = LoadedIndex::open(&path, mmap)?;
+        let loaded = LoadedIndex::open_with(&path, mmap, hot_hubs)?;
         Ok(SharedIndex {
             path,
             mmap,
+            hot_hubs,
             current: parking_lot::RwLock::new(Arc::new(loaded)),
             generation: AtomicU64::new(0),
         })
     }
 
     /// Wraps an already loaded index (tests, in-process serving). Reload
-    /// still goes through `path`.
+    /// still goes through `path`, preserving the generation's hot-hub
+    /// cache configuration.
     pub fn from_loaded<P: AsRef<Path>>(path: P, mmap: bool, loaded: LoadedIndex) -> Self {
         SharedIndex {
             path: path.as_ref().to_path_buf(),
             mmap,
+            hot_hubs: loaded.hot_hubs(),
             current: parking_lot::RwLock::new(Arc::new(loaded)),
             generation: AtomicU64::new(0),
         }
@@ -193,9 +275,15 @@ impl SharedIndex {
     /// typed error is returned. In-flight snapshots are unaffected either
     /// way: they hold their own `Arc` until their batch completes.
     pub fn reload(&self) -> Result<u64, PersistError> {
-        // Load outside the write lock: validation is the expensive part and
-        // must not stall readers.
-        let fresh = Arc::new(LoadedIndex::open(&self.path, self.mmap)?);
+        // Load outside the write lock: validation (and the hot-hub cache
+        // rebuild) is the expensive part and must not stall readers. The
+        // cache travels inside the generation, so the swap below replaces
+        // both together — the RELOAD coherence guarantee.
+        let fresh = Arc::new(LoadedIndex::open_with(
+            &self.path,
+            self.mmap,
+            self.hot_hubs,
+        )?);
         let mut current = self.current.write();
         *current = fresh;
         // ORDERING: monotonic stats counter; the swap above is what readers
@@ -262,6 +350,36 @@ mod tests {
             assert_eq!(shared.info().generation, 1);
             assert_eq!(shared.info().num_vertices, 3);
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hot_hub_cache_matches_plain_answers_and_survives_reload() {
+        let flat = tiny_flat();
+        let path = temp_path("hot-hubs");
+        flat.save(&path).unwrap();
+        for mmap in [false, true] {
+            let shared = SharedIndex::open_with(&path, mmap, 2).unwrap();
+            let snap = shared.snapshot();
+            assert_eq!(snap.hot_hubs(), 2);
+            assert!(snap.cache_bytes() > 0);
+            for u in 0..4 {
+                for v in 0..4 {
+                    assert_eq!(snap.oracle().distance(u, v), flat.query(u, v), "({u},{v})");
+                }
+            }
+            // A reload rebuilds the cache with the configured k: the fresh
+            // generation answers identically and still reports the cache.
+            assert_eq!(shared.reload().unwrap(), 1);
+            let snap = shared.snapshot();
+            assert_eq!(snap.hot_hubs(), 2);
+            assert_eq!(snap.oracle().distance(0, 2), 2);
+        }
+        // In-process construction keeps the cache configuration too.
+        let shared = SharedIndex::from_loaded(&path, false, LoadedIndex::from_owned(flat, 3));
+        assert_eq!(shared.snapshot().hot_hubs(), 3);
+        shared.reload().unwrap();
+        assert_eq!(shared.snapshot().hot_hubs(), 3);
         std::fs::remove_file(&path).unwrap();
     }
 

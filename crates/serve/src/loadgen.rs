@@ -137,6 +137,34 @@ impl BenchSummary {
             us(self.latency_max()),
         )
     }
+
+    /// Renders the same figures as [`render`](Self::render) as a single
+    /// JSON object on one line, for `chl bench-serve --json` and the
+    /// snapshot script (`scripts/bench_snapshot.sh`). Latencies are in
+    /// microseconds, matching the text report.
+    pub fn render_json(&self) -> String {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        format!(
+            "{{\"connections\":{},\"pipeline\":{},\"batch\":{},\
+             \"elapsed_ms\":{:.3},\"requests\":{},\"queries\":{},\
+             \"errors\":{},\"throughput_qps\":{:.0},\
+             \"latency_us\":{{\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3},\
+             \"p999\":{:.3},\"max\":{:.3}}}}}",
+            self.connections,
+            self.pipeline,
+            self.batch,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.requests,
+            self.queries,
+            self.errors,
+            self.throughput_qps(),
+            us(self.latency_mean()),
+            us(self.latency_percentile(0.50)),
+            us(self.latency_percentile(0.99)),
+            us(self.latency_percentile(0.999)),
+            us(self.latency_max()),
+        )
+    }
 }
 
 /// What one connection thread measured.
