@@ -27,6 +27,9 @@ options:
   --one-based         edge-list vertex ids start at 1 (KONECT)
   --compress          delta+varint encode the entries section (smaller file,
                       queries stream-decode under --mmap)
+  --paths             also record per-entry parent pointers so 'chl paths'
+                      and the PATH protocol op can reconstruct shortest
+                      paths (adds 4 bytes per label, forces .chl v3)
   --shards Q          additionally write Q QDOL shard files
                       (<out-stem>.shard-I-of-Q.chl) whose union is exactly
                       the unsharded index; serve each with
@@ -44,7 +47,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "format",
             "shards",
         ],
-        &["directed", "one-based", "compress"],
+        &["directed", "one-based", "compress", "paths"],
     )?;
     let graph_path = opts.positional(0, "graph file argument")?.to_string();
     opts.reject_extra_positionals(1)?;
@@ -95,6 +98,18 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         .validate()?
         .build_flat()?;
     let build_time = build_start.elapsed();
+    // --paths re-walks the label set against the graph to record, for every
+    // entry, the first hop of the hub-to-vertex shortest path; shard files
+    // derived below inherit the parents through restrict_to_shard().
+    let flat = if opts.switch("paths") {
+        let t = Instant::now();
+        let flat = chl_core::paths::attach_parents(&graph, flat)
+            .map_err(|e| format!("cannot attach path data: {e}"))?;
+        println!("attached path parents in {:.2?}", t.elapsed());
+        flat
+    } else {
+        flat
+    };
     println!(
         "built {} labeling in {:.2?}: {} labels, avg {:.2} per vertex, max {}",
         algorithm,

@@ -59,6 +59,14 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         );
         println!("entries on disk:  {encoded} bytes");
     }
+    println!(
+        "path data:        {}",
+        if header.is_paths() {
+            "present (per-entry parent records; 'chl paths' can answer)"
+        } else {
+            "absent (build with 'chl build --paths' to enable reconstruction)"
+        }
+    );
     match header.checksums {
         Checksums::WholePayload(crc) => println!("payload checksum: {crc:#010x}"),
         Checksums::PerSection {

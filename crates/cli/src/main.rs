@@ -8,6 +8,9 @@
 //! chl query g.chl 0 1599                           # serve from the file
 //! chl query g.chl --random 100000                  # latency statistics
 //! chl query g.chl --mmap --random 100000           # zero-copy serving
+//! chl paths g.chl 0 1599                           # exact shortest path
+//! chl matrix g.chl --sources 0,1 --targets 2,3     # distance block
+//! chl topk g.chl 0 --targets 7,8,9 --k 2           # nearest targets
 //! chl inspect g.chl                                # header, O(1) in file size
 //! chl inspect g.chl --histogram                    # + full integrity check
 //! chl serve g.chl --addr 127.0.0.1:0               # long-running TCP server
@@ -30,6 +33,7 @@ mod gen;
 mod graph_files;
 mod inspect;
 mod opts;
+mod paths;
 mod query;
 mod route;
 mod serve;
@@ -48,6 +52,9 @@ commands:
   gen      generate a synthetic graph file (grid / scale-free)
   build    build a hub labeling from a graph file and save it as .chl
   query    answer PPSD queries from a saved .chl index (--mmap: zero-copy)
+  paths    reconstruct exact shortest paths (needs 'chl build --paths')
+  matrix   evaluate a sources x targets distance block (pivoted kernel)
+  topk     rank targets by distance from one source (--radius variant)
   inspect  show a .chl file's header and footprint (--histogram: full check)
   serve    keep an index loaded and answer queries over TCP (hot reload)
   route    front a cluster of shard servers with one scatter-gather endpoint
@@ -89,6 +96,9 @@ fn run(args: &[String]) -> Result<(), Exit> {
         "gen" => (gen::USAGE, gen::run),
         "build" => (build::USAGE, build::run),
         "query" => (query::USAGE, query::run),
+        "paths" => (paths::USAGE, paths::run),
+        "matrix" => (paths::MATRIX_USAGE, paths::run_matrix),
+        "topk" => (paths::TOPK_USAGE, paths::run_topk),
         "inspect" => (inspect::USAGE, inspect::run),
         "serve" => (serve::USAGE, serve::run),
         "route" => (route::USAGE, route::run),

@@ -193,7 +193,9 @@ fn mapped_name(m: &MmapIndex) -> &'static str {
     }
 }
 
-fn parse_explicit_pairs(tokens: &[String]) -> Result<Vec<(VertexId, VertexId)>, CliError> {
+pub(crate) fn parse_explicit_pairs(
+    tokens: &[String],
+) -> Result<Vec<(VertexId, VertexId)>, CliError> {
     if !tokens.len().is_multiple_of(2) {
         return Err("explicit queries need an even number of vertex ids (u v pairs)".into());
     }
@@ -211,7 +213,7 @@ fn parse_explicit_pairs(tokens: &[String]) -> Result<Vec<(VertexId, VertexId)>, 
         .collect()
 }
 
-fn check_vertex(v: VertexId, n: usize) -> Result<(), CliError> {
+pub(crate) fn check_vertex(v: VertexId, n: usize) -> Result<(), CliError> {
     if (v as usize) < n {
         Ok(())
     } else {

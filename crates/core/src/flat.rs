@@ -231,6 +231,11 @@ pub struct LabelView<'a, S: LabelStorage<'a>> {
     offsets: &'a [u64],
     store: S,
     order: &'a [VertexId],
+    /// Per-entry parent records (`.chl` path section): `parents[i]` is the
+    /// next vertex on the shortest path from entry `i`'s owner toward its
+    /// hub, the owner itself for zero-distance entries. `None` when the
+    /// source carried no path section.
+    parents: Option<&'a [u32]>,
 }
 
 /// A [`LabelView`] over plain `LabelEntry` slices — the flat encoding.
@@ -247,7 +252,27 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
             offsets,
             store,
             order,
+            parents: None,
         }
+    }
+
+    /// Attaches validated per-entry parent records (one per label entry,
+    /// validated by the persistence layer or [`crate::paths`]).
+    pub(crate) fn with_parents(mut self, parents: &'a [u32]) -> Self {
+        debug_assert_eq!(parents.len() as u64, *self.offsets.last().unwrap_or(&0));
+        self.parents = Some(parents);
+        self
+    }
+
+    /// The per-entry parent records, when the view carries path data.
+    pub fn parents(&self) -> Option<&'a [u32]> {
+        self.parents
+    }
+
+    /// `true` when [`Self::parents`] is present, i.e. path reconstruction
+    /// is available on this view.
+    pub fn has_path_data(&self) -> bool {
+        self.parents.is_some()
     }
 
     /// Number of vertices covered by the view.
@@ -314,6 +339,44 @@ impl<'a, S: LabelStorage<'a>> LabelView<'a, S> {
             (Some(ra), Some(rb)) => kernel::join_adaptive(ra, rb),
             _ => join_sorted_iters(lu, lv),
         }
+    }
+
+    /// The minimizing `(hub rank position, distance)` of a PPSD query —
+    /// [`Self::query_with_hub`] before the position is mapped to a vertex
+    /// id. Path unpacking needs the raw position to look entries up on the
+    /// parent chain. `None` for disconnected or out-of-range pairs.
+    pub(crate) fn join_hub_pos(&self, u: VertexId, v: VertexId) -> Option<(u32, Distance)> {
+        let (mut lu, lv) = (self.label_run(u)?, self.label_run(v)?);
+        if u == v {
+            // A vertex carries its own zero-distance entry in any canonical
+            // labeling; report it so callers get a real (position, 0)
+            // witness. An (invalid) empty run yields None, not a panic.
+            return lu.find(|e| e.dist == 0).map(|e| (e.hub, 0));
+        }
+        self.join_runs(lu, lv, u, v)
+    }
+
+    /// Locates vertex `v`'s label entry for hub rank position `hub_pos`:
+    /// `Some((global_entry_index, (hub_pos, dist)))` when present. The
+    /// global index addresses the parallel [`Self::parents`] array. Flat
+    /// storages binary-search the run; streaming storages scan the sorted
+    /// cursor and stop early.
+    pub(crate) fn entry_of(&self, v: VertexId, hub_pos: u32) -> Option<(usize, (u32, Distance))> {
+        let lo = *self.offsets.get(v as usize)? as usize;
+        if let Some(run) = self.raw_run_of(v) {
+            let i = run.partition_point(|e| e.hub < hub_pos);
+            let e = run.get(i)?;
+            return (e.hub == hub_pos).then_some((lo + i, (e.hub, e.dist)));
+        }
+        for (i, e) in self.label_run(v)?.enumerate() {
+            if e.hub == hub_pos {
+                return Some((lo + i, (e.hub, e.dist)));
+            }
+            if e.hub > hub_pos {
+                return None;
+            }
+        }
+        None
     }
 
     /// Answers a PPSD query: the exact shortest-path distance between `u` and
@@ -495,6 +558,12 @@ impl<'a, S: LabelStorage<'a>> DistanceOracle for LabelView<'a, S> {
     fn memory_bytes(&self) -> usize {
         LabelView::memory_bytes(self)
     }
+
+    // S×T blocks pivot on the hub side instead of running |S|·|T| point
+    // queries; answers are identical per cell (property-tested).
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        kernel::matrix_pivot(self, sources, targets)
+    }
 }
 
 /// A query endpoint that is in range but whose labels live on a different
@@ -593,6 +662,28 @@ impl<'a> IndexView<'a> {
     pub(crate) fn with_shard(mut self, shard: ShardView<'a>) -> Self {
         self.shard = Some(shard);
         self
+    }
+
+    /// Attaches validated per-entry parent records to the inner view.
+    pub(crate) fn with_parents(mut self, parents: &'a [u32]) -> Self {
+        self.storage = match self.storage {
+            StorageView::Flat(view) => StorageView::Flat(view.with_parents(parents)),
+            StorageView::Compressed(view) => StorageView::Compressed(view.with_parents(parents)),
+        };
+        self
+    }
+
+    /// The per-entry parent records, when the view carries path data.
+    pub fn parents(&self) -> Option<&'a [u32]> {
+        match &self.storage {
+            StorageView::Flat(view) => view.parents(),
+            StorageView::Compressed(view) => view.parents(),
+        }
+    }
+
+    /// `true` when path reconstruction is available on this view.
+    pub fn has_path_data(&self) -> bool {
+        self.parents().is_some()
     }
 
     /// The shard identity of a v3 shard file; `None` for a whole index.
@@ -733,7 +824,12 @@ impl<'a> IndexView<'a> {
                 for v in 0..view.num_vertices() as VertexId {
                     entries.extend(view.label_run(v).expect("v in range"));
                 }
-                FlatIndex::from_validated_parts(view.offsets().to_vec(), entries, ranking)
+                let index =
+                    FlatIndex::from_validated_parts(view.offsets().to_vec(), entries, ranking);
+                match view.parents() {
+                    Some(p) => index.with_validated_parents(p.to_vec()),
+                    None => index,
+                }
             }
         };
         let mut index = index;
@@ -757,6 +853,13 @@ impl DistanceOracle for IndexView<'_> {
 
     fn memory_bytes(&self) -> usize {
         IndexView::memory_bytes(self)
+    }
+
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        match &self.storage {
+            StorageView::Flat(view) => kernel::matrix_pivot(view, sources, targets),
+            StorageView::Compressed(view) => kernel::matrix_pivot(view, sources, targets),
+        }
     }
 }
 
@@ -795,6 +898,10 @@ pub struct FlatIndex {
     /// (labels present only for the owned vertex set, empty runs
     /// elsewhere); `None` for a whole index.
     shard: Option<ShardSpec>,
+    /// Per-entry parent records for path reconstruction, parallel to
+    /// `entries` (see [`crate::paths`]); `None` when the index carries no
+    /// path data.
+    parents: Option<Vec<u32>>,
 }
 
 impl FlatIndex {
@@ -813,6 +920,7 @@ impl FlatIndex {
             entries,
             ranking: index.ranking().clone(),
             shard: None,
+            parents: None,
         }
     }
 
@@ -827,6 +935,7 @@ impl FlatIndex {
             entries: view.entries().to_vec(),
             ranking,
             shard: None,
+            parents: view.parents().map(<[u32]>::to_vec),
         }
     }
 
@@ -835,7 +944,12 @@ impl FlatIndex {
     /// and borrowed serving paths execute literally the same code.
     #[inline]
     pub fn as_view(&self) -> FlatView<'_> {
-        FlatView::from_validated_parts(self.ranking.order(), &self.offsets, &self.entries)
+        let view =
+            FlatView::from_validated_parts(self.ranking.order(), &self.offsets, &self.entries);
+        match &self.parents {
+            Some(p) => view.with_parents(p),
+            None => view,
+        }
     }
 
     /// Rebuilds the pointer-per-vertex [`HubLabelIndex`]. The conversion is
@@ -862,7 +976,36 @@ impl FlatIndex {
             entries,
             ranking,
             shard: None,
+            parents: None,
         }
+    }
+
+    /// Attaches per-entry parent records the caller has already validated
+    /// against this index's entries (the persistence layer after
+    /// [`crate::persist`]'s cross-section checks, or
+    /// [`crate::paths::compute_parents`] which constructs them correct).
+    pub(crate) fn with_validated_parents(mut self, parents: Vec<u32>) -> Self {
+        debug_assert_eq!(parents.len(), self.entries.len());
+        self.parents = Some(parents);
+        self
+    }
+
+    /// Attaches per-entry parent records for path reconstruction, one per
+    /// label entry, validating the structural invariants (in-range ids,
+    /// zero-distance entries self-parented, positive-distance entries not).
+    pub fn with_parents(self, parents: Vec<u32>) -> Result<Self, PersistError> {
+        persist::validate_parents(self.num_vertices(), &self.offsets, &self.entries, &parents)?;
+        Ok(self.with_validated_parents(parents))
+    }
+
+    /// The per-entry parent records, when this index carries path data.
+    pub fn parents(&self) -> Option<&[u32]> {
+        self.parents.as_deref()
+    }
+
+    /// `true` when path reconstruction is available on this index.
+    pub fn has_path_data(&self) -> bool {
+        self.parents.is_some()
     }
 
     /// Attaches a shard identity, making this index one QDOL shard of a
@@ -892,10 +1035,16 @@ impl FlatIndex {
         let n = self.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut entries = Vec::new();
+        let mut parents = self.parents.as_ref().map(|_| Vec::new());
         offsets.push(0u64);
         for v in 0..n as VertexId {
             if spec.owns(v) {
                 entries.extend_from_slice(self.labels_of(v));
+                if let (Some(out), Some(all)) = (parents.as_mut(), self.parents.as_ref()) {
+                    let lo = self.offsets[v as usize] as usize;
+                    let hi = self.offsets[v as usize + 1] as usize;
+                    out.extend_from_slice(&all[lo..hi]);
+                }
             }
             offsets.push(entries.len() as u64);
         }
@@ -904,6 +1053,7 @@ impl FlatIndex {
             entries,
             ranking: self.ranking.clone(),
             shard: None,
+            parents,
         }
         .with_shard(spec)
     }
@@ -1098,6 +1248,10 @@ impl DistanceOracle for FlatIndex {
 
     fn memory_bytes(&self) -> usize {
         FlatIndex::memory_bytes(self)
+    }
+
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        kernel::matrix_pivot(&self.as_view(), sources, targets)
     }
 }
 

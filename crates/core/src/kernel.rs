@@ -725,6 +725,76 @@ impl<O: ViewSource + DistanceOracle> DistanceOracle for HotHubCached<O> {
     }
 }
 
+/// Hub-side pivoted evaluation of an S×T distance block, row-major —
+/// the override behind [`DistanceOracle::matrix`] on every label-backed
+/// oracle. Instead of |S|·|T| independent merge joins, the targets' label
+/// unions are gathered **once** into a hub-sorted pool of
+/// `(hub, column, distance)` triples; each source row then walks its own
+/// run and relaxes only the pool slice of each hub it actually carries —
+/// `O(|L(s)| + hits)` per row rather than `O(Σ_t(|L(s)| + |L(t)|))`. Rows
+/// fan out across the rayon pool.
+///
+/// Answers are exactly [`LabelView::query`] per cell: same saturating adds,
+/// same `INFINITY` for disconnected/out-of-range cells, and the same
+/// `s == t → 0` self-distance rule (which on a shard file applies to
+/// foreign vertices too, matching the shard-blind point query).
+pub(crate) fn matrix_pivot<'a, S: LabelStorage<'a>>(
+    view: &LabelView<'a, S>,
+    sources: &[VertexId],
+    targets: &[VertexId],
+) -> Vec<Distance> {
+    use rayon::prelude::*;
+
+    let n = view.num_vertices();
+    let cols = targets.len();
+    // Pool every target label once: (hub position, column, distance),
+    // sorted by (hub, column). Out-of-range targets contribute nothing and
+    // therefore stay INFINITY in every row.
+    let mut pool: Vec<(u32, u32, Distance)> = Vec::new();
+    for (j, &t) in targets.iter().enumerate() {
+        if let Some(run) = view.label_run(t) {
+            pool.extend(run.map(|e| (e.hub, j as u32, e.dist)));
+        }
+    }
+    pool.sort_unstable_by_key(|&(h, j, _)| (h, j));
+
+    let rows: Vec<Vec<Distance>> = sources
+        .par_iter()
+        .map(|&s| {
+            let mut row = vec![INFINITY; cols];
+            if let Some(run) = view.label_run(s) {
+                for e in run {
+                    let lo = pool.partition_point(|&(h, _, _)| h < e.hub);
+                    for &(h, j, d) in pool.iter().skip(lo) {
+                        if h != e.hub {
+                            break;
+                        }
+                        let cand = e.dist.saturating_add(d);
+                        if let Some(cell) = row.get_mut(j as usize) {
+                            if cand < *cell {
+                                *cell = cand;
+                            }
+                        }
+                    }
+                }
+            }
+            if (s as usize) < n {
+                for (cell, &t) in row.iter_mut().zip(targets) {
+                    if t == s {
+                        *cell = 0;
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+    let mut out = Vec::with_capacity(sources.len() * cols);
+    for row in rows {
+        out.extend(row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

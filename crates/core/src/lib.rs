@@ -122,6 +122,7 @@ pub mod lcc;
 pub mod mapped;
 pub mod oracle;
 pub mod para_pll;
+pub mod paths;
 pub mod persist;
 pub mod plant;
 pub mod pll;
@@ -138,5 +139,6 @@ pub use kernel::{HotHubCache, HotHubCached};
 pub use labels::{LabelEntry, LabelSet};
 pub use mapped::MmapIndex;
 pub use oracle::DistanceOracle;
+pub use paths::{compute_parents, PathError, PathOracle};
 pub use persist::{PersistError, SaveOptions};
 pub use stats::ConstructionStats;

@@ -64,6 +64,9 @@ pub struct MmapIndex {
     num_entries: usize,
     version: u32,
     compressed: bool,
+    /// Whether the file carries a path section (per-entry parent records),
+    /// cached at open like the other layout parameters.
+    paths: bool,
     /// Owned copy of the shard section, cached at open so per-query shard
     /// membership checks never re-walk the mapped bytes' layout.
     shard: Option<ShardSpec>,
@@ -119,6 +122,7 @@ impl MmapIndex {
         let view = persist::open_view(backing.as_slice())?;
         let (num_vertices, num_entries) = (view.num_vertices(), view.total_labels());
         let compressed = view.is_compressed();
+        let paths = view.has_path_data();
         let shard = view.shard().map(|s| s.to_spec());
         Ok(MmapIndex {
             backing,
@@ -126,6 +130,7 @@ impl MmapIndex {
             num_entries,
             version,
             compressed,
+            paths,
             shard,
         })
     }
@@ -150,9 +155,16 @@ impl MmapIndex {
                 self.num_entries,
                 self.version,
                 self.compressed,
+                self.paths,
                 self.shard.is_some(),
             )
         }
+    }
+
+    /// `true` when the file carries a path section, i.e.
+    /// [`crate::paths::PathOracle::path`] can answer through this index.
+    pub fn has_path_data(&self) -> bool {
+        self.paths
     }
 
     /// `true` when the file's entries section is delta+varint compressed —
@@ -212,6 +224,10 @@ impl DistanceOracle for MmapIndex {
     /// decides residency); the fallback holds the same bytes on the heap.
     fn memory_bytes(&self) -> usize {
         self.file_len()
+    }
+
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        self.view().matrix(sources, targets)
     }
 }
 

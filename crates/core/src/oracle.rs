@@ -59,6 +59,58 @@ pub trait DistanceOracle: Sync {
     fn connected(&self, u: VertexId, v: VertexId) -> bool {
         self.distance(u, v) != INFINITY
     }
+
+    /// Evaluates the `|sources| × |targets|` distance block, row-major:
+    /// `matrix(s, t)[i * t.len() + j] == distance(s[i], t[j])`, exactly —
+    /// the defaulted body **is** that brute-force map (over the parallel
+    /// [`Self::distances`] path). Hub-labeling backends override it with a
+    /// hub-side pivot that gathers each side's labels once instead of
+    /// joining per pair, but must preserve byte-identical answers
+    /// (property-tested per backend). Duplicate ids contribute one
+    /// row/column per occurrence.
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        let pairs: Vec<(VertexId, VertexId)> = sources
+            .iter()
+            .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+            .collect();
+        self.distances(&pairs)
+    }
+
+    /// The `k` targets nearest to `source`, as `(target, distance)` sorted
+    /// ascending by `(distance, target id)` — the id tiebreak makes the
+    /// answer deterministic. Unreachable and out-of-range targets never
+    /// appear; duplicate ids in `targets` appear once per occurrence.
+    fn topk(&self, source: VertexId, targets: &[VertexId], k: usize) -> Vec<(VertexId, Distance)> {
+        let mut hits: Vec<(VertexId, Distance)> = targets
+            .iter()
+            .zip(self.matrix(&[source], targets))
+            .filter(|&(_, d)| d != INFINITY)
+            .map(|(&t, d)| (t, d))
+            .collect();
+        hits.sort_unstable_by_key(|&(t, d)| (d, t));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Every target within `radius` of `source` (inclusive), as
+    /// `(target, distance)` sorted ascending by `(distance, target id)` —
+    /// the POI-within-radius workload. Same reachability and duplicate
+    /// semantics as [`Self::topk`].
+    fn within_radius(
+        &self,
+        source: VertexId,
+        targets: &[VertexId],
+        radius: Distance,
+    ) -> Vec<(VertexId, Distance)> {
+        let mut hits: Vec<(VertexId, Distance)> = targets
+            .iter()
+            .zip(self.matrix(&[source], targets))
+            .filter(|&(_, d)| d <= radius)
+            .map(|(&t, d)| (t, d))
+            .collect();
+        hits.sort_unstable_by_key(|&(t, d)| (d, t));
+        hits
+    }
 }
 
 /// Shared references serve like the oracle they point at, so borrowed
@@ -86,6 +138,23 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
 
     fn connected(&self, u: VertexId, v: VertexId) -> bool {
         (**self).connected(u, v)
+    }
+
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        (**self).matrix(sources, targets)
+    }
+
+    fn topk(&self, source: VertexId, targets: &[VertexId], k: usize) -> Vec<(VertexId, Distance)> {
+        (**self).topk(source, targets, k)
+    }
+
+    fn within_radius(
+        &self,
+        source: VertexId,
+        targets: &[VertexId],
+        radius: Distance,
+    ) -> Vec<(VertexId, Distance)> {
+        (**self).within_radius(source, targets, radius)
     }
 }
 

@@ -68,6 +68,32 @@
 //! the owned set has an empty run, so the union of all shards' entries is
 //! exactly the unsharded index.
 //!
+//! ## Path section (v3, flags bit 2)
+//!
+//! A file built with `chl build --paths` carries one parent record per label
+//! entry, sandwiched between the entries section and the optional shard
+//! section. `parents[i]` names the next vertex on the shortest path from the
+//! entry's owning vertex toward the entry's hub vertex (`parents[i] == v`
+//! exactly when the entry's distance is zero, i.e. the vertex is its own
+//! hub). The v3 header is a fixed 48 bytes, so unlike the other sections the
+//! path section carries its CRC in an 8-byte prelude of its own:
+//!
+//! ```text
+//! offset  size        field
+//! +0      4           crc_paths  u32, CRC-32 of everything after the prelude
+//!                                (parents array + tail padding)
+//! +4      4           reserved   u32, must be zero
+//! +8      m * 4       parents    one vertex id per label entry, entry order
+//! ..      pad to 8    zero padding
+//! ```
+//!
+//! Load-time validation enforces the cross-section invariant that a
+//! zero-distance entry's parent is the vertex itself and every other parent
+//! is a distinct in-range vertex; the strictly-decreasing-distance walk that
+//! guarantees unpacking terminates is enforced per query (see
+//! [`crate::paths`]), so a hostile parents array yields a typed error, never
+//! a hang or a panic.
+//!
 //! ## Version 2 layout (legacy, readable and writable)
 //!
 //! Identical to v3 without the `crc_shard`/`crc_header` words (40-byte
@@ -190,11 +216,17 @@ pub const FLAG_COMPRESSED_ENTRIES: u32 = 1 << 0;
 /// owned vertex set recorded in the trailing shard section, empty runs for
 /// every other vertex.
 pub const FLAG_SHARDED: u32 = 1 << 1;
-/// Every flag bit a v2 file may carry; bit 1 needs the v3 shard section.
+/// Flags bit 2 (v3 only): the file carries a per-entry parent/via-hub
+/// section between the entries and shard sections, enabling shortest-path
+/// reconstruction (see [`crate::paths`]). Files without it load fine;
+/// `path()` then reports a typed
+/// [`PathError::NoPathData`](crate::paths::PathError::NoPathData).
+pub const FLAG_PATHS: u32 = 1 << 2;
+/// Every flag bit a v2 file may carry; bits 1 and 2 need v3 sections.
 pub const FLAGS_KNOWN_V2: u32 = FLAG_COMPRESSED_ENTRIES;
 /// Every flag bit this reader understands (in a v3 file); any other bit set
 /// is [`PersistError::UnsupportedFlags`].
-pub const FLAGS_KNOWN: u32 = FLAG_COMPRESSED_ENTRIES | FLAG_SHARDED;
+pub const FLAGS_KNOWN: u32 = FLAG_COMPRESSED_ENTRIES | FLAG_SHARDED | FLAG_PATHS;
 
 /// The flag bits legal for a given format version.
 fn flags_known(version: u32) -> u32 {
@@ -248,10 +280,11 @@ impl SaveOptions {
         }
     }
 
-    /// The version this writer will actually emit for `index`: sharded
-    /// indexes force v3, anything but an explicit [`VERSION_V2`] is v3.
-    fn effective_version(&self, sharded: bool) -> u32 {
-        if sharded || self.version != VERSION_V2 {
+    /// The version this writer will actually emit for `index`: indexes that
+    /// need a v3-only section (shard identity, path parents) force v3,
+    /// anything but an explicit [`VERSION_V2`] is v3.
+    fn effective_version(&self, needs_v3: bool) -> u32 {
+        if needs_v3 || self.version != VERSION_V2 {
             VERSION
         } else {
             VERSION_V2
@@ -269,6 +302,8 @@ pub enum Section {
     Offsets,
     /// The concatenated label entries.
     Entries,
+    /// The v3 per-entry parent records (path reconstruction data).
+    Paths,
     /// The trailing v3 shard section (shard identity + owned vertex set).
     Shard,
 }
@@ -279,6 +314,7 @@ impl fmt::Display for Section {
             Section::Ranking => "ranking",
             Section::Offsets => "offsets",
             Section::Entries => "entries",
+            Section::Paths => "paths",
             Section::Shard => "shard",
         })
     }
@@ -378,6 +414,57 @@ pub(crate) fn check_shard_consistency(
                 offsets[v + 1] - offsets[v]
             )));
         }
+    }
+    Ok(())
+}
+
+/// The cross-section invariants of the path section against the entries it
+/// annotates: one parent per entry, every parent an in-range vertex id, a
+/// zero-distance entry (the vertex is its own hub) pointing at itself, and
+/// every positive-distance entry pointing at a *different* vertex (the walk
+/// must move). The strictly-decreasing-distance property that guarantees
+/// unpacking terminates is enforced per query (see [`crate::paths`]) so the
+/// loader stays O(m).
+pub(crate) fn validate_parents(
+    n: usize,
+    offsets: &[u64],
+    entries: &[LabelEntry],
+    parents: &[u32],
+) -> Result<(), PersistError> {
+    if parents.len() != entries.len() {
+        return Err(PersistError::Malformed(format!(
+            "paths section: {} parent records for {} label entries",
+            parents.len(),
+            entries.len()
+        )));
+    }
+    for v in 0..n {
+        let lo = offsets[v] as usize;
+        let hi = offsets[v + 1] as usize;
+        for (e, &p) in entries[lo..hi].iter().zip(&parents[lo..hi]) {
+            check_parent_entry(n, v as VertexId, e.dist, p)?;
+        }
+    }
+    Ok(())
+}
+
+/// The per-entry half of [`validate_parents`], shared with the streaming
+/// compressed validator (which never materializes the entries).
+fn check_parent_entry(n: usize, v: VertexId, dist: u64, parent: u32) -> Result<(), PersistError> {
+    if parent as usize >= n {
+        return Err(PersistError::Malformed(format!(
+            "paths section: vertex {v} has parent {parent} out of range for {n} vertices"
+        )));
+    }
+    if dist == 0 && parent != v {
+        return Err(PersistError::Malformed(format!(
+            "paths section: zero-distance entry of vertex {v} must be its own parent, found {parent}"
+        )));
+    }
+    if dist != 0 && parent == v {
+        return Err(PersistError::Malformed(format!(
+            "paths section: positive-distance entry of vertex {v} points at itself"
+        )));
     }
     Ok(())
 }
@@ -619,6 +706,12 @@ impl FileHeader {
         self.flags & FLAG_SHARDED != 0
     }
 
+    /// `true` when the file carries the per-entry parent section that
+    /// enables shortest-path reconstruction (v3 only).
+    pub fn is_paths(&self) -> bool {
+        self.flags & FLAG_PATHS != 0
+    }
+
     /// Total file size in bytes implied by the header's dimensions, or
     /// `None` when it cannot be known from the header alone — compressed
     /// files are self-describing (the encoded length lives in the skip
@@ -632,7 +725,15 @@ impl FileHeader {
             VERSION_V1 => expected_payload_len_v1(self.num_vertices, self.num_entries)?,
             _ => expected_payload_len_v2(self.num_vertices, self.num_entries)?,
         };
-        payload.checked_add(self.header_len())
+        let paths = if self.is_paths() {
+            usize::try_from(pad_to_align(
+                8u64.checked_add(self.num_entries.checked_mul(4)?)?,
+            )?)
+            .ok()?
+        } else {
+            0
+        };
+        payload.checked_add(self.header_len())?.checked_add(paths)
     }
 
     /// On-disk size of the entries section in bytes, derived from the header
@@ -650,10 +751,10 @@ impl FileHeader {
                 let before_entries = (self.header_len() as u64)
                     .saturating_add(pad_to_align(n.saturating_mul(4)).unwrap_or(u64::MAX))
                     .saturating_add(n.saturating_add(1).saturating_mul(8));
-                // A sharded file's entries section ends where the shard
-                // section begins; without loading the owned count the best
-                // header-only answer is the span up to end of file, which is
-                // exact for unsharded files.
+                // A sharded or path-carrying file's entries section ends
+                // where the next section begins; without loading those
+                // sections the best header-only answer is the span up to end
+                // of file, which is exact for plain compressed files.
                 file_len.saturating_sub(before_entries)
             }
             _ => m.saturating_mul(ENTRY_LEN_V2 as u64),
@@ -797,6 +898,18 @@ struct CompressedLayout {
     blob_data: Range<usize>,
 }
 
+/// Byte ranges of the v3 path section (per-entry parent records).
+#[derive(Debug, Clone)]
+struct PathsLayout {
+    /// The `m` u32 parent records, excluding the prelude and tail padding.
+    data: Range<usize>,
+    /// Everything `crc_paths` covers: the parents array plus tail padding
+    /// (the 8-byte prelude itself is excluded — it holds the CRC).
+    payload: Range<usize>,
+    /// Whole section including the prelude; starts at the section boundary.
+    section: Range<usize>,
+}
+
 /// Byte ranges of the trailing v3 shard section.
 #[derive(Debug, Clone)]
 struct ShardLayout {
@@ -825,6 +938,8 @@ struct LayoutV2 {
     /// Sub-layout of the entries section when [`FLAG_COMPRESSED_ENTRIES`]
     /// is set.
     compressed: Option<CompressedLayout>,
+    /// The path section when [`FLAG_PATHS`] is set (v3 only).
+    paths: Option<PathsLayout>,
     /// The trailing shard section when [`FLAG_SHARDED`] is set (v3 only).
     shard: Option<ShardLayout>,
 }
@@ -839,6 +954,7 @@ fn layout_v2(
     m64: u64,
     version: u32,
     compressed: bool,
+    paths: bool,
     sharded: bool,
     data: &[u8],
 ) -> Result<LayoutV2, PersistError> {
@@ -924,10 +1040,33 @@ fn layout_v2(
         (prefix.checked_add(entries_len).ok_or_else(overflow)?, None)
     };
 
-    // The shard section trails the entries and is self-describing via its
-    // owned count, read once the fixed 16-byte prelude is known to fit.
+    // The path section follows the entries: an 8-byte CRC prelude plus one
+    // u32 parent per label entry, padded to the section alignment.
+    let (paths_end, paths_layout) = if paths {
+        let data_start = entries_end.checked_add(8).ok_or_else(overflow)?;
+        let data_end = m64
+            .checked_mul(4)
+            .and_then(|x| u64::try_from(data_start).ok()?.checked_add(x))
+            .ok_or_else(overflow)?;
+        let section_end = pad_to_align(data_end)
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(overflow)?;
+        let data_end = data_end as usize;
+        let layout = PathsLayout {
+            data: data_start..data_end,
+            payload: data_start..section_end,
+            section: entries_end..section_end,
+        };
+        (section_end, Some(layout))
+    } else {
+        (entries_end, None)
+    };
+
+    // The shard section trails the entries (and path section, when present)
+    // and is self-describing via its owned count, read once the fixed
+    // 16-byte prelude is known to fit.
     let (expected, shard_layout) = if sharded {
-        let fixed = entries_end.checked_add(16).ok_or_else(overflow)?;
+        let fixed = paths_end.checked_add(16).ok_or_else(overflow)?;
         if data_len < fixed {
             return Err(PersistError::Truncated {
                 expected: fixed,
@@ -947,12 +1086,12 @@ fn layout_v2(
             .and_then(|x| usize::try_from(x).ok())
             .ok_or_else(overflow)?;
         let layout = ShardLayout {
-            data: entries_end..data_end,
-            section: entries_end..section_end,
+            data: paths_end..data_end,
+            section: paths_end..section_end,
         };
         (section_end, Some(layout))
     } else {
-        (entries_end, None)
+        (paths_end, None)
     };
     if data_len < expected {
         return Err(PersistError::Truncated {
@@ -980,6 +1119,7 @@ fn layout_v2(
         offsets: ranking_end..offsets_end,
         entries: offsets_end..entries_end,
         compressed: compressed_layout,
+        paths: paths_layout,
         shard: shard_layout,
     })
 }
@@ -1001,6 +1141,33 @@ fn check_sections_v2(
     else {
         unreachable!("v2/v3 headers always parse per-section checksums");
     };
+    if let Some(p) = &layout.paths {
+        // The section's CRC lives in its own prelude (the fixed v3 header
+        // has no room for a fourth section CRC without a version bump).
+        let mut cur = Cursor::new(data);
+        cur.seek(p.section.start);
+        let stored = cur.get_u32();
+        let computed = crc32(&data[p.payload.clone()]);
+        if computed != stored {
+            return Err(PersistError::SectionChecksumMismatch {
+                section: Section::Paths,
+                stored,
+                computed,
+            });
+        }
+        let reserved = &data[p.section.start + 4..p.section.start + 8];
+        if let Some(i) = reserved.iter().position(|&b| b != 0) {
+            return Err(PersistError::NonZeroPadding {
+                offset: p.section.start + 4 + i,
+            });
+        }
+        let padding = data.get(p.data.end..p.payload.end).unwrap_or(&[]);
+        if let Some(i) = padding.iter().position(|&b| b != 0) {
+            return Err(PersistError::NonZeroPadding {
+                offset: p.data.end + i,
+            });
+        }
+    }
     if let Some(s) = &layout.shard {
         let computed = crc32(&data[s.section.clone()]);
         if computed != header.crc_shard {
@@ -1164,11 +1331,16 @@ fn validate_csr(
 /// count with canonical varints, strictly increasing in-range hubs, and
 /// consumes exactly its skip-table byte span. When `sink` is given the
 /// decoded entries are appended to it (the copying loader); the view path
-/// validates without materializing anything.
+/// validates without materializing anything. When `parents` is given (the
+/// zero-copy path of a file with a path section), each decoded entry is
+/// checked against its parent record in the same streaming pass — the
+/// entries concatenate in vertex order, so the running entry counter is the
+/// record's global index.
 fn validate_compressed_entries(
     skip: &[u64],
     blob: &[u8],
     offsets: &[u64],
+    parents: Option<&[u32]>,
     mut sink: Option<&mut Vec<LabelEntry>>,
 ) -> Result<(), PersistError> {
     let n = offsets.len() - 1;
@@ -1194,6 +1366,7 @@ fn validate_compressed_entries(
             blob.len()
         )));
     }
+    let mut entry_index = 0usize;
     for v in 0..n {
         let run = &blob[skip[v] as usize..skip[v + 1] as usize];
         let count = (offsets[v + 1] - offsets[v]) as usize;
@@ -1221,6 +1394,14 @@ fn validate_compressed_entries(
                 )));
             }
             let hub = hub64 as u32;
+            if let Some(parents) = parents {
+                let p = parents
+                    .get(entry_index)
+                    .copied()
+                    .ok_or_else(|| malformed("more label entries than parent records"))?;
+                check_parent_entry(n, v as VertexId, dist, p)?;
+            }
+            entry_index += 1;
             if let Some(sink) = sink.as_deref_mut() {
                 sink.push(LabelEntry::new(hub, dist));
             }
@@ -1274,7 +1455,8 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     let n = index.num_vertices();
     let m = index.total_labels();
     let shard = index.shard();
-    let version = options.effective_version(shard.is_some());
+    let parents = index.parents();
+    let version = options.effective_version(shard.is_some() || parents.is_some());
     let header_len = if version == VERSION_V2 {
         HEADER_LEN_V2
     } else {
@@ -1288,18 +1470,22 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     let shard_len = shard.map_or(0, |s| {
         pad_to_align(16 + s.owned.len() as u64 * 4).expect("index fits in memory") as usize
     });
+    let paths_len = parents.map_or(0, |p| {
+        pad_to_align(8 + p.len() as u64 * 4).expect("index fits in memory") as usize
+    });
     let capacity = match &encoded {
         Some((skip, blob)) => {
             let prefix =
                 pad_to_align((n as u64) * 4).expect("index fits in memory") as usize + (n + 1) * 8;
             let entries_len = skip.len() * 8
                 + pad_to_align(blob.len() as u64).expect("index fits in memory") as usize;
-            header_len + prefix + entries_len + shard_len
+            header_len + prefix + entries_len + paths_len + shard_len
         }
         None => {
             header_len
                 + expected_payload_len_v2(n as u64, m as u64)
                     .expect("in-memory index fits in memory")
+                + paths_len
                 + shard_len
         }
     };
@@ -1312,6 +1498,9 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     };
     if shard.is_some() {
         flags |= FLAG_SHARDED;
+    }
+    if parents.is_some() {
+        flags |= FLAG_PATHS;
     }
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&version.to_le_bytes());
@@ -1349,6 +1538,19 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
             buf.extend_from_slice(&e.dist.to_le_bytes());
         }
     }
+    let paths_start = buf.len();
+    if let Some(parents) = parents {
+        // Prelude: the section CRC (patched below, like the header CRCs)
+        // plus a reserved word held zero.
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        for &p in parents {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        while !buf.len().is_multiple_of(SECTION_ALIGN) {
+            buf.push(0);
+        }
+    }
     let shard_start = buf.len();
     if let Some(s) = shard {
         buf.extend_from_slice(&s.shard_id.to_le_bytes());
@@ -1368,10 +1570,14 @@ pub fn to_bytes_with(index: &FlatIndex, options: &SaveOptions) -> Vec<u8> {
     // v3 header CRC goes last: it covers the section CRCs themselves.
     let crc_ranking = crc32(&buf[ranking_start..offsets_start]);
     let crc_offsets = crc32(&buf[offsets_start..entries_start]);
-    let crc_entries = crc32(&buf[entries_start..shard_start]);
+    let crc_entries = crc32(&buf[entries_start..paths_start]);
     buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
     buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
     buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+    if parents.is_some() {
+        let crc_paths = crc32(&buf[paths_start + 8..shard_start]);
+        buf[paths_start..paths_start + 4].copy_from_slice(&crc_paths.to_le_bytes());
+    }
     if version != VERSION_V2 {
         let crc_shard = if shard.is_some() {
             crc32(&buf[shard_start..])
@@ -1638,6 +1844,7 @@ fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
         header.num_entries,
         header.version,
         header.is_compressed(),
+        header.is_paths(),
         header.is_sharded(),
         data,
     )?;
@@ -1682,12 +1889,27 @@ fn from_bytes_v2(data: &[u8], header: &FileHeader) -> Result<FlatIndex, PersistE
                 &skip,
                 &data[c.blob_data.clone()],
                 &offsets,
+                None,
                 Some(&mut entries),
             )?;
             entries
         }
     };
+    let parents = match &layout.paths {
+        None => None,
+        Some(p) => {
+            let mut cur = Cursor::new(data);
+            cur.seek(p.data.start);
+            let parents: Vec<u32> = (0..layout.m).map(|_| cur.get_u32()).collect();
+            validate_parents(layout.n, &offsets, &entries, &parents)?;
+            Some(parents)
+        }
+    };
     let index = FlatIndex::from_validated_parts(offsets, entries, ranking);
+    let index = match parents {
+        Some(parents) => index.with_validated_parents(parents),
+        None => index,
+    };
     Ok(match shard {
         Some(spec) => index.with_shard(spec)?,
         None => index,
@@ -1785,6 +2007,7 @@ pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
             header.num_entries,
             header.version,
             header.is_compressed(),
+            header.is_paths(),
             header.is_sharded(),
             data,
         )?;
@@ -1793,6 +2016,10 @@ pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
         check_permutation(order)?;
         validate_offsets(layout.n, offsets, header.num_entries)?;
+        let parents = layout
+            .paths
+            .as_ref()
+            .map(|p| cast_u32s(&data[p.data.clone()]));
         let shard = match &layout.shard {
             None => None,
             Some(s) => {
@@ -1817,16 +2044,23 @@ pub fn open_view(data: &[u8]) -> Result<IndexView<'_>, PersistError> {
             None => {
                 let entries = cast_entries(&data[layout.entries.clone()]);
                 validate_hub_sort(layout.n, offsets, entries)?;
+                if let Some(parents) = parents {
+                    validate_parents(layout.n, offsets, entries, parents)?;
+                }
                 IndexView::flat(FlatView::from_validated_parts(order, offsets, entries))
             }
             Some(c) => {
                 let skip = cast_u64s(&data[c.skip.clone()]);
                 let blob = &data[c.blob_data.clone()];
-                validate_compressed_entries(skip, blob, offsets, None)?;
+                validate_compressed_entries(skip, blob, offsets, parents, None)?;
                 IndexView::compressed(CompressedView::from_validated_compressed_parts(
                     order, offsets, skip, blob,
                 ))
             }
+        };
+        let view = match parents {
+            Some(parents) => view.with_parents(parents),
+            None => view,
         };
         Ok(match shard {
             Some(s) => view.with_shard(s),
@@ -1867,23 +2101,30 @@ pub fn view_bytes(data: &[u8]) -> Result<FlatView<'_>, PersistError> {
 /// # Safety
 ///
 /// `data` must be byte-identical to a buffer `open_view` previously
-/// accepted with these exact `n`/`m`/`version`/`compressed`/`sharded`
-/// parameters, with the same 8-byte-aligned base-address guarantee still
-/// holding.
+/// accepted with these exact `n`/`m`/`version`/`compressed`/`paths`/
+/// `sharded` parameters, with the same 8-byte-aligned base-address
+/// guarantee still holding.
 pub(crate) unsafe fn view_assuming_valid(
     data: &[u8],
     n: usize,
     m: usize,
     version: u32,
     compressed: bool,
+    paths: bool,
     sharded: bool,
 ) -> IndexView<'_> {
     #[cfg(target_endian = "little")]
     {
-        let layout = layout_v2(n as u64, m as u64, version, compressed, sharded, data)
-            .expect("dimensions were validated at open time");
+        let layout = layout_v2(
+            n as u64, m as u64, version, compressed, paths, sharded, data,
+        )
+        .expect("dimensions were validated at open time");
         let order = cast_u32s(&data[layout.ranking_data.clone()]);
         let offsets = cast_u64s(&data[layout.offsets.clone()]);
+        let parents = layout
+            .paths
+            .as_ref()
+            .map(|p| cast_u32s(&data[p.data.clone()]));
         let shard = layout.shard.as_ref().map(|s| {
             let mut cur = Cursor::new(data);
             cur.seek(s.data.start);
@@ -1911,6 +2152,10 @@ pub(crate) unsafe fn view_assuming_valid(
                 ))
             }
         };
+        let view = match parents {
+            Some(parents) => view.with_parents(parents),
+            None => view,
+        };
         match shard {
             Some(s) => view.with_shard(s),
             None => view,
@@ -1918,7 +2163,7 @@ pub(crate) unsafe fn view_assuming_valid(
     }
     #[cfg(not(target_endian = "little"))]
     {
-        let _ = (data, n, m, version, compressed, sharded);
+        let _ = (data, n, m, version, compressed, paths, sharded);
         unreachable!("open_view never validates a buffer on a big-endian host");
     }
 }
@@ -2049,6 +2294,7 @@ pub fn load_shard_spec<P: AsRef<Path>>(path: P) -> Result<Option<ShardSpec>, Per
         header.num_entries,
         header.version,
         header.is_compressed(),
+        header.is_paths(),
         true,
         &data,
     )?;
@@ -2117,6 +2363,7 @@ mod tests {
             header.num_entries,
             header.version,
             header.is_compressed(),
+            header.is_paths(),
             header.is_sharded(),
             buf,
         )
@@ -2127,6 +2374,10 @@ mod tests {
         buf[28..32].copy_from_slice(&crc_ranking.to_le_bytes());
         buf[32..36].copy_from_slice(&crc_offsets.to_le_bytes());
         buf[36..40].copy_from_slice(&crc_entries.to_le_bytes());
+        if let Some(p) = &layout.paths {
+            let crc_paths = crc32(&buf[p.payload.clone()]);
+            buf[p.section.start..p.section.start + 4].copy_from_slice(&crc_paths.to_le_bytes());
+        }
         if header.version == VERSION {
             let crc_shard = layout
                 .shard
@@ -2193,6 +2444,114 @@ mod tests {
     }
 
     #[test]
+    fn path_section_round_trips_on_every_loader() {
+        // Structurally valid parents for tiny_flat's five entries (each
+        // vertex's run is sorted by hub rank-position, so vertex 0's
+        // positive-distance entry toward hub 1 comes first): zero-distance
+        // entries are their own parent, the rest step to a different
+        // in-range vertex.
+        let flat = tiny_flat().with_parents(vec![1, 0, 1, 1, 2]).unwrap();
+        assert!(flat.has_path_data());
+
+        // A path section is v3-only, so the writer upgrades even an explicit
+        // v2 request.
+        let bytes = to_bytes_with(&flat, &SaveOptions::v2());
+        let header = parse_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert!(header.is_paths());
+
+        // Copying loader round-trips the parents exactly, and the encoding
+        // stays deterministic.
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.parents(), flat.parents());
+        assert_eq!(back, flat);
+        assert_eq!(to_bytes_with(&back, &SaveOptions::v2()), bytes);
+
+        // Zero-copy opens see the same parents, flat and compressed alike.
+        let aligned = AlignedBytes::from_slice(&bytes);
+        assert_eq!(open_view(&aligned).unwrap().parents(), flat.parents());
+        let cbytes = to_bytes_with(&flat, &SaveOptions::compressed());
+        let caligned = AlignedBytes::from_slice(&cbytes);
+        assert_eq!(open_view(&caligned).unwrap().parents(), flat.parents());
+        assert_eq!(from_bytes(&cbytes).unwrap(), flat);
+    }
+
+    #[test]
+    fn path_section_corruption_is_detected() {
+        let flat = tiny_flat().with_parents(vec![1, 0, 1, 1, 2]).unwrap();
+        let bytes = to_bytes(&flat);
+        let header = parse_header(&bytes).unwrap();
+        let layout = layout_v2(
+            header.num_vertices,
+            header.num_entries,
+            header.version,
+            header.is_compressed(),
+            header.is_paths(),
+            header.is_sharded(),
+            &bytes,
+        )
+        .unwrap();
+        let paths = layout.paths.as_ref().expect("file carries a path section");
+
+        // A flipped parent byte trips the section's own CRC, attributed to
+        // the paths section by name.
+        let mut flipped = bytes.clone();
+        flipped[paths.data.start] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&flipped),
+            Err(PersistError::SectionChecksumMismatch {
+                section: Section::Paths,
+                ..
+            })
+        ));
+
+        // Resealed (a CRC-valid file from a hypothetical buggy writer), the
+        // structural validator rejects an out-of-range parent with a typed
+        // error — on the copying loader and the zero-copy open alike.
+        let mut forged = bytes.clone();
+        forged[paths.data.start..paths.data.start + 4].copy_from_slice(&99u32.to_le_bytes());
+        reseal(&mut forged);
+        assert!(matches!(
+            from_bytes(&forged),
+            Err(PersistError::Malformed(msg)) if msg.contains("out of range")
+        ));
+        let aligned = AlignedBytes::from_slice(&forged);
+        assert!(matches!(
+            open_view(&aligned),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // A zero-distance entry rewired away from its owner is equally
+        // structural corruption. Entry 1 is vertex 0's zero-distance entry.
+        let mut rewired = bytes.clone();
+        rewired[paths.data.start + 4..paths.data.start + 8].copy_from_slice(&1u32.to_le_bytes());
+        reseal(&mut rewired);
+        assert!(matches!(
+            from_bytes(&rewired),
+            Err(PersistError::Malformed(msg)) if msg.contains("own parent")
+        ));
+
+        // Non-zero bytes in the section's reserved word or tail padding are
+        // refused even when the CRC is resealed around them.
+        let mut dirty_reserved = bytes.clone();
+        dirty_reserved[paths.section.start + 4] = 1;
+        reseal(&mut dirty_reserved);
+        assert!(matches!(
+            from_bytes(&dirty_reserved),
+            Err(PersistError::NonZeroPadding { .. })
+        ));
+        if paths.payload.end > paths.data.end {
+            let mut dirty_pad = bytes.clone();
+            dirty_pad[paths.data.end] = 1;
+            reseal(&mut dirty_pad);
+            assert!(matches!(
+                from_bytes(&dirty_pad),
+                Err(PersistError::NonZeroPadding { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn v1_bytes_still_load_through_the_copying_path() {
         let flat = tiny_flat();
         let v1 = to_bytes_v1(&flat);
@@ -2241,7 +2600,7 @@ mod tests {
         // n = 3: the ranking data is 12 bytes, so the section carries 4
         // padding bytes and the offsets section still starts aligned.
         let bytes = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, VERSION, false, false, &bytes).unwrap();
+        let layout = layout_v2(3, 5, VERSION, false, false, false, &bytes).unwrap();
         for start in [
             layout.ranking_section.start,
             layout.offsets.start,
@@ -2326,7 +2685,7 @@ mod tests {
         // Any header byte flip — here the flags word — is caught by the v3
         // header CRC before the flag is even interpreted.
         let mut bad_flags = bytes.clone();
-        bad_flags[24] = 4;
+        bad_flags[24] = 8;
         assert!(matches!(
             from_bytes(&bad_flags),
             Err(PersistError::HeaderChecksumMismatch { .. })
@@ -2336,7 +2695,7 @@ mod tests {
         reseal_header(&mut bad_flags);
         assert!(matches!(
             from_bytes(&bad_flags),
-            Err(PersistError::UnsupportedFlags { found: 4 })
+            Err(PersistError::UnsupportedFlags { found: 8 })
         ));
 
         // Forging the compressed bit onto a flat file changes the declared
@@ -2438,7 +2797,7 @@ mod tests {
 
         // Non-zero reserved bytes inside an entry record.
         let mut forged = to_bytes(&tiny_flat());
-        let layout = layout_v2(3, 5, VERSION, false, false, &forged).unwrap();
+        let layout = layout_v2(3, 5, VERSION, false, false, false, &forged).unwrap();
         forged[layout.entries.start + 5] = 0xCD;
         reseal(&mut forged);
         let err = from_bytes(&forged).unwrap_err();
@@ -2682,6 +3041,7 @@ mod tests {
                 header.num_entries,
                 VERSION,
                 true,
+                false,
                 false,
                 buf,
             )
@@ -2983,6 +3343,7 @@ mod tests {
             header.num_entries,
             header.version,
             header.is_compressed(),
+            header.is_paths(),
             true,
             &bytes,
         )

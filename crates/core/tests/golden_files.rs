@@ -28,10 +28,12 @@ use std::path::{Path, PathBuf};
 
 use chl_core::flat::{FlatIndex, NotThisShard};
 use chl_core::mapped::MmapIndex;
+use chl_core::paths::{attach_parents, PathError, PathOracle};
 use chl_core::persist::{self, AlignedBytes, SaveOptions, ShardSpec};
 use chl_core::pll::sequential_pll;
 use chl_graph::generators::{grid_network, GridOptions};
 use chl_graph::types::{VertexId, INFINITY};
+use chl_graph::CsrGraph;
 use chl_ranking::degree_ranking;
 
 fn fixtures_dir() -> PathBuf {
@@ -40,15 +42,19 @@ fn fixtures_dir() -> PathBuf {
 
 /// The corpus graph: a 4x4 weighted grid, fully deterministic (seeded
 /// generator, vendored RNG, sequential constructor).
-fn build_golden() -> FlatIndex {
-    let g = grid_network(
+fn golden_graph() -> CsrGraph {
+    grid_network(
         &GridOptions {
             rows: 4,
             cols: 4,
             ..GridOptions::default()
         },
         9,
-    );
+    )
+}
+
+fn build_golden() -> FlatIndex {
+    let g = golden_graph();
     let ranking = degree_ranking(&g);
     FlatIndex::from_index(&sequential_pll(&g, &ranking).index)
 }
@@ -106,6 +112,29 @@ fn distance_table(index: &FlatIndex) -> String {
     out
 }
 
+/// The pinned path table: one line per pair, `u v: a b c ... z` for the
+/// reconstructed walk or `u v: unreachable`. Path answers are exact, not
+/// just weight-equal, because the parent derivation is deterministic
+/// (first CSR-order witness), so the whole walk is pinnable.
+fn path_table(index: &FlatIndex) -> String {
+    let n = index.num_vertices() as u32;
+    let mut out = String::new();
+    for u in 0..n {
+        for v in 0..n {
+            let line = match index.path(u, v).expect("paths fixture answers") {
+                Some(walk) => walk
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                None => "unreachable".to_string(),
+            };
+            out.push_str(&format!("{u} {v}: {line}\n"));
+        }
+    }
+    out
+}
+
 fn regen(dir: &Path) {
     let golden = build_golden();
     std::fs::create_dir_all(dir).unwrap();
@@ -136,6 +165,17 @@ fn regen(dir: &Path) {
         std::fs::write(shard_path(dir, i), shard.to_bytes()).unwrap();
     }
     std::fs::write(dir.join("golden.distances.txt"), distance_table(&golden)).unwrap();
+    // The path-section fixtures: the same corpus with per-entry parent
+    // records, in both entry encodings, plus its pinned walk table.
+    let with_paths =
+        attach_parents(&golden_graph(), golden).expect("corpus graph matches its index");
+    std::fs::write(dir.join("golden.v3-paths.chl"), with_paths.to_bytes()).unwrap();
+    std::fs::write(
+        dir.join("golden.v3-paths-compressed.chl"),
+        with_paths.to_bytes_with(&SaveOptions::compressed()),
+    )
+    .unwrap();
+    std::fs::write(dir.join("golden.paths.txt"), path_table(&with_paths)).unwrap();
 }
 
 fn pinned_table(dir: &Path) -> Vec<Vec<u64>> {
@@ -152,6 +192,31 @@ fn pinned_table(dir: &Path) -> Vec<Vec<u64>> {
                     }
                 })
                 .collect()
+        })
+        .collect()
+}
+
+type PinnedWalk = ((u32, u32), Option<Vec<u32>>);
+
+fn pinned_paths(dir: &Path) -> Vec<PinnedWalk> {
+    let text = std::fs::read_to_string(dir.join("golden.paths.txt"))
+        .expect("paths fixture present (CHL_REGEN_FIXTURES=1 to create)");
+    text.lines()
+        .map(|line| {
+            let (pair, walk) = line.split_once(':').expect("pinned 'u v: walk' line");
+            let ids: Vec<u32> = pair
+                .split_whitespace()
+                .map(|t| t.parse().expect("pinned pair"))
+                .collect();
+            let walk = match walk.trim() {
+                "unreachable" => None,
+                walk => Some(
+                    walk.split_whitespace()
+                        .map(|t| t.parse().expect("pinned walk vertex"))
+                        .collect(),
+                ),
+            };
+            ((ids[0], ids[1]), walk)
         })
         .collect()
 }
@@ -293,6 +358,88 @@ fn fixtures_load_everywhere_and_answer_the_pinned_distance_table() {
         comp_bytes.len(),
         flat_bytes.len()
     );
+}
+
+#[test]
+fn path_fixtures_answer_the_pinned_walk_table() {
+    let dir = fixtures_dir();
+    if std::env::var_os("CHL_REGEN_FIXTURES").is_some() {
+        regen(&dir);
+    }
+    let table = pinned_table(&dir);
+    let walks = pinned_paths(&dir);
+    assert_eq!(walks.len(), 16 * 16, "one pinned walk per pair");
+
+    // Byte stability first: loading and re-serializing each paths fixture
+    // must reproduce its bytes, in both entry encodings.
+    let flat_path = dir.join("golden.v3-paths.chl");
+    let flat_bytes = std::fs::read(&flat_path).unwrap();
+    let header = persist::parse_header(&flat_bytes).unwrap();
+    assert_eq!(header.version, persist::VERSION);
+    assert!(header.is_paths(), "paths fixture carries the flag");
+    let flat = FlatIndex::from_bytes(&flat_bytes).expect("paths fixture loads");
+    assert!(flat.has_path_data());
+    assert_eq!(
+        flat.to_bytes(),
+        flat_bytes,
+        "re-serializing the paths fixture must be byte-identical"
+    );
+    let comp_path = dir.join("golden.v3-paths-compressed.chl");
+    let comp_bytes = std::fs::read(&comp_path).unwrap();
+    let comp = FlatIndex::from_bytes(&comp_bytes).expect("compressed paths fixture loads");
+    assert!(comp.has_path_data());
+    assert_eq!(
+        comp.to_bytes_with(&SaveOptions::compressed()),
+        comp_bytes,
+        "re-serializing the compressed paths fixture must be byte-identical"
+    );
+    assert_eq!(flat, comp, "one index in two coats");
+
+    // Every loader answers the pinned walks exactly: copy-load, borrowed
+    // views over both encodings, and both mmap shapes. The distance table
+    // stays pinned too — the path section must not perturb queries — and
+    // the pivoted matrix over all vertices ties the batch kernel to the
+    // same pin.
+    let flat_aligned = AlignedBytes::from_slice(&flat_bytes);
+    let flat_view = persist::view_bytes(&flat_aligned).expect("paths fixture views");
+    let comp_aligned = AlignedBytes::from_slice(&comp_bytes);
+    let comp_view = persist::open_view(&comp_aligned).expect("compressed paths fixture views");
+    let mapped_flat = MmapIndex::open(&flat_path).expect("paths fixture maps");
+    let mapped_comp = MmapIndex::open(&comp_path).expect("compressed paths fixture maps");
+
+    assert_answers(&table, "paths fixture queries", |u, v| flat.query(u, v));
+    let n = flat.num_vertices() as u32;
+    let all: Vec<u32> = (0..n).collect();
+    let pinned_block: Vec<u64> = table.iter().flatten().copied().collect();
+    use chl_core::oracle::DistanceOracle;
+    assert_eq!(flat.matrix(&all, &all), pinned_block, "pivoted matrix pin");
+    assert_eq!(
+        mapped_comp.matrix(&all, &all),
+        pinned_block,
+        "mmap pivoted matrix pin"
+    );
+
+    for &((u, v), ref expect) in &walks {
+        assert_eq!(&flat.path(u, v).unwrap(), expect, "copy-load ({u}, {v})");
+        assert_eq!(&flat_view.path(u, v).unwrap(), expect, "view ({u}, {v})");
+        assert_eq!(
+            &comp_view.path(u, v).unwrap(),
+            expect,
+            "compressed view ({u}, {v})"
+        );
+        assert_eq!(&mapped_flat.path(u, v).unwrap(), expect, "mmap ({u}, {v})");
+        assert_eq!(
+            &mapped_comp.path(u, v).unwrap(),
+            expect,
+            "compressed mmap ({u}, {v})"
+        );
+    }
+
+    // The path-less corpus answers the typed error, not a guess.
+    let plain =
+        FlatIndex::from_bytes(&std::fs::read(dir.join("golden.v3-flat.chl")).unwrap()).unwrap();
+    assert!(!plain.has_path_data());
+    assert_eq!(plain.path(0, 5), Err(PathError::NoPathData));
 }
 
 #[test]

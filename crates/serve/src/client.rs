@@ -201,6 +201,58 @@ impl Client {
         Ok(out)
     }
 
+    /// One PATH frame: the reconstructed vertex walk `u → v`, empty when
+    /// the endpoints are disconnected. Servers without path data answer
+    /// [`ErrorCode::NoPathData`], surfaced as [`ClientError::Server`].
+    pub fn path(&mut self, u: VertexId, v: VertexId) -> Result<Vec<VertexId>, ClientError> {
+        let mut wire = Vec::new();
+        encode_request(&Request::Path(u, v), &mut wire);
+        self.stream.write_all(&wire)?;
+        match self.read_response()? {
+            Response::Path(vertices) => Ok(vertices),
+            Response::Error {
+                code,
+                detail,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                detail,
+                message,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// One MATRIX frame: the `sources × targets` distance block, row-major.
+    pub fn matrix(
+        &mut self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Result<Vec<Distance>, ClientError> {
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::Matrix {
+                sources: sources.to_vec(),
+                targets: targets.to_vec(),
+            },
+            &mut wire,
+        );
+        self.stream.write_all(&wire)?;
+        match self.read_response()? {
+            Response::Matrix(ds) => Ok(ds),
+            Response::Error {
+                code,
+                detail,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                detail,
+                message,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
     /// Asks for index/server metadata.
     pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
         let mut wire = Vec::new();

@@ -20,6 +20,7 @@ use chl_core::flat::FlatIndex;
 use chl_core::kernel::HotHubCache;
 use chl_core::mapped::MmapIndex;
 use chl_core::oracle::DistanceOracle;
+use chl_core::paths::{PathError, PathOracle};
 use chl_core::persist::{PersistError, ShardSpec};
 use chl_graph::types::{Distance, VertexId};
 
@@ -148,6 +149,22 @@ impl LoadedIndex {
         }
     }
 
+    /// `true` when the loaded file carries a path section, i.e. PATH frames
+    /// can be answered from this generation.
+    pub fn has_path_data(&self) -> bool {
+        match &self.backend {
+            Backend::Owned(index) => index.has_path_data(),
+            Backend::Mapped(index) => index.has_path_data(),
+        }
+    }
+
+    /// Reconstructs one shortest path from this generation's parent records
+    /// (`Ok(None)` = disconnected). Same semantics as the in-process
+    /// [`PathOracle::path`] on the underlying backend.
+    pub fn path(&self, u: VertexId, v: VertexId) -> Result<Option<Vec<VertexId>>, PathError> {
+        self.backend.view().path(u, v)
+    }
+
     /// Shard-honesty check for one query: the first **in-range** endpoint
     /// this shard does not own, or `None` when the query is answerable here
     /// (including on a whole index, and including out-of-range ids, which
@@ -194,6 +211,13 @@ impl DistanceOracle for LoadedIndex {
             Backend::Mapped(index) => index.memory_bytes(),
         };
         backend + self.cache_bytes()
+    }
+
+    /// Distance blocks go through the hub-pivoted kernel on the view — the
+    /// hot-hub cache only accelerates point queries, and answers are
+    /// byte-identical either way (the matrix contract).
+    fn matrix(&self, sources: &[VertexId], targets: &[VertexId]) -> Vec<Distance> {
+        self.backend.view().matrix(sources, targets)
     }
 }
 

@@ -14,9 +14,18 @@
 //!   0x02 INFO   (empty)                          0x82 INFO   vertices:u64le labels:u64le
 //!   0x03 RELOAD (empty)                                      generation:u64le flags:u8
 //!   0x04 SHUTDOWN (empty)                                    [shard_id:u32le shard_count:u32le]
-//!                                                0x83 OK     generation:u64le
+//!   0x05 PATH   u:u32le v:u32le                  0x83 OK     generation:u64le
+//!   0x06 MATRIX s:u32le t:u32le (src:u32le)*     0x84 PATH   count:u32le (vertex:u32le)*
+//!               (tgt:u32le)*                     0x85 MATRIX count:u32le (d:u64le)*
 //!                                                0xEE ERROR  code:u16le detail:u64le msg:utf8
 //! ```
+//!
+//! A PATH response with `count == 0` means the endpoints are disconnected —
+//! an answer, not an error (a server without path data answers
+//! [`ErrorCode::NoPathData`] instead). A MATRIX response carries the
+//! `s_count × t_count` block row-major, exactly the in-process
+//! [`DistanceOracle::matrix`](chl_core::oracle::DistanceOracle::matrix)
+//! contract over the wire.
 //!
 //! The INFO shard tail is present exactly when the `flags` byte has
 //! [`INFO_FLAG_SHARDED`] set — a server loading one `.chl` v3 shard file
@@ -54,6 +63,10 @@ pub const OP_INFO: u8 = 0x02;
 pub const OP_RELOAD: u8 = 0x03;
 /// Request opcode: graceful server shutdown.
 pub const OP_SHUTDOWN: u8 = 0x04;
+/// Request opcode: reconstruct one shortest path (`u:u32le v:u32le`).
+pub const OP_PATH: u8 = 0x05;
+/// Request opcode: a `sources × targets` distance block.
+pub const OP_MATRIX: u8 = 0x06;
 
 /// Response opcode: one distance per queried pair, in request order.
 pub const OP_DISTANCES: u8 = 0x81;
@@ -61,6 +74,11 @@ pub const OP_DISTANCES: u8 = 0x81;
 pub const OP_INFO_RESP: u8 = 0x82;
 /// Response opcode: success answer to [`OP_RELOAD`] / [`OP_SHUTDOWN`].
 pub const OP_OK: u8 = 0x83;
+/// Response opcode: the vertex sequence answering an [`OP_PATH`] request;
+/// an empty sequence means the endpoints are disconnected.
+pub const OP_PATH_RESP: u8 = 0x84;
+/// Response opcode: the row-major distance block answering [`OP_MATRIX`].
+pub const OP_MATRIX_RESP: u8 = 0x85;
 /// Response opcode: typed error frame.
 pub const OP_ERROR: u8 = 0xEE;
 
@@ -100,6 +118,11 @@ pub enum ErrorCode {
     /// connection failed); `detail` carries the shard id. Only the frames
     /// placed on the dead shard fail — the rest of a batch keeps answering.
     ShardUnavailable,
+    /// A PATH request reached an index whose `.chl` file carries no path
+    /// section (built without `--paths`), or whose parent records could not
+    /// witness the queried pair. Distances still serve; rebuild with
+    /// `chl build --paths` for reconstruction.
+    NoPathData,
 }
 
 impl ErrorCode {
@@ -113,6 +136,7 @@ impl ErrorCode {
             ErrorCode::UnknownOpcode => 5,
             ErrorCode::NotThisShard => 6,
             ErrorCode::ShardUnavailable => 7,
+            ErrorCode::NoPathData => 8,
         }
     }
 
@@ -126,6 +150,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::UnknownOpcode),
             6 => Some(ErrorCode::NotThisShard),
             7 => Some(ErrorCode::ShardUnavailable),
+            8 => Some(ErrorCode::NoPathData),
             _ => None,
         }
     }
@@ -141,6 +166,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnknownOpcode => "unknown opcode",
             ErrorCode::NotThisShard => "vertex owned by another shard",
             ErrorCode::ShardUnavailable => "owning shard unavailable",
+            ErrorCode::NoPathData => "index carries no path data",
         };
         f.write_str(name)
     }
@@ -157,6 +183,16 @@ pub enum Request {
     Reload,
     /// Stop accepting connections and exit once in-flight work drains.
     Shutdown,
+    /// Reconstruct one shortest path `u → v`, answered by one PATH frame.
+    Path(VertexId, VertexId),
+    /// A `sources × targets` distance block, answered row-major by one
+    /// MATRIX frame.
+    Matrix {
+        /// Row ids, one row per occurrence.
+        sources: Vec<VertexId>,
+        /// Column ids, one column per occurrence.
+        targets: Vec<VertexId>,
+    },
 }
 
 /// Index/server metadata carried by an [`OP_INFO_RESP`] frame.
@@ -190,6 +226,12 @@ pub enum Response {
         /// Reload generation after the acknowledged operation.
         generation: u64,
     },
+    /// The vertex sequence answering one PATH request: `path[0] == u`,
+    /// `path[last] == v`, consecutive vertices adjacent in the graph. Empty
+    /// when the endpoints are disconnected (an answer, not an error).
+    Path(Vec<VertexId>),
+    /// The row-major distance block answering one MATRIX request.
+    Matrix(Vec<Distance>),
     /// Typed failure; see [`ErrorCode`].
     Error {
         /// What went wrong.
@@ -267,6 +309,16 @@ fn take_u64(b: &[u8]) -> Result<(u64, &[u8]), WireError> {
     }
 }
 
+fn take_u32s(mut b: &[u8], count: u32) -> Result<(Vec<u32>, &[u8]), WireError> {
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (v, rest) = take_u32(b)?;
+        out.push(v);
+        b = rest;
+    }
+    Ok((out, b))
+}
+
 fn expect_empty(b: &[u8]) -> Result<(), WireError> {
     if b.is_empty() {
         Ok(())
@@ -296,6 +348,23 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Info => encode_empty(OP_INFO, out),
         Request::Reload => encode_empty(OP_RELOAD, out),
         Request::Shutdown => encode_empty(OP_SHUTDOWN, out),
+        Request::Path(u, v) => {
+            out.extend_from_slice(&9u32.to_le_bytes());
+            out.push(OP_PATH);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::Matrix { sources, targets } => {
+            let len = 1 + 8 + 4 * (sources.len() + targets.len());
+            out.reserve(4 + len);
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            out.push(OP_MATRIX);
+            out.extend_from_slice(&(sources.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+            for id in sources.iter().chain(targets) {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -345,6 +414,26 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(OP_OK);
             out.extend_from_slice(&generation.to_le_bytes());
         }
+        Response::Path(vertices) => {
+            let len = 1 + 4 + 4 * vertices.len();
+            out.reserve(4 + len);
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            out.push(OP_PATH_RESP);
+            out.extend_from_slice(&(vertices.len() as u32).to_le_bytes());
+            for id in vertices {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Response::Matrix(ds) => {
+            let len = 1 + 4 + 8 * ds.len();
+            out.reserve(4 + len);
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            out.push(OP_MATRIX_RESP);
+            out.extend_from_slice(&(ds.len() as u32).to_le_bytes());
+            for d in ds {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
         Response::Error {
             code,
             detail,
@@ -392,6 +481,30 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_INFO => expect_empty(body).map(|()| Request::Info),
         OP_RELOAD => expect_empty(body).map(|()| Request::Reload),
         OP_SHUTDOWN => expect_empty(body).map(|()| Request::Shutdown),
+        OP_PATH => {
+            let (u, rest) = take_u32(body)?;
+            let (v, rest) = take_u32(rest)?;
+            expect_empty(rest)?;
+            Ok(Request::Path(u, v))
+        }
+        OP_MATRIX => {
+            let (s_count, rest) = take_u32(body)?;
+            let (t_count, rest) = take_u32(rest)?;
+            // Both counts must agree exactly with the payload length, same
+            // discipline as QUERY.
+            let want = 4 * (s_count as usize + t_count as usize);
+            if rest.len() != want {
+                return Err(if rest.len() < want {
+                    WireError::Truncated
+                } else {
+                    WireError::TrailingBytes
+                });
+            }
+            let (sources, rest) = take_u32s(rest, s_count)?;
+            let (targets, rest) = take_u32s(rest, t_count)?;
+            expect_empty(rest)?;
+            Ok(Request::Matrix { sources, targets })
+        }
         other => Err(WireError::UnknownOpcode(other)),
     }
 }
@@ -439,6 +552,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let (generation, rest) = take_u64(body)?;
             expect_empty(rest)?;
             Ok(Response::Ok { generation })
+        }
+        OP_PATH_RESP => {
+            let (count, rest) = take_u32(body)?;
+            if rest.len() != 4 * count as usize {
+                return Err(WireError::Truncated);
+            }
+            let (vertices, rest) = take_u32s(rest, count)?;
+            expect_empty(rest)?;
+            Ok(Response::Path(vertices))
+        }
+        OP_MATRIX_RESP => {
+            let (count, mut rest) = take_u32(body)?;
+            if rest.len() != 8 * count as usize {
+                return Err(WireError::Truncated);
+            }
+            let mut ds = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let (d, r) = take_u64(rest)?;
+                ds.push(d);
+                rest = r;
+            }
+            Ok(Response::Matrix(ds))
         }
         OP_ERROR => {
             let (raw_code, rest) = take_u16(body)?;
@@ -535,6 +670,16 @@ mod tests {
             Request::Info,
             Request::Reload,
             Request::Shutdown,
+            Request::Path(3, 9),
+            Request::Path(0, 0),
+            Request::Matrix {
+                sources: vec![0, 1, 2],
+                targets: vec![5, 6],
+            },
+            Request::Matrix {
+                sources: Vec::new(),
+                targets: Vec::new(),
+            },
         ] {
             let mut wire = Vec::new();
             encode_request(&req, &mut wire);
@@ -567,10 +712,19 @@ mod tests {
                 shard: Some((1, 3)),
             }),
             Response::Ok { generation: 2 },
+            Response::Path(vec![0, 4, 2, 7]),
+            Response::Path(Vec::new()),
+            Response::Matrix(vec![0, 3, u64::MAX, 12]),
+            Response::Matrix(Vec::new()),
             Response::Error {
                 code: ErrorCode::VertexOutOfRange,
                 detail: 99,
                 message: "vertex id 99 out of range".into(),
+            },
+            Response::Error {
+                code: ErrorCode::NoPathData,
+                detail: 0,
+                message: String::new(),
             },
         ] {
             let mut wire = Vec::new();
@@ -653,6 +807,29 @@ mod tests {
         let mut bad = vec![OP_DISTANCES];
         bad.extend_from_slice(&3u32.to_le_bytes());
         assert_eq!(decode_response(&bad), Err(WireError::Truncated));
+        // PATH with a short body, and with trailing bytes.
+        let mut bad = vec![OP_PATH];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(decode_request(&bad), Err(WireError::Truncated));
+        bad.extend_from_slice(&[0u8; 5]);
+        assert_eq!(decode_request(&bad), Err(WireError::TrailingBytes));
+        // MATRIX whose counts lie about the payload length, both ways.
+        let mut bad = vec![OP_MATRIX];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode_request(&bad), Err(WireError::Truncated));
+        bad.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode_request(&bad), Err(WireError::TrailingBytes));
+        // PATH response with a count lying about its length.
+        let mut bad = vec![OP_PATH_RESP];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 4]);
+        assert_eq!(decode_response(&bad), Err(WireError::Truncated));
+        // MATRIX response likewise.
+        let mut bad = vec![OP_MATRIX_RESP];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(decode_response(&bad), Err(WireError::Truncated));
     }
 
     #[test]
@@ -665,6 +842,7 @@ mod tests {
             ErrorCode::UnknownOpcode,
             ErrorCode::NotThisShard,
             ErrorCode::ShardUnavailable,
+            ErrorCode::NoPathData,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
             assert!(!code.to_string().is_empty());

@@ -693,7 +693,7 @@ fn route_connection(
                     // Oversized declared length: answer typed, then close.
                     let mut out = Vec::new();
                     if !payloads.is_empty() {
-                        route_frames(&payloads, pool, cluster, state, &mut out);
+                        route_frames(&payloads, pool, cluster, opts, state, &mut out);
                         payloads.clear();
                     }
                     encode_response(&wire_error_response(&wire), &mut out);
@@ -705,7 +705,7 @@ fn route_connection(
         }
         if !payloads.is_empty() {
             let mut out = Vec::new();
-            let disposition = route_frames(&payloads, pool, cluster, state, &mut out);
+            let disposition = route_frames(&payloads, pool, cluster, opts, state, &mut out);
             payloads.clear();
             stream.write_all(&out)?;
             match disposition {
@@ -773,6 +773,7 @@ fn route_frames(
     payloads: &[Vec<u8>],
     pool: &mut BackendPool<'_>,
     cluster: &ClusterView,
+    opts: &RouterOptions,
     state: &RouterState,
     out: &mut Vec<u8>,
 ) -> Disposition {
@@ -792,6 +793,12 @@ fn route_frames(
                     }
                 }
                 route_query_run(&run, pool, cluster, state, out);
+            }
+            Ok(Request::Path(u, v)) => {
+                route_path(u, v, pool, cluster, state, out);
+            }
+            Ok(Request::Matrix { sources, targets }) => {
+                route_matrix(&sources, &targets, pool, cluster, opts, state, out);
             }
             Ok(Request::Info) => {
                 let resp = aggregate_info(pool, cluster);
@@ -1019,6 +1026,185 @@ fn route_query_run(
             }
         }
     }
+}
+
+/// Routes one PATH frame to the shard owning the pair (QDOL guarantees one
+/// exists) and relays the answer. Out-of-range ids are rejected locally with
+/// the exact frame a whole-index server sends; a dead owning shard is a
+/// typed [`ErrorCode::ShardUnavailable`].
+fn route_path(
+    u: VertexId,
+    v: VertexId,
+    pool: &mut BackendPool<'_>,
+    cluster: &ClusterView,
+    state: &RouterState,
+    out: &mut Vec<u8>,
+) {
+    let map = cluster.map();
+    let n = map.num_vertices();
+    if let Some(id) = [u, v].into_iter().find(|&id| id as usize >= n) {
+        RouterStats::add(&state.stats.error_frames, 1);
+        encode_response(
+            &Response::Error {
+                code: ErrorCode::VertexOutOfRange,
+                detail: id as u64,
+                message: format!("vertex id {id} out of range for {n} vertices"),
+            },
+            out,
+        );
+        return;
+    }
+    RouterStats::add(&state.stats.forwarded_frames, 1);
+    RouterStats::add(&state.stats.queries, 1);
+    let shard = map.shard_for_query(u, v);
+    match pool.call(shard, |client| client.path(u, v)) {
+        Ok(vertices) => encode_response(&Response::Path(vertices), out),
+        Err(failure) => {
+            RouterStats::add(&state.stats.shard_errors, 1);
+            RouterStats::add(&state.stats.error_frames, 1);
+            encode_response(&backend_failure_response(shard, &failure), out);
+        }
+    }
+}
+
+/// Routes one MATRIX frame: every cell is placed on the shard owning its
+/// pair, each shard with work answers one sub-matrix over the (sorted,
+/// deduplicated) sources and targets of its cells, and the cells are merged
+/// back into the client's row-major block. All ids a shard receives are
+/// owned by it — each appears in some cell placed there, and QDOL ownership
+/// is per-vertex — so the extra cells a sub-matrix computes are answerable
+/// waste, never `NotThisShard`. Any needed shard being dead fails the whole
+/// frame (a partial matrix has no wire representation).
+fn route_matrix(
+    sources: &[VertexId],
+    targets: &[VertexId],
+    pool: &mut BackendPool<'_>,
+    cluster: &ClusterView,
+    opts: &RouterOptions,
+    state: &RouterState,
+    out: &mut Vec<u8>,
+) {
+    let map = cluster.map();
+    let n = map.num_vertices();
+    if let Some(&id) = sources.iter().chain(targets).find(|&&id| id as usize >= n) {
+        RouterStats::add(&state.stats.error_frames, 1);
+        encode_response(
+            &Response::Error {
+                code: ErrorCode::VertexOutOfRange,
+                detail: id as u64,
+                message: format!("vertex id {id} out of range for {n} vertices"),
+            },
+            out,
+        );
+        return;
+    }
+    let cells = sources.len() * targets.len();
+    let payload = 1 + 4 + 8 * cells;
+    if payload > opts.max_frame as usize {
+        RouterStats::add(&state.stats.error_frames, 1);
+        encode_response(
+            &Response::Error {
+                code: ErrorCode::Oversized,
+                detail: cells as u64,
+                message: format!(
+                    "matrix of {cells} cells exceeds the {}-byte frame cap",
+                    opts.max_frame
+                ),
+            },
+            out,
+        );
+        return;
+    }
+    RouterStats::add(&state.stats.forwarded_frames, 1);
+    RouterStats::add(&state.stats.queries, cells as u64);
+    if cells == 0 {
+        encode_response(&Response::Matrix(Vec::new()), out);
+        return;
+    }
+
+    // Place every cell, collecting each shard's id sets.
+    let mut shard_of_cell: Vec<usize> = Vec::with_capacity(cells);
+    let mut sub_sources: Vec<Vec<VertexId>> = vec![Vec::new(); map.shard_count()];
+    let mut sub_targets: Vec<Vec<VertexId>> = vec![Vec::new(); map.shard_count()];
+    for &s in sources {
+        for &t in targets {
+            let shard = map.shard_for_query(s, t);
+            shard_of_cell.push(shard);
+            if let (Some(ss), Some(ts)) = (sub_sources.get_mut(shard), sub_targets.get_mut(shard)) {
+                ss.push(s);
+                ts.push(t);
+            }
+        }
+    }
+    for ids in sub_sources.iter_mut().chain(sub_targets.iter_mut()) {
+        ids.sort_unstable();
+        ids.dedup();
+    }
+    let needed: Vec<usize> = (0..map.shard_count())
+        .filter(|&s| !sub_sources.get(s).is_none_or(Vec::is_empty))
+        .collect();
+    if needed.len() > 1 {
+        RouterStats::add(&state.stats.fanout_frames, 1);
+    }
+
+    // Scatter: one sub-matrix conversation per shard with work.
+    let mut blocks: Vec<Option<Vec<Distance>>> = vec![None; map.shard_count()];
+    for &shard in &needed {
+        let (Some(ss), Some(ts)) = (sub_sources.get(shard), sub_targets.get(shard)) else {
+            continue;
+        };
+        match pool.call(shard, |client| client.matrix(ss, ts)) {
+            Ok(block) if block.len() == ss.len() * ts.len() => {
+                if let Some(slot) = blocks.get_mut(shard) {
+                    *slot = Some(block);
+                }
+            }
+            // Wrong cell count: desynced backend, same as dead.
+            Ok(_) => {
+                RouterStats::add(&state.stats.shard_errors, 1);
+                RouterStats::add(&state.stats.error_frames, 1);
+                encode_response(&shard_unavailable_response(shard), out);
+                return;
+            }
+            Err(failure) => {
+                RouterStats::add(&state.stats.shard_errors, 1);
+                RouterStats::add(&state.stats.error_frames, 1);
+                encode_response(&backend_failure_response(shard, &failure), out);
+                return;
+            }
+        }
+    }
+
+    // Gather: pull each client cell out of its shard's sub-block.
+    let mut merged: Vec<Distance> = Vec::with_capacity(cells);
+    for (ci, &shard) in shard_of_cell.iter().enumerate() {
+        let (s, t) = (
+            sources.get(ci / targets.len()).copied().unwrap_or_default(),
+            targets.get(ci % targets.len()).copied().unwrap_or_default(),
+        );
+        let cell = blocks
+            .get(shard)
+            .and_then(|b| b.as_ref())
+            .and_then(|block| {
+                let ss = sub_sources.get(shard)?;
+                let ts = sub_targets.get(shard)?;
+                let row = ss.binary_search(&s).ok()?;
+                let col = ts.binary_search(&t).ok()?;
+                block.get(row * ts.len() + col).copied()
+            });
+        match cell {
+            Some(d) => merged.push(d),
+            // Unreachable by construction; treat as a desynced backend
+            // rather than risking a wrong-length response.
+            None => {
+                RouterStats::add(&state.stats.shard_errors, 1);
+                RouterStats::add(&state.stats.error_frames, 1);
+                encode_response(&shard_unavailable_response(shard), out);
+                return;
+            }
+        }
+    }
+    encode_response(&Response::Matrix(merged), out);
 }
 
 /// Aggregates the cluster into one unsharded-looking INFO answer: global

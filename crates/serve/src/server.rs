@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use chl_core::oracle::DistanceOracle;
+use chl_core::paths::PathError;
 use chl_graph::types::{Distance, VertexId};
 
 use crate::http;
@@ -518,6 +519,12 @@ fn process_frames(
                 }
                 answer_query_run(&run, shared, opts, state, out);
             }
+            Ok(Request::Path(u, v)) => {
+                answer_path(u, v, shared, opts, state, out);
+            }
+            Ok(Request::Matrix { sources, targets }) => {
+                answer_matrix(&sources, &targets, shared, opts, state, out);
+            }
             Ok(Request::Info) => {
                 encode_response(&Response::Info(shared.info()), out);
             }
@@ -655,6 +662,147 @@ fn answer_query_run(
             }
         }
     }
+}
+
+/// Emits one typed error frame, counted in the stats.
+fn error_frame(
+    code: ErrorCode,
+    detail: u64,
+    message: String,
+    state: &ServerState,
+    out: &mut Vec<u8>,
+) {
+    ServeStats::add(&state.stats.error_frames, 1);
+    encode_response(
+        &Response::Error {
+            code,
+            detail,
+            message,
+        },
+        out,
+    );
+}
+
+fn not_this_shard_frame(
+    id: VertexId,
+    shard: Option<&chl_core::persist::ShardSpec>,
+    state: &ServerState,
+    out: &mut Vec<u8>,
+) {
+    let (sid, cnt) = shard.map(|s| (s.shard_id, s.shard_count)).unwrap_or((0, 0));
+    error_frame(
+        ErrorCode::NotThisShard,
+        id as u64,
+        format!("vertex id {id} is owned by another shard (this is shard {sid} of {cnt})"),
+        state,
+        out,
+    );
+}
+
+/// Answers one PATH frame. Range is checked before shard ownership — the
+/// QUERY discipline — then the generation's parent records reconstruct the
+/// walk. A path too long for the frame cap answers a typed Oversized error
+/// and the connection keeps serving: unlike an oversized *request*, framing
+/// is never lost on the response side.
+fn answer_path(
+    u: VertexId,
+    v: VertexId,
+    shared: &SharedIndex,
+    opts: &ServeOptions,
+    state: &ServerState,
+    out: &mut Vec<u8>,
+) {
+    let snapshot = shared.snapshot();
+    let n = snapshot.num_vertices();
+    if let Some(id) = [u, v].into_iter().find(|&id| id as usize >= n) {
+        return error_frame(
+            ErrorCode::VertexOutOfRange,
+            id as u64,
+            format!("vertex id {id} out of range for {n} vertices"),
+            state,
+            out,
+        );
+    }
+    if let Some(id) = snapshot.foreign_endpoint(u, v) {
+        return not_this_shard_frame(id, snapshot.shard(), state, out);
+    }
+    match snapshot.path(u, v) {
+        Ok(hops) => {
+            let vertices = hops.unwrap_or_default();
+            let payload = 1 + 4 + 4 * vertices.len();
+            if payload > opts.max_frame as usize {
+                return error_frame(
+                    ErrorCode::Oversized,
+                    vertices.len() as u64,
+                    format!(
+                        "path of {} vertices exceeds the {}-byte frame cap",
+                        vertices.len(),
+                        opts.max_frame
+                    ),
+                    state,
+                    out,
+                );
+            }
+            ServeStats::add(&state.stats.queries, 1);
+            encode_response(&Response::Path(vertices), out);
+        }
+        // An interior chain vertex owned elsewhere (possible on shard files
+        // even when both endpoints are owned here).
+        Err(PathError::NotThisShard { vertex }) => {
+            not_this_shard_frame(vertex, snapshot.shard(), state, out);
+        }
+        // No path section, or parent records that cannot witness the pair:
+        // distances still serve, reconstruction does not.
+        Err(e) => error_frame(ErrorCode::NoPathData, 0, e.to_string(), state, out),
+    }
+}
+
+/// Answers one MATRIX frame through the hub-pivoted block kernel. Range is
+/// checked over sources then targets (first offender wins), then shard
+/// ownership; a block too large for the frame cap answers a typed Oversized
+/// error without closing the connection.
+fn answer_matrix(
+    sources: &[VertexId],
+    targets: &[VertexId],
+    shared: &SharedIndex,
+    opts: &ServeOptions,
+    state: &ServerState,
+    out: &mut Vec<u8>,
+) {
+    let snapshot = shared.snapshot();
+    let oracle = snapshot.oracle();
+    let n = oracle.num_vertices();
+    if let Some(&id) = sources.iter().chain(targets).find(|&&id| id as usize >= n) {
+        return error_frame(
+            ErrorCode::VertexOutOfRange,
+            id as u64,
+            format!("vertex id {id} out of range for {n} vertices"),
+            state,
+            out,
+        );
+    }
+    if let Some(spec) = snapshot.shard() {
+        if let Some(&id) = sources.iter().chain(targets).find(|&&id| !spec.owns(id)) {
+            return not_this_shard_frame(id, snapshot.shard(), state, out);
+        }
+    }
+    let cells = sources.len() * targets.len();
+    let payload = 1 + 4 + 8 * cells;
+    if payload > opts.max_frame as usize {
+        return error_frame(
+            ErrorCode::Oversized,
+            cells as u64,
+            format!(
+                "matrix of {cells} cells exceeds the {}-byte frame cap",
+                opts.max_frame
+            ),
+            state,
+            out,
+        );
+    }
+    ServeStats::add(&state.stats.queries, cells as u64);
+    ServeStats::add(&state.stats.batch_calls, 1);
+    encode_response(&Response::Matrix(oracle.matrix(sources, targets)), out);
 }
 
 /// One `distances` call per `max_batch` pairs, counted in the stats.

@@ -10,11 +10,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chl_core::flat::FlatIndex;
+use chl_core::oracle::DistanceOracle;
+use chl_core::paths::{attach_parents, PathOracle};
 use chl_core::pll::sequential_pll;
 use chl_graph::generators::{grid_network, GridOptions};
 use chl_graph::types::INFINITY;
 use chl_ranking::degree_ranking;
-use chl_serve::protocol::{encode_request, ErrorCode, Request, Response, OP_QUERY};
+use chl_serve::protocol::{
+    encode_request, ErrorCode, Request, Response, OP_MATRIX, OP_PATH, OP_QUERY,
+};
 use chl_serve::{Client, ClientError, ServeOptions, Server, SharedIndex, SpawnedServer};
 
 /// Builds a small real labeling (6x6 road-like grid, 36 vertices).
@@ -29,6 +33,19 @@ fn build_index(seed: u64) -> FlatIndex {
     FlatIndex::from_index(&sequential_pll(&graph, &ranking).index)
 }
 
+/// Same corpus with per-entry parent records, so PATH frames can answer.
+fn build_paths_index(seed: u64) -> FlatIndex {
+    let opts = GridOptions {
+        rows: 6,
+        cols: 6,
+        ..GridOptions::default()
+    };
+    let graph = grid_network(&opts, seed);
+    let ranking = degree_ranking(&graph);
+    let flat = FlatIndex::from_index(&sequential_pll(&graph, &ranking).index);
+    attach_parents(&graph, flat).expect("corpus graph matches its index")
+}
+
 fn temp_path(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!(
         "chl-serve-protocol-{}-{:?}-{tag}.chl",
@@ -41,6 +58,20 @@ fn temp_path(tag: &str) -> std::path::PathBuf {
 /// server, the in-memory reference index and the file path.
 fn start_server(tag: &str, opts: ServeOptions) -> (SpawnedServer, FlatIndex, std::path::PathBuf) {
     let flat = build_index(7);
+    let path = temp_path(tag);
+    flat.save(&path).expect("save index");
+    let shared = Arc::new(SharedIndex::open(&path, false).expect("open index"));
+    let server = Server::bind("127.0.0.1:0", shared, opts).expect("bind ephemeral port");
+    let spawned = server.spawn().expect("spawn server");
+    (spawned, flat, path)
+}
+
+/// Like [`start_server`] but the saved file carries the path section.
+fn start_paths_server(
+    tag: &str,
+    opts: ServeOptions,
+) -> (SpawnedServer, FlatIndex, std::path::PathBuf) {
+    let flat = build_paths_index(7);
     let path = temp_path(tag);
     flat.save(&path).expect("save index");
     let shared = Arc::new(SharedIndex::open(&path, false).expect("open index"));
@@ -325,6 +356,173 @@ fn info_reports_the_served_index_and_http_answers_curl() {
 
     let stats = server.shutdown().expect("shutdown");
     assert_eq!(stats.http_requests, 6);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn path_and_matrix_frames_match_the_in_memory_index() {
+    let (server, flat, path) = start_paths_server("paths", ServeOptions::default());
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+
+    // PATH: every served walk is byte-identical to the in-memory oracle's,
+    // including the one-vertex diagonal walk.
+    for (u, v) in [(0, n - 1), (3, 17), (5, 5), (n - 1, 0), (12, 12)] {
+        let expect = flat.path(u, v).expect("answers").unwrap_or_default();
+        assert_eq!(client.path(u, v).expect("path"), expect, "({u}, {v})");
+    }
+
+    // MATRIX: served blocks — including duplicate ids and asymmetric
+    // shapes — match the pivoted in-memory kernel exactly.
+    for (sources, targets) in [
+        (vec![0u32, 1, 2], vec![n - 1, n - 2]),
+        (vec![5, 5, 5], vec![5, 6]),
+        (vec![0], (0..n).collect::<Vec<u32>>()),
+    ] {
+        assert_eq!(
+            client.matrix(&sources, &targets).expect("matrix"),
+            flat.matrix(&sources, &targets)
+        );
+    }
+
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.error_frames, 0);
+    // MATRIX cells count as queries; 5 PATH frames count one each.
+    assert_eq!(stats.queries, 5 + 6 + 6 + n as u64);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn path_without_path_section_answers_the_typed_error_and_survives() {
+    // The plain server's file has no path section: PATH frames must answer
+    // ErrorCode::NoPathData — not close, not guess — and MATRIX (which
+    // needs no parents) keeps working on the same connection.
+    let (server, flat, path) = start_server("nopaths", ServeOptions::default());
+    let mut client = connect(&server);
+    match client.path(0, 5) {
+        Err(ClientError::Server { code, message, .. }) => {
+            assert_eq!(code, ErrorCode::NoPathData);
+            assert!(message.contains("no path data"), "{message}");
+        }
+        other => panic!("expected NoPathData, got {other:?}"),
+    }
+    assert_eq!(
+        client.matrix(&[0, 1], &[2, 3]).expect("matrix"),
+        flat.matrix(&[0, 1], &[2, 3])
+    );
+    assert_eq!(client.query(0, 5).expect("query"), flat.query(0, 5));
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.error_frames, 1);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn malformed_and_out_of_range_path_matrix_frames_fail_typed() {
+    let (server, flat, path) = start_paths_server("pm-malformed", ServeOptions::default());
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+
+    // PATH frame with a truncated second endpoint.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&7u32.to_le_bytes());
+    bad.push(OP_PATH);
+    bad.extend_from_slice(&0u32.to_le_bytes());
+    bad.extend_from_slice(&[9, 0]); // two bytes of v
+    client.send_raw(&bad).expect("send");
+    match client.read_response().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // MATRIX frame whose counts disagree with the payload length.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&17u32.to_le_bytes()); // 1 + 8 + 8 = one id per side
+    bad.push(OP_MATRIX);
+    bad.extend_from_slice(&2u32.to_le_bytes()); // ...but claims two sources
+    bad.extend_from_slice(&1u32.to_le_bytes());
+    bad.extend_from_slice(&[0u8; 8]);
+    client.send_raw(&bad).expect("send");
+    match client.read_response().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Out-of-range ids answer VertexOutOfRange naming the id, for both ops.
+    match client.path(n + 3, 0) {
+        Err(ClientError::Server { code, detail, .. }) => {
+            assert_eq!(code, ErrorCode::VertexOutOfRange);
+            assert_eq!(detail, (n + 3) as u64);
+        }
+        other => panic!("expected out-of-range, got {other:?}"),
+    }
+    match client.matrix(&[0, 1], &[2, n + 9]) {
+        Err(ClientError::Server { code, detail, .. }) => {
+            assert_eq!(code, ErrorCode::VertexOutOfRange);
+            assert_eq!(detail, (n + 9) as u64);
+        }
+        other => panic!("expected out-of-range, got {other:?}"),
+    }
+
+    // Same connection, still exact.
+    assert_eq!(
+        client.path(0, n - 1).expect("path"),
+        flat.path(0, n - 1).expect("answers").unwrap_or_default()
+    );
+    drop(client);
+    let stats = server.shutdown().expect("shutdown");
+    assert_eq!(stats.error_frames, 4);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn oversized_path_and_matrix_responses_fail_typed_without_closing() {
+    // Response-side framing is never lost: a PATH/MATRIX *answer* that
+    // would exceed max_frame fails as a typed Oversized error and the
+    // connection keeps serving (unlike an oversized *request*, which
+    // closes after the error because request framing is gone).
+    let opts = ServeOptions {
+        max_frame: 32,
+        ..ServeOptions::default()
+    };
+    let (server, flat, path) = start_paths_server("pm-oversized", opts);
+    let mut client = connect(&server);
+    let n = flat.num_vertices() as u32;
+
+    // The corner-to-corner grid walk needs 1 + 4 + 4*11 = 49 > 32 bytes.
+    let long_walk = flat.path(0, n - 1).expect("answers").expect("connected");
+    assert!(
+        1 + 4 + 4 * long_walk.len() > 32,
+        "corpus walk is long enough"
+    );
+    match client.path(0, n - 1) {
+        Err(ClientError::Server { code, detail, .. }) => {
+            assert_eq!(code, ErrorCode::Oversized);
+            assert_eq!(detail, long_walk.len() as u64);
+        }
+        other => panic!("expected oversized, got {other:?}"),
+    }
+
+    // A 2x4 block answers 1 + 4 + 8*8 = 69 > 32 bytes; its request (33
+    // bytes > 32) would be refused first, so probe with 1x4 = 25-byte
+    // request whose 37-byte answer is the oversized side.
+    match client.matrix(&[0], &[1, 2, 3, 4]) {
+        Err(ClientError::Server { code, detail, .. }) => {
+            assert_eq!(code, ErrorCode::Oversized);
+            assert_eq!(detail, 4);
+        }
+        other => panic!("expected oversized, got {other:?}"),
+    }
+
+    // Both failures left the connection serving: short answers still flow.
+    assert_eq!(client.path(0, 0).expect("path"), vec![0]);
+    assert_eq!(
+        client.matrix(&[0], &[1]).expect("matrix"),
+        flat.matrix(&[0], &[1])
+    );
+    drop(client);
+    server.shutdown().expect("shutdown");
     std::fs::remove_file(path).ok();
 }
 

@@ -12,6 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chl_core::flat::FlatIndex;
+use chl_core::oracle::DistanceOracle;
+use chl_core::paths::attach_parents;
 use chl_core::persist::SaveOptions;
 use chl_core::pll::sequential_pll;
 use chl_graph::generators::{grid_network, GridOptions};
@@ -23,7 +25,9 @@ use chl_serve::{
     SharedIndex, SpawnedRouter, SpawnedServer,
 };
 
-/// Builds a small real labeling (6x6 road-like grid, 36 vertices).
+/// Builds a small real labeling (6x6 road-like grid, 36 vertices) with
+/// path data attached, so the cluster serves PATH frames too; shard files
+/// inherit the parents through `restrict_to_shard`.
 fn build_index(seed: u64) -> FlatIndex {
     let opts = GridOptions {
         rows: 6,
@@ -32,7 +36,8 @@ fn build_index(seed: u64) -> FlatIndex {
     };
     let graph = grid_network(&opts, seed);
     let ranking = degree_ranking(&graph);
-    FlatIndex::from_index(&sequential_pll(&graph, &ranking).index)
+    let flat = FlatIndex::from_index(&sequential_pll(&graph, &ranking).index);
+    attach_parents(&graph, flat).expect("corpus graph matches its index")
 }
 
 fn temp_path(tag: &str, part: &str) -> PathBuf {
@@ -218,6 +223,132 @@ fn routed_cluster_answers_every_pair_byte_identically_to_the_oracle() {
 }
 
 #[test]
+fn routed_path_and_matrix_frames_differential_against_the_oracle() {
+    let cluster = start_cluster("paths", RouterOptions::default());
+    let mut routed = connect(cluster.router.handle().addr());
+    let mut oracle = connect(cluster.oracle.handle().addr());
+    let n = cluster.flat.num_vertices() as u32;
+
+    // MATRIX fan-out: blocks that span shards are split per owning shard
+    // and merged back byte-identical to the unsharded server — the whole
+    // graph as one block, asymmetric shapes, duplicate ids, single cells.
+    let shapes: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        ((0..n).collect(), (0..n).collect()),
+        (vec![0, n - 1, 17], vec![3, 3, 9, 22]),
+        (vec![5], (0..n).step_by(3).collect()),
+        (vec![n - 1], vec![0]),
+    ];
+    for (sources, targets) in &shapes {
+        let via_router = routed.matrix(sources, targets).expect("routed matrix");
+        let via_oracle = oracle.matrix(sources, targets).expect("oracle matrix");
+        assert_eq!(via_router, via_oracle, "{sources:?} x {targets:?}");
+        assert_eq!(via_router, cluster.flat.matrix(sources, targets));
+    }
+    // Empty sides flow as data on both tiers.
+    assert_eq!(routed.matrix(&[], &[3]).expect("empty"), Vec::<u64>::new());
+    assert_eq!(oracle.matrix(&[], &[3]).expect("empty"), Vec::<u64>::new());
+
+    // PATH over every ordered pair. A PATH frame forwards whole to the
+    // shard owning the endpoint pair; QDOL guarantees the endpoints but
+    // not every interior chain vertex, so the contract is byte-identical
+    // walks whenever the shard can answer, and the typed NOT_THIS_SHARD
+    // error (naming a genuinely foreign vertex, with the shard prefix)
+    // when the chain escapes — never a wrong or partial walk.
+    let mut answered = 0usize;
+    let mut refused = 0usize;
+    for u in 0..n {
+        for v in 0..n {
+            let expect = oracle.path(u, v).expect("oracle path");
+            match routed.path(u, v) {
+                Ok(walk) => {
+                    assert_eq!(walk, expect, "({u}, {v})");
+                    answered += 1;
+                }
+                Err(ClientError::Server {
+                    code,
+                    detail,
+                    message,
+                }) => {
+                    assert_eq!(code, ErrorCode::NotThisShard, "({u}, {v}): {message}");
+                    let shard = cluster.map.shard_for_query(u, v);
+                    assert!(
+                        !cluster.map.spec(shard).owns(detail as u32),
+                        "({u}, {v}): shard {shard} refused over vertex {detail} it owns"
+                    );
+                    assert!(
+                        message.starts_with(&format!("shard {shard}:")),
+                        "({u}, {v}): relayed error must name the shard: {message}"
+                    );
+                    refused += 1;
+                }
+                other => panic!("({u}, {v}): expected walk or typed refusal, got {other:?}"),
+            }
+        }
+    }
+    // The diagonal always answers ([u] needs no chain), so most pairs do.
+    assert!(
+        answered >= n as usize,
+        "only {answered} pairs answered, {refused} refused"
+    );
+
+    // Out-of-range ids answer byte-identical typed errors on both tiers,
+    // for PATH and MATRIX alike.
+    let routed_err = routed.path(n + 2, 0).expect_err("routed oor path");
+    let oracle_err = oracle.path(n + 2, 0).expect_err("oracle oor path");
+    match (&routed_err, &oracle_err) {
+        (
+            ClientError::Server {
+                code: rc,
+                detail: rd,
+                message: rm,
+            },
+            ClientError::Server {
+                code: oc,
+                detail: od,
+                message: om,
+            },
+        ) => {
+            assert_eq!((rc, rd, rm), (oc, od, om));
+            assert_eq!(*rc, ErrorCode::VertexOutOfRange);
+        }
+        other => panic!("expected server errors, got {other:?}"),
+    }
+    let routed_err = routed
+        .matrix(&[0], &[n + 4])
+        .expect_err("routed oor matrix");
+    let oracle_err = oracle
+        .matrix(&[0], &[n + 4])
+        .expect_err("oracle oor matrix");
+    match (&routed_err, &oracle_err) {
+        (
+            ClientError::Server {
+                code: rc,
+                detail: rd,
+                message: rm,
+            },
+            ClientError::Server {
+                code: oc,
+                detail: od,
+                message: om,
+            },
+        ) => {
+            assert_eq!((rc, rd, rm), (oc, od, om));
+            assert_eq!(*rc, ErrorCode::VertexOutOfRange);
+        }
+        other => panic!("expected server errors, got {other:?}"),
+    }
+
+    drop(routed);
+    drop(oracle);
+    let stats = cluster.router.handle().stats();
+    assert!(stats.fanout_frames > 0, "no matrix fan-out: {stats:?}");
+    // Relayed typed refusals count in shard_errors (same bookkeeping as
+    // QUERY); nothing else may have failed.
+    assert_eq!(stats.shard_errors, refused as u64, "only refusals relayed");
+    cluster.teardown();
+}
+
+#[test]
 fn a_shard_served_directly_answers_not_this_shard_for_foreign_vertices() {
     let cluster = start_cluster("foreign", RouterOptions::default());
     let spec0 = cluster.map.spec(0);
@@ -399,6 +530,21 @@ fn a_dead_backend_degrades_to_typed_shard_unavailable_not_a_hang() {
                 cluster.flat.query(su, sv)
             );
         }
+        // A MATRIX block with any cell on the dead shard fails whole — a
+        // partial matrix has no wire representation — while a block
+        // confined to a survivor still answers exactly.
+        match client.matrix(&[du], &[dv]) {
+            Err(ClientError::Server { code, detail, .. }) => {
+                assert_eq!(code, ErrorCode::ShardUnavailable);
+                assert_eq!(detail, dead_shard as u64);
+            }
+            other => panic!("expected SHARD_UNAVAILABLE matrix, got {other:?}"),
+        }
+        let (su, sv) = survivors.first().expect("a survivor").1;
+        assert_eq!(
+            client.matrix(&[su], &[sv]).expect("survivor matrix"),
+            cluster.flat.matrix(&[su], &[sv])
+        );
     }
 
     drop(routed);
